@@ -1,0 +1,319 @@
+(* Benchmark harness: one Bechamel test (or group) per experiment of
+   EXPERIMENTS.md.  The paper has no performance tables — it is a theory
+   paper — so these benches measure the *executable cost* of each
+   construction on fixed scenarios: how expensive a Σ-register operation
+   is, what the ABD transport costs over native message passing, how heavy
+   the Figure 1 / Figure 3 extractions are, and the relative latencies of
+   the algorithms the experiments compare.
+
+     dune exec bench/main.exe
+*)
+
+open Bechamel
+open Toolkit
+
+let sc_ff n = Core.Scenario.failure_free ~n
+let sc_crash n = Core.Scenario.one_crash ~n ~at:50
+let sc_minority n = Core.Scenario.minority_correct ~n
+
+let expect_ok name (s : Core.Runner.summary) =
+  match s.Core.Runner.spec_ok with
+  | Ok () -> ()
+  | Error e -> failwith (name ^ ": spec violation during bench: " ^ e)
+
+(* E1: ABD register workloads from Σ. *)
+let e1_tests =
+  Test.make_grouped ~name:"E1-abd-registers"
+    [
+      Test.make ~name:"failure-free-n4"
+        (Staged.stage (fun () ->
+             expect_ok "e1"
+               (Core.Runner.run_register_workload (sc_ff 4) ~seed:1)));
+      Test.make ~name:"one-crash-n4"
+        (Staged.stage (fun () ->
+             expect_ok "e1"
+               (Core.Runner.run_register_workload (sc_crash 4) ~seed:1)));
+      Test.make ~name:"minority-correct-n5"
+        (Staged.stage (fun () ->
+             expect_ok "e1"
+               (Core.Runner.run_register_workload (sc_minority 5) ~seed:1)));
+    ]
+
+(* E2: the Figure 1 Σ extraction (bounded run). *)
+let e2_tests =
+  Test.make_grouped ~name:"E2-sigma-extraction"
+    [
+      Test.make ~name:"failure-free-n4"
+        (Staged.stage (fun () ->
+             ignore
+               (Core.Runner.run_sigma_extraction ~max_steps:6_000 (sc_ff 4)
+                  ~seed:2)));
+      Test.make ~name:"one-crash-n4"
+        (Staged.stage (fun () ->
+             ignore
+               (Core.Runner.run_sigma_extraction ~max_steps:6_000 (sc_crash 4)
+                  ~seed:2)));
+    ]
+
+(* E3: (Ω,Σ) quorum consensus across environments. *)
+let e3_tests =
+  Test.make_grouped ~name:"E3-quorum-paxos"
+    [
+      Test.make ~name:"failure-free-n5"
+        (Staged.stage (fun () ->
+             expect_ok "e3"
+               (Core.Runner.run_consensus Core.Runner.Quorum_paxos (sc_ff 5)
+                  ~seed:3)));
+      Test.make ~name:"one-crash-n5"
+        (Staged.stage (fun () ->
+             expect_ok "e3"
+               (Core.Runner.run_consensus Core.Runner.Quorum_paxos (sc_crash 5)
+                  ~seed:3)));
+      Test.make ~name:"minority-correct-n5"
+        (Staged.stage (fun () ->
+             expect_ok "e3"
+               (Core.Runner.run_consensus Core.Runner.Quorum_paxos
+                  (sc_minority 5) ~seed:3)));
+    ]
+
+(* E4: registers+Ω consensus — native shm vs the ABD transport. *)
+let e4_tests =
+  Test.make_grouped ~name:"E4-disk-paxos"
+    [
+      Test.make ~name:"shm-n4"
+        (Staged.stage (fun () ->
+             expect_ok "e4"
+               (Core.Runner.run_consensus Core.Runner.Disk_paxos_shm (sc_ff 4)
+                  ~seed:4)));
+      Test.make ~name:"over-abd-n3"
+        (Staged.stage (fun () ->
+             expect_ok "e4"
+               (Core.Runner.run_consensus Core.Runner.Disk_paxos_abd (sc_ff 3)
+                  ~seed:4)));
+    ]
+
+(* E5: Σ emulated ex nihilo from a correct majority. *)
+let e5_tests =
+  let observer :
+      (unit, unit, Sim.Pidset.t, unit, Sim.Pidset.t) Sim.Protocol.t =
+    {
+      init = (fun ~n:_ _ -> ());
+      on_step = (fun ctx () _ -> ((), [ Sim.Protocol.Output ctx.fd ]));
+      on_input = Sim.Protocol.no_input;
+    }
+  in
+  Test.make ~name:"E5-sigma-from-majority"
+    (Staged.stage (fun () ->
+         let fp = Sim.Failure_pattern.make ~n:5 [ (0, 50) ] in
+         let layered =
+           Sim.Layered.with_detector Fd.Emulated.Sigma_majority.detector
+             observer
+         in
+         let cfg =
+           Sim.Engine.config ~seed:5 ~max_steps:3_000 ~detect_quiescence:false
+             ~fd:(fun _ _ -> ())
+             fp
+         in
+         ignore (Sim.Engine.run cfg layered)))
+
+(* E6: QC from Ψ, both branches. *)
+let e6_tests =
+  Test.make_grouped ~name:"E6-qc-from-psi"
+    [
+      Test.make ~name:"cons-branch-n4"
+        (Staged.stage (fun () ->
+             expect_ok "e6"
+               (Core.Runner.run_qc ~mode:Fd.Psi.Consensus_mode (sc_crash 4)
+                  ~seed:6)));
+      Test.make ~name:"fs-branch-n4"
+        (Staged.stage (fun () ->
+             expect_ok "e6"
+               (Core.Runner.run_qc ~mode:Fd.Psi.Failure_mode (sc_crash 4)
+                  ~seed:6)));
+    ]
+
+(* E7: the Figure 3 Ψ extraction — by far the heaviest construction. *)
+let e7_tests =
+  Test.make_grouped ~name:"E7-psi-extraction"
+    [
+      Test.make ~name:"failure-free-n3"
+        (Staged.stage (fun () ->
+             expect_ok "e7"
+               (Core.Runner.run_psi_extraction ~rounds:2 ~chunk:180 (sc_ff 3)
+                  ~seed:7)));
+      Test.make ~name:"one-crash-n3"
+        (Staged.stage (fun () ->
+             expect_ok "e7"
+               (Core.Runner.run_psi_extraction ~rounds:2 ~chunk:180
+                  (Core.Scenario.one_crash ~n:3 ~at:30)
+                  ~seed:7)));
+    ]
+
+(* E8: NBAC from QC + FS. *)
+let e8_tests =
+  Test.make_grouped ~name:"E8-nbac"
+    [
+      Test.make ~name:"commit-path-n4"
+        (Staged.stage (fun () ->
+             expect_ok "e8"
+               (Core.Runner.run_nbac Core.Runner.Nbac_psi_fs (sc_ff 4) ~seed:8)));
+      Test.make ~name:"abort-path-n4"
+        (Staged.stage (fun () ->
+             expect_ok "e8"
+               (Core.Runner.run_nbac Core.Runner.Nbac_psi_fs (sc_crash 4)
+                  ~seed:8)));
+    ]
+
+(* E9: the NBAC <-> QC bridges. *)
+let e9_tests =
+  Test.make_grouped ~name:"E9-bridges"
+    [
+      Test.make ~name:"qc-from-nbac-n4"
+        (Staged.stage (fun () ->
+             let fp = Sim.Failure_pattern.failure_free 4 in
+             let psi = Fd.Oracle.history Fd.Psi.oracle fp ~seed:9 in
+             let fs = Fd.Oracle.history Fd.Fs.oracle fp ~seed:10 in
+             let proposals = List.map (fun p -> (p, p)) (Sim.Pid.all 4) in
+             let cfg =
+               Sim.Engine.config ~seed:9 ~max_steps:60_000
+                 ~inputs:(List.map (fun (p, v) -> (0, p, v)) proposals)
+                 ~stop:(Sim.Engine.stop_when_all_correct_output fp)
+                 ~detect_quiescence:false
+                 ~fd:(fun p t -> (psi p t, fs p t))
+                 fp
+             in
+             ignore (Sim.Engine.run cfg Qcnbac.Qc_from_nbac.protocol)));
+      Test.make ~name:"fs-from-nbac-n3"
+        (Staged.stage (fun () ->
+             let fp = Sim.Failure_pattern.failure_free 3 in
+             let psi = Fd.Oracle.history Fd.Psi.oracle fp ~seed:9 in
+             let fs = Fd.Oracle.history Fd.Fs.oracle fp ~seed:10 in
+             let cfg =
+               Sim.Engine.config ~seed:9 ~max_steps:3_000
+                 ~detect_quiescence:false
+                 ~fd:(fun p t -> (psi p t, fs p t))
+                 fp
+             in
+             ignore (Sim.Engine.run cfg Qcnbac.Fs_from_nbac.protocol)));
+    ]
+
+(* E10: the baselines. *)
+let e10_tests =
+  Test.make_grouped ~name:"E10-baselines"
+    [
+      Test.make ~name:"chandra-toueg-majority-n5"
+        (Staged.stage (fun () ->
+             expect_ok "e10"
+               (Core.Runner.run_consensus Core.Runner.Chandra_toueg (sc_crash 5)
+                  ~seed:10)));
+      Test.make ~name:"multivalued-4bit-n5"
+        (Staged.stage (fun () ->
+             expect_ok "e10"
+               (Core.Runner.run_consensus (Core.Runner.Multivalued 4)
+                  ~proposals:(List.map (fun p -> (p, 3 + p)) (Sim.Pid.all 5))
+                  (sc_crash 5) ~seed:10)));
+      Test.make ~name:"2pc-commit-n4"
+        (Staged.stage (fun () ->
+             expect_ok "e10"
+               (Core.Runner.run_nbac Core.Runner.Two_phase_commit (sc_ff 4)
+                  ~seed:10)));
+    ]
+
+(* E11: scaling with n. *)
+let e11_tests =
+  let paxos n =
+    Test.make ~name:(Printf.sprintf "quorum-paxos-n%d" n)
+      (Staged.stage (fun () ->
+           expect_ok "e11"
+             (Core.Runner.run_consensus Core.Runner.Quorum_paxos
+                (Core.Scenario.one_crash ~n ~at:50)
+                ~seed:11)))
+  in
+  let abd n =
+    Test.make ~name:(Printf.sprintf "abd-workload-n%d" n)
+      (Staged.stage (fun () ->
+           expect_ok "e11"
+             (Core.Runner.run_register_workload
+                (Core.Scenario.one_crash ~n ~at:50)
+                ~seed:11)))
+  in
+  Test.make_grouped ~name:"E11-scaling"
+    [ paxos 3; paxos 5; paxos 7; paxos 9; abd 3; abd 5; abd 7; abd 9 ]
+
+(* E12: detector-quality ablation (wall time mirrors simulated latency). *)
+let e12_tests =
+  let run name omega_oracle =
+    Test.make ~name
+      (Staged.stage (fun () ->
+           let fp = Sim.Failure_pattern.make ~n:5 [ (0, 40) ] in
+           let omega = Fd.Oracle.history omega_oracle fp ~seed:12 in
+           let sigma = Fd.Oracle.history Fd.Sigma.oracle_exact fp ~seed:13 in
+           let proposals = List.map (fun q -> (q, q mod 2)) (Sim.Pid.all 5) in
+           let cfg =
+             Sim.Engine.config ~seed:12 ~max_steps:150_000
+               ~inputs:(List.map (fun (q, v) -> (0, q, v)) proposals)
+               ~stop:(Sim.Engine.stop_when_all_correct_output fp)
+               ~detect_quiescence:false
+               ~fd:(fun q t -> (omega q t, sigma q t))
+               fp
+           in
+           ignore (Sim.Engine.run cfg Cons.Quorum_paxos.protocol)))
+  in
+  Test.make_grouped ~name:"E12-omega-quality"
+    [
+      run "omega-instant" Fd.Omega.oracle_instant;
+      run "omega-stab300" (Fd.Omega.oracle_with ~leader:2 ~stabilize_at:300);
+    ]
+
+let all_tests =
+  Test.make_grouped ~name:"weakest-fd"
+    [
+      e1_tests; e2_tests; e3_tests; e4_tests; e5_tests; e6_tests; e7_tests;
+      e8_tests; e9_tests; e10_tests; e11_tests; e12_tests;
+    ]
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.6) ~kde:(Some 10)
+      ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances all_tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  Analyze.merge ols instances results
+
+let () =
+  Format.printf
+    "Benchmarks: one group per experiment (E1..E10); times are per full \
+     scenario run.@.@.";
+  let results = benchmark () in
+  let monotonic =
+    Hashtbl.find results (Measure.label Instance.monotonic_clock)
+  in
+  let rows =
+    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) monotonic []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Format.printf "%-55s %15s@." "benchmark" "time/run";
+  Format.printf "%s@." (String.make 72 '-');
+  List.iter
+    (fun (name, ols) ->
+      let estimate =
+        match Analyze.OLS.estimates ols with
+        | Some (e :: _) ->
+          if e > 1e9 then Printf.sprintf "%8.3f s " (e /. 1e9)
+          else if e > 1e6 then Printf.sprintf "%8.3f ms" (e /. 1e6)
+          else if e > 1e3 then Printf.sprintf "%8.3f us" (e /. 1e3)
+          else Printf.sprintf "%8.0f ns" e
+        | Some [] | None -> "n/a"
+      in
+      Format.printf "%-55s %15s@." name estimate)
+    rows;
+  Format.printf
+    "@.(absolute numbers are machine-dependent; the shapes that matter are \
+     the ratios within each experiment group)@."

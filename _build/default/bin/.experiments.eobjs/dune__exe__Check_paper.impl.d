@@ -1,0 +1,1 @@
+bin/check_paper.ml: Core Extract Fd Format List Printexc Printf Qcnbac Sim

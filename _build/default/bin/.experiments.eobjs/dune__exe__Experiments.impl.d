@@ -1,0 +1,1 @@
+bin/experiments.ml: Array Cons Core Fd Format List Printf Qcnbac Regs Sim String Sys

@@ -1,0 +1,1 @@
+bin/simulate.ml: Arg Cmd Cmdliner Core Fd Format List Qcnbac Sim String Term

@@ -1,0 +1,1 @@
+examples/bank_commit.ml: Array Fd Format List Qcnbac Sim

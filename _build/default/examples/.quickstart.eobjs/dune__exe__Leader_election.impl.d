@@ -1,0 +1,1 @@
+examples/leader_election.ml: Array Fd Format List Sim

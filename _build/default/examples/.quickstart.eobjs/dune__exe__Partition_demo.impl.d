@@ -1,0 +1,1 @@
+examples/partition_demo.ml: Cons Fd Format List Sim

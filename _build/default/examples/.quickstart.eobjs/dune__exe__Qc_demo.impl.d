@@ -1,0 +1,1 @@
+examples/qc_demo.ml: Fd Format List Printf Qcnbac Sim String

@@ -1,0 +1,1 @@
+examples/qc_demo.mli:

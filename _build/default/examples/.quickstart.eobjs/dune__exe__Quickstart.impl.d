@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cons Fd Format List Printf Sim String

@@ -1,0 +1,1 @@
+examples/replicated_counter.ml: Cons Fd Format List Sim

@@ -1,0 +1,1 @@
+examples/replicated_kv.ml: Array Fd Format List Printf Regs Sim String

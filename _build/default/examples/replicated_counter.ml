@@ -1,0 +1,90 @@
+(* State machine replication: a replicated counter from repeated consensus.
+
+   The paper's Corollary 3 rests on the classical reduction "consensus
+   implements any object" [17, 21].  Here the object is a counter: every
+   process submits increments/decrements; one (Ω,Σ)-consensus instance per
+   log slot orders them; every process applies the same sequence — so all
+   correct replicas end with the same value even though one replica
+   crashes mid-run and clients never coordinate.
+
+     dune exec examples/replicated_counter.exe
+*)
+
+type op = Add of int | Sub of int
+
+let pp_op fmt = function
+  | Add k -> Format.fprintf fmt "+%d" k
+  | Sub k -> Format.fprintf fmt "-%d" k
+
+let apply v = function Add k -> v + k | Sub k -> v - k
+
+let () =
+  let n = 4 in
+  let fp = Sim.Failure_pattern.make ~n [ (2, 70) ] in
+  let seed = 33 in
+  Format.printf "Replicated counter on %d replicas, %a@.@." n
+    Sim.Failure_pattern.pp fp;
+
+  let inputs =
+    [
+      (0, 0, Add 10);
+      (0, 1, Add 5);
+      (10, 3, Sub 3);
+      (40, 0, Add 100);
+      (60, 1, Sub 50);
+      (120, 3, Add 1);
+    ]
+  in
+  Format.printf "Submissions:@.";
+  List.iter
+    (fun (t, p, op) ->
+      Format.printf "  t=%-4d %a submits %a@." t Sim.Pid.pp p pp_op op)
+    inputs;
+
+  let omega = Fd.Oracle.history Fd.Omega.oracle fp ~seed in
+  let sigma = Fd.Oracle.history Fd.Sigma.oracle fp ~seed:(seed + 1) in
+  let stop outputs =
+    Sim.Pidset.for_all
+      (fun p ->
+        List.length
+          (List.filter
+             (fun (e : _ Sim.Trace.event) -> Sim.Pid.equal e.pid p)
+             outputs)
+        >= List.length inputs)
+      (Sim.Failure_pattern.correct fp)
+  in
+  let cfg =
+    Sim.Engine.config ~seed ~max_steps:300_000 ~inputs ~stop
+      ~detect_quiescence:false
+      ~fd:(fun p t -> (omega p t, sigma p t))
+      fp
+  in
+  let trace = Sim.Engine.run cfg Cons.Smr.protocol in
+
+  Format.printf "@.The agreed log (as applied by p0):@.";
+  let final =
+    List.fold_left
+      (fun v (slot, (c : op Cons.Smr.cmd)) ->
+        let v = apply v c.Cons.Smr.payload in
+        Format.printf "  slot %-3d %a from %a   counter=%d@." slot pp_op
+          c.Cons.Smr.payload Sim.Pid.pp c.Cons.Smr.origin v;
+        v)
+      0
+      (Sim.Trace.outputs_of trace 0)
+  in
+
+  Format.printf "@.Replica states:@.";
+  Sim.Pidset.iter
+    (fun p ->
+      let v =
+        List.fold_left
+          (fun v (_, (c : op Cons.Smr.cmd)) -> apply v c.Cons.Smr.payload)
+          0
+          (Sim.Trace.outputs_of trace p)
+      in
+      Format.printf "  %a: counter=%d%s@." Sim.Pid.pp p v
+        (if v = final then "" else "  <- DIVERGED"))
+    (Sim.Failure_pattern.correct fp);
+  Format.printf
+    "@.All correct replicas agree — consensus made the counter (and would \
+     make any object, registers included — Corollary 3's reduction).@."

@@ -1,0 +1,1 @@
+lib/bcast/rb.mli: Sim

@@ -1,0 +1,1 @@
+lib/bcast/to_spec.mli: Sim

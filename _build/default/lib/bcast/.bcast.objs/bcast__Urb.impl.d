@@ -1,0 +1,1 @@
+lib/bcast/urb.ml: Int Map Rb Sim

@@ -1,0 +1,1 @@
+lib/bcast/urb.mli: Rb Sim

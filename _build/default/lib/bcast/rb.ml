@@ -1,0 +1,47 @@
+type mid = { origin : Sim.Pid.t; seq : int }
+
+type 'a output = Delivered of mid * 'a
+
+type 'a msg = Data of mid * 'a
+
+module Mid_set = Set.Make (struct
+  type t = mid
+
+  let compare a b =
+    match Sim.Pid.compare a.origin b.origin with
+    | 0 -> Int.compare a.seq b.seq
+    | c -> c
+end)
+
+type 'a state = {
+  self : Sim.Pid.t;
+  next_seq : int;
+  seen : Mid_set.t;
+  delivered : int;
+}
+
+let delivered_count st = st.delivered
+
+let init ~n:_ self = { self; next_seq = 0; seen = Mid_set.empty; delivered = 0 }
+
+let deliver st id payload =
+  ( { st with seen = Mid_set.add id st.seen; delivered = st.delivered + 1 },
+    [
+      (* Relay first, then deliver: whoever delivers guarantees the relay
+         is on the wire to everybody. *)
+      Sim.Protocol.Broadcast (Data (id, payload));
+      Sim.Protocol.Output (Delivered (id, payload));
+    ] )
+
+let on_step _ctx st recv =
+  match recv with
+  | Some (_, Data (id, payload)) when not (Mid_set.mem id st.seen) ->
+    deliver st id payload
+  | Some (_, Data _) | None -> (st, [])
+
+let on_input _ctx st payload =
+  let id = { origin = st.self; seq = st.next_seq } in
+  let st = { st with next_seq = st.next_seq + 1 } in
+  deliver st id payload
+
+let protocol = { Sim.Protocol.init; on_step; on_input }

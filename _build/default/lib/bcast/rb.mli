@@ -1,0 +1,25 @@
+(** Eager reliable broadcast (no failure detector needed).
+
+    Guarantees, among *correct* processes: validity (a correct broadcaster
+    eventually delivers its own message), agreement (if a correct process
+    delivers m, every correct process delivers m), integrity (no
+    duplication, no creation).  The classic relay-on-first-receipt
+    algorithm: reliable links do the rest.
+
+    This is the dissemination primitive several of the paper's algorithms
+    quietly assume ("send v to all" surviving the sender's crash);
+    {!Urb} strengthens agreement to include faulty deliverers using Σ. *)
+
+(** Message identifier: origin and per-origin sequence number. *)
+type mid = { origin : Sim.Pid.t; seq : int }
+
+type 'a output = Delivered of mid * 'a
+
+type 'a state
+type 'a msg
+
+(** Inputs: payloads to broadcast.  Outputs: deliveries. *)
+val protocol : ('a state, 'a msg, unit, 'a, 'a output) Sim.Protocol.t
+
+(** Messages this process has delivered — exposed for tests. *)
+val delivered_count : 'a state -> int

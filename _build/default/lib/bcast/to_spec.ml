@@ -1,0 +1,94 @@
+type 'a delivery = { pos : int; origin : Sim.Pid.t; seq : int; payload : 'a }
+
+let check ~submitted ~deliveries fp =
+  let correct = Sim.Failure_pattern.correct fp in
+  let of_process p =
+    match List.assoc_opt p deliveries with Some l -> l | None -> []
+  in
+  let key d = (d.origin, d.seq) in
+  let correct_pids = Sim.Pidset.elements correct in
+  (* Integrity: no duplication, no creation. *)
+  let integrity =
+    List.find_map
+      (fun (p, ds) ->
+        let keys = List.map key ds in
+        if List.length keys <> List.length (List.sort_uniq compare keys) then
+          Some (Format.asprintf "%a delivered a duplicate" Sim.Pid.pp p)
+        else
+          List.find_map
+            (fun d ->
+              if
+                List.exists
+                  (fun (o, s, v) ->
+                    Sim.Pid.equal o d.origin && s = d.seq && v = d.payload)
+                  submitted
+              then None
+              else
+                Some
+                  (Format.asprintf "%a delivered a never-submitted command"
+                     Sim.Pid.pp p))
+            ds)
+      deliveries
+  in
+  match integrity with
+  | Some e -> Error e
+  | None -> (
+    (* Total order: prefix compatibility of the key sequences. *)
+    let seqs = List.map (fun p -> List.map key (of_process p)) correct_pids in
+    let rec prefix a b =
+      match (a, b) with
+      | x :: a', y :: b' -> x = y && prefix a' b'
+      | [], _ | _, [] -> true
+    in
+    let order_ok =
+      List.for_all (fun a -> List.for_all (fun b -> prefix a b) seqs) seqs
+    in
+    if not order_ok then Error "total order violated: incompatible prefixes"
+    else
+      (* Uniform agreement: delivered anywhere => delivered at every
+         correct process. *)
+      let all_delivered =
+        List.concat_map (fun (_, ds) -> List.map key ds) deliveries
+        |> List.sort_uniq compare
+      in
+      let uniform =
+        List.find_map
+          (fun k ->
+            List.find_map
+              (fun p ->
+                if List.exists (fun d -> key d = k) (of_process p) then None
+                else
+                  Some
+                    (Format.asprintf
+                       "uniform agreement violated: correct %a misses a \
+                        delivered command"
+                       Sim.Pid.pp p))
+              correct_pids)
+          all_delivered
+      in
+      match uniform with
+      | Some e -> Error e
+      | None -> (
+        (* Validity: correct submitters' commands delivered everywhere. *)
+        let validity =
+          List.find_map
+            (fun (o, s, _) ->
+              if not (Sim.Pidset.mem o correct) then None
+              else
+                List.find_map
+                  (fun p ->
+                    if
+                      List.exists
+                        (fun d -> Sim.Pid.equal d.origin o && d.seq = s)
+                        (of_process p)
+                    then None
+                    else
+                      Some
+                        (Format.asprintf
+                           "validity violated: correct %a never delivered a \
+                            correct submission"
+                           Sim.Pid.pp p))
+                  correct_pids)
+            submitted
+        in
+        match validity with Some e -> Error e | None -> Ok ()))

@@ -1,0 +1,26 @@
+(** The total-order (atomic) broadcast specification, as a checkable
+    predicate — used to validate {!Cons.Smr}, whose log *is* a total-order
+    broadcast (the Corollary 3 reduction runs through it).
+
+    Properties over per-process delivery sequences:
+    - Validity: every command submitted by a correct process is delivered
+      by every correct process.
+    - Uniform agreement: if any process delivers a command, every correct
+      process delivers it.
+    - Integrity: no duplication; only submitted commands are delivered.
+    - Total order: the delivery sequences of any two processes are
+      prefix-compatible. *)
+
+(** A delivery record: who delivered, in which local position, what. *)
+type 'a delivery = { pos : int; origin : Sim.Pid.t; seq : int; payload : 'a }
+
+(** [check ~submitted ~deliveries fp] checks the four properties.
+    [submitted] lists [(origin, seq, payload)] of all submissions (with
+    origin correct or not); [deliveries] maps each process to its delivery
+    sequence in order.  Termination-style clauses are only enforced for
+    correct processes. *)
+val check :
+  submitted:(Sim.Pid.t * int * 'a) list ->
+  deliveries:(Sim.Pid.t * 'a delivery list) list ->
+  Sim.Failure_pattern.t ->
+  (unit, string) result

@@ -1,0 +1,92 @@
+type 'a output = Delivered of Rb.mid * 'a
+
+type 'a msg =
+  | Data of Rb.mid * 'a  (* payload dissemination *)
+  | Echo of Rb.mid  (* "I have seen this message" *)
+
+module Mid_map = Map.Make (struct
+  type t = Rb.mid
+
+  let compare (a : Rb.mid) (b : Rb.mid) =
+    match Sim.Pid.compare a.origin b.origin with
+    | 0 -> Int.compare a.seq b.seq
+    | c -> c
+end)
+
+type 'a entry = {
+  payload : 'a option;  (* None while we have only echoes *)
+  echoes : Sim.Pidset.t;
+  relayed : bool;
+  delivered : bool;
+}
+
+type 'a state = {
+  self : Sim.Pid.t;
+  next_seq : int;
+  entries : 'a entry Mid_map.t;
+  delivered : int;
+}
+
+let delivered_count st = st.delivered
+
+let init ~n:_ self =
+  { self; next_seq = 0; entries = Mid_map.empty; delivered = 0 }
+
+let empty_entry =
+  { payload = None; echoes = Sim.Pidset.empty; relayed = false; delivered = false }
+
+let entry st id =
+  match Mid_map.find_opt id st.entries with
+  | Some e -> e
+  | None -> empty_entry
+
+(* On first sight of the payload: relay it and echo. *)
+let learn st id payload =
+  let e = entry st id in
+  if e.relayed then ({ st with entries = Mid_map.add id { e with payload = Some payload } st.entries }, [])
+  else
+    let e = { e with payload = Some payload; relayed = true } in
+    ( { st with entries = Mid_map.add id e st.entries },
+      [
+        Sim.Protocol.Broadcast (Data (id, payload));
+        Sim.Protocol.Broadcast (Echo id);
+      ] )
+
+let note_echo st id from =
+  let e = entry st id in
+  let e = { e with echoes = Sim.Pidset.add from e.echoes } in
+  { st with entries = Mid_map.add id e st.entries }
+
+(* Deliver everything whose echoers cover this step's Σ sample. *)
+let try_deliver ~sigma st =
+  Mid_map.fold
+    (fun id e (st, acts) ->
+      match e.payload with
+      | Some payload
+        when (not e.delivered) && Sim.Pidset.subset sigma e.echoes ->
+        let e = { e with delivered = true } in
+        ( {
+            st with
+            entries = Mid_map.add id e st.entries;
+            delivered = st.delivered + 1;
+          },
+          Sim.Protocol.Output (Delivered (id, payload)) :: acts )
+      | Some _ | None -> (st, acts))
+    st.entries (st, [])
+
+let on_step (ctx : Sim.Pidset.t Sim.Protocol.ctx) st recv =
+  let st, acts1 =
+    match recv with
+    | Some (_, Data (id, payload)) -> learn st id payload
+    | Some (from, Echo id) -> (note_echo st id from, [])
+    | None -> (st, [])
+  in
+  let st, acts2 = try_deliver ~sigma:ctx.fd st in
+  (st, acts1 @ acts2)
+
+let on_input _ctx st payload =
+  let id = { Rb.origin = st.self; seq = st.next_seq } in
+  let st = { st with next_seq = st.next_seq + 1 } in
+  learn st id payload
+
+let protocol = { Sim.Protocol.init; on_step; on_input }

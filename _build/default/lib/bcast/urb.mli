@@ -1,0 +1,25 @@
+(** Uniform reliable broadcast from Σ.
+
+    Uniform agreement strengthens {!Rb}: if *any* process — even one that
+    crashes right after — delivers m, then every correct process delivers
+    m.  Classically this needs a correct majority; here, as everywhere in
+    the paper, Σ's quorums replace the majority, so the primitive works in
+    any environment.
+
+    Mechanism: receivers relay the payload (so everybody learns it) and
+    echo to everybody; a process delivers m once the echoers include one
+    quorum sampled from its Σ module.  If someone delivered, a quorum
+    echoed; every quorum contains a process whose relay reaches all correct
+    processes, and their own echoes eventually cover an all-correct
+    quorum. *)
+
+type 'a output = Delivered of Rb.mid * 'a
+
+type 'a state
+type 'a msg
+
+(** Failure detector input: Σ.  Inputs: payloads.  Outputs: deliveries. *)
+val protocol :
+  ('a state, 'a msg, Sim.Pidset.t, 'a, 'a output) Sim.Protocol.t
+
+val delivered_count : 'a state -> int

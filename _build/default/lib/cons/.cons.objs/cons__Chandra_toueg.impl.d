@@ -1,0 +1,1 @@
+lib/cons/chandra_toueg.ml: Int List Map Sim

@@ -1,0 +1,1 @@
+lib/cons/chandra_toueg.mli: Sim

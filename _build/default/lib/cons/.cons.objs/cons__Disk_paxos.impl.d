@@ -1,0 +1,1 @@
+lib/cons/disk_paxos.ml: Regs Sim

@@ -1,0 +1,1 @@
+lib/cons/disk_paxos.mli: Regs Sim

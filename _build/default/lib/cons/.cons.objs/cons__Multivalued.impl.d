@@ -1,0 +1,1 @@
+lib/cons/multivalued.ml: Int List Map Quorum_paxos Sim

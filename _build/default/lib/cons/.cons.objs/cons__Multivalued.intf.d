@@ -1,0 +1,1 @@
+lib/cons/multivalued.mli: Sim

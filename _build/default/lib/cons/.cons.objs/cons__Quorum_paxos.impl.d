@@ -1,0 +1,1 @@
+lib/cons/quorum_paxos.ml: Sim

@@ -1,0 +1,1 @@
+lib/cons/round_consensus.ml: Regs Sim

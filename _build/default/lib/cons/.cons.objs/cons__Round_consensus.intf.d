@@ -1,0 +1,1 @@
+lib/cons/round_consensus.mli: Regs Sim

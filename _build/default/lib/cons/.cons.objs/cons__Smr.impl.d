@@ -1,0 +1,1 @@
+lib/cons/smr.ml: Int List Map Quorum_paxos Sim

@@ -1,0 +1,1 @@
+lib/cons/smr.mli: Sim

@@ -1,0 +1,1 @@
+lib/cons/spec.mli: Sim

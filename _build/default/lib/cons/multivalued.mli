@@ -1,0 +1,22 @@
+(** Binary to multivalued consensus (Mostefaoui–Raynal–Tronel [20]).
+
+    The paper's footnote 6 relies on the fact that a binary consensus (or
+    QC) algorithm can be lifted to arbitrary value domains.  This module
+    implements the classical bit-by-bit lift over integer values of a fixed
+    [width]: processes first disseminate their proposals, then run [width]
+    sequenced binary consensus instances (our Σ/Ω quorum Paxos), instance
+    [k] deciding the [k]-th bit of the outcome.  A process proposes bit [k]
+    of its smallest known candidate that matches the prefix decided so far;
+    validity holds because after instance [k] some disseminated candidate
+    matches the decided prefix, and termination because that candidate
+    reaches every correct process. *)
+
+type state
+type msg
+
+(** [protocol ~width] decides values in [0 .. 2^width - 1].  Failure
+    detector input: (Ω, Σ).  Inputs: proposals.  Outputs: the decided
+    value, once per process. *)
+val protocol :
+  width:int ->
+  (state, msg, Sim.Pid.t * Sim.Pidset.t, int, int) Sim.Protocol.t

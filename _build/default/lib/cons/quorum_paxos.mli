@@ -1,0 +1,25 @@
+(** Native message-passing consensus from (Ω, Σ) — Corollary 2, implemented
+    directly as a single-decree Paxos whose "majority" is replaced by Σ
+    quorums.
+
+    The process Ω designates runs ballots: a prepare round, then an accept
+    round; each round completes when the set of responders includes one
+    quorum sampled from Σ in the current step.  Quorum intersection gives
+    uniform agreement in any environment; Ω's eventual single correct
+    leader plus Σ's eventual all-correct quorums give termination.
+
+    Compare with {!Disk_paxos} transported by {!Regs.Emulate}: same failure
+    detector, same guarantees, but this version talks to the network
+    directly and needs ~4 message delays per ballot instead of ~4 register
+    operations (each itself two quorum round-trips). *)
+
+type 'v state
+type 'v msg
+
+(** Failure detector input: (Ω leader, Σ quorum).  Inputs: proposals.
+    Outputs: each process's decision, exactly once. *)
+val protocol :
+  ('v state, 'v msg, Sim.Pid.t * Sim.Pidset.t, 'v, 'v) Sim.Protocol.t
+
+(** Highest ballot a process ever started — exposed for benches. *)
+val ballots_started : 'v state -> int

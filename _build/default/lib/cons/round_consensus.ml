@@ -1,0 +1,147 @@
+type 'v reg =
+  | Announce of int * 'v  (* leader announce: (round, estimate) *)
+  | Dec of 'v
+  | V1 of 'v  (* adopt-commit phase-1 vote *)
+  | V2 of bool * 'v  (* adopt-commit phase-2 vote: (saw-all-equal, value) *)
+
+let registers ~n ~max_rounds = n + 1 + (max_rounds * 2 * n)
+
+(* Register ids. *)
+let an_rid p = p
+let dec_rid ~n = n
+let ac1_rid ~n r p = n + 1 + (r * 2 * n) + p
+let ac2_rid ~n r p = n + 1 + (r * 2 * n) + n + p
+
+type 'v pc =
+  | Idle
+  | Poll_dec  (* read of the decision register in flight *)
+  | Read_leader  (* read of the leader's announce register in flight *)
+  | Ac1_scan of { j : int; all_eq : bool }
+      (* j = -1: phase-1 vote just written; j >= 0: read of slot j in
+         flight *)
+  | Ac2_scan of { j : int; all_true : bool; witness : 'v option }
+  | Done
+  | Stuck  (* round budget exhausted *)
+
+type 'v state = {
+  self : Sim.Pid.t;
+  n : int;
+  max_rounds : int;
+  proposal : 'v option;
+  est : 'v option;
+  r : int;
+  pc : 'v pc;
+}
+
+let round st = st.r
+
+let init ~n ~max_rounds self =
+  { self; n; max_rounds; proposal = None; est = None; r = 0; pc = Idle }
+
+let next_round st =
+  let r = st.r + 1 in
+  if r >= st.max_rounds then ({ st with r; pc = Stuck }, Regs.Shm.Skip, [])
+  else ({ st with r; pc = Poll_dec }, Regs.Shm.Read (dec_rid ~n:st.n), [])
+
+let step (ctx : Sim.Pid.t Sim.Protocol.ctx) st ~resp =
+  match st.pc with
+  | Done | Stuck -> (st, Regs.Shm.Skip, [])
+  | Idle -> (
+    match st.proposal with
+    | None -> (st, Regs.Shm.Skip, [])
+    | Some v ->
+      let st = { st with est = Some v; pc = Poll_dec } in
+      (st, Regs.Shm.Read (dec_rid ~n:st.n), []))
+  | Poll_dec -> (
+    match resp with
+    | Some (Some (Dec v)) -> ({ st with pc = Done }, Regs.Shm.Skip, [ v ])
+    | Some (Some (Announce _ | V1 _ | V2 _)) | Some None | None ->
+      (* Consult the current leader's announce register. *)
+      ({ st with pc = Read_leader }, Regs.Shm.Read (an_rid ctx.fd), []))
+  | Read_leader ->
+    (* Adopt the leader's estimate if it announced one; then announce
+       ourselves if we are the leader, else go straight to adopt-commit. *)
+    let st =
+      match resp with
+      | Some (Some (Announce (_, v))) -> { st with est = Some v }
+      | Some (Some (Dec _ | V1 _ | V2 _)) | Some None | None -> st
+    in
+    let est = match st.est with Some v -> v | None -> assert false in
+    if Sim.Pid.equal ctx.fd st.self then
+      (* Announce, then enter AC on the next step via Poll-free path: the
+         announce write doubles as this step's command; the phase-1 vote
+         follows. *)
+      ( { st with pc = Ac1_scan { j = -2; all_eq = true } },
+        Regs.Shm.Write (an_rid st.self, Announce (st.r, est)),
+        [] )
+    else
+      ( { st with pc = Ac1_scan { j = -1; all_eq = true } },
+        Regs.Shm.Write (ac1_rid ~n:st.n st.r st.self, V1 est),
+        [] )
+  | Ac1_scan { j; all_eq } -> (
+    let est = match st.est with Some v -> v | None -> assert false in
+    match j with
+    | -2 ->
+      (* Announce done; now cast the phase-1 vote. *)
+      ( { st with pc = Ac1_scan { j = -1; all_eq } },
+        Regs.Shm.Write (ac1_rid ~n:st.n st.r st.self, V1 est),
+        [] )
+    | -1 ->
+      ( { st with pc = Ac1_scan { j = 0; all_eq } },
+        Regs.Shm.Read (ac1_rid ~n:st.n st.r 0),
+        [] )
+    | j ->
+      let all_eq =
+        match resp with
+        | Some (Some (V1 w)) -> all_eq && w = est
+        | Some (Some (Announce _ | Dec _ | V2 _)) | Some None | None ->
+          all_eq
+      in
+      if j + 1 < st.n then
+        ( { st with pc = Ac1_scan { j = j + 1; all_eq } },
+          Regs.Shm.Read (ac1_rid ~n:st.n st.r (j + 1)),
+          [] )
+      else
+        ( { st with pc = Ac2_scan { j = -1; all_true = true; witness = None } },
+          Regs.Shm.Write (ac2_rid ~n:st.n st.r st.self, V2 (all_eq, est)),
+          [] ))
+  | Ac2_scan { j; all_true; witness } -> (
+    match j with
+    | -1 ->
+      ( { st with pc = Ac2_scan { j = 0; all_true; witness } },
+        Regs.Shm.Read (ac2_rid ~n:st.n st.r 0),
+        [] )
+    | j -> (
+      let all_true, witness =
+        match resp with
+        | Some (Some (V2 (flag, w))) ->
+          ( all_true && flag,
+            match (flag, witness) with
+            | true, None -> Some w
+            | (true | false), _ -> witness )
+        | Some (Some (Announce _ | Dec _ | V1 _)) | Some None | None ->
+          (all_true, witness)
+      in
+      if j + 1 < st.n then
+        ( { st with pc = Ac2_scan { j = j + 1; all_true; witness } },
+          Regs.Shm.Read (ac2_rid ~n:st.n st.r (j + 1)),
+          [] )
+      else
+        match (all_true, witness) with
+        | true, Some w ->
+          (* Commit: write the decision and return. *)
+          ( { st with pc = Done },
+            Regs.Shm.Write (dec_rid ~n:st.n, Dec w),
+            [ w ] )
+        | _, Some w -> next_round { st with est = Some w }
+        | _, None -> next_round st))
+
+let input _ctx st v =
+  match st.proposal with Some _ -> st | None -> { st with proposal = Some v }
+
+let proto ~max_rounds =
+  {
+    Regs.Shm.init = (fun ~n p -> init ~n ~max_rounds p);
+    step;
+    input;
+  }

@@ -1,0 +1,34 @@
+(** Consensus from registers + Ω, round-based — a second realisation of the
+    Lo–Hadzilacos substrate [19], structurally different from
+    {!Disk_paxos}: instead of ballots over per-process blocks it uses one
+    *adopt-commit* object per round (the classical two-phase construction
+    from single-writer registers) plus a leader announce register.
+
+    Round r at process p:
+    + read the current leader's announce register (the leader per p's Ω);
+      adopt its estimate if it has announced one;
+    + if Ω points at p, announce (r, est) in p's own register;
+    + run adopt-commit AC(r) with est: write phase-1 vote, scan, write
+      phase-2 vote, scan;
+    + on (commit, v): write the decision register and decide v; on
+      (adopt, v): est := v, next round — after Ω stabilises every correct
+      process adopts the same leader's estimate, so some AC receives equal
+      inputs at every participant and commits.
+
+    Adopt-commit's safety (if anyone commits v in round r, everyone leaves
+    round r with v) makes disagreement impossible regardless of Ω's
+    behaviour.  Rounds are bounded by [max_rounds]; exceeding it stops the
+    process (detectable in tests; the Ω oracles stabilise long before). *)
+
+type 'v state
+type 'v reg
+
+(** [registers ~n ~max_rounds] is the number of base registers needed. *)
+val registers : n:int -> max_rounds:int -> int
+
+(** The shared-memory protocol.  Failure detector input: Ω. *)
+val proto :
+  max_rounds:int -> ('v state, 'v reg, Sim.Pid.t, 'v, 'v) Regs.Shm.proto
+
+(** The round a process is in — exposed for tests. *)
+val round : 'v state -> int

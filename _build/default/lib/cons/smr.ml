@@ -1,0 +1,137 @@
+module Int_map = Map.Make (Int)
+
+type 'c cmd = { origin : Sim.Pid.t; seq : int; payload : 'c }
+
+type 'c msg =
+  | Submit of 'c cmd
+  | Inner of int * 'c cmd Quorum_paxos.msg
+
+type 'c state = {
+  self : Sim.Pid.t;
+  pending : 'c cmd list;  (* known, undecided; oldest first *)
+  decided : 'c cmd Int_map.t;  (* slot -> decided command *)
+  applied : int;  (* slots [0 .. applied-1] have been output *)
+  instances : 'c cmd Quorum_paxos.state Int_map.t;
+  proposed_to : int;  (* highest slot we fed a proposal; -1 if none *)
+  next_seq : int;
+}
+
+let applied st = st.applied
+let backlog st = List.length st.pending
+
+let inner :
+    ('c cmd Quorum_paxos.state, 'c cmd Quorum_paxos.msg,
+     Sim.Pid.t * Sim.Pidset.t, 'c cmd, 'c cmd)
+    Sim.Protocol.t =
+  Quorum_paxos.protocol
+
+let init ~n:_ self =
+  {
+    self;
+    pending = [];
+    decided = Int_map.empty;
+    applied = 0;
+    instances = Int_map.empty;
+    proposed_to = -1;
+    next_seq = 0;
+  }
+
+let cmd_eq a b = Sim.Pid.equal a.origin b.origin && a.seq = b.seq
+
+let know st c =
+  List.exists (cmd_eq c) st.pending
+  || Int_map.exists (fun _ d -> cmd_eq d c) st.decided
+
+let retag k acts =
+  List.filter_map
+    (fun a ->
+      match a with
+      | Sim.Protocol.Send (q, m) -> Some (Sim.Protocol.Send (q, Inner (k, m)))
+      | Sim.Protocol.Broadcast m ->
+        Some (Sim.Protocol.Broadcast (Inner (k, m)))
+      | Sim.Protocol.Output _ -> None)
+    acts
+
+(* Emit decided entries in slot order as far as the log is gapless. *)
+let apply_ready st =
+  let rec loop st acc =
+    match Int_map.find_opt st.applied st.decided with
+    | Some c ->
+      loop { st with applied = st.applied + 1 } ((st.applied, c) :: acc)
+    | None -> (st, List.rev acc)
+  in
+  let st, entries = loop st [] in
+  (st, List.map (fun (k, c) -> Sim.Protocol.Output (k, c)) entries)
+
+let run_instance ctx st k event =
+  let ist =
+    match Int_map.find_opt k st.instances with
+    | Some s -> s
+    | None -> inner.Sim.Protocol.init ~n:ctx.Sim.Protocol.n st.self
+  in
+  let ist, acts =
+    match event with
+    | `Step recv -> inner.Sim.Protocol.on_step ctx ist recv
+    | `Input c -> inner.Sim.Protocol.on_input ctx ist c
+  in
+  let st = { st with instances = Int_map.add k ist st.instances } in
+  let decision =
+    List.find_map
+      (fun a ->
+        match a with
+        | Sim.Protocol.Output c -> Some c
+        | Sim.Protocol.Send _ | Sim.Protocol.Broadcast _ -> None)
+      acts
+  in
+  let st, outs =
+    match decision with
+    | Some c when not (Int_map.mem k st.decided) ->
+      let st =
+        {
+          st with
+          decided = Int_map.add k c st.decided;
+          pending = List.filter (fun p -> not (cmd_eq p c)) st.pending;
+        }
+      in
+      apply_ready st
+    | Some _ | None -> (st, [])
+  in
+  (st, retag k acts @ outs)
+
+(* The next slot to fill: the first slot with no decision yet. *)
+let next_slot st =
+  let rec loop k = if Int_map.mem k st.decided then loop (k + 1) else k in
+  loop st.applied
+
+let drive ctx st =
+  let k = next_slot st in
+  match st.pending with
+  | c :: _ when st.proposed_to < k ->
+    let st = { st with proposed_to = k } in
+    run_instance ctx st k (`Input c)
+  | _ :: _ | [] -> (st, [])
+
+let on_step ctx st recv =
+  let st, acts1 =
+    match recv with
+    | Some (_, Submit c) ->
+      if know st c then (st, [])
+      else ({ st with pending = st.pending @ [ c ] }, [])
+    | Some (from, Inner (k, m)) -> run_instance ctx st k (`Step (Some (from, m)))
+    | None ->
+      (* Idle step for the slot being decided, so leaders make progress. *)
+      let k = next_slot st in
+      if Int_map.mem k st.instances then run_instance ctx st k (`Step None)
+      else (st, [])
+  in
+  let st, acts2 = drive ctx st in
+  (st, acts1 @ acts2)
+
+let on_input _ctx st payload =
+  let c = { origin = st.self; seq = st.next_seq; payload } in
+  let st =
+    { st with next_seq = st.next_seq + 1; pending = st.pending @ [ c ] }
+  in
+  (st, [ Sim.Protocol.Broadcast (Submit c) ])
+
+let protocol = { Sim.Protocol.init; on_step; on_input }

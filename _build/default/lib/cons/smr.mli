@@ -1,0 +1,34 @@
+(** State machine replication from repeated consensus — the Lamport /
+    Schneider reduction [17, 21] the paper leans on for Corollary 3:
+    "using consensus we can implement any object, and in particular
+    registers".
+
+    Clients submit commands; submissions are disseminated to every
+    process; one consensus instance per log slot decides the command
+    sequence; every process applies (outputs) decided entries in slot
+    order.  Two processes therefore apply identical command sequences —
+    which is exactly what makes any deterministic object, registers
+    included, implementable on top (see [Smr_register] in the tests and
+    the replicated-counter example).
+
+    The consensus box is the (Ω, Σ) quorum Paxos, so SMR runs in any
+    environment. *)
+
+(** A command stamped with its origin, so duplicates and ownership are
+    recognisable. *)
+type 'c cmd = { origin : Sim.Pid.t; seq : int; payload : 'c }
+
+type 'c state
+type 'c msg
+
+(** Outputs: decided log entries, emitted by every process in slot order
+    (slot, command). *)
+val protocol :
+  ('c state, 'c msg, Sim.Pid.t * Sim.Pidset.t, 'c, int * 'c cmd)
+  Sim.Protocol.t
+
+(** Number of log slots a process has applied — exposed for tests. *)
+val applied : 'c state -> int
+
+(** Commands known to a process but not yet decided. *)
+val backlog : 'c state -> int

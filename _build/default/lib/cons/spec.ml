@@ -1,0 +1,43 @@
+let check ~proposals ~decisions fp =
+  let correct = Sim.Failure_pattern.correct fp in
+  let proposed p = List.mem_assoc p proposals in
+  let decided p = List.mem_assoc p decisions in
+  (* Validity. *)
+  let invalid =
+    List.find_opt
+      (fun (_, v) -> not (List.exists (fun (_, w) -> w = v) proposals))
+      decisions
+  in
+  match invalid with
+  | Some (p, _) ->
+    Error
+      (Format.asprintf "validity violated: %a decided an unproposed value"
+         Sim.Pid.pp p)
+  | None -> (
+    (* Uniform agreement: across all processes, all decisions equal.  A
+       process deciding twice with different values also violates it. *)
+    let distinct =
+      List.sort_uniq compare (List.map (fun (_, v) -> v) decisions)
+    in
+    match distinct with
+    | _ :: _ :: _ -> Error "uniform agreement violated: two decision values"
+    | [] | [ _ ] ->
+      (* Termination. *)
+      if Sim.Pidset.for_all proposed correct then begin
+        match
+          List.find_opt
+            (fun p -> not (decided p))
+            (Sim.Pidset.elements correct)
+        with
+        | Some p ->
+          Error
+            (Format.asprintf "termination violated: correct %a never decided"
+               Sim.Pid.pp p)
+        | None -> Ok ()
+      end
+      else Ok ())
+
+let decisions_of_trace trace =
+  List.map
+    (fun (e : _ Sim.Trace.event) -> (e.Sim.Trace.pid, e.Sim.Trace.value))
+    trace.Sim.Trace.outputs

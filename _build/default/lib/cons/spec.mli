@@ -1,0 +1,23 @@
+(** The consensus specification (Section 4.1) as a checkable predicate over
+    finished runs.
+
+    - Termination: if every correct process proposes, every correct process
+      eventually returns a value.
+    - Uniform Agreement: no two processes (correct or faulty) return
+      different values.
+    - Validity: a returned value was proposed by some process. *)
+
+(** [check ~proposals ~decisions fp] checks a run's outcome.  [proposals]
+    lists what each process proposed (processes that never proposed are
+    absent); [decisions] lists every decision output, possibly several per
+    process if the algorithm misbehaves.  Termination is only required of
+    correct processes that proposed, and only if *all* correct processes
+    proposed. *)
+val check :
+  proposals:(Sim.Pid.t * 'v) list ->
+  decisions:(Sim.Pid.t * 'v) list ->
+  Sim.Failure_pattern.t ->
+  (unit, string) result
+
+(** [decisions_of_trace trace] extracts [(pid, value)] decision pairs. *)
+val decisions_of_trace : ('st, 'v) Sim.Trace.t -> (Sim.Pid.t * 'v) list

@@ -1,0 +1,1 @@
+lib/core/catalogue.ml: Format

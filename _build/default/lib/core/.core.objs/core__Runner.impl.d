@@ -1,0 +1,1 @@
+lib/core/runner.ml: Cons Extract Fd Format List Printf Qcnbac Regs Scenario Sim String

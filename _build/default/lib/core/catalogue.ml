@@ -1,0 +1,60 @@
+type claim = {
+  id : string;
+  problem : string;
+  detector : string;
+  environments : string;
+  sufficiency : string;
+  necessity : string;
+}
+
+let all =
+  [
+    {
+      id = "Thm 1";
+      problem = "atomic register";
+      detector = "Sigma";
+      environments = "all";
+      sufficiency = "Regs.Abd (ABD with Sigma quorums)";
+      necessity = "Extract.Sigma_extraction (Figure 1)";
+    };
+    {
+      id = "Cor 4";
+      problem = "consensus";
+      detector = "(Omega,Sigma)";
+      environments = "all";
+      sufficiency =
+        "Cons.Quorum_paxos; Regs.Emulate(Cons.Disk_paxos) per the paper";
+      necessity =
+        "consensus implements registers [17,21] + Figure 1; Omega per [3]";
+    };
+    {
+      id = "Cor 7";
+      problem = "quittable consensus";
+      detector = "Psi";
+      environments = "all";
+      sufficiency = "Qcnbac.Qc_psi (Figure 2)";
+      necessity = "Extract.Psi_extraction (Figure 3)";
+    };
+    {
+      id = "Thm 8";
+      problem = "NBAC <=> QC + FS";
+      detector = "FS (as the bridge)";
+      environments = "all";
+      sufficiency = "Qcnbac.Nbac_from_qc (Figure 4)";
+      necessity = "Qcnbac.Qc_from_nbac (Figure 5) + Qcnbac.Fs_from_nbac";
+    };
+    {
+      id = "Cor 10";
+      problem = "non-blocking atomic commit";
+      detector = "(Psi,FS)";
+      environments = "all";
+      sufficiency = "Qcnbac.Nbac_from_qc over (Psi,FS)";
+      necessity = "via Thm 8 and Cor 7";
+    };
+  ]
+
+let pp_claim fmt c =
+  Format.fprintf fmt
+    "@[<v2>%s: weakest detector for %s is %s (environments: %s)@ \
+     sufficiency: %s@ necessity:   %s@]"
+    c.id c.problem c.detector c.environments c.sufficiency c.necessity

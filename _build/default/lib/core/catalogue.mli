@@ -1,0 +1,17 @@
+(** The paper's result catalogue: which failure detector is the weakest for
+    which problem, in which environments — as data, so that the experiment
+    driver can print the claims next to the measurements. *)
+
+type claim = {
+  id : string;  (** "Thm 1", "Cor 4", ... *)
+  problem : string;
+  detector : string;
+  environments : string;
+  sufficiency : string;  (** which module demonstrates "detector ⇒ problem" *)
+  necessity : string;  (** which module demonstrates "problem ⇒ detector" *)
+}
+
+(** All the paper's weakest-failure-detector claims. *)
+val all : claim list
+
+val pp_claim : Format.formatter -> claim -> unit

@@ -1,0 +1,331 @@
+type summary = {
+  algorithm : string;
+  detector : string;
+  scenario : string;
+  terminated : bool;
+  spec_ok : (unit, string) result;
+  decision : string;
+  latency : int option;
+  steps : int;
+  messages : int;
+}
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "@[%-18s %-12s %-18s %-6s %-8s dec=%-8s lat=%-6s steps=%-7d msgs=%d@]"
+    s.algorithm s.detector s.scenario
+    (if s.terminated then "done" else "BLOCKED")
+    (match s.spec_ok with Ok () -> "ok" | Error _ -> "VIOLATION")
+    s.decision
+    (match s.latency with Some l -> string_of_int l | None -> "-")
+    s.steps s.messages
+
+type consensus_algo =
+  | Quorum_paxos
+  | Disk_paxos_shm
+  | Disk_paxos_abd
+  | Chandra_toueg
+  | Multivalued of int
+
+let consensus_algo_name = function
+  | Quorum_paxos -> "quorum-paxos"
+  | Disk_paxos_shm -> "disk-paxos/shm"
+  | Disk_paxos_abd -> "disk-paxos/abd"
+  | Chandra_toueg -> "chandra-toueg"
+  | Multivalued w -> Printf.sprintf "multivalued-%db" w
+
+let default_proposals n = List.map (fun p -> (p, p mod 2)) (Sim.Pid.all n)
+
+let inputs_at_zero xs = List.map (fun (p, v) -> (0, p, v)) xs
+
+let decision_string decisions =
+  match List.sort_uniq compare (List.map snd decisions) with
+  | [] -> "-"
+  | ds -> String.concat "," (List.map string_of_int ds)
+
+let mk_summary ~algorithm ~detector ~(scenario : Scenario.t) ~spec_ok
+    ~decision (trace : ('st, 'out) Sim.Trace.t) =
+  {
+    algorithm;
+    detector;
+    scenario = scenario.Scenario.name;
+    terminated = Sim.Trace.all_correct_output trace;
+    spec_ok;
+    decision;
+    latency = Sim.Trace.latency trace;
+    steps = trace.Sim.Trace.steps;
+    messages = trace.Sim.Trace.messages_sent;
+  }
+
+let run_consensus ?(policy = Sim.Network.Fifo) ?(max_steps = 150_000)
+    ?proposals algo (scenario : Scenario.t) ~seed =
+  let fp = scenario.Scenario.fp in
+  let n = Sim.Failure_pattern.n fp in
+  let proposals =
+    match proposals with Some p -> p | None -> default_proposals n
+  in
+  let inputs = inputs_at_zero proposals in
+  let stop = Sim.Engine.stop_when_all_correct_output fp in
+  let finish trace =
+    let decisions = Cons.Spec.decisions_of_trace trace in
+    mk_summary
+      ~algorithm:(consensus_algo_name algo)
+      ~detector:
+        (match algo with
+        | Quorum_paxos | Multivalued _ -> "(Omega,Sigma)"
+        | Disk_paxos_shm -> "Omega"
+        | Disk_paxos_abd -> "(Omega,Sigma)"
+        | Chandra_toueg -> "<>S")
+      ~scenario
+      ~spec_ok:(Cons.Spec.check ~proposals ~decisions fp)
+      ~decision:(decision_string decisions) trace
+  in
+  match algo with
+  | Quorum_paxos ->
+    let omega = Fd.Oracle.history Fd.Omega.oracle fp ~seed in
+    let sigma = Fd.Oracle.history Fd.Sigma.oracle fp ~seed:(seed + 1) in
+    let cfg =
+      Sim.Engine.config ~policy ~seed ~max_steps ~inputs ~stop
+        ~detect_quiescence:false
+        ~fd:(fun p t -> (omega p t, sigma p t))
+        fp
+    in
+    finish (Sim.Engine.run cfg Cons.Quorum_paxos.protocol)
+  | Multivalued width ->
+    let omega = Fd.Oracle.history Fd.Omega.oracle fp ~seed in
+    let sigma = Fd.Oracle.history Fd.Sigma.oracle fp ~seed:(seed + 1) in
+    let cfg =
+      Sim.Engine.config ~policy ~seed ~max_steps ~inputs ~stop
+        ~detect_quiescence:false
+        ~fd:(fun p t -> (omega p t, sigma p t))
+        fp
+    in
+    finish (Sim.Engine.run cfg (Cons.Multivalued.protocol ~width))
+  | Disk_paxos_shm ->
+    let omega = Fd.Oracle.history Fd.Omega.oracle fp ~seed in
+    let cfg = Regs.Shm.config ~seed ~max_steps ~inputs ~stop ~fd:omega fp in
+    finish
+      (Regs.Shm.run
+         ~registers:(Cons.Disk_paxos.registers ~n)
+         cfg Cons.Disk_paxos.proto)
+  | Disk_paxos_abd ->
+    let omega = Fd.Oracle.history Fd.Omega.oracle fp ~seed in
+    let sigma = Fd.Oracle.history Fd.Sigma.oracle fp ~seed:(seed + 1) in
+    let cfg =
+      Sim.Engine.config ~policy ~seed ~max_steps ~inputs ~stop
+        ~detect_quiescence:false
+        ~fd:(fun p t -> (omega p t, sigma p t))
+        fp
+    in
+    finish
+      (Sim.Engine.run cfg
+         (Regs.Emulate.protocol
+            ~registers:(Cons.Disk_paxos.registers ~n)
+            Cons.Disk_paxos.proto))
+  | Chandra_toueg ->
+    let suspects = Fd.Oracle.history Fd.Suspects.eventually_strong fp ~seed in
+    let cfg =
+      Sim.Engine.config ~policy ~seed ~max_steps ~inputs ~stop
+        ~detect_quiescence:false ~fd:suspects fp
+    in
+    finish (Sim.Engine.run cfg Cons.Chandra_toueg.protocol)
+
+let qc_decision_string decisions =
+  match
+    List.sort_uniq compare (List.map (fun (_, _, d) -> d) decisions)
+  with
+  | [] -> "-"
+  | ds ->
+    String.concat ","
+      (List.map
+         (fun d ->
+           Format.asprintf "%a"
+             (Qcnbac.Types.pp_qc_decision Format.pp_print_int)
+             d)
+         ds)
+
+let run_qc ?(max_steps = 150_000) ?mode (scenario : Scenario.t) ~seed =
+  let fp = scenario.Scenario.fp in
+  let n = Sim.Failure_pattern.n fp in
+  let proposals = default_proposals n in
+  let oracle =
+    match mode with
+    | None -> Fd.Psi.oracle
+    | Some m -> Fd.Psi.oracle_forced m
+  in
+  let psi = Fd.Oracle.history oracle fp ~seed in
+  let cfg =
+    Sim.Engine.config ~seed ~max_steps
+      ~inputs:(inputs_at_zero proposals)
+      ~stop:(Sim.Engine.stop_when_all_correct_output fp)
+      ~detect_quiescence:false ~fd:psi fp
+  in
+  let trace = Sim.Engine.run cfg Qcnbac.Qc_psi.protocol in
+  let decisions = Qcnbac.Qc_spec.decisions_of_trace trace in
+  mk_summary ~algorithm:"qc-from-psi" ~detector:(Fd.Oracle.name oracle)
+    ~scenario
+    ~spec_ok:(Qcnbac.Qc_spec.check ~proposals ~decisions fp)
+    ~decision:(qc_decision_string decisions) trace
+
+type nbac_algo = Nbac_psi_fs | Two_phase_commit
+
+let nbac_algo_name = function
+  | Nbac_psi_fs -> "nbac/qc+fs"
+  | Two_phase_commit -> "2pc"
+
+let outcome_string decisions =
+  match
+    List.sort_uniq compare (List.map (fun (_, _, d) -> d) decisions)
+  with
+  | [] -> "-"
+  | ds ->
+    String.concat ","
+      (List.map
+         (fun d -> Format.asprintf "%a" Qcnbac.Types.pp_outcome d)
+         ds)
+
+let run_nbac ?(max_steps = 150_000) ?votes algo (scenario : Scenario.t) ~seed
+    =
+  let fp = scenario.Scenario.fp in
+  let n = Sim.Failure_pattern.n fp in
+  let votes =
+    match votes with
+    | Some v -> v
+    | None -> List.map (fun p -> (p, Qcnbac.Types.Yes)) (Sim.Pid.all n)
+  in
+  let inputs = inputs_at_zero votes in
+  let stop = Sim.Engine.stop_when_all_correct_output fp in
+  let finish detector trace =
+    let decisions = Qcnbac.Nbac_spec.decisions_of_trace trace in
+    mk_summary ~algorithm:(nbac_algo_name algo) ~detector ~scenario
+      ~spec_ok:(Qcnbac.Nbac_spec.check ~votes ~decisions fp)
+      ~decision:(outcome_string decisions) trace
+  in
+  match algo with
+  | Nbac_psi_fs ->
+    let psi = Fd.Oracle.history Fd.Psi.oracle fp ~seed in
+    let fs = Fd.Oracle.history Fd.Fs.oracle fp ~seed:(seed + 1) in
+    let cfg =
+      Sim.Engine.config ~seed ~max_steps ~inputs ~stop
+        ~detect_quiescence:false
+        ~fd:(fun p t -> (psi p t, fs p t))
+        fp
+    in
+    finish "(Psi,FS)" (Sim.Engine.run cfg Qcnbac.Nbac_from_qc.protocol)
+  | Two_phase_commit ->
+    let cfg =
+      Sim.Engine.config ~seed ~max_steps ~inputs ~stop
+        ~detect_quiescence:false
+        ~fd:(fun _ _ -> ())
+        fp
+    in
+    finish "none" (Sim.Engine.run cfg Qcnbac.Two_phase_commit.protocol)
+
+let register_workload ~rng ~n ~registers ~ops_per_proc =
+  List.concat_map
+    (fun p ->
+      List.init ops_per_proc (fun i ->
+          let time = (i * 40) + Sim.Rng.int rng 20 in
+          let rid = Sim.Rng.int rng registers in
+          let input =
+            if Sim.Rng.bool rng then Regs.Abd.Read rid
+            else Regs.Abd.Write (rid, (p * 1000) + i)
+          in
+          (time, p, input)))
+    (Sim.Pid.all n)
+
+let run_register_workload ?(max_steps = 80_000) ?(ops_per_proc = 3)
+    ?(registers = 2) ?(quorums = `Sigma) (scenario : Scenario.t) ~seed =
+  let fp = scenario.Scenario.fp in
+  let n = Sim.Failure_pattern.n fp in
+  let fd, detector =
+    match quorums with
+    | `Sigma -> (Fd.Oracle.history Fd.Sigma.oracle fp ~seed, "Sigma")
+    | `Majority ->
+      (* A fixed majority: intersection holds, completeness may not — the
+         "register without Σ" configuration. *)
+      let q = Sim.Pidset.of_list (List.init ((n / 2) + 1) (fun i -> i)) in
+      ((fun _ _ -> q), "fixed-majority")
+  in
+  let inputs =
+    register_workload ~rng:(Sim.Rng.make (seed + 13)) ~n ~registers
+      ~ops_per_proc
+  in
+  let stop outputs =
+    let responded p =
+      List.length
+        (List.filter
+           (fun (e : _ Sim.Trace.event) ->
+             Sim.Pid.equal e.pid p
+             &&
+             match e.value with
+             | Regs.Abd.Responded _ -> true
+             | Regs.Abd.Invoked _ -> false)
+           outputs)
+    in
+    Sim.Pidset.for_all
+      (fun p -> responded p >= ops_per_proc)
+      (Sim.Failure_pattern.correct fp)
+  in
+  let cfg =
+    Sim.Engine.config ~seed ~max_steps ~inputs ~stop ~detect_quiescence:false
+      ~fd fp
+  in
+  let trace = Sim.Engine.run cfg (Regs.Abd.protocol ~registers) in
+  let lin = Regs.Linearizability.check_trace trace in
+  {
+    algorithm = "abd-registers";
+    detector;
+    scenario = scenario.Scenario.name;
+    terminated = trace.Sim.Trace.stopped = `Condition;
+    spec_ok = (if lin then Ok () else Error "history not linearizable");
+    decision = (if lin then "linearizable" else "violated");
+    latency = Sim.Trace.latency trace;
+    steps = trace.Sim.Trace.steps;
+    messages = trace.Sim.Trace.messages_sent;
+  }
+
+let run_sigma_extraction ?(max_steps = 60_000) (scenario : Scenario.t) ~seed =
+  let fp = scenario.Scenario.fp in
+  let sigma = Fd.Oracle.history Fd.Sigma.oracle fp ~seed in
+  let cfg =
+    Sim.Engine.config ~seed ~max_steps ~detect_quiescence:false ~fd:sigma fp
+  in
+  let trace = Sim.Engine.run cfg Extract.Sigma_extraction.protocol in
+  let samples =
+    List.map
+      (fun (e : Sim.Pidset.t Sim.Trace.event) -> (e.pid, e.time, e.value))
+      trace.Sim.Trace.outputs
+  in
+  let spec_ok = Fd.Sigma.check fp ~horizon:trace.Sim.Trace.ticks samples in
+  {
+    algorithm = "extract-sigma";
+    detector = "D=Sigma via ABD";
+    scenario = scenario.Scenario.name;
+    terminated = samples <> [];
+    spec_ok;
+    decision = Printf.sprintf "%d quorums" (List.length samples);
+    latency = Sim.Trace.latency trace;
+    steps = trace.Sim.Trace.steps;
+    messages = trace.Sim.Trace.messages_sent;
+  }
+
+let run_psi_extraction ?(rounds = 3) ?(chunk = 220) (scenario : Scenario.t)
+    ~seed =
+  let fp = scenario.Scenario.fp in
+  let result = Extract.Psi_extraction.run ~fp ~seed ~rounds ~chunk in
+  let spec_ok = Extract.Psi_extraction.check fp result in
+  {
+    algorithm = "extract-psi";
+    detector = "D=Psi via QC";
+    scenario = scenario.Scenario.name;
+    terminated = true;
+    spec_ok;
+    decision =
+      (match result.Extract.Psi_extraction.mode with
+      | `Red -> "FS(red)"
+      | `Cons -> "(Omega,Sigma)");
+    latency = None;
+    steps = 0;
+    messages = 0;
+  }

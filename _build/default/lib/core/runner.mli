@@ -1,0 +1,87 @@
+(** One-call runners for every algorithm in the library, returning a uniform
+    summary — the workhorse behind the examples, the experiment tables and
+    the benchmarks. *)
+
+(** Outcome of one run. *)
+type summary = {
+  algorithm : string;
+  detector : string;
+  scenario : string;
+  terminated : bool;  (** every correct process produced its output *)
+  spec_ok : (unit, string) result;  (** the problem's checker verdict *)
+  decision : string;  (** human-readable decision(s), "-" if none *)
+  latency : int option;  (** global time of the last first-output *)
+  steps : int;
+  messages : int;
+}
+
+val pp_summary : Format.formatter -> summary -> unit
+
+(** Consensus algorithms on the message-passing engine (plus the
+    shared-memory Disk Paxos). *)
+type consensus_algo =
+  | Quorum_paxos  (** native (Ω, Σ) Paxos — Corollary 2, direct *)
+  | Disk_paxos_shm  (** registers + Ω on the shared-memory engine [19] *)
+  | Disk_paxos_abd  (** Disk Paxos over ABD registers — Corollary 2 as
+                        composed in the paper *)
+  | Chandra_toueg  (** ◇S rotating coordinator [4] — majority baseline *)
+  | Multivalued of int  (** bit-by-bit lift of binary (Ω, Σ) Paxos [20] *)
+
+val consensus_algo_name : consensus_algo -> string
+
+(** [run_consensus algo scenario ~seed ~proposals] runs one consensus
+    instance.  Proposals default to alternating 0/1. *)
+val run_consensus :
+  ?policy:Sim.Network.policy ->
+  ?max_steps:int ->
+  ?proposals:(Sim.Pid.t * int) list ->
+  consensus_algo ->
+  Scenario.t ->
+  seed:int ->
+  summary
+
+(** [run_qc scenario ~seed ~mode] runs quittable consensus from Ψ; [mode]
+    forces the Ψ branch ([None] lets the oracle choose). *)
+val run_qc :
+  ?max_steps:int ->
+  ?mode:Fd.Psi.mode ->
+  Scenario.t ->
+  seed:int ->
+  summary
+
+(** NBAC solutions. *)
+type nbac_algo =
+  | Nbac_psi_fs  (** NBAC from QC + FS (Figure 4), on (Ψ, FS) *)
+  | Two_phase_commit  (** blocking baseline *)
+
+val nbac_algo_name : nbac_algo -> string
+
+val run_nbac :
+  ?max_steps:int ->
+  ?votes:(Sim.Pid.t * Qcnbac.Types.vote) list ->
+  nbac_algo ->
+  Scenario.t ->
+  seed:int ->
+  summary
+
+(** [run_register_workload scenario ~seed ~ops_per_proc ~registers ~quorums]
+    runs a read/write workload over ABD and checks linearizability.
+    [quorums] picks the quorum source: Σ oracle or fixed majorities. *)
+val run_register_workload :
+  ?max_steps:int ->
+  ?ops_per_proc:int ->
+  ?registers:int ->
+  ?quorums:[ `Sigma | `Majority ] ->
+  Scenario.t ->
+  seed:int ->
+  summary
+
+(** [run_sigma_extraction scenario ~seed] runs the Figure 1 transformation
+    and checks the emitted quorums against the Σ spec. *)
+val run_sigma_extraction :
+  ?max_steps:int -> Scenario.t -> seed:int -> summary
+
+(** [run_psi_extraction scenario ~seed] runs the Figure 3 transformation
+    and checks the emitted stream against the Ψ spec. *)
+val run_psi_extraction :
+  ?rounds:int -> ?chunk:int -> Scenario.t -> seed:int -> summary

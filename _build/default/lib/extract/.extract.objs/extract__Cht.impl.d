@@ -1,0 +1,1 @@
+lib/extract/cht.ml: Array Dag List Option Sim Simconfig

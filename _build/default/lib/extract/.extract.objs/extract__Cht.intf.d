@@ -1,0 +1,1 @@
+lib/extract/cht.mli: Dag Sim Simconfig

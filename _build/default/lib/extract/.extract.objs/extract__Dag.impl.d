@@ -1,0 +1,1 @@
+lib/extract/dag.ml: Array List Sim

@@ -1,0 +1,1 @@
+lib/extract/omega_extraction.ml: Array Cht Cons Dag Fd Format List Sim

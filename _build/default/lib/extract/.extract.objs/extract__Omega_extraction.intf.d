@@ -1,0 +1,1 @@
+lib/extract/omega_extraction.mli: Sim Stdlib

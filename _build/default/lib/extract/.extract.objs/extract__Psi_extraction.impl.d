@@ -1,0 +1,1 @@
+lib/extract/psi_extraction.ml: Array Cht Dag Fd Format Hashtbl List Option Qcnbac Sim Simconfig

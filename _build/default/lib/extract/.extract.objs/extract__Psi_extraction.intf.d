@@ -1,0 +1,1 @@
+lib/extract/psi_extraction.mli: Fd Qcnbac Sim Stdlib

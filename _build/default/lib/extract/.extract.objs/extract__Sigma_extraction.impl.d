@@ -1,0 +1,1 @@
+lib/extract/sigma_extraction.ml: List Regs Sim

@@ -1,0 +1,1 @@
+lib/extract/sigma_extraction.mli: Sim

@@ -1,0 +1,1 @@
+lib/extract/simconfig.ml: Array List Sim

@@ -1,0 +1,1 @@
+lib/extract/simconfig.mli: Sim

@@ -1,0 +1,163 @@
+type ('st, 'msg, 'fd, 'out) t = {
+  proto : ('st, 'msg, 'fd, int, 'out) Sim.Protocol.t;
+  n : int;
+  fd0 : 'fd;
+}
+
+let make proto ~n ~fd0 = { proto; n; fd0 }
+
+let initial_config t ~tree =
+  let inputs =
+    List.map (fun p -> (p, if p < tree then 1 else 0)) (Sim.Pid.all t.n)
+  in
+  Simconfig.initial t.proto ~n:t.n ~fd0:t.fd0 ~inputs
+
+let apply_sample t cfg (s : _ Dag.sample) ~delivery =
+  Simconfig.step t.proto cfg ~pid:s.Dag.pid ~fd:s.Dag.value ~delivery
+
+let canonical t cfg samples ~from_ =
+  let m = Array.length samples in
+  let rec loop cfg i =
+    if i >= m then cfg
+    else loop (apply_sample t cfg samples.(i) ~delivery:Simconfig.Oldest) (i + 1)
+  in
+  loop cfg from_
+
+(* Canonical run, stopping early once [stop] holds (e.g. a decision). *)
+let canonical_until t cfg samples ~from_ ~stop =
+  let m = Array.length samples in
+  let rec loop cfg i =
+    if stop cfg then Some (cfg, i)
+    else if i >= m then None
+    else loop (apply_sample t cfg samples.(i) ~delivery:Simconfig.Oldest) (i + 1)
+  in
+  loop cfg from_
+
+let run_tree t samples ~tree = canonical t (initial_config t ~tree) samples ~from_:0
+
+let decision_of t samples ~tree ~pid =
+  let stop cfg = Option.is_some (Simconfig.first_output cfg pid) in
+  match
+    canonical_until t (initial_config t ~tree) samples ~from_:0 ~stop
+  with
+  | Some (cfg, _) -> Simconfig.first_output cfg pid
+  | None -> None
+
+(* The first decision made by anyone in a canonical continuation. *)
+let first_decision cfg =
+  match Simconfig.outputs cfg with [] -> None | (_, v) :: _ -> Some v
+
+let first_decision_of_run t cfg samples ~from_ =
+  let stop cfg = Option.is_some (first_decision cfg) in
+  match canonical_until t cfg samples ~from_ ~stop with
+  | Some (cfg, _) -> first_decision cfg
+  | None -> None
+
+(* Explore the canonical trajectory of a tree; at each position also take
+   the one-step λ-deviation and run it canonically to its first decision.
+   Returns the list of (position, stepping pid, canonical-side decision,
+   λ-side decision). *)
+let deviations t samples ~tree ~max_positions =
+  let m = Array.length samples in
+  let rec loop cfg i acc count =
+    if i >= m || count >= max_positions then List.rev acc
+    else
+      let s = samples.(i) in
+      let lam = apply_sample t cfg s ~delivery:Simconfig.Lambda in
+      let lam_dec = first_decision_of_run t lam samples ~from_:(i + 1) in
+      let old_ = apply_sample t cfg s ~delivery:Simconfig.Oldest in
+      let old_dec =
+        match first_decision old_ with
+        | Some d -> Some d
+        | None -> first_decision_of_run t old_ samples ~from_:(i + 1)
+      in
+      loop old_ (i + 1) ((i, s.Dag.pid, old_dec, lam_dec) :: acc) (count + 1)
+  in
+  loop (initial_config t ~tree) 0 [] 0
+
+let tags t samples ~tree =
+  let devs = deviations t samples ~tree ~max_positions:(4 * t.n) in
+  let decisions =
+    List.concat_map
+      (fun (_, _, d1, d2) ->
+        List.filter_map (fun d -> d) [ d1; d2 ])
+      devs
+  in
+  List.sort_uniq compare decisions
+
+let extract_leader t samples =
+  let tag = Array.init (t.n + 1) (fun i -> tags t samples ~tree:i) in
+  (* Find the critical index: the first tree that is multivalent, or whose
+     singleton tag differs from its predecessor's. *)
+  let rec find i =
+    if i > t.n then None
+    else
+      match tag.(i) with
+      | [] -> find (i + 1) (* nothing decided yet in this tree *)
+      | _ :: _ :: _ -> Some (`Multivalent i)
+      | [ d ] ->
+        if i = 0 then find (i + 1)
+        else (
+          match tag.(i - 1) with
+          | [ d' ] when d' <> d -> Some (`Univalent i)
+          | [] | [ _ ] | _ :: _ :: _ -> find (i + 1))
+  in
+  match find 0 with
+  | None -> None
+  | Some (`Univalent i) ->
+    (* Trees i-1 and i differ exactly in process i-1's proposal. *)
+    Some (i - 1)
+  | Some (`Multivalent i) -> (
+    (* Decision gadget: the earliest position where delivering vs skipping
+       a message flips the decision; its stepping process is the leader. *)
+    let devs = deviations t samples ~tree:i ~max_positions:(4 * t.n) in
+    let gadget =
+      List.find_map
+        (fun (_, pid, d1, d2) ->
+          match (d1, d2) with
+          | Some a, Some b when a <> b -> Some pid
+          | (Some _ | None), (Some _ | None) -> None)
+        devs
+    in
+    match gadget with
+    | Some pid -> Some pid
+    | None -> (
+      (* No gadget resolved yet at this horizon: fall back to the taker of
+         the latest sample (a recently-live process); refined later. *)
+      match Array.length samples with
+      | 0 -> None
+      | m -> Some samples.(m - 1).Dag.pid))
+
+let sigma_quorum t samples ~configs ~from_ ~pid =
+  let stop cfg = Option.is_some (Simconfig.first_output cfg pid) in
+  let rec loop configs acc =
+    match configs with
+    | [] -> Some acc
+    | cfg :: rest -> (
+      let before = Simconfig.steppers cfg in
+      match canonical_until t cfg samples ~from_ ~stop with
+      | None -> None
+      | Some (cfg', _) ->
+        (* Only the steppers of the *extension* count. *)
+        let added = Sim.Pidset.diff (Simconfig.steppers cfg') before in
+        (* The extracting process itself always participates (it is the one
+           simulating); including it mirrors the paper's p taking its own
+           steps in the deciding schedule. *)
+        loop rest (Sim.Pidset.union acc (Sim.Pidset.add pid added)))
+  in
+  loop configs Sim.Pidset.empty
+
+let deciding_prefix_configs t samples ~tree ~pid ~stride =
+  let stop cfg = Option.is_some (Simconfig.first_output cfg pid) in
+  let init = initial_config t ~tree in
+  match canonical_until t init samples ~from_:0 ~stop with
+  | None -> [ init ]
+  | Some (_, upto) ->
+    let rec collect cfg i acc =
+      if i >= upto then List.rev (cfg :: acc)
+      else
+        let acc = if i mod stride = 0 then cfg :: acc else acc in
+        collect (apply_sample t cfg samples.(i) ~delivery:Simconfig.Oldest)
+          (i + 1) acc
+    in
+    collect init 0 []

@@ -1,0 +1,18 @@
+type 'fd sample = { pid : Sim.Pid.t; value : 'fd; time : int }
+
+let build fp history ~horizon =
+  let n = Sim.Failure_pattern.n fp in
+  let samples = ref [] in
+  for t = 0 to horizon do
+    let p = t mod n in
+    if not (Sim.Failure_pattern.crashed_at fp ~time:t p) then
+      samples := { pid = p; value = history p t; time = t } :: !samples
+  done;
+  Array.of_list (List.rev !samples)
+
+let suffix_from samples ~time =
+  let m = Array.length samples in
+  let rec loop i =
+    if i >= m then m else if samples.(i).time >= time then i else loop (i + 1)
+  in
+  loop 0

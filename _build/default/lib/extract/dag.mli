@@ -1,0 +1,30 @@
+(** The DAG of failure detector samples (Figure 3, task 1).
+
+    In the paper, each process repeatedly samples its local detector module
+    and exchanges samples with the others, building an ever-growing DAG
+    whose paths are the sample sequences that simulated runs may follow.
+    Correct processes' DAGs tend to a common limit.  We model that limit
+    directly: one shared, totally-ordered sample sequence — sample [k] is
+    taken by a live process at global time [k], round-robin over the
+    processes still alive.  A path of the DAG is any subsequence; the
+    canonical simulated run follows the sequence itself, which is fair
+    (every correct process samples infinitely often).
+
+    This shared-sequence modelling is the one simplification we make to
+    CHT's asynchronous sample-exchange (see DESIGN.md): it preserves what
+    the extraction consumes — ever-increasing, causally ordered, eventually
+    crash-free sample paths. *)
+
+type 'fd sample = { pid : Sim.Pid.t; value : 'fd; time : int }
+
+(** [build fp history ~horizon] produces the shared sample sequence up to
+    global time [horizon]. *)
+val build :
+  Sim.Failure_pattern.t ->
+  (Sim.Pid.t -> int -> 'fd) ->
+  horizon:int ->
+  'fd sample array
+
+(** [suffix_from samples ~time] is the least index whose sample was taken
+    at or after [time] ("fresh" samples for Σ extraction). *)
+val suffix_from : 'fd sample array -> time:int -> int

@@ -1,0 +1,60 @@
+type result = { rounds : (int * Sim.Pid.t) list }
+
+(* Consensus-under-test: quorum Paxos wrapped so its decisions are the
+   plain int it decides (the Cht machinery is generic in the output). *)
+let algorithm :
+    (int Cons.Quorum_paxos.state, int Cons.Quorum_paxos.msg,
+     Sim.Pid.t * Sim.Pidset.t, int, int)
+    Sim.Protocol.t =
+  Cons.Quorum_paxos.protocol
+
+let run ~fp ~seed ~rounds ~chunk =
+  let n = Sim.Failure_pattern.n fp in
+  let omega = Fd.Oracle.history Fd.Omega.oracle fp ~seed in
+  let sigma = Fd.Oracle.history Fd.Sigma.oracle fp ~seed:(seed + 1) in
+  let history p t = (omega p t, sigma p t) in
+  let full_horizon = (rounds + 1) * chunk in
+  let samples_full = Dag.build fp history ~horizon:full_horizon in
+  (* fd0 for initial-input application; consensus inputs ignore it. *)
+  let fd0 = (0, Sim.Pidset.full n) in
+  let t = Cht.make algorithm ~n ~fd0 in
+  let correct = Sim.Failure_pattern.correct fp in
+  let extracted =
+    List.init rounds (fun r ->
+        let horizon = (r + 1) * chunk in
+        let cut =
+          let rec count i =
+            if
+              i < Array.length samples_full
+              && samples_full.(i).Dag.time <= horizon
+            then count (i + 1)
+            else i
+          in
+          count 0
+        in
+        let samples_r = Array.sub samples_full 0 cut in
+        let fresh_from =
+          Dag.suffix_from samples_r ~time:(max 0 (horizon - chunk))
+        in
+        let window =
+          Array.sub samples_r fresh_from (cut - fresh_from)
+        in
+        let leader =
+          match Cht.extract_leader t window with
+          | Some l -> l
+          | None -> Sim.Pidset.min_elt correct
+        in
+        (horizon, leader))
+  in
+  { rounds = extracted }
+
+let check fp result =
+  let correct = Sim.Failure_pattern.correct fp in
+  match List.rev result.rounds with
+  | [] -> Error "no rounds extracted"
+  | (_, final) :: _ ->
+    if not (Sim.Pidset.mem final correct) then
+      Error
+        (Format.asprintf "final extracted leader %a is faulty" Sim.Pid.pp
+           final)
+    else Ok ()

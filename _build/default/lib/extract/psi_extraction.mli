@@ -1,0 +1,47 @@
+(** Extracting Ψ from a QC algorithm and its failure detector — Figure 3 /
+    Theorem 6, executable end to end.
+
+    The transformation follows the paper's three stages:
+
+    + {b Simulate}: each process builds the forest of simulated runs of the
+      QC algorithm A (here {!Qcnbac.Qc_psi}) over the DAG of detector
+      samples, with the [n + 1] initial proposal configurations, and waits
+      until it decides in some run of every tree (task 2, line 8).
+    + {b Agree}: processes *actually execute* A once, proposing 0 if they
+      saw a simulated Q decision and 1 otherwise (lines 9–15; we encode the
+      (I, I', S, S') tuple implicitly — all processes derive identical
+      schedule pairs from the common sample sequence, see {!Dag}).  The
+      common decision selects the mode: red (FS) or extract (Ω, Σ).
+    + {b Extract}: in (Ω, Σ) mode, every round enlarges the sample horizon;
+      Ω comes from the critical-index / decision-gadget analysis
+      ({!Cht.extract_leader}), Σ from deciding extensions of the agreed
+      prefix configurations using only fresh samples
+      ({!Cht.sigma_quorum}).
+
+    The result is, per process, a Ψ-style output stream over rounds,
+    checkable against the Ψ specification. *)
+
+type round_outputs = {
+  horizon : int;  (** the sample-time horizon of this round *)
+  outputs : (Sim.Pid.t * Fd.Psi.output) list;
+      (** one entry per process alive at the horizon *)
+}
+
+type result = {
+  mode : [ `Red | `Cons ];  (** what the real execution of A agreed on *)
+  rounds : round_outputs list;  (** round 0 is the all-⊥ round *)
+  real_decision : int Qcnbac.Types.qc_decision;
+      (** the decision of the real execution of A *)
+}
+
+(** [run ~fp ~seed ~rounds ~chunk] extracts Ψ from (A = Qc-from-Ψ, D = a Ψ
+    oracle history) under failure pattern [fp].  Each round adds [chunk]
+    sample times.  Deterministic given [seed]. *)
+val run :
+  fp:Sim.Failure_pattern.t -> seed:int -> rounds:int -> chunk:int -> result
+
+(** [check fp result] validates the extracted stream against the Ψ
+    specification, reading rounds as time: a ⊥ prefix, a common mode, red
+    only after a failure, a common correct eventual leader, pairwise
+    intersecting quorums that eventually contain only correct processes. *)
+val check : Sim.Failure_pattern.t -> result -> (unit, string) Stdlib.result

@@ -1,0 +1,31 @@
+(** Extracting Σ from any register implementation — Figure 1 / Theorem 1
+    (necessity).
+
+    The transformation runs n atomic registers [Reg_0 .. Reg_{n-1}]
+    (implemented by the algorithm-under-test A, here ABD, using the
+    detector-under-test D) and, at each process [p_i], loops:
+
+    + write [(k, E_i)] into [Reg_i] and record the participant set
+      [P_i(k)] of the write (the processes whose steps fall causally inside
+      it — for ABD, the replicas that answered a phase plus the writer);
+    + add [P_i(k)] to [E_i];
+    + read every [Reg_j]; for every participant set [X] found there, probe
+      all members of [X] and wait for at least one answer [p_t];
+    + output [P_i(k-1)] augmented with every such [p_t] as the current Σ
+      quorum.
+
+    Intersection holds because each process writes before it reads the
+    others; completeness because participants of new writes, and probe
+    answerers, are eventually all correct.
+
+    The protocol's failure detector input is D's output as consumed by the
+    register implementation (a quorum set for ABD); its outputs are the
+    successive [Σ-output] values, ready for {!Fd.Sigma.check}. *)
+
+type state
+type msg
+
+val protocol : (state, msg, Sim.Pidset.t, unit, Sim.Pidset.t) Sim.Protocol.t
+
+(** Completed write-read-probe cycles of a process — exposed for tests. *)
+val cycles : state -> int

@@ -1,0 +1,86 @@
+type delivery = Oldest | Lambda
+
+type ('st, 'msg, 'out) t = {
+  n : int;
+  states : 'st array;  (* copied on update: configurations are persistent *)
+  buffers : (Sim.Pid.t * 'msg) list array;  (* per-destination, oldest first *)
+  outputs_rev : (Sim.Pid.t * 'out) list;
+  steppers : Sim.Pidset.t;
+  length : int;
+}
+
+let first_output cfg p =
+  let rec last_match acc = function
+    | [] -> acc
+    | (q, v) :: rest ->
+      last_match (if Sim.Pid.equal q p then Some v else acc) rest
+  in
+  (* outputs_rev is newest first; the *first* output is the last match. *)
+  last_match None cfg.outputs_rev
+
+let outputs cfg = List.rev cfg.outputs_rev
+let steppers cfg = cfg.steppers
+let length cfg = cfg.length
+
+let apply_actions cfg p acts =
+  let buffers = Array.copy cfg.buffers in
+  let outputs_rev = ref cfg.outputs_rev in
+  let send dst m =
+    if dst >= 0 && dst < cfg.n then buffers.(dst) <- buffers.(dst) @ [ (p, m) ]
+  in
+  List.iter
+    (fun a ->
+      match a with
+      | Sim.Protocol.Send (dst, m) -> send dst m
+      | Sim.Protocol.Broadcast m ->
+        List.iter (fun dst -> send dst m) (Sim.Pid.all cfg.n)
+      | Sim.Protocol.Output v -> outputs_rev := (p, v) :: !outputs_rev)
+    acts;
+  { cfg with buffers; outputs_rev = !outputs_rev }
+
+let initial proto ~n ~fd0 ~inputs =
+  let states = Array.init n (fun p -> proto.Sim.Protocol.init ~n p) in
+  let cfg =
+    {
+      n;
+      states;
+      buffers = Array.make n [];
+      outputs_rev = [];
+      steppers = Sim.Pidset.empty;
+      length = 0;
+    }
+  in
+  List.fold_left
+    (fun cfg (p, inp) ->
+      let ctx = { Sim.Protocol.self = p; n; now = 0; fd = fd0 } in
+      let st, acts = proto.Sim.Protocol.on_input ctx cfg.states.(p) inp in
+      let states = Array.copy cfg.states in
+      states.(p) <- st;
+      apply_actions { cfg with states } p acts)
+    cfg inputs
+
+let step proto cfg ~pid ~fd ~delivery =
+  let recv, buffers =
+    match (delivery, cfg.buffers.(pid)) with
+    | Oldest, (src, m) :: rest ->
+      let buffers = Array.copy cfg.buffers in
+      buffers.(pid) <- rest;
+      (Some (src, m), buffers)
+    | Oldest, [] | Lambda, _ -> (None, cfg.buffers)
+  in
+  let ctx =
+    { Sim.Protocol.self = pid; n = cfg.n; now = cfg.length; fd }
+  in
+  let st, acts = proto.Sim.Protocol.on_step ctx cfg.states.(pid) recv in
+  let states = Array.copy cfg.states in
+  states.(pid) <- st;
+  let cfg =
+    {
+      cfg with
+      states;
+      buffers;
+      steppers = Sim.Pidset.add pid cfg.steppers;
+      length = cfg.length + 1;
+    }
+  in
+  apply_actions cfg pid acts

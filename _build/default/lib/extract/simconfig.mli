@@ -1,0 +1,47 @@
+(** Pure, replayable configurations of a protocol — the substrate the
+    CHT-style extraction (Figure 3) uses to *simulate* runs of the
+    algorithm-under-test outside the engine.
+
+    A configuration holds every process's state and the message buffer.
+    Steps are applied explicitly: the caller chooses which process steps,
+    which failure detector value it sees, and whether it receives the
+    oldest pending message or the empty message — precisely the paper's
+    notion of a step 〈p, m, d〉. *)
+
+type ('st, 'msg, 'out) t
+
+(** Which message the stepping process receives. *)
+type delivery = Oldest | Lambda
+
+(** [initial proto ~n ~fd0 ~inputs] applies each [(pid, input)] to a fresh
+    system (using [fd0] as the detector value visible to the input
+    handlers) and returns the resulting initial configuration. *)
+val initial :
+  ('st, 'msg, 'fd, 'inp, 'out) Sim.Protocol.t ->
+  n:int ->
+  fd0:'fd ->
+  inputs:(Sim.Pid.t * 'inp) list ->
+  ('st, 'msg, 'out) t
+
+(** [step proto cfg ~pid ~fd ~delivery] applies one step 〈pid, m, fd〉 where
+    [m] is the oldest message pending for [pid] (or λ). *)
+val step :
+  ('st, 'msg, 'fd, 'inp, 'out) Sim.Protocol.t ->
+  ('st, 'msg, 'out) t ->
+  pid:Sim.Pid.t ->
+  fd:'fd ->
+  delivery:delivery ->
+  ('st, 'msg, 'out) t
+
+(** [first_output cfg p] is the first value [p] output in this
+    configuration's history, if any. *)
+val first_output : ('st, 'msg, 'out) t -> Sim.Pid.t -> 'out option
+
+(** All outputs so far, oldest first, as [(pid, value)]. *)
+val outputs : ('st, 'msg, 'out) t -> (Sim.Pid.t * 'out) list
+
+(** Processes that have taken at least one step, in no particular order. *)
+val steppers : ('st, 'msg, 'out) t -> Sim.Pidset.t
+
+(** Number of steps applied. *)
+val length : ('st, 'msg, 'out) t -> int

@@ -1,0 +1,1 @@
+lib/fd/emulated.mli: Sim

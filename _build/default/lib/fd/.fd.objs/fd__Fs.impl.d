@@ -1,0 +1,1 @@
+lib/fd/fs.ml: Array Format List Oracle Printf Sim

@@ -1,0 +1,1 @@
+lib/fd/fs.mli: Format Oracle Sim

@@ -1,0 +1,1 @@
+lib/fd/omega.ml: Array Format List Oracle Printf Sim

@@ -1,0 +1,1 @@
+lib/fd/omega.mli: Oracle Sim

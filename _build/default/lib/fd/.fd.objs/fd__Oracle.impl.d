@@ -1,0 +1,1 @@
+lib/fd/oracle.ml: List Printf Sim

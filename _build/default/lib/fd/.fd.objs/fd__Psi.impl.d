@@ -1,0 +1,1 @@
+lib/fd/psi.ml: Array Format Fs List Omega Oracle Sigma Sim

@@ -1,0 +1,1 @@
+lib/fd/psi.mli: Format Fs Omega Oracle Sigma Sim

@@ -1,0 +1,1 @@
+lib/fd/sigma.ml: Array Format Int List Oracle Sim

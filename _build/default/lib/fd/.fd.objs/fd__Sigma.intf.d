@@ -1,0 +1,1 @@
+lib/fd/sigma.mli: Oracle Sim

@@ -1,0 +1,1 @@
+lib/fd/suspects.ml: Format List Oracle Sim

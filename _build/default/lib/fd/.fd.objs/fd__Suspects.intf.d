@@ -1,0 +1,1 @@
+lib/fd/suspects.mli: Oracle Sim

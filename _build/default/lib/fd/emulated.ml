@@ -1,0 +1,120 @@
+module Sigma_majority = struct
+  type msg = Join of int | Ack of int
+
+  type state = {
+    self : Sim.Pid.t;
+    n : int;
+    round : int;
+    acks : Sim.Pidset.t;
+    quorum : Sim.Pidset.t;
+    rounds_completed : int;
+  }
+
+  let majority n = (n / 2) + 1
+
+  let init ~n self =
+    {
+      self;
+      n;
+      round = 0;
+      acks = Sim.Pidset.empty;
+      (* Before the first round completes we must still output something
+         that intersects every other output: the full process set does. *)
+      quorum = Sim.Pidset.full n;
+      rounds_completed = 0;
+    }
+
+  let on_step _ctx st recv =
+    let st, replies =
+      match recv with
+      | Some (q, Join k) -> (st, [ Sim.Protocol.Send (q, Ack k) ])
+      | Some (q, Ack k) when k = st.round ->
+        ({ st with acks = Sim.Pidset.add q st.acks }, [])
+      | Some (_, Ack _) | None -> (st, [])
+    in
+    if st.round = 0 then
+      (* Kick off the first round. *)
+      ({ st with round = 1; acks = Sim.Pidset.empty },
+       replies @ [ Sim.Protocol.Broadcast (Join 1) ])
+    else if Sim.Pidset.cardinal st.acks >= majority st.n then
+      let quorum = st.acks in
+      let round = st.round + 1 in
+      ( { st with quorum; round; acks = Sim.Pidset.empty;
+          rounds_completed = st.rounds_completed + 1 },
+        replies @ [ Sim.Protocol.Broadcast (Join round) ] )
+    else (st, replies)
+
+  let detector =
+    {
+      Sim.Layered.proto =
+        { Sim.Protocol.init; on_step; on_input = Sim.Protocol.no_input };
+      current = (fun st -> st.quorum);
+    }
+
+  let rounds st = st.rounds_completed
+end
+
+module Omega_heartbeat = struct
+  type msg = Alive
+
+  type state = {
+    self : Sim.Pid.t;
+    n : int;
+    period : int;
+    clock : int;  (* local step counter *)
+    last_heard : int array;  (* local clock value of last heartbeat per pid *)
+    timeout : int array;  (* adaptive per-pid timeout *)
+  }
+
+  let init ~period ~n self =
+    {
+      self;
+      n;
+      period;
+      clock = 0;
+      last_heard = Array.make n 0;
+      timeout = Array.make n (4 * period);
+    }
+
+  let suspects st =
+    Sim.Pid.all st.n
+    |> List.filter (fun q ->
+           (not (Sim.Pid.equal q st.self))
+           && st.clock - st.last_heard.(q) > st.timeout.(q))
+    |> Sim.Pidset.of_list
+
+  let leader st =
+    let trusted =
+      List.filter
+        (fun q -> not (Sim.Pidset.mem q (suspects st)))
+        (Sim.Pid.all st.n)
+    in
+    match trusted with q :: _ -> q | [] -> st.self
+
+  let on_step _ctx st recv =
+    let st = { st with clock = st.clock + 1 } in
+    (match recv with
+    | Some (q, Alive) ->
+      (* If we had wrongly suspected q, grow its timeout: after GST the
+         timeout stops growing and suspicion becomes permanent-accurate. *)
+      if st.clock - st.last_heard.(q) > st.timeout.(q) then
+        st.timeout.(q) <- st.timeout.(q) + st.period;
+      st.last_heard.(q) <- st.clock
+    | None -> ());
+    let acts =
+      if st.clock mod st.period = 0 then [ Sim.Protocol.Broadcast Alive ]
+      else []
+    in
+    (st, acts)
+
+  let detector ~period =
+    {
+      Sim.Layered.proto =
+        {
+          Sim.Protocol.init = (fun ~n p -> init ~period ~n p);
+          on_step;
+          on_input = Sim.Protocol.no_input;
+        };
+      current = leader;
+    }
+end

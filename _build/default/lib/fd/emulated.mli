@@ -1,0 +1,40 @@
+(** Message-passing *implementations* of failure detectors.
+
+    The paper notes (Section 1) that Σ can be implemented "ex nihilo" in
+    environments with a majority of correct processes, and it is classical
+    [4] that Ω is implementable from heartbeats once the network is
+    eventually timely.  These implementations plug under any protocol via
+    {!Sim.Layered.with_detector}. *)
+
+(** Σ from a correct majority: each process repeatedly broadcasts a
+    join-quorum request and adopts the first majority of responders as its
+    quorum.  Any two majorities intersect; eventually responders are all
+    correct.  Liveness (quorum refresh) requires a correct majority — in
+    minority-correct runs the output goes stale, which is exactly why Σ is
+    not implementable for free in such environments. *)
+module Sigma_majority : sig
+  type state
+  type msg
+
+  val detector : (state, msg, Sim.Pidset.t) Sim.Layered.emulated
+
+  (** Number of completed join-quorum rounds — exposed for tests. *)
+  val rounds : state -> int
+end
+
+(** Ω from heartbeats with adaptive timeouts.  Correct under the
+    [Partial_synchrony] delivery policy: after GST heartbeats arrive within
+    a bounded delay, timeouts stop growing, and every correct process
+    eventually trusts the same smallest correct process. *)
+module Omega_heartbeat : sig
+  type state
+  type msg
+
+  (** [detector ~period] emits a heartbeat every [period] local steps.
+      The initial timeout is [4 * period]; each false suspicion bumps the
+      timeout for the wrongly suspected process. *)
+  val detector : period:int -> (state, msg, Sim.Pid.t) Sim.Layered.emulated
+
+  (** Current suspect set — exposed for tests. *)
+  val suspects : state -> Sim.Pidset.t
+end

@@ -1,0 +1,49 @@
+type 'a history = Sim.Pid.t -> int -> 'a
+
+type 'a t = {
+  name : string;
+  generate : Sim.Failure_pattern.t -> Sim.Rng.t -> 'a history;
+}
+
+let name t = t.name
+let make ~name generate = { name; generate }
+let history t fp ~seed = t.generate fp (Sim.Rng.make seed)
+
+let const ~name v = { name; generate = (fun _ _ -> fun _ _ -> v) }
+
+let product a b =
+  {
+    name = Printf.sprintf "(%s,%s)" a.name b.name;
+    generate =
+      (fun fp rng ->
+        let ha = a.generate fp (Sim.Rng.split rng 11) in
+        let hb = b.generate fp (Sim.Rng.split rng 12) in
+        fun p t -> (ha p t, hb p t));
+  }
+
+let map ~name f t =
+  {
+    name;
+    generate =
+      (fun fp rng ->
+        let h = t.generate fp rng in
+        fun p time -> f (h p time));
+  }
+
+let default_stabilization fp rng =
+  let base =
+    match Sim.Failure_pattern.first_crash fp with
+    | None -> 0
+    | Some _ ->
+      (* After the *last* crash, every "eventually" clause may fire. *)
+      List.fold_left
+        (fun acc p ->
+          match Sim.Failure_pattern.crash_time fp p with
+          | None -> acc
+          | Some t -> max acc t)
+        0
+        (Sim.Pid.all (Sim.Failure_pattern.n fp))
+  in
+  base + 1 + Sim.Rng.int rng 50
+
+let per_query rng p t = Sim.Rng.derive rng ((p * 1_000_003) + t)

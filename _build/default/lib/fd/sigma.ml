@@ -1,0 +1,102 @@
+type output = Sim.Pidset.t
+
+let random_subset rng universe =
+  List.filter (fun _ -> Sim.Rng.bool rng) universe |> Sim.Pidset.of_list
+
+let oracle =
+  Oracle.make ~name:"Sigma" (fun fp rng ->
+      let kernel =
+        Sim.Rng.pick (Sim.Rng.split rng 1)
+          (Sim.Pidset.elements (Sim.Failure_pattern.correct fp))
+      in
+      let stab =
+        Oracle.default_stabilization fp (Sim.Rng.split rng 2)
+      in
+      let base = Sim.Rng.split rng 3 in
+      let n = Sim.Failure_pattern.n fp in
+      let correct = Sim.Pidset.elements (Sim.Failure_pattern.correct fp) in
+      fun p t ->
+        let qrng = Oracle.per_query base p t in
+        let universe = if t >= stab then correct else Sim.Pid.all n in
+        Sim.Pidset.add kernel (random_subset qrng universe))
+
+let oracle_majority =
+  Oracle.make ~name:"Sigma(majority)" (fun fp rng ->
+      if not (Sim.Failure_pattern.majority_correct fp) then
+        invalid_arg
+          "Sigma.oracle_majority: pattern does not have a correct majority";
+      let n = Sim.Failure_pattern.n fp in
+      let k = (n / 2) + 1 in
+      let stab = Oracle.default_stabilization fp (Sim.Rng.split rng 2) in
+      let base = Sim.Rng.split rng 3 in
+      let correct = Sim.Pidset.elements (Sim.Failure_pattern.correct fp) in
+      let majority_from rng universe =
+        (* A uniform size-k subset of [universe] (|universe| >= k). *)
+        let shuffled = Sim.Rng.shuffle rng universe in
+        List.filteri (fun i _ -> i < k) shuffled |> Sim.Pidset.of_list
+      in
+      fun p t ->
+        let qrng = Oracle.per_query base p t in
+        if t >= stab then majority_from qrng correct
+        else majority_from qrng (Sim.Pid.all n))
+
+let oracle_exact =
+  Oracle.make ~name:"Sigma(exact)" (fun fp _rng ->
+      let correct = Sim.Failure_pattern.correct fp in
+      fun _p _t -> correct)
+
+let check fp ~horizon:_ samples =
+  let correct = Sim.Failure_pattern.correct fp in
+  (* Intersection: every pair of sampled quorums intersects. *)
+  let arr = Array.of_list samples in
+  let m = Array.length arr in
+  let bad = ref None in
+  (try
+     for i = 0 to m - 1 do
+       let _, _, qi = arr.(i) in
+       for j = i + 1 to m - 1 do
+         let _, _, qj = arr.(j) in
+         if not (Sim.Pidset.intersects qi qj) then begin
+           bad := Some (i, j);
+           raise Exit
+         end
+       done
+     done
+   with Exit -> ());
+  match !bad with
+  | Some (i, j) ->
+    let pi, ti, qi = arr.(i) and pj, tj, qj = arr.(j) in
+    Error
+      (Format.asprintf
+         "intersection violated: %a@@%d output %a vs %a@@%d output %a"
+         Sim.Pid.pp pi ti Sim.Pidset.pp qi Sim.Pid.pp pj tj Sim.Pidset.pp qj)
+  | None ->
+    (* Completeness: for every correct process, the suffix of its samples
+       (ordered by time) must land inside the correct set — we require the
+       last sample to be contained, a finite-horizon proxy. *)
+    let violations =
+      Sim.Pidset.elements correct
+      |> List.filter_map (fun p ->
+             let mine =
+               List.filter (fun (q, _, _) -> Sim.Pid.equal q p) samples
+               |> List.sort (fun (_, t1, _) (_, t2, _) -> Int.compare t1 t2)
+             in
+             match List.rev mine with
+             | [] -> None (* no samples for p: vacuously fine *)
+             | (_, t, last) :: _ ->
+               if Sim.Pidset.subset last correct then None
+               else
+                 Some
+                   (Format.asprintf
+                      "completeness violated: %a's last sample (t=%d) %a \
+                       contains faulty processes"
+                      Sim.Pid.pp p t Sim.Pidset.pp last))
+    in
+    (match violations with [] -> Ok () | e :: _ -> Error e)
+
+let sample_history fp ~horizon h =
+  let n = Sim.Failure_pattern.n fp in
+  List.concat_map
+    (fun p ->
+      List.init (horizon + 1) (fun t -> (p, t, h p t)))
+    (Sim.Pid.all n)

@@ -1,0 +1,43 @@
+(** The quorum failure detector Σ.
+
+    Outputs a set of processes at each process.  Any two sets output at any
+    times by any processes intersect, and eventually every set output at a
+    correct process contains only correct processes. *)
+
+type output = Sim.Pidset.t
+
+(** Oracle built around a random correct "kernel" process: every output
+    contains the kernel (hence pairwise intersection is immediate); before
+    stabilization outputs also contain arbitrary other processes, afterwards
+    only correct ones.  Legal in every environment. *)
+val oracle : output Oracle.t
+
+(** Oracle that outputs arbitrary *majority* sets before stabilization and
+    majority subsets of the correct set afterwards.  Pairwise intersection
+    holds because any two majorities intersect.  Only legal in
+    majority-correct environments (asserts this on generation). *)
+val oracle_majority : output Oracle.t
+
+(** Oracle that always outputs exactly the set of correct processes. *)
+val oracle_exact : output Oracle.t
+
+(** [check fp ~horizon samples] verifies the Σ specification on a finite set
+    of sampled outputs: [samples] lists [(pid, time, quorum)] triples (e.g.
+    every query a run performed, or a grid sample of a history).
+    Intersection is checked on all pairs; completeness requires each correct
+    process's outputs to be contained in the correct set from some sampled
+    time on (and its last sample must be).  Returns an explanation on
+    failure. *)
+val check :
+  Sim.Failure_pattern.t ->
+  horizon:int ->
+  (Sim.Pid.t * int * output) list ->
+  (unit, string) result
+
+(** [sample_history fp ~horizon h] collects the grid of all [(p, t)] queries
+    of a history for [check]. *)
+val sample_history :
+  Sim.Failure_pattern.t ->
+  horizon:int ->
+  output Oracle.history ->
+  (Sim.Pid.t * int * output) list

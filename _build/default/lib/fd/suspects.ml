@@ -1,0 +1,128 @@
+type output = Sim.Pidset.t
+
+let crashed_set fp ~time =
+  Sim.Pid.all (Sim.Failure_pattern.n fp)
+  |> List.filter (fun p -> Sim.Failure_pattern.crashed_at fp ~time p)
+  |> Sim.Pidset.of_list
+
+let perfect =
+  Oracle.make ~name:"P" (fun fp rng ->
+      let n = Sim.Failure_pattern.n fp in
+      (* Each process learns of each crash with a small random lag. *)
+      let lag_rng = Sim.Rng.split rng 1 in
+      let lag p q = Sim.Rng.int (Sim.Rng.derive lag_rng ((p * n) + q)) 10 in
+      fun p t ->
+        Sim.Pid.all n
+        |> List.filter (fun q ->
+               match Sim.Failure_pattern.crash_time fp q with
+               | None -> false
+               | Some ct -> t >= ct + lag p q)
+        |> Sim.Pidset.of_list)
+
+let eventually_perfect =
+  Oracle.make ~name:"<>P" (fun fp rng ->
+      let n = Sim.Failure_pattern.n fp in
+      let stab = Oracle.default_stabilization fp (Sim.Rng.split rng 1) in
+      let base = Sim.Rng.split rng 2 in
+      fun p t ->
+        if t >= stab then crashed_set fp ~time:t
+        else
+          (* Arbitrary noise: any subset may be suspected. *)
+          let qrng = Oracle.per_query base p t in
+          Sim.Pid.all n
+          |> List.filter (fun _ -> Sim.Rng.bool qrng)
+          |> Sim.Pidset.of_list)
+
+let eventually_strong =
+  Oracle.make ~name:"<>S" (fun fp rng ->
+      let n = Sim.Failure_pattern.n fp in
+      let trusted =
+        Sim.Rng.pick (Sim.Rng.split rng 1)
+          (Sim.Pidset.elements (Sim.Failure_pattern.correct fp))
+      in
+      let stab = Oracle.default_stabilization fp (Sim.Rng.split rng 2) in
+      let base = Sim.Rng.split rng 3 in
+      fun p t ->
+        let qrng = Oracle.per_query base p t in
+        if t >= stab then
+          (* All crashed processes suspected, trusted one never; other
+             correct processes may still be wrongly suspected. *)
+          Sim.Pid.all n
+          |> List.filter (fun q ->
+                 Sim.Failure_pattern.crashed_at fp ~time:t q
+                 || ((not (Sim.Pid.equal q trusted)) && Sim.Rng.bool qrng))
+          |> Sim.Pidset.of_list
+        else
+          Sim.Pid.all n
+          |> List.filter (fun _ -> Sim.Rng.bool qrng)
+          |> Sim.Pidset.of_list)
+
+let check_perfect fp ~horizon h =
+  let n = Sim.Failure_pattern.n fp in
+  let accuracy = ref (Ok ()) in
+  (try
+     List.iter
+       (fun p ->
+         for t = 0 to horizon do
+           Sim.Pidset.iter
+             (fun q ->
+               if not (Sim.Failure_pattern.crashed_at fp ~time:t q) then begin
+                 accuracy :=
+                   Error
+                     (Format.asprintf
+                        "accuracy violated: %a suspects live %a at t=%d"
+                        Sim.Pid.pp p Sim.Pid.pp q t);
+                 raise Exit
+               end)
+             (h p t)
+         done)
+       (Sim.Pid.all n)
+   with Exit -> ());
+  match !accuracy with
+  | Error _ as e -> e
+  | Ok () ->
+    let faulty = Sim.Failure_pattern.faulty fp in
+    let correct = Sim.Pidset.elements (Sim.Failure_pattern.correct fp) in
+    let missing =
+      List.filter
+        (fun p -> not (Sim.Pidset.subset faulty (h p horizon)))
+        correct
+    in
+    (match missing with
+    | [] -> Ok ()
+    | p :: _ ->
+      Error
+        (Format.asprintf
+           "completeness violated: %a misses a faulty process at the horizon"
+           Sim.Pid.pp p))
+
+let check_eventually_strong fp ~horizon h =
+  let faulty = Sim.Failure_pattern.faulty fp in
+  let correct = Sim.Pidset.elements (Sim.Failure_pattern.correct fp) in
+  let missing =
+    List.filter (fun p -> not (Sim.Pidset.subset faulty (h p horizon))) correct
+  in
+  match missing with
+  | p :: _ ->
+    Error
+      (Format.asprintf
+         "completeness violated: %a misses a faulty process at the horizon"
+         Sim.Pid.pp p)
+  | [] ->
+    (* Eventual weak accuracy: some correct process is unsuspected by all
+       correct processes on the suffix [horizon/2 .. horizon]. *)
+    let from = horizon / 2 in
+    let unsuspected q =
+      List.for_all
+        (fun p ->
+          let rec loop t =
+            t > horizon || ((not (Sim.Pidset.mem q (h p t))) && loop (t + 1))
+          in
+          loop from)
+        correct
+    in
+    if List.exists unsuspected correct then Ok ()
+    else
+      Error
+        "eventual weak accuracy violated: every correct process is suspected \
+         on the checked suffix"

@@ -1,0 +1,35 @@
+(** Suspect-list failure detectors of Chandra–Toueg [4]: the perfect
+    detector P, the eventually perfect ◇P, and the eventually strong ◇S.
+    These are not part of the paper's main results but serve as baselines
+    (◇S drives the Chandra–Toueg consensus used in E10) and as historical
+    context in the examples. *)
+
+(** A suspect list: the set of processes currently suspected to have
+    crashed. *)
+type output = Sim.Pidset.t
+
+(** P — strong completeness (eventually every faulty process is suspected by
+    every correct process) and strong accuracy (no process is suspected
+    before it crashes). *)
+val perfect : output Oracle.t
+
+(** ◇P — strong completeness and *eventual* strong accuracy: before a
+    stabilization time, arbitrary wrong suspicions are allowed. *)
+val eventually_perfect : output Oracle.t
+
+(** ◇S — strong completeness and eventual *weak* accuracy: after
+    stabilization some fixed correct process is never suspected (other
+    correct processes may keep being wrongly suspected forever). *)
+val eventually_strong : output Oracle.t
+
+(** [check_perfect fp ~horizon h] checks P's two properties on a prefix. *)
+val check_perfect :
+  Sim.Failure_pattern.t -> horizon:int -> output Oracle.history ->
+  (unit, string) result
+
+(** [check_eventually_strong fp ~horizon h] checks ◇S on a prefix: strong
+    completeness at the horizon and a correct process unsuspected on a
+    stable suffix. *)
+val check_eventually_strong :
+  Sim.Failure_pattern.t -> horizon:int -> output Oracle.history ->
+  (unit, string) result

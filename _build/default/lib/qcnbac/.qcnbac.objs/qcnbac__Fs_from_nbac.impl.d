@@ -1,0 +1,1 @@
+lib/qcnbac/fs_from_nbac.ml: Fd Int List Map Nbac_from_qc Sim Types

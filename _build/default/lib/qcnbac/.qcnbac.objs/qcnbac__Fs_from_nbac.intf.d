@@ -1,0 +1,1 @@
+lib/qcnbac/fs_from_nbac.mli: Fd Sim

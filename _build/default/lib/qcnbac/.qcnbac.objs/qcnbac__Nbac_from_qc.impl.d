@@ -1,0 +1,1 @@
+lib/qcnbac/nbac_from_qc.ml: Fd List Map Qc_psi Sim Types

@@ -1,0 +1,1 @@
+lib/qcnbac/nbac_from_qc.mli: Fd Sim Types

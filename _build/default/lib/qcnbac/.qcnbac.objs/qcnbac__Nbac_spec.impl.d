@@ -1,0 +1,1 @@
+lib/qcnbac/nbac_spec.ml: Format List Sim Types

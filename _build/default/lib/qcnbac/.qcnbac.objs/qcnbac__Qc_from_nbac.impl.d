@@ -1,0 +1,1 @@
+lib/qcnbac/qc_from_nbac.ml: Fd List Map Nbac_from_qc Sim Types

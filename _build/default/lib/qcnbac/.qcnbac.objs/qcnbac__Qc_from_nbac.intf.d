@@ -1,0 +1,1 @@
+lib/qcnbac/qc_from_nbac.mli: Fd Sim Types

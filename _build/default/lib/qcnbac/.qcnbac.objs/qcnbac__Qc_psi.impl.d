@@ -1,0 +1,1 @@
+lib/qcnbac/qc_psi.ml: Cons Fd List Sim Types

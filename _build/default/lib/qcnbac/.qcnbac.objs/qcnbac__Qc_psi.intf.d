@@ -1,0 +1,1 @@
+lib/qcnbac/qc_psi.mli: Fd Sim Types

@@ -1,0 +1,1 @@
+lib/qcnbac/qc_spec.ml: Format List Sim Types

@@ -1,0 +1,1 @@
+lib/qcnbac/two_phase_commit.ml: Map Sim Types

@@ -1,0 +1,1 @@
+lib/qcnbac/types.mli: Format

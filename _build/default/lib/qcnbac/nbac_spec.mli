@@ -1,0 +1,18 @@
+(** The non-blocking atomic commit specification (Section 7.1) as a
+    checkable predicate over finished runs.
+
+    - Termination: if every correct process votes, every correct process
+      eventually returns a value.
+    - Uniform Agreement: no two processes return different values.
+    - Validity: Commit requires that all processes previously voted Yes;
+      Abort requires that some process previously voted No or that a
+      failure previously occurred. *)
+
+val check :
+  votes:(Sim.Pid.t * Types.vote) list ->
+  decisions:(Sim.Pid.t * int * Types.outcome) list ->
+  Sim.Failure_pattern.t ->
+  (unit, string) result
+
+val decisions_of_trace :
+  ('st, Types.outcome) Sim.Trace.t -> (Sim.Pid.t * int * Types.outcome) list

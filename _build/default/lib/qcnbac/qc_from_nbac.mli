@@ -1,0 +1,16 @@
+(** QC from NBAC — Figure 5 / Theorem 8(b), first half.
+
+    To propose [v], a process broadcasts [v], then votes Yes in an NBAC
+    instance.  If the NBAC aborts, it returns Q — sound, because with every
+    process voting Yes an abort implies a failure.  If the NBAC commits,
+    all processes voted Yes and hence broadcast proposals, so the process
+    waits for all [n] proposals and returns the smallest.
+
+    The NBAC box is {!Nbac_from_qc}, so the composite runs on (Ψ, FS). *)
+
+type 'v state
+type 'v msg
+
+val protocol :
+  ('v state, 'v msg, Fd.Psi.output * Fd.Fs.output, 'v, 'v Types.qc_decision)
+  Sim.Protocol.t

@@ -1,0 +1,19 @@
+(** Quittable consensus from Ψ — Figure 2 / Theorem 5.
+
+    Each process waits until its Ψ module leaves ⊥.  If Ψ switched to the
+    FS behaviour (legal only after a failure), the process returns Q.
+    Otherwise Ψ now behaves like (Ω, Σ) and the process runs the
+    (Ω, Σ)-based consensus ({!Cons.Quorum_paxos}) on its proposal.  Since
+    all processes observe the same choice, no run mixes Q with consensus
+    decisions.
+
+    Consensus messages that arrive while a process is still reading ⊥ are
+    buffered and replayed at the switch. *)
+
+type 'v state
+type 'v msg
+
+(** Failure detector input: Ψ.  Inputs: proposals.  Outputs: the QC
+    decision, once per process. *)
+val protocol :
+  ('v state, 'v msg, Fd.Psi.output, 'v, 'v Types.qc_decision) Sim.Protocol.t

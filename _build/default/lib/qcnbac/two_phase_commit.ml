@@ -1,0 +1,67 @@
+type msg = Ballot of Types.vote | Outcome_msg of Types.outcome
+
+module Pid_map = Map.Make (Sim.Pid)
+
+type state = {
+  self : Sim.Pid.t;
+  voted : bool;
+  votes : Types.vote Pid_map.t;  (* coordinator only *)
+  announced : bool;  (* coordinator broadcast the outcome *)
+  decided : bool;
+}
+
+let coordinator : Sim.Pid.t = 0
+
+let init ~n:_ self =
+  {
+    self;
+    voted = false;
+    votes = Pid_map.empty;
+    announced = false;
+    decided = false;
+  }
+
+let decide st outcome =
+  if st.decided then (st, [])
+  else ({ st with decided = true }, [ Sim.Protocol.Output outcome ])
+
+let drive_coordinator (ctx : unit Sim.Protocol.ctx) st =
+  if
+    Sim.Pid.equal st.self coordinator
+    && (not st.announced)
+    && Pid_map.cardinal st.votes = ctx.n
+  then
+    let outcome =
+      if Pid_map.for_all (fun _ v -> Types.equal_vote v Types.Yes) st.votes
+      then Types.Commit
+      else Types.Abort
+    in
+    let st = { st with announced = true } in
+    let st, outs = decide st outcome in
+    (st, Sim.Protocol.Broadcast (Outcome_msg outcome) :: outs)
+  else (st, [])
+
+let on_step ctx st recv =
+  let st, acts1 =
+    match recv with
+    | Some (from, Ballot v) ->
+      ({ st with votes = Pid_map.add from v st.votes }, [])
+    | Some (_, Outcome_msg o) -> decide st o
+    | None -> (st, [])
+  in
+  let st, acts2 = drive_coordinator ctx st in
+  (st, acts1 @ acts2)
+
+let on_input _ctx st v =
+  if st.voted then (st, [])
+  else
+    let st = { st with voted = true } in
+    let acts = [ Sim.Protocol.Send (coordinator, Ballot v) ] in
+    (* A No voter knows the outcome already: abort unilaterally. *)
+    match v with
+    | Types.No ->
+      let st, outs = decide st Types.Abort in
+      (st, acts @ outs)
+    | Types.Yes -> (st, acts)
+
+let protocol = { Sim.Protocol.init; on_step; on_input }

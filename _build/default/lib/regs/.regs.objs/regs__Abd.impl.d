@@ -1,0 +1,1 @@
+lib/regs/abd.ml: Int List Map Sim Tag

@@ -1,0 +1,1 @@
+lib/regs/abd.mli: Sim Tag

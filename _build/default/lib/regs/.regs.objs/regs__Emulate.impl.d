@@ -1,0 +1,1 @@
+lib/regs/emulate.ml: Abd List Shm Sim

@@ -1,0 +1,1 @@
+lib/regs/emulate.mli: Abd Shm Sim

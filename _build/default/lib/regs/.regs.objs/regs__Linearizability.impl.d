@@ -1,0 +1,1 @@
+lib/regs/linearizability.ml: Abd Array Hashtbl List Option Sim

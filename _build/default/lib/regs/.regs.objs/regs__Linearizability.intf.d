@@ -1,0 +1,1 @@
+lib/regs/linearizability.mli: Abd Sim

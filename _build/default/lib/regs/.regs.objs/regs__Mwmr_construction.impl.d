@@ -1,0 +1,1 @@
+lib/regs/mwmr_construction.ml: Shm Sim

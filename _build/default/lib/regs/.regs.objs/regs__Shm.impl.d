@@ -1,0 +1,1 @@
+lib/regs/shm.ml: Array Int List Sim

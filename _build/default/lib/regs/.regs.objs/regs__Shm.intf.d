@@ -1,0 +1,1 @@
+lib/regs/shm.mli: Sim

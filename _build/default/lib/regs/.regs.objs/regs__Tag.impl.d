@@ -1,0 +1,1 @@
+lib/regs/tag.ml: Format Int Sim

@@ -1,0 +1,1 @@
+lib/regs/tag.mli: Format Sim

@@ -1,0 +1,88 @@
+type ('st, 'v) state = {
+  app : 'st;
+  abd : 'v Abd.state;
+  busy : bool;  (* an ABD operation is in flight: the app must wait *)
+  resp : 'v option option;  (* pending read result for the app's next step *)
+}
+
+let app_state st = st.app
+
+let protocol ~registers (p : _ Shm.proto) =
+  let abd = Abd.protocol ~registers in
+  let split_ctx (ctx : ('afd * Sim.Pidset.t) Sim.Protocol.ctx) =
+    let afd, sigma = ctx.Sim.Protocol.fd in
+    ( { ctx with Sim.Protocol.fd = afd },
+      { ctx with Sim.Protocol.fd = sigma } )
+  in
+  (* Interpret ABD actions: network actions pass through; completion events
+     unblock the app and carry read results. *)
+  let absorb st acts =
+    List.fold_left
+      (fun (st, out_acts) act ->
+        match act with
+        | Sim.Protocol.Send (q, m) ->
+          (st, Sim.Protocol.Send (q, m) :: out_acts)
+        | Sim.Protocol.Broadcast m ->
+          (st, Sim.Protocol.Broadcast m :: out_acts)
+        | Sim.Protocol.Output (Abd.Invoked _) -> (st, out_acts)
+        | Sim.Protocol.Output (Abd.Responded { resp; _ }) ->
+          let st =
+            match resp with
+            | Abd.Read_value (_, v) -> { st with busy = false; resp = Some v }
+            | Abd.Written _ -> { st with busy = false; resp = None }
+          in
+          (st, out_acts))
+      (st, []) acts
+    |> fun (st, acts) -> (st, List.rev acts)
+  in
+  (* Let the app take one shared-memory step if no register operation is in
+     flight, issuing its command to the ABD layer. *)
+  let app_step actx st =
+    if st.busy then (st, [])
+    else
+      let app, cmd, outs = p.Shm.step actx st.app ~resp:st.resp in
+      let st = { st with app; resp = None } in
+      let st, acts =
+        match cmd with
+        | Shm.Skip -> (st, [])
+        | Shm.Read rid ->
+          let abd_st, acts =
+            abd.Sim.Protocol.on_input
+              { actx with Sim.Protocol.fd = Sim.Pidset.empty }
+              st.abd (Abd.Read rid)
+          in
+          absorb { st with abd = abd_st; busy = true } acts
+        | Shm.Write (rid, v) ->
+          let abd_st, acts =
+            abd.Sim.Protocol.on_input
+              { actx with Sim.Protocol.fd = Sim.Pidset.empty }
+              st.abd
+              (Abd.Write (rid, v))
+          in
+          absorb { st with abd = abd_st; busy = true } acts
+      in
+      (st, acts @ List.map (fun o -> Sim.Protocol.Output o) outs)
+  in
+  {
+    Sim.Protocol.init =
+      (fun ~n pid ->
+        {
+          app = p.Shm.init ~n pid;
+          abd = abd.Sim.Protocol.init ~n pid;
+          busy = false;
+          resp = None;
+        });
+    on_step =
+      (fun ctx st recv ->
+        let actx, sctx = split_ctx ctx in
+        (* The ABD layer runs on every step (it must answer replica
+           requests and detect quorum completion with fresh Σ samples). *)
+        let abd_st, abd_acts = abd.Sim.Protocol.on_step sctx st.abd recv in
+        let st, acts1 = absorb { st with abd = abd_st } abd_acts in
+        let st, acts2 = app_step actx st in
+        (st, acts1 @ acts2));
+    on_input =
+      (fun ctx st inp ->
+        let actx, _ = split_ctx ctx in
+        ({ st with app = p.Shm.input actx st.app inp }, []));
+  }

@@ -1,0 +1,89 @@
+type 'v input = Read | Write of 'v
+
+type 'v output =
+  | Invoked of { op_seq : int; op : 'v input }
+  | Responded of { op_seq : int; resp : 'v response }
+
+and 'v response = Read_value of 'v option | Written
+
+(* Timestamps: (counter, pid) ordered lexicographically; the initial
+   (unwritten) state is represented by timestamp (0, -1) with no value. *)
+type ts = int * Sim.Pid.t
+
+type 'v reg = { ts : ts; value : 'v option }
+
+let registers ~n = 2 * n
+
+(* Register ids: W p = p, R p = n + p. *)
+let w_rid p = p
+let r_rid ~n p = n + p
+
+type 'v pc =
+  | Idle
+  | Scanning of {
+      j : int;  (* register id being read; scans go 0 .. 2n-1 *)
+      best : 'v reg;
+      goal : [ `Write of 'v | `Read ];
+    }
+
+type 'v state = {
+  self : Sim.Pid.t;
+  n : int;
+  pc : 'v pc;
+  queue : 'v input list;  (* pending client operations, oldest first *)
+  op_seq : int;  (* sequence number of the operation in progress *)
+}
+
+let init ~n self = { self; n; pc = Idle; queue = []; op_seq = 0 }
+
+let bottom = { ts = (0, -1); value = None }
+
+let better (a : 'v reg) (b : 'v reg) = if compare a.ts b.ts >= 0 then a else b
+
+let step (_ctx : unit Sim.Protocol.ctx) st ~resp =
+  match st.pc with
+  | Idle -> (
+    match st.queue with
+    | [] -> (st, Shm.Skip, [])
+    | op :: rest ->
+      let op_seq = st.op_seq + 1 in
+      let goal = match op with Write v -> `Write v | Read -> `Read in
+      let st =
+        {
+          st with
+          queue = rest;
+          op_seq;
+          pc = Scanning { j = 0; best = bottom; goal };
+        }
+      in
+      (st, Shm.Read 0, [ Invoked { op_seq; op } ]))
+  | Scanning { j; best; goal } -> (
+    let best =
+      match resp with
+      | Some (Some r) -> better best r
+      | Some None | None -> best
+    in
+    let total = 2 * st.n in
+    if j + 1 < total then
+      ({ st with pc = Scanning { j = j + 1; best; goal } }, Shm.Read (j + 1), [])
+    else
+      match goal with
+      | `Write v ->
+        (* Install a timestamp greater than everything seen; the write and
+           the response happen in the same atomic step. *)
+        let counter, _ = best.ts in
+        let mine = { ts = (counter + 1, st.self); value = Some v } in
+        ( { st with pc = Idle },
+          Shm.Write (w_rid st.self, mine),
+          [ Responded { op_seq = st.op_seq; resp = Written } ] )
+      | `Read ->
+        (* Announce what we return in our reader register — the write-back
+           that prevents new/old inversions between readers — and
+           respond. *)
+        ( { st with pc = Idle },
+          Shm.Write (r_rid ~n:st.n st.self, best),
+          [ Responded { op_seq = st.op_seq; resp = Read_value best.value } ] ))
+
+let input _ctx st op = { st with queue = st.queue @ [ op ] }
+
+let proto = { Shm.init; step; input }

@@ -1,0 +1,44 @@
+(** The classical multi-writer multi-reader register construction the
+    paper's Theorem 1 proof invokes ("using the classical results [16, 23]
+    we deduce that atomic registers with multiple readers and writers can
+    be implemented" from single-writer ones).
+
+    Substrate: the shared-memory engine, where each process owns
+    *single-writer* registers (the discipline is: process p writes only its
+    own registers).  Layout, for [n] processes:
+
+    - [W p] — writer register of process p, holding its last write as a
+      timestamped value;
+    - [R p] — reader register of process p, holding the timestamped value
+      of its last read (the announce/write-back that kills new/old
+      inversions between readers).
+
+    A write reads all registers, picks a timestamp greater than every one
+    seen (ties broken by pid), and writes its own [W].  A read reads all
+    registers, takes the maximum, *announces it* in its own [R], and only
+    then returns.  Timestamps are unbounded ints — the bounded-timestamp
+    refinement of [16, 23] trades that for considerable machinery and does
+    not change the interface.
+
+    One register operation per scheduled step: the adversary can interleave
+    processes between any two accesses, which is exactly what the announce
+    step is needed for. *)
+
+(** Operations clients invoke. *)
+type 'v input = Read | Write of 'v
+
+type 'v output =
+  | Invoked of { op_seq : int; op : 'v input }
+  | Responded of { op_seq : int; resp : 'v response }
+
+and 'v response = Read_value of 'v option | Written
+
+type 'v state
+type 'v reg
+
+(** Number of base registers needed for [n] processes. *)
+val registers : n:int -> int
+
+(** The shared-memory protocol; no failure detector needed (wait-freedom
+    comes from the base registers being primitive). *)
+val proto : ('v state, 'v reg, unit, 'v input, 'v output) Shm.proto

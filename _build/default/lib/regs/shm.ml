@@ -1,0 +1,111 @@
+type rid = int
+
+type 'v cmd = Read of rid | Write of rid * 'v | Skip
+
+type ('st, 'v, 'fd, 'inp, 'out) proto = {
+  init : n:int -> Sim.Pid.t -> 'st;
+  step :
+    'fd Sim.Protocol.ctx ->
+    'st ->
+    resp:'v option option ->
+    'st * 'v cmd * 'out list;
+  input : 'fd Sim.Protocol.ctx -> 'st -> 'inp -> 'st;
+}
+
+type ('fd, 'inp, 'out) config = {
+  fp : Sim.Failure_pattern.t;
+  fd : Sim.Pid.t -> int -> 'fd;
+  inputs : (int * Sim.Pid.t * 'inp) list;
+  seed : int;
+  max_steps : int;
+  stop : 'out Sim.Trace.event list -> bool;
+}
+
+let config ?(seed = 1) ?(max_steps = 50_000) ?(inputs = [])
+    ?(stop = fun _ -> false) ~fd fp =
+  { fp; fd; inputs; seed; max_steps; stop }
+
+let run ~registers cfg proto =
+  let n = Sim.Failure_pattern.n cfg.fp in
+  let rng = Sim.Rng.make cfg.seed in
+  let sched_rng = Sim.Rng.split rng 1 in
+  let memory : 'v option array = Array.make registers None in
+  let states = Array.init n (fun p -> proto.init ~n p) in
+  let last_resp : 'v option option array = Array.make n None in
+  let inputs = Array.make n [] in
+  List.iter
+    (fun (time, p, inp) ->
+      if Sim.Pid.valid ~n p then inputs.(p) <- (time, inp) :: inputs.(p))
+    cfg.inputs;
+  Array.iteri
+    (fun p l ->
+      inputs.(p) <- List.stable_sort (fun (a, _) (b, _) -> Int.compare a b) l)
+    inputs;
+  let outputs = ref [] in
+  let steps = ref 0 in
+  let now = ref 0 in
+  let stop_flag = ref false in
+  let step_of p =
+    let due, later =
+      List.partition (fun (time, _) -> time <= !now) inputs.(p)
+    in
+    inputs.(p) <- later;
+    let ctx () =
+      { Sim.Protocol.self = p; n; now = !now; fd = cfg.fd p !now }
+    in
+    List.iter
+      (fun (_, inp) -> states.(p) <- proto.input (ctx ()) states.(p) inp)
+      due;
+    let st, cmd, outs = proto.step (ctx ()) states.(p) ~resp:last_resp.(p) in
+    states.(p) <- st;
+    (match cmd with
+    | Read rid ->
+      if rid < 0 || rid >= registers then
+        invalid_arg "Shm.run: register id out of range";
+      last_resp.(p) <- Some memory.(rid)
+    | Write (rid, v) ->
+      if rid < 0 || rid >= registers then
+        invalid_arg "Shm.run: register id out of range";
+      memory.(rid) <- Some v;
+      last_resp.(p) <- None
+    | Skip -> last_resp.(p) <- None);
+    List.iter
+      (fun v ->
+        outputs := { Sim.Trace.time = !now; pid = p; value = v } :: !outputs;
+        if cfg.stop !outputs then stop_flag := true)
+      outs
+  in
+  let stopped = ref `Step_limit in
+  (try
+     while !steps < cfg.max_steps do
+       let alive = Sim.Failure_pattern.alive_at cfg.fp ~time:!now in
+       if alive = [] then raise Exit;
+       let order = Sim.Rng.shuffle sched_rng alive in
+       List.iter
+         (fun p ->
+           if
+             (not !stop_flag)
+             && !steps < cfg.max_steps
+             && not (Sim.Failure_pattern.crashed_at cfg.fp ~time:!now p)
+           then begin
+             step_of p;
+             incr steps;
+             incr now
+           end)
+         order;
+       if !stop_flag then begin
+         stopped := `Condition;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  {
+    Sim.Trace.outputs = List.rev !outputs;
+    final_states = states;
+    fp = cfg.fp;
+    steps = !steps;
+    ticks = !now;
+    messages_sent = 0;
+    messages_delivered = 0;
+    stopped = !stopped;
+  }

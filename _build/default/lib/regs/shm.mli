@@ -1,0 +1,61 @@
+(** A crash-prone asynchronous *shared-memory* system: processes communicate
+    only through atomic registers, which are primitive here.
+
+    This substrate plays the role of the shared-memory model of
+    Lo–Hadzilacos [19] ("registers + Ω solve consensus in any
+    environment"): algorithms written against it can be executed directly —
+    with registers provided by magic — or transported onto the
+    message-passing model by {!Emulate}, which implements each register with
+    the Σ-based ABD protocol.  That transport is exactly the composition the
+    paper uses to prove Corollary 2.
+
+    One scheduled step performs at most one register operation, so the
+    adversary can interleave processes between any two accesses. *)
+
+type rid = int
+
+(** The register command a step issues. *)
+type 'v cmd =
+  | Read of rid
+  | Write of rid * 'v
+  | Skip  (** internal step, no register access *)
+
+(** A shared-memory protocol.  [step] receives [resp = Some v] when the
+    previous step issued a [Read] (with [v] the register's content, [None]
+    meaning unwritten) and [resp = None] otherwise. *)
+type ('st, 'v, 'fd, 'inp, 'out) proto = {
+  init : n:int -> Sim.Pid.t -> 'st;
+  step :
+    'fd Sim.Protocol.ctx ->
+    'st ->
+    resp:'v option option ->
+    'st * 'v cmd * 'out list;
+  input : 'fd Sim.Protocol.ctx -> 'st -> 'inp -> 'st;
+}
+
+type ('fd, 'inp, 'out) config = {
+  fp : Sim.Failure_pattern.t;
+  fd : Sim.Pid.t -> int -> 'fd;
+  inputs : (int * Sim.Pid.t * 'inp) list;
+  seed : int;
+  max_steps : int;
+  stop : 'out Sim.Trace.event list -> bool;
+}
+
+val config :
+  ?seed:int ->
+  ?max_steps:int ->
+  ?inputs:(int * Sim.Pid.t * 'inp) list ->
+  ?stop:('out Sim.Trace.event list -> bool) ->
+  fd:(Sim.Pid.t -> int -> 'fd) ->
+  Sim.Failure_pattern.t ->
+  ('fd, 'inp, 'out) config
+
+(** [run ~registers config proto] executes the system; registers start
+    unwritten.  The returned trace reports zero messages (there are none in
+    this model). *)
+val run :
+  registers:int ->
+  ('fd, 'inp, 'out) config ->
+  ('st, 'v, 'fd, 'inp, 'out) proto ->
+  ('st, 'out) Sim.Trace.t

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Failure_pattern Int List Network Pid Pidset Protocol Rng Trace

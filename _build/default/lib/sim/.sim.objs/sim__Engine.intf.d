@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Failure_pattern Network Pid Protocol Trace

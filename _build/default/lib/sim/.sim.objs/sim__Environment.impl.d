@@ -1,0 +1,1 @@
+lib/sim/environment.ml: Failure_pattern List Option Pid Pidset Printf Rng

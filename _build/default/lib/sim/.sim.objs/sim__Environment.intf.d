@@ -1,0 +1,1 @@
+lib/sim/environment.mli: Failure_pattern Pid Rng

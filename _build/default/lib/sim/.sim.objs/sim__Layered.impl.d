@@ -1,0 +1,1 @@
+lib/sim/layered.ml: List Protocol

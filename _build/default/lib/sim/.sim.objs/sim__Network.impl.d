@@ -1,0 +1,1 @@
+lib/sim/network.ml: Hashtbl List Pid Pidset Rng

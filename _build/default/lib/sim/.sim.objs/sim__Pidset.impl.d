@@ -1,0 +1,1 @@
+lib/sim/pidset.ml: Format List Pid Set

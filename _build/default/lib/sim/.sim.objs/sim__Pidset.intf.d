@@ -1,0 +1,1 @@
+lib/sim/pidset.mli: Format Pid Set

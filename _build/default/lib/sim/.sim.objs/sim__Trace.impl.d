@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Failure_pattern Format List Option Pid Pidset

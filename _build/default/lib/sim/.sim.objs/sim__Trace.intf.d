@@ -1,0 +1,1 @@
+lib/sim/trace.mli: Failure_pattern Format Pid

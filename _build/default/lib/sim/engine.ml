@@ -1,0 +1,147 @@
+type ('msg, 'fd, 'inp, 'out) config = {
+  fp : Failure_pattern.t;
+  fd : Pid.t -> int -> 'fd;
+  inputs : (int * Pid.t * 'inp) list;
+  policy : Network.policy;
+  seed : int;
+  max_steps : int;
+  stop : 'out Trace.event list -> bool;
+  detect_quiescence : bool;
+}
+
+let stop_when_all_correct_output fp outputs =
+  let correct = Failure_pattern.correct fp in
+  Pidset.for_all
+    (fun p -> List.exists (fun (e : _ Trace.event) -> Pid.equal e.pid p) outputs)
+    correct
+
+let stop_after_outputs k outputs = List.length outputs >= k
+
+let config ?(policy = Network.Fifo) ?(seed = 1) ?(max_steps = 20_000)
+    ?(inputs = []) ?(stop = fun _ -> false) ?(detect_quiescence = true) ~fd fp
+    =
+  { fp; fd; inputs; policy; seed; max_steps; stop; detect_quiescence }
+
+type 'inp pending_inputs = (int * 'inp) list array
+(* per-pid inputs, each with its not-before time, kept sorted by time *)
+
+let prepare_inputs ~n inputs : _ pending_inputs =
+  let arr = Array.make n [] in
+  List.iter
+    (fun (time, p, inp) ->
+      if Pid.valid ~n p then arr.(p) <- (time, inp) :: arr.(p))
+    inputs;
+  Array.map
+    (fun l -> List.stable_sort (fun (a, _) (b, _) -> Int.compare a b) l)
+    arr
+
+let run cfg (proto : _ Protocol.t) =
+  let n = Failure_pattern.n cfg.fp in
+  let rng = Rng.make cfg.seed in
+  let sched_rng = Rng.split rng 1 in
+  let net_rng = Rng.split rng 2 in
+  let net = Network.create cfg.policy net_rng in
+  let states = Array.init n (fun p -> proto.init ~n p) in
+  let inputs = prepare_inputs ~n cfg.inputs in
+  let outputs = ref [] in
+  let steps = ref 0 in
+  let now = ref 0 in
+  let stop_flag = ref false in
+  let round_actions = ref 0 in
+  (* Apply the actions of one step of process [p]. *)
+  let apply_actions p acts =
+    List.iter
+      (fun act ->
+        round_actions := !round_actions + 1;
+        match act with
+        | Protocol.Send (dst, m) ->
+          if Pid.valid ~n dst then
+            Network.send net ~now:!now ~src:p ~dst m
+        | Protocol.Broadcast m ->
+          List.iter
+            (fun dst -> Network.send net ~now:!now ~src:p ~dst m)
+            (Pid.all n)
+        | Protocol.Output v ->
+          outputs := { Trace.time = !now; pid = p; value = v } :: !outputs;
+          if cfg.stop !outputs then stop_flag := true)
+      acts
+  in
+  let step_of p =
+    (* Deliver any due external inputs first, then take one atomic step. *)
+    let due, later =
+      List.partition (fun (time, _) -> time <= !now) inputs.(p)
+    in
+    inputs.(p) <- later;
+    List.iter
+      (fun (_, inp) ->
+        let ctx =
+          { Protocol.self = p; n; now = !now; fd = cfg.fd p !now }
+        in
+        let st, acts = proto.on_input ctx states.(p) inp in
+        states.(p) <- st;
+        apply_actions p acts)
+      due;
+    let recv = Network.deliver net ~now:!now ~dst:p in
+    let ctx = { Protocol.self = p; n; now = !now; fd = cfg.fd p !now } in
+    let st, acts = proto.on_step ctx states.(p) recv in
+    states.(p) <- st;
+    apply_actions p acts
+  in
+  (* Inputs addressed to crashed processes are lost. *)
+  let inputs_pending () =
+    List.exists
+      (fun p -> inputs.(p) <> [])
+      (Failure_pattern.alive_at cfg.fp ~time:!now)
+  in
+  let stopped = ref `Step_limit in
+  (try
+     while !steps < cfg.max_steps do
+       round_actions := 0;
+       let alive = Failure_pattern.alive_at cfg.fp ~time:!now in
+       let order = Rng.shuffle sched_rng alive in
+       List.iter
+         (fun p ->
+           if
+             (not !stop_flag)
+             && !steps < cfg.max_steps
+             && not (Failure_pattern.crashed_at cfg.fp ~time:!now p)
+           then begin
+             step_of p;
+             incr steps;
+             incr now
+           end)
+         order;
+       if !stop_flag then begin
+         stopped := `Condition;
+         raise Exit
+       end;
+       (* Messages addressed to crashed processes can never be delivered:
+          ignore them when checking for quiescence. *)
+       let in_flight_live =
+         List.fold_left
+           (fun acc p -> acc + Network.pending net ~dst:p)
+           0
+           (Failure_pattern.alive_at cfg.fp ~time:!now)
+       in
+       if
+         cfg.detect_quiescence && !round_actions = 0 && in_flight_live = 0
+         && not (inputs_pending ())
+       then begin
+         stopped := `Quiescent;
+         raise Exit
+       end;
+       (* An empty round (everyone crashed mid-round accounting) still must
+          advance time so pending crash-dependent conditions progress. *)
+       if order = [] then raise Exit
+     done
+   with Exit -> ());
+  {
+    Trace.outputs = List.rev !outputs;
+    final_states = states;
+    fp = cfg.fp;
+    steps = !steps;
+    ticks = !now;
+    messages_sent = Network.sent_count net;
+    messages_delivered = Network.delivered_count net;
+    stopped = !stopped;
+  }

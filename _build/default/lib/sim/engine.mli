@@ -1,0 +1,54 @@
+(** The run engine: executes a protocol against a failure pattern, a failure
+    detector history and a delivery policy, producing a trace.
+
+    Scheduling is fair by construction: time is divided into rounds; in each
+    round every process that is still alive takes exactly one atomic step, in
+    an order reshuffled per round.  Thus every correct process takes
+    infinitely many steps in the limit, and with every policy, every message
+    to a correct process is eventually delivered — the well-formedness
+    conditions the paper imposes on runs. *)
+
+type ('msg, 'fd, 'inp, 'out) config = {
+  fp : Failure_pattern.t;  (** failure pattern (fixes [n] as well) *)
+  fd : Pid.t -> int -> 'fd;  (** failure detector history [H(p, t)] *)
+  inputs : (int * Pid.t * 'inp) list;
+      (** external invocations: [(not-before-time, pid, input)] *)
+  policy : Network.policy;
+  seed : int;
+  max_steps : int;
+  stop : 'out Trace.event list -> bool;
+      (** called whenever a new output is emitted, with all outputs so far,
+          newest first; return [true] to end the run. *)
+  detect_quiescence : bool;
+      (** end the run early if nothing can change any more: no message in
+          flight, no pending input, and a whole round produced no action.
+          Disable for protocols that go idle between internally-timed
+          retries. *)
+}
+
+(** A configuration with no inputs, [Fifo] delivery, a [max_steps] of
+    [20_000], quiescence detection on and a never-true stop condition. *)
+val config :
+  ?policy:Network.policy ->
+  ?seed:int ->
+  ?max_steps:int ->
+  ?inputs:(int * Pid.t * 'inp) list ->
+  ?stop:('out Trace.event list -> bool) ->
+  ?detect_quiescence:bool ->
+  fd:(Pid.t -> int -> 'fd) ->
+  Failure_pattern.t ->
+  ('msg, 'fd, 'inp, 'out) config
+
+(** Stop as soon as every correct process (per the failure pattern) has
+    produced at least one output. *)
+val stop_when_all_correct_output :
+  Failure_pattern.t -> 'out Trace.event list -> bool
+
+(** Stop once at least [k] outputs have been produced. *)
+val stop_after_outputs : int -> 'out Trace.event list -> bool
+
+(** [run config protocol] executes the protocol to completion. *)
+val run :
+  ('msg, 'fd, 'inp, 'out) config ->
+  ('st, 'msg, 'fd, 'inp, 'out) Protocol.t ->
+  ('st, 'out) Trace.t

@@ -1,0 +1,63 @@
+type t = { n : int; crash : int option array }
+
+let make ~n crashes =
+  if n <= 0 then invalid_arg "Failure_pattern.make: n must be positive";
+  let crash = Array.make n None in
+  let add (p, time) =
+    if not (Pid.valid ~n p) then
+      invalid_arg "Failure_pattern.make: pid out of range";
+    if time < 0 then invalid_arg "Failure_pattern.make: negative crash time";
+    match crash.(p) with
+    | Some _ -> invalid_arg "Failure_pattern.make: duplicate pid"
+    | None -> crash.(p) <- Some time
+  in
+  List.iter add crashes;
+  if Array.for_all Option.is_some crash then
+    invalid_arg "Failure_pattern.make: at least one process must be correct";
+  { n; crash }
+
+let failure_free n = make ~n []
+
+let n t = t.n
+
+let crash_time t p = t.crash.(p)
+
+let crashed_at t ~time p =
+  match t.crash.(p) with None -> false | Some ct -> ct <= time
+
+let alive_at t ~time =
+  List.filter (fun p -> not (crashed_at t ~time p)) (Pid.all t.n)
+
+let faulty t =
+  Pid.all t.n
+  |> List.filter (fun p -> Option.is_some t.crash.(p))
+  |> Pidset.of_list
+
+let correct t = Pidset.diff (Pidset.full t.n) (faulty t)
+
+let first_crash t =
+  Array.fold_left
+    (fun acc c ->
+      match (acc, c) with
+      | None, c -> c
+      | Some a, Some b -> Some (min a b)
+      | Some a, None -> Some a)
+    None t.crash
+
+let majority_correct t = 2 * Pidset.cardinal (correct t) > t.n
+
+let pp fmt t =
+  let crashes =
+    List.filter_map
+      (fun p -> Option.map (fun time -> (p, time)) t.crash.(p))
+      (Pid.all t.n)
+  in
+  match crashes with
+  | [] -> Format.fprintf fmt "failure-free(n=%d)" t.n
+  | _ ->
+    let pp_one fmt (p, time) = Format.fprintf fmt "%a@@%d" Pid.pp p time in
+    Format.fprintf fmt "crashes(n=%d)[%a]" t.n
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+         pp_one)
+      crashes

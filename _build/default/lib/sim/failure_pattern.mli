@@ -1,0 +1,44 @@
+(** Failure patterns (Section 2 of the paper).
+
+    A failure pattern tells, for every process, whether and when it crashes.
+    Time is the engine's discrete global clock.  Crashed processes never
+    recover, so the pattern is fully described by an optional crash time per
+    process: [F(t)] of the paper is then [{ p | crash_time p <= t }]. *)
+
+type t
+
+(** [make ~n crashes] builds a pattern for [n] processes; [crashes] lists
+    [(pid, time)] pairs.  At least one process must remain correct (the
+    paper's model has no run in which every process crashes).
+    @raise Invalid_argument on a duplicated pid, an out-of-range pid, a
+    negative time, or if all [n] processes crash. *)
+val make : n:int -> (Pid.t * int) list -> t
+
+(** [failure_free n] is the pattern in which nobody crashes. *)
+val failure_free : int -> t
+
+val n : t -> int
+
+(** [crash_time t p] is [Some time] iff [p] crashes at [time]. *)
+val crash_time : t -> Pid.t -> int option
+
+(** [crashed_at t ~time p]: has [p] crashed by [time] (inclusive)? *)
+val crashed_at : t -> time:int -> Pid.t -> bool
+
+(** [alive_at t ~time] lists processes not yet crashed at [time]. *)
+val alive_at : t -> time:int -> Pid.t list
+
+(** [faulty t] is the set of processes that ever crash. *)
+val faulty : t -> Pidset.t
+
+(** [correct t] is the complement of [faulty t]. *)
+val correct : t -> Pidset.t
+
+(** [first_crash t] is the earliest crash time, if any process is faulty. *)
+val first_crash : t -> int option
+
+(** [majority_correct t] holds iff strictly more than [n/2] processes are
+    correct. *)
+val majority_correct : t -> bool
+
+val pp : Format.formatter -> t -> unit

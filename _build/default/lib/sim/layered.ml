@@ -1,0 +1,50 @@
+type ('dst, 'dmsg, 'fd) emulated = {
+  proto : ('dst, 'dmsg, unit, unit, unit) Protocol.t;
+  current : 'dst -> 'fd;
+}
+
+type ('dmsg, 'msg) wire = Detector of 'dmsg | Main of 'msg
+
+let retag_det acts =
+  List.filter_map
+    (fun act ->
+      match act with
+      | Protocol.Send (p, m) -> Some (Protocol.Send (p, Detector m))
+      | Protocol.Broadcast m -> Some (Protocol.Broadcast (Detector m))
+      | Protocol.Output () -> None)
+    acts
+
+let retag_main acts =
+  List.map
+    (fun act ->
+      match act with
+      | Protocol.Send (p, m) -> Protocol.Send (p, Main m)
+      | Protocol.Broadcast m -> Protocol.Broadcast (Main m)
+      | Protocol.Output o -> Protocol.Output o)
+    acts
+
+let with_detector det main =
+  let open Protocol in
+  let det_ctx (ctx : unit ctx) = { ctx with fd = () } in
+  {
+    init = (fun ~n p -> (det.proto.init ~n p, main.init ~n p));
+    on_step =
+      (fun ctx (dst, mst) recv ->
+        let det_recv, main_recv =
+          match recv with
+          | None -> (None, None)
+          | Some (p, Detector m) -> (Some (p, m), None)
+          | Some (p, Main m) -> (None, Some (p, m))
+        in
+        (* Both layers step: the detector layer keeps refreshing its output
+           even while the main layer is busy, and vice versa. *)
+        let dst, det_acts = det.proto.on_step (det_ctx ctx) dst det_recv in
+        let main_ctx = { ctx with fd = det.current dst } in
+        let mst, main_acts = main.on_step main_ctx mst main_recv in
+        ((dst, mst), retag_det det_acts @ retag_main main_acts));
+    on_input =
+      (fun ctx (dst, mst) inp ->
+        let main_ctx = { ctx with fd = det.current dst } in
+        let mst, acts = main.on_input main_ctx mst inp in
+        ((dst, mst), retag_main acts));
+  }

@@ -1,0 +1,28 @@
+(** Protocol layering: running an *emulated* failure detector underneath an
+    algorithm that queries it.
+
+    The paper mostly treats detectors as oracles, but it also points out
+    (Section 1) that some detectors are implementable by message passing in
+    some environments — e.g. Σ "ex nihilo" when a majority of processes is
+    correct.  [with_detector] composes such an implementation (itself an
+    ordinary protocol that continuously refreshes an output value) under a
+    main protocol: on every scheduled step, both layers take a step, and the
+    main layer's failure detector query reads the detector layer's current
+    output instead of an oracle.  Wire messages of the two layers are tagged
+    so they never mix. *)
+
+(** A message-passing implementation of a failure detector with output type
+    ['fd]: a protocol with no inputs and no outputs plus a view function
+    reading the module's current output from its state. *)
+type ('dst, 'dmsg, 'fd) emulated = {
+  proto : ('dst, 'dmsg, unit, unit, unit) Protocol.t;
+  current : 'dst -> 'fd;
+}
+
+(** Messages of the composed protocol. *)
+type ('dmsg, 'msg) wire = Detector of 'dmsg | Main of 'msg
+
+val with_detector :
+  ('dst, 'dmsg, 'fd) emulated ->
+  ('st, 'msg, 'fd, 'inp, 'out) Protocol.t ->
+  ('dst * 'st, ('dmsg, 'msg) wire, unit, 'inp, 'out) Protocol.t

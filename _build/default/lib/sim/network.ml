@@ -1,0 +1,117 @@
+type policy =
+  | Fifo
+  | Random_delay of { max_delay : int; lambda_prob : float }
+  | Partial_synchrony of { gst : int; delta : int }
+  | Partition of { groups : Pidset.t list; heal_at : int }
+
+let same_group groups a b =
+  let find p =
+    let rec loop i = function
+      | [] -> -1 (* implicit leftover group *)
+      | g :: rest -> if Pidset.mem p g then i else loop (i + 1) rest
+    in
+    loop 0 groups
+  in
+  find a = find b
+
+type 'msg envelope = {
+  src : Pid.t;
+  payload : 'msg;
+  seq : int;  (* global send order; ties broken by it for determinism *)
+  ready_at : int;  (* earliest delivery time *)
+  deadline : int;  (* must be delivered by this time if dst keeps stepping *)
+}
+
+type 'msg t = {
+  policy : policy;
+  rng : Rng.t;
+  queues : (Pid.t, 'msg envelope list ref) Hashtbl.t;
+  mutable next_seq : int;
+  mutable sent : int;
+  mutable delivered : int;
+}
+
+let create policy rng =
+  { policy; rng; queues = Hashtbl.create 16; next_seq = 0; sent = 0; delivered = 0 }
+
+let queue t dst =
+  match Hashtbl.find_opt t.queues dst with
+  | Some q -> q
+  | None ->
+    let q = ref [] in
+    Hashtbl.add t.queues dst q;
+    q
+
+let delay_bounds t ~now =
+  match t.policy with
+  | Fifo | Partition _ -> (1, 1)
+  | Random_delay { max_delay; _ } -> (1, max max_delay 1)
+  | Partial_synchrony { gst; delta } ->
+    if now >= gst then (1, max delta 1) else (1, max (4 * delta) 1)
+
+let send t ~now ~src ~dst msg =
+  let lo, hi = delay_bounds t ~now in
+  let delay = if hi <= lo then lo else lo + Rng.int t.rng (hi - lo + 1) in
+  let ready_at = now + delay in
+  let ready_at, deadline =
+    match t.policy with
+    | Fifo -> (ready_at, ready_at)
+    | Random_delay { max_delay; _ } ->
+      let deadline = ready_at + (3 * max max_delay 1) in
+      (min ready_at deadline, deadline)
+    (* From GST on, every message (even in-flight) arrives within delta. *)
+    | Partial_synchrony { gst; delta } ->
+      let deadline = max now gst + delta in
+      (min ready_at deadline, deadline)
+    | Partition { groups; heal_at } ->
+      if same_group groups src dst then (ready_at, ready_at)
+      else
+        (* Frozen until the partition heals. *)
+        let at = max ready_at (heal_at + 1) in
+        (at, at)
+  in
+  let env = { src; payload = msg; seq = t.next_seq; ready_at; deadline } in
+  t.next_seq <- t.next_seq + 1;
+  t.sent <- t.sent + 1;
+  let q = queue t dst in
+  q := env :: !q
+
+let take_envelope t q env =
+  q := List.filter (fun e -> e.seq <> env.seq) !q;
+  t.delivered <- t.delivered + 1;
+  Some (env.src, env.payload)
+
+let oldest = function
+  | [] -> None
+  | e :: rest ->
+    Some (List.fold_left (fun acc e -> if e.seq < acc.seq then e else acc) e rest)
+
+let deliver t ~now ~dst =
+  let q = queue t dst in
+  let ready = List.filter (fun e -> e.ready_at <= now) !q in
+  let overdue = List.filter (fun e -> e.deadline <= now) ready in
+  let lambda_prob =
+    match t.policy with
+    | Fifo | Partition _ -> 0.0
+    | Random_delay { lambda_prob; _ } -> lambda_prob
+    | Partial_synchrony _ -> 0.1
+  in
+  match t.policy with
+  | Fifo | Partition _ -> (
+    match oldest ready with None -> None | Some e -> take_envelope t q e)
+  | Random_delay _ | Partial_synchrony _ -> (
+    match oldest overdue with
+    | Some e -> take_envelope t q e
+    | None -> (
+      match ready with
+      | [] -> None
+      | _ when Rng.float t.rng < lambda_prob -> None
+      | _ -> take_envelope t q (Rng.pick t.rng ready)))
+
+let pending t ~dst = List.length !(queue t dst)
+
+let in_flight t =
+  Hashtbl.fold (fun _ q acc -> acc + List.length !q) t.queues 0
+
+let sent_count t = t.sent
+let delivered_count t = t.delivered

@@ -1,0 +1,27 @@
+include Set.Make (Pid)
+
+let pp fmt s =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ",")
+       Pid.pp)
+    (elements s)
+
+let full n = of_list (Pid.all n)
+
+let majorities n =
+  let k = (n / 2) + 1 in
+  (* Enumerate subsets of size [k] of [0..n-1]. *)
+  let rec choose start size =
+    if size = 0 then [ empty ]
+    else if start >= n then []
+    else
+      let with_start =
+        List.map (add start) (choose (start + 1) (size - 1))
+      in
+      let without_start = choose (start + 1) size in
+      with_start @ without_start
+  in
+  choose 0 k
+
+let intersects a b = not (is_empty (inter a b))

@@ -1,0 +1,18 @@
+(** Sets of process identifiers.
+
+    A thin wrapper over [Set.Make (Pid)] with the handful of quorum-oriented
+    operations the failure-detector algorithms need. *)
+
+include Set.S with type elt = Pid.t
+
+val pp : Format.formatter -> t -> unit
+
+(** [full n] is the set of all [n] processes. *)
+val full : int -> t
+
+(** [majorities n] enumerates every subset of [0..n-1] of size
+    [n/2 + 1] (minimal majorities).  Only intended for small [n]. *)
+val majorities : int -> t list
+
+(** [intersects a b] holds iff [a] and [b] have a common element. *)
+val intersects : t -> t -> bool

@@ -1,0 +1,39 @@
+type ('msg, 'out) action =
+  | Send of Pid.t * 'msg
+  | Broadcast of 'msg
+  | Output of 'out
+
+type 'fd ctx = { self : Pid.t; n : int; now : int; fd : 'fd }
+
+type ('st, 'msg, 'fd, 'inp, 'out) t = {
+  init : n:int -> Pid.t -> 'st;
+  on_step :
+    'fd ctx -> 'st -> (Pid.t * 'msg) option -> 'st * ('msg, 'out) action list;
+  on_input : 'fd ctx -> 'st -> 'inp -> 'st * ('msg, 'out) action list;
+}
+
+let no_input _ctx st _inp = (st, [])
+
+let map_action ~into = function
+  | Send (p, m) -> Send (p, into m)
+  | Broadcast m -> Broadcast (into m)
+  | Output o -> Output o
+
+let map_msg ~into ~from t =
+  {
+    init = t.init;
+    on_step =
+      (fun ctx st recv ->
+        let recv =
+          match recv with
+          | None -> None
+          | Some (p, m2) -> (
+            match from m2 with None -> None | Some m -> Some (p, m))
+        in
+        let st, acts = t.on_step ctx st recv in
+        (st, List.map (map_action ~into) acts));
+    on_input =
+      (fun ctx st inp ->
+        let st, acts = t.on_input ctx st inp in
+        (st, List.map (map_action ~into) acts));
+  }

@@ -1,0 +1,50 @@
+(** Protocols: the algorithm automata of the paper's model.
+
+    A protocol is a pure description of one process's behaviour.  One
+    engine-scheduled step corresponds exactly to the paper's atomic step: the
+    process receives one message (or the empty message), queries its failure
+    detector module, then sends messages and moves to a new state.  External
+    operation invocations (PROPOSE, VOTE, read, write ...) are modelled as
+    [on_input] events injected by the engine at scheduled times.
+
+    Type parameters: ['st] local state, ['msg] wire messages, ['fd] failure
+    detector output values, ['inp] operation invocations, ['out] operation
+    responses / decisions. *)
+
+(** Messages to emit and values to expose, produced by a step. *)
+type ('msg, 'out) action =
+  | Send of Pid.t * 'msg  (** point-to-point send *)
+  | Broadcast of 'msg  (** send to every process, including self *)
+  | Output of 'out  (** deliver a response / decision to the environment *)
+
+(** Per-step context handed to the automaton. *)
+type 'fd ctx = {
+  self : Pid.t;  (** the process taking the step *)
+  n : int;  (** system size *)
+  now : int;  (** global time (only for traces; algorithms that must not
+                  rely on real time should treat it as a local step counter) *)
+  fd : 'fd;  (** the failure detector value sampled in this step *)
+}
+
+type ('st, 'msg, 'fd, 'inp, 'out) t = {
+  init : n:int -> Pid.t -> 'st;
+  on_step :
+    'fd ctx -> 'st -> (Pid.t * 'msg) option -> 'st * ('msg, 'out) action list;
+      (** one atomic step; the optional argument is the received message and
+          its sender, [None] standing for the empty message λ. *)
+  on_input : 'fd ctx -> 'st -> 'inp -> 'st * ('msg, 'out) action list;
+      (** an external operation invocation. *)
+}
+
+(** [no_input] is an [on_input] for protocols that take no external
+    invocations. *)
+val no_input : 'fd ctx -> 'st -> 'inp -> 'st * ('msg, 'out) action list
+
+(** [map_msg ~into ~from t] re-tags the wire type, embedding this protocol's
+    messages into a larger message type (for protocol composition).
+    [from] must return [Some] exactly on messages produced by [into]. *)
+val map_msg :
+  into:('msg -> 'msg2) ->
+  from:('msg2 -> 'msg option) ->
+  ('st, 'msg, 'fd, 'inp, 'out) t ->
+  ('st, 'msg2, 'fd, 'inp, 'out) t

@@ -1,0 +1,51 @@
+(* SplitMix64, small and splittable; good enough statistical quality for a
+   discrete-event simulator and fully deterministic across platforms. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let make seed = { state = mix (Int64.of_int seed) }
+
+let split t tag =
+  let v = next t in
+  { state = mix (Int64.logxor v (mix (Int64.of_int (tag * 2654435761 + 1)))) }
+
+let derive t tag =
+  { state = mix (Int64.logxor t.state (mix (Int64.of_int (tag * 40503 + 7)))) }
+
+let int t bound =
+  assert (bound > 0);
+  let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  v mod bound
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let float t =
+  let v = Int64.to_int (Int64.shift_right_logical (next t) 11) in
+  float_of_int v /. float_of_int (1 lsl 53)
+
+let pick t xs =
+  match xs with
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | _ -> List.nth xs (int t (List.length xs))
+
+let shuffle t xs =
+  let a = Array.of_list xs in
+  let n = Array.length a in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a

@@ -1,0 +1,38 @@
+(** Deterministic, splittable pseudo-random source.
+
+    All randomness in the simulator flows through this module so that every
+    run is reproducible from a single integer seed.  [split] derives an
+    independent stream, which lets the engine hand distinct streams to the
+    scheduler, the network, the failure-detector oracles and the workload
+    generator without their draws interfering. *)
+
+type t
+
+(** [make seed] creates a fresh generator. *)
+val make : int -> t
+
+(** [split t tag] derives an independent generator; equal [(seed, tag)]
+    pairs always yield the same stream.  Advances [t]. *)
+val split : t -> int -> t
+
+(** [derive t tag] derives an independent generator *without* advancing
+    [t]: calling it twice with the same tag yields identical streams.
+    Used to produce idempotent per-query randomness in detector
+    histories. *)
+val derive : t -> int -> t
+
+(** [int t bound] draws uniformly from [0 .. bound-1].  [bound] must be
+    positive. *)
+val int : t -> int -> int
+
+(** [bool t] draws a fair boolean. *)
+val bool : t -> bool
+
+(** [float t] draws uniformly from [0, 1). *)
+val float : t -> float
+
+(** [pick t xs] draws a uniform element of the non-empty list [xs]. *)
+val pick : t -> 'a list -> 'a
+
+(** [shuffle t xs] is a uniform permutation of [xs]. *)
+val shuffle : t -> 'a list -> 'a list

@@ -1,0 +1,38 @@
+(** Run traces: everything observable about a finished simulation. *)
+
+(** One value a process handed to the environment (a decision, an operation
+    response, ...), stamped with the global time of the emitting step. *)
+type 'out event = { time : int; pid : Pid.t; value : 'out }
+
+type ('st, 'out) t = {
+  outputs : 'out event list;  (** in emission order *)
+  final_states : 'st array;  (** last state of each process (crashed or not) *)
+  fp : Failure_pattern.t;  (** the failure pattern of the run *)
+  steps : int;  (** total steps scheduled *)
+  ticks : int;  (** final global time *)
+  messages_sent : int;
+  messages_delivered : int;
+  stopped : [ `Condition | `Quiescent | `Step_limit ];
+      (** why the run ended: the stop condition held, nothing could change
+          any more, or the step budget ran out. *)
+}
+
+(** [outputs_of t p] lists the values output by process [p], oldest first. *)
+val outputs_of : ('st, 'out) t -> Pid.t -> 'out list
+
+(** [first_output t p] is [p]'s first output, if any. *)
+val first_output : ('st, 'out) t -> Pid.t -> 'out option
+
+(** [decision_times t] maps each process to the time of its first output. *)
+val decision_times : ('st, 'out) t -> (Pid.t * int) list
+
+(** [latency t] is the time of the last first-output among processes that
+    output anything, or [None] if nobody output. *)
+val latency : ('st, 'out) t -> int option
+
+(** [all_correct_output t] holds iff every correct process produced at least
+    one output. *)
+val all_correct_output : ('st, 'out) t -> bool
+
+val pp :
+  (Format.formatter -> 'out -> unit) -> Format.formatter -> ('st, 'out) t -> unit

@@ -1,0 +1,27 @@
+type t = int array
+
+let zero n = Array.make n 0
+
+let tick t p =
+  let t' = Array.copy t in
+  t'.(p) <- t'.(p) + 1;
+  t'
+
+let merge a b = Array.init (Array.length a) (fun i -> max a.(i) b.(i))
+let get t p = t.(p)
+
+let leq a b =
+  let ok = ref true in
+  Array.iteri (fun i x -> if x > b.(i) then ok := false) a;
+  !ok
+
+let equal a b = a = b
+let dominates a b = leq b a && not (equal a b)
+let concurrent a b = (not (leq a b)) && not (leq b a)
+
+let pp fmt t =
+  Format.fprintf fmt "<%a>"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ",")
+       Format.pp_print_int)
+    (Array.to_list t)

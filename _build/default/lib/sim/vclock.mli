@@ -1,0 +1,30 @@
+(** Vector clocks, used to track the causality relation of Lamport [17] —
+    needed by the Figure 1 transformation to compute the set of participants
+    in a write operation. *)
+
+type t
+
+(** [zero n] is the all-zero clock for [n] processes. *)
+val zero : int -> t
+
+(** [tick t p] increments [p]'s component. *)
+val tick : t -> Pid.t -> t
+
+(** [merge a b] is the component-wise maximum. *)
+val merge : t -> t -> t
+
+(** [get t p] is [p]'s component. *)
+val get : t -> Pid.t -> int
+
+(** [leq a b]: does [a] causally precede or equal [b] component-wise? *)
+val leq : t -> t -> bool
+
+val equal : t -> t -> bool
+
+(** [dominates a b] holds iff [leq b a] and [not (equal a b)]. *)
+val dominates : t -> t -> bool
+
+(** [concurrent a b] holds iff neither [leq a b] nor [leq b a]. *)
+val concurrent : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_bcast.ml: Alcotest Bcast Fd List Printf QCheck QCheck_alcotest Sim

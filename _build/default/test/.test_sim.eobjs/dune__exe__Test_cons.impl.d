@@ -1,0 +1,1 @@
+test/test_cons.ml: Alcotest Array Cons Fd List Printf QCheck QCheck_alcotest Regs Sim

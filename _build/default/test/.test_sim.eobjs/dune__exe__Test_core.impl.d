@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Core Fd Format List Printf Sim String

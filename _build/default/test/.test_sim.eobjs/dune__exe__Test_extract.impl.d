@@ -1,0 +1,1 @@
+test/test_extract.ml: Alcotest Array Extract Fd List Printf QCheck QCheck_alcotest Sim

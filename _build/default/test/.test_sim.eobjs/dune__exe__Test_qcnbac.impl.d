@@ -1,0 +1,1 @@
+test/test_qcnbac.ml: Alcotest Array Cons Fd List Option Printf QCheck QCheck_alcotest Qcnbac Sim

@@ -1,0 +1,1 @@
+test/test_regs.ml: Alcotest Array Fd Hashtbl List Option Printf QCheck QCheck_alcotest Regs Sim

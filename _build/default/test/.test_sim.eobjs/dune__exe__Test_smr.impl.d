@@ -1,0 +1,1 @@
+test/test_smr.ml: Alcotest Bcast Cons Fd Hashtbl List Printf QCheck QCheck_alcotest Regs Sim

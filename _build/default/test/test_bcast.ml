@@ -1,0 +1,209 @@
+(* Tests for the broadcast substrate: eager reliable broadcast (no
+   detector) and uniform reliable broadcast from Σ, across random failure
+   patterns, delivery policies and partitions. *)
+
+let mids_delivered outputs p =
+  List.filter_map
+    (fun (e : _ Sim.Trace.event) ->
+      if Sim.Pid.equal e.Sim.Trace.pid p then
+        match e.Sim.Trace.value with
+        | `Rb (Bcast.Rb.Delivered (id, v)) -> Some (id, v)
+        | `Urb (Bcast.Urb.Delivered (id, v)) -> Some (id, v)
+      else None)
+    outputs
+
+let run_rb ?(policy = Sim.Network.Fifo) ~inputs ~seed ~max_steps fp =
+  let cfg =
+    Sim.Engine.config ~policy ~seed ~max_steps ~inputs
+      ~detect_quiescence:true
+      ~fd:(fun _ _ -> ())
+      fp
+  in
+  Sim.Engine.run cfg Bcast.Rb.protocol
+
+let rb_deliveries trace p =
+  Sim.Trace.outputs_of trace p
+  |> List.map (fun (Bcast.Rb.Delivered (id, v)) -> (id, v))
+
+let urb_deliveries trace p =
+  Sim.Trace.outputs_of trace p
+  |> List.map (fun (Bcast.Urb.Delivered (id, v)) -> (id, v))
+
+let sort_deliveries l = List.sort compare l
+
+let test_rb_agreement () =
+  for seed = 1 to 20 do
+    let fp =
+      Sim.Environment.sample Sim.Environment.any ~n:5 ~horizon:60
+        (Sim.Rng.make seed)
+    in
+    let correct = Sim.Pidset.elements (Sim.Failure_pattern.correct fp) in
+    (* Everybody (including future crashers) broadcasts one value. *)
+    let inputs = List.map (fun p -> (0, p, p * 7)) (Sim.Pid.all 5) in
+    let trace = run_rb ~inputs ~seed ~max_steps:30_000 fp in
+    (* Agreement: all correct processes deliver the same message set. *)
+    let sets =
+      List.map (fun p -> sort_deliveries (rb_deliveries trace p)) correct
+    in
+    (match sets with
+    | first :: rest ->
+      List.iter
+        (fun s -> Alcotest.(check bool) "same delivery sets" true (s = first))
+        rest
+    | [] -> Alcotest.fail "no correct process");
+    (* Validity: every correct broadcaster's message is delivered by all
+       correct processes. *)
+    List.iter
+      (fun p ->
+        List.iter
+          (fun q ->
+            Alcotest.(check bool) "correct broadcast delivered" true
+              (List.exists
+                 (fun ((id : Bcast.Rb.mid), _) -> Sim.Pid.equal id.origin p)
+                 (rb_deliveries trace q)))
+          correct)
+      correct;
+    (* Integrity: no duplication, no creation. *)
+    List.iter
+      (fun p ->
+        let ds = rb_deliveries trace p in
+        Alcotest.(check int) "no duplicates" (List.length ds)
+          (List.length (List.sort_uniq compare ds));
+        List.iter
+          (fun ((id : Bcast.Rb.mid), v) ->
+            Alcotest.(check int) "no creation" (id.origin * 7) v)
+          ds)
+      correct
+  done
+
+let test_rb_survives_partition () =
+  let fp = Sim.Failure_pattern.failure_free 5 in
+  let policy =
+    Sim.Network.Partition
+      { groups = [ Sim.Pidset.of_list [ 0; 1 ]; Sim.Pidset.of_list [ 2; 3; 4 ] ];
+        heal_at = 200 }
+  in
+  let inputs = [ (0, 0, 111); (0, 3, 222) ] in
+  let trace = run_rb ~policy ~inputs ~seed:3 ~max_steps:30_000 fp in
+  List.iter
+    (fun p ->
+      Alcotest.(check int)
+        (Printf.sprintf "p%d delivers both after heal" p)
+        2
+        (List.length (rb_deliveries trace p)))
+    (Sim.Pid.all 5);
+  (* Cross-partition deliveries can only happen after the heal. *)
+  List.iter
+    (fun (e : _ Sim.Trace.event) ->
+      let (Bcast.Rb.Delivered ((id : Bcast.Rb.mid), _)) = e.value in
+      let group p = if p <= 1 then 0 else 1 in
+      if group e.pid <> group id.origin then
+        Alcotest.(check bool) "cross delivery after heal" true (e.time > 200))
+    trace.Sim.Trace.outputs
+
+let run_urb ?(policy = Sim.Network.Fifo) ~inputs ~seed ~max_steps fp =
+  let sigma = Fd.Oracle.history Fd.Sigma.oracle fp ~seed in
+  let cfg =
+    Sim.Engine.config ~policy ~seed ~max_steps ~inputs
+      ~detect_quiescence:true ~fd:sigma fp
+  in
+  Sim.Engine.run cfg Bcast.Urb.protocol
+
+let test_urb_uniform_agreement () =
+  for seed = 1 to 20 do
+    let fp =
+      Sim.Environment.sample Sim.Environment.any ~n:4 ~horizon:80
+        (Sim.Rng.make (seed * 7))
+    in
+    let correct = Sim.Pidset.elements (Sim.Failure_pattern.correct fp) in
+    let inputs = List.map (fun p -> (0, p, p + 100)) (Sim.Pid.all 4) in
+    let trace = run_urb ~inputs ~seed ~max_steps:40_000 fp in
+    (* Uniform agreement: anything delivered by ANYBODY (including a
+       process that later crashed) is delivered by every correct process. *)
+    let all_delivered =
+      List.concat_map (fun p -> urb_deliveries trace p) (Sim.Pid.all 4)
+      |> List.sort_uniq compare
+    in
+    List.iter
+      (fun d ->
+        List.iter
+          (fun q ->
+            Alcotest.(check bool)
+              (Printf.sprintf "uniform agreement (seed %d)" seed)
+              true
+              (List.mem d (urb_deliveries trace q)))
+          correct)
+      all_delivered;
+    (* Validity: correct broadcasters' messages delivered everywhere. *)
+    List.iter
+      (fun p ->
+        List.iter
+          (fun q ->
+            Alcotest.(check bool) "validity" true
+              (List.exists
+                 (fun ((id : Bcast.Rb.mid), _) -> Sim.Pid.equal id.origin p)
+                 (urb_deliveries trace q)))
+          correct)
+      correct
+  done
+
+let test_urb_works_without_majority () =
+  (* 1 of 5 correct: majority-based URB is impossible; Σ-based URB isn't. *)
+  let fp =
+    Sim.Failure_pattern.make ~n:5 [ (0, 100); (1, 140); (2, 180); (3, 220) ]
+  in
+  let inputs = [ (0, 4, 999); (260, 4, 1000) ] in
+  let trace = run_urb ~inputs ~seed:5 ~max_steps:40_000 fp in
+  Alcotest.(check int) "lone survivor delivers both" 2
+    (List.length (urb_deliveries trace 4))
+
+let prop_rb_no_creation_no_dup =
+  QCheck.Test.make ~name:"RB: no creation, no duplication, agreement"
+    ~count:25 QCheck.small_nat (fun seed ->
+      let seed = seed + 1 in
+      let fp =
+        Sim.Environment.sample Sim.Environment.any ~n:4 ~horizon:60
+          (Sim.Rng.make (seed * 13))
+      in
+      let inputs = List.map (fun p -> (0, p, p)) (Sim.Pid.all 4) in
+      let trace =
+        run_rb
+          ~policy:(Sim.Network.Random_delay { max_delay = 5; lambda_prob = 0.3 })
+          ~inputs ~seed ~max_steps:30_000 fp
+      in
+      let correct = Sim.Pidset.elements (Sim.Failure_pattern.correct fp) in
+      let sets =
+        List.map (fun p -> sort_deliveries (rb_deliveries trace p)) correct
+      in
+      let agreement =
+        match sets with
+        | first :: rest -> List.for_all (fun s -> s = first) rest
+        | [] -> false
+      in
+      let no_dup =
+        List.for_all
+          (fun s -> List.length s = List.length (List.sort_uniq compare s))
+          sets
+      in
+      agreement && no_dup)
+
+let () =
+  ignore mids_delivered;
+  Alcotest.run "bcast"
+    [
+      ( "rb",
+        [
+          Alcotest.test_case "agreement/validity/integrity" `Slow
+            test_rb_agreement;
+          Alcotest.test_case "survives partition" `Quick
+            test_rb_survives_partition;
+        ] );
+      ( "urb",
+        [
+          Alcotest.test_case "uniform agreement" `Slow
+            test_urb_uniform_agreement;
+          Alcotest.test_case "works without majority" `Quick
+            test_urb_works_without_majority;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_rb_no_creation_no_dup ]);
+    ]

@@ -1,0 +1,281 @@
+(* Tests for the necessity constructions: Figure 1 (Σ extraction from a
+   register implementation) and Figure 3 (Ψ extraction from a QC algorithm),
+   plus the underlying pure-simulation machinery. *)
+
+let check_ok name = function
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: %s" name e
+
+(* --- Simconfig ------------------------------------------------------------ *)
+
+(* A trivial protocol for exercising the pure simulator: every process
+   broadcasts "hello" on its first step and outputs the number of distinct
+   greeters it has heard (including itself) at each subsequent step. *)
+module Count_proto = struct
+  type st = { greeted : bool; heard : Sim.Pidset.t }
+  type msg = Hello
+
+  let proto : (st, msg, unit, unit, int) Sim.Protocol.t =
+    {
+      init = (fun ~n:_ self -> { greeted = false; heard = Sim.Pidset.singleton self });
+      on_step =
+        (fun _ctx st recv ->
+          let st =
+            match recv with
+            | Some (from, Hello) -> { st with heard = Sim.Pidset.add from st.heard }
+            | None -> st
+          in
+          if not st.greeted then
+            ({ st with greeted = true }, [ Sim.Protocol.Broadcast Hello ])
+          else (st, [ Sim.Protocol.Output (Sim.Pidset.cardinal st.heard) ]));
+      on_input = Sim.Protocol.no_input;
+    }
+end
+
+let test_simconfig_basics () =
+  let cfg =
+    Extract.Simconfig.initial Count_proto.proto ~n:3 ~fd0:() ~inputs:[]
+  in
+  Alcotest.(check int) "empty" 0 (Extract.Simconfig.length cfg);
+  (* Everybody greets; then p0 steps consuming messages. *)
+  let cfg =
+    List.fold_left
+      (fun cfg pid ->
+        Extract.Simconfig.step Count_proto.proto cfg ~pid ~fd:()
+          ~delivery:Extract.Simconfig.Oldest)
+      cfg [ 0; 1; 2 ]
+  in
+  let cfg =
+    List.fold_left
+      (fun cfg _ ->
+        Extract.Simconfig.step Count_proto.proto cfg ~pid:0 ~fd:()
+          ~delivery:Extract.Simconfig.Oldest)
+      cfg [ (); (); () ]
+  in
+  (match List.rev (Extract.Simconfig.outputs cfg) with
+  | (_, k) :: _ -> Alcotest.(check int) "heard all three" 3 k
+  | [] -> Alcotest.fail "p0 produced no output");
+  Alcotest.(check (option int)) "first output is 1" (Some 1)
+    (Extract.Simconfig.first_output cfg 0);
+  Alcotest.(check int) "steppers" 3
+    (Sim.Pidset.cardinal (Extract.Simconfig.steppers cfg))
+
+let test_simconfig_lambda_skips_delivery () =
+  let cfg =
+    Extract.Simconfig.initial Count_proto.proto ~n:2 ~fd0:() ~inputs:[]
+  in
+  let cfg =
+    Extract.Simconfig.step Count_proto.proto cfg ~pid:1 ~fd:()
+      ~delivery:Extract.Simconfig.Oldest
+  in
+  (* p0 steps with λ twice: it must not have heard p1's greeting. *)
+  let cfg =
+    Extract.Simconfig.step Count_proto.proto cfg ~pid:0 ~fd:()
+      ~delivery:Extract.Simconfig.Lambda
+  in
+  let cfg =
+    Extract.Simconfig.step Count_proto.proto cfg ~pid:0 ~fd:()
+      ~delivery:Extract.Simconfig.Lambda
+  in
+  Alcotest.(check (option int)) "only itself" (Some 1)
+    (Extract.Simconfig.first_output cfg 0)
+
+(* --- Dag ------------------------------------------------------------------ *)
+
+let test_dag_skips_crashed () =
+  let fp = Sim.Failure_pattern.make ~n:3 [ (1, 10) ] in
+  let h _p t = t in
+  let samples = Extract.Dag.build fp h ~horizon:30 in
+  Array.iter
+    (fun (s : int Extract.Dag.sample) ->
+      if s.time >= 10 then
+        Alcotest.(check bool) "no samples from crashed" false (s.pid = 1))
+    samples;
+  (* Before the crash, p1 does sample. *)
+  Alcotest.(check bool) "p1 sampled early" true
+    (Array.exists
+       (fun (s : int Extract.Dag.sample) -> s.pid = 1 && s.time < 10)
+       samples)
+
+let test_dag_suffix () =
+  let fp = Sim.Failure_pattern.failure_free 2 in
+  let samples = Extract.Dag.build fp (fun _ t -> t) ~horizon:20 in
+  let i = Extract.Dag.suffix_from samples ~time:10 in
+  Alcotest.(check int) "suffix index" 10 i;
+  Alcotest.(check int) "suffix sample time" 10 samples.(i).Extract.Dag.time
+
+(* --- Figure 1: Σ extraction ---------------------------------------------- *)
+
+let run_sigma_extraction ?(oracle = Fd.Sigma.oracle) ~seed ~max_steps fp =
+  let sigma = Fd.Oracle.history oracle fp ~seed in
+  let cfg =
+    Sim.Engine.config ~seed ~max_steps ~detect_quiescence:false ~fd:sigma fp
+  in
+  Sim.Engine.run cfg Extract.Sigma_extraction.protocol
+
+let samples_of_trace (trace : (_, Sim.Pidset.t) Sim.Trace.t) =
+  List.map
+    (fun (e : Sim.Pidset.t Sim.Trace.event) -> (e.pid, e.time, e.value))
+    trace.Sim.Trace.outputs
+
+let test_sigma_extraction_failure_free () =
+  let fp = Sim.Failure_pattern.failure_free 4 in
+  let trace = run_sigma_extraction ~seed:3 ~max_steps:30_000 fp in
+  let samples = samples_of_trace trace in
+  Alcotest.(check bool) "some outputs" true (List.length samples > 8);
+  check_ok "sigma extraction spec"
+    (Fd.Sigma.check fp ~horizon:trace.Sim.Trace.ticks samples)
+
+let test_sigma_extraction_with_crashes () =
+  for seed = 1 to 8 do
+    let fp = Sim.Failure_pattern.make ~n:4 [ (seed mod 4, 120) ] in
+    let trace = run_sigma_extraction ~seed ~max_steps:60_000 fp in
+    let samples = samples_of_trace trace in
+    Alcotest.(check bool)
+      (Printf.sprintf "outputs exist (seed %d)" seed)
+      true
+      (List.length samples > 4);
+    check_ok "sigma extraction spec"
+      (Fd.Sigma.check fp ~horizon:trace.Sim.Trace.ticks samples);
+    (* Every correct process must keep refreshing its output (the paper's
+       "permanently updated" property): it must complete several cycles. *)
+    Sim.Pidset.iter
+      (fun p ->
+        Alcotest.(check bool)
+          (Printf.sprintf "p%d cycles (seed %d)" p seed)
+          true
+          (Extract.Sigma_extraction.cycles trace.Sim.Trace.final_states.(p) >= 2))
+      (Sim.Failure_pattern.correct fp)
+  done
+
+let test_sigma_extraction_minority_correct () =
+  (* Even with 3 of 5 crashed, the extraction keeps producing legal Σ
+     output — because the underlying registers (ABD over Σ) stay live. *)
+  let fp = Sim.Failure_pattern.make ~n:5 [ (0, 150); (1, 300); (2, 450) ] in
+  let trace = run_sigma_extraction ~seed:5 ~max_steps:80_000 fp in
+  let samples = samples_of_trace trace in
+  check_ok "sigma extraction spec"
+    (Fd.Sigma.check fp ~horizon:trace.Sim.Trace.ticks samples)
+
+(* --- Figure 3: Ψ extraction ---------------------------------------------- *)
+
+let test_psi_extraction_failure_free () =
+  (* No failure: Ψ oracles are forcibly in (Ω,Σ) mode, the simulated runs
+     decide values, the real execution decides 1, and the extraction must
+     produce (Ω,Σ). *)
+  for seed = 1 to 5 do
+    let fp = Sim.Failure_pattern.failure_free 3 in
+    let result = Extract.Psi_extraction.run ~fp ~seed ~rounds:3 ~chunk:220 in
+    Alcotest.(check bool)
+      (Printf.sprintf "cons mode (seed %d)" seed)
+      true (result.Extract.Psi_extraction.mode = `Cons);
+    check_ok "psi extraction spec" (Extract.Psi_extraction.check fp result)
+  done
+
+let test_psi_extraction_with_crash () =
+  for seed = 1 to 8 do
+    let fp = Sim.Failure_pattern.make ~n:3 [ ((seed mod 3), 30) ] in
+    let result = Extract.Psi_extraction.run ~fp ~seed ~rounds:3 ~chunk:220 in
+    check_ok
+      (Printf.sprintf "psi extraction spec (seed %d)" seed)
+      (Extract.Psi_extraction.check fp result)
+  done
+
+let test_psi_extraction_rounds_shape () =
+  let fp = Sim.Failure_pattern.failure_free 3 in
+  let result = Extract.Psi_extraction.run ~fp ~seed:2 ~rounds:4 ~chunk:220 in
+  Alcotest.(check int) "rounds+bot" 5
+    (List.length result.Extract.Psi_extraction.rounds);
+  (* Round 0 is the ⊥ round: no outputs yet. *)
+  match result.Extract.Psi_extraction.rounds with
+  | r0 :: _ ->
+    Alcotest.(check int) "bot round empty" 0
+      (List.length r0.Extract.Psi_extraction.outputs)
+  | [] -> Alcotest.fail "no rounds"
+
+(* --- Omega from consensus (CHT [3], used by Corollary 3) ----------------- *)
+
+let test_omega_extraction_failure_free () =
+  for seed = 1 to 5 do
+    let fp = Sim.Failure_pattern.failure_free 3 in
+    let result =
+      Extract.Omega_extraction.run ~fp ~seed ~rounds:3 ~chunk:200
+    in
+    check_ok
+      (Printf.sprintf "omega extraction (seed %d)" seed)
+      (Extract.Omega_extraction.check fp result)
+  done
+
+let test_omega_extraction_with_crash () =
+  for seed = 1 to 6 do
+    let fp = Sim.Failure_pattern.make ~n:3 [ (seed mod 3, 50) ] in
+    let result =
+      Extract.Omega_extraction.run ~fp ~seed ~rounds:3 ~chunk:200
+    in
+    check_ok
+      (Printf.sprintf "omega extraction crash (seed %d)" seed)
+      (Extract.Omega_extraction.check fp result);
+    (* The final leader must be correct. *)
+    match List.rev result.Extract.Omega_extraction.rounds with
+    | (_, l) :: _ ->
+      Alcotest.(check bool) "leader correct" true
+        (Sim.Pidset.mem l (Sim.Failure_pattern.correct fp))
+    | [] -> Alcotest.fail "no rounds"
+  done
+
+let prop_sigma_extraction_conforms =
+  QCheck.Test.make
+    ~name:"Figure 1 outputs satisfy the Sigma spec across environments"
+    ~count:6 QCheck.small_nat (fun seed ->
+      let seed = seed + 1 in
+      let fp =
+        Sim.Environment.sample Sim.Environment.any ~n:4 ~horizon:150
+          (Sim.Rng.make (seed * 43))
+      in
+      let trace = run_sigma_extraction ~seed ~max_steps:50_000 fp in
+      let samples = samples_of_trace trace in
+      match Fd.Sigma.check fp ~horizon:trace.Sim.Trace.ticks samples with
+      | Ok () -> true
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "extract"
+    [
+      ( "simconfig",
+        [
+          Alcotest.test_case "basics" `Quick test_simconfig_basics;
+          Alcotest.test_case "lambda skips delivery" `Quick
+            test_simconfig_lambda_skips_delivery;
+        ] );
+      ( "dag",
+        [
+          Alcotest.test_case "skips crashed" `Quick test_dag_skips_crashed;
+          Alcotest.test_case "suffix" `Quick test_dag_suffix;
+        ] );
+      ( "figure-1",
+        [
+          Alcotest.test_case "failure free" `Quick
+            test_sigma_extraction_failure_free;
+          Alcotest.test_case "with crashes" `Slow
+            test_sigma_extraction_with_crashes;
+          Alcotest.test_case "minority correct" `Quick
+            test_sigma_extraction_minority_correct;
+        ] );
+      ( "figure-3",
+        [
+          Alcotest.test_case "failure free" `Slow
+            test_psi_extraction_failure_free;
+          Alcotest.test_case "with crash" `Slow test_psi_extraction_with_crash;
+          Alcotest.test_case "rounds shape" `Quick
+            test_psi_extraction_rounds_shape;
+        ] );
+      ( "omega-from-consensus",
+        [
+          Alcotest.test_case "failure free" `Slow
+            test_omega_extraction_failure_free;
+          Alcotest.test_case "with crash" `Slow
+            test_omega_extraction_with_crash;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_sigma_extraction_conforms ] );
+    ]

@@ -1,0 +1,422 @@
+(* Tests for the failure detector library: every oracle must generate
+   histories that its own spec checker accepts, across randomized failure
+   patterns; the emulated detectors must converge to spec-conforming
+   behaviour in the environments where the paper says they exist. *)
+
+let sample_fp ?(env = Sim.Environment.any) ~seed ~n () =
+  Sim.Environment.sample env ~n ~horizon:40 (Sim.Rng.make seed)
+
+let check_ok name = function
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: %s" name e
+
+let horizon = 400
+
+let test_omega_oracle () =
+  for seed = 1 to 40 do
+    let fp = sample_fp ~seed ~n:5 () in
+    let h = Fd.Oracle.history Fd.Omega.oracle fp ~seed in
+    check_ok "omega" (Fd.Omega.check fp ~horizon h)
+  done
+
+let test_omega_fixed () =
+  let fp = Sim.Failure_pattern.make ~n:4 [ (0, 5) ] in
+  let h =
+    Fd.Oracle.history (Fd.Omega.oracle_with ~leader:2 ~stabilize_at:30) fp
+      ~seed:3
+  in
+  check_ok "omega fixed" (Fd.Omega.check fp ~horizon h);
+  Alcotest.(check int) "leader after stab" 2 (h 1 31)
+
+let test_omega_fixed_rejects_faulty_leader () =
+  let fp = Sim.Failure_pattern.make ~n:4 [ (2, 5) ] in
+  Alcotest.(check bool) "faulty leader rejected" true
+    (try
+       let (_ : Fd.Omega.output Fd.Oracle.history) =
+         Fd.Oracle.history
+           (Fd.Omega.oracle_with ~leader:2 ~stabilize_at:30)
+           fp ~seed:3
+       in
+       false
+     with Invalid_argument _ -> true)
+
+let test_omega_check_catches_bad_history () =
+  let fp = Sim.Failure_pattern.make ~n:3 [ (0, 5) ] in
+  (* Constant output of a faulty process: must be rejected. *)
+  let bad _p _t = 0 in
+  (match Fd.Omega.check fp ~horizon bad with
+  | Ok () -> Alcotest.fail "accepted faulty leader"
+  | Error _ -> ());
+  (* Correct processes never agreeing: must be rejected. *)
+  let split p _t = if p = 1 then 1 else 2 in
+  match Fd.Omega.check fp ~horizon split with
+  | Ok () -> Alcotest.fail "accepted disagreement"
+  | Error _ -> ()
+
+let test_sigma_oracle () =
+  for seed = 1 to 40 do
+    let fp = sample_fp ~seed ~n:5 () in
+    let h = Fd.Oracle.history Fd.Sigma.oracle fp ~seed in
+    let samples = Fd.Sigma.sample_history fp ~horizon:120 h in
+    check_ok "sigma" (Fd.Sigma.check fp ~horizon:120 samples)
+  done
+
+let test_sigma_majority_oracle () =
+  for seed = 1 to 40 do
+    let fp = sample_fp ~env:Sim.Environment.majority_correct ~seed ~n:5 () in
+    let h = Fd.Oracle.history Fd.Sigma.oracle_majority fp ~seed in
+    let samples = Fd.Sigma.sample_history fp ~horizon:120 h in
+    check_ok "sigma-majority" (Fd.Sigma.check fp ~horizon:120 samples)
+  done
+
+let test_sigma_majority_rejects_minority () =
+  let fp = Sim.Failure_pattern.make ~n:5 [ (0, 1); (1, 1); (2, 1) ] in
+  Alcotest.(check bool) "minority-correct rejected" true
+    (try
+       let (_ : Fd.Sigma.output Fd.Oracle.history) =
+         Fd.Oracle.history Fd.Sigma.oracle_majority fp ~seed:1
+       in
+       false
+     with Invalid_argument _ -> true)
+
+let test_sigma_check_catches_disjoint () =
+  let fp = Sim.Failure_pattern.failure_free 4 in
+  let samples =
+    [
+      (0, 0, Sim.Pidset.of_list [ 0; 1 ]);
+      (1, 5, Sim.Pidset.of_list [ 2; 3 ]);
+    ]
+  in
+  match Fd.Sigma.check fp ~horizon:10 samples with
+  | Ok () -> Alcotest.fail "accepted disjoint quorums"
+  | Error _ -> ()
+
+let test_sigma_check_catches_faulty_suffix () =
+  let fp = Sim.Failure_pattern.make ~n:3 [ (2, 0) ] in
+  (* Quorum {2} forever at a correct process: completeness violated (and
+     intersection holds trivially since all samples equal). *)
+  let samples = [ (0, 100, Sim.Pidset.singleton 2) ] in
+  match Fd.Sigma.check fp ~horizon:100 samples with
+  | Ok () -> Alcotest.fail "accepted faulty quorum at horizon"
+  | Error _ -> ()
+
+let test_fs_oracle () =
+  for seed = 1 to 40 do
+    let fp = sample_fp ~seed ~n:5 () in
+    let h = Fd.Oracle.history Fd.Fs.oracle fp ~seed in
+    check_ok "fs" (Fd.Fs.check fp ~horizon h)
+  done
+
+let test_fs_failure_free_stays_green () =
+  let fp = Sim.Failure_pattern.failure_free 3 in
+  let h = Fd.Oracle.history Fd.Fs.oracle fp ~seed:5 in
+  for t = 0 to 100 do
+    List.iter
+      (fun p ->
+        match h p t with
+        | Fd.Fs.Green -> ()
+        | Fd.Fs.Red -> Alcotest.fail "red without failure")
+      (Sim.Pid.all 3)
+  done
+
+let test_fs_check_catches_early_red () =
+  let fp = Sim.Failure_pattern.make ~n:3 [ (0, 50) ] in
+  let h _p _t = Fd.Fs.Red in
+  match Fd.Fs.check fp ~horizon h with
+  | Ok () -> Alcotest.fail "accepted premature red"
+  | Error _ -> ()
+
+let test_fs_check_catches_missing_red () =
+  let fp = Sim.Failure_pattern.make ~n:3 [ (0, 5) ] in
+  let h _p _t = Fd.Fs.Green in
+  match Fd.Fs.check fp ~horizon h with
+  | Ok () -> Alcotest.fail "accepted missing red"
+  | Error _ -> ()
+
+let test_psi_oracle () =
+  for seed = 1 to 60 do
+    let fp = sample_fp ~seed ~n:4 () in
+    let h = Fd.Oracle.history Fd.Psi.oracle fp ~seed in
+    check_ok "psi" (Fd.Psi.check fp ~horizon h)
+  done
+
+let test_psi_forced_modes () =
+  let fp = Sim.Failure_pattern.make ~n:4 [ (1, 10) ] in
+  let h_fs =
+    Fd.Oracle.history (Fd.Psi.oracle_forced Fd.Psi.Failure_mode) fp ~seed:2
+  in
+  check_ok "psi fs-mode" (Fd.Psi.check fp ~horizon h_fs);
+  let h_cons =
+    Fd.Oracle.history (Fd.Psi.oracle_forced Fd.Psi.Consensus_mode) fp ~seed:2
+  in
+  check_ok "psi cons-mode" (Fd.Psi.check fp ~horizon h_cons)
+
+let test_psi_failure_mode_needs_failure () =
+  let fp = Sim.Failure_pattern.failure_free 3 in
+  Alcotest.(check bool) "fs mode without failure rejected" true
+    (try
+       let (_ : Fd.Psi.output Fd.Oracle.history) =
+         Fd.Oracle.history (Fd.Psi.oracle_forced Fd.Psi.Failure_mode) fp
+           ~seed:1
+       in
+       false
+     with Invalid_argument _ -> true)
+
+let test_psi_check_catches_mode_mixing () =
+  let fp = Sim.Failure_pattern.make ~n:2 [ (1, 0) ] in
+  let h p t =
+    if t < 5 then Fd.Psi.Bot
+    else if p = 0 then Fd.Psi.Fs_mode Fd.Fs.Red
+    else Fd.Psi.Cons_mode (0, Sim.Pidset.singleton 0)
+  in
+  match Fd.Psi.check fp ~horizon h with
+  | Ok () -> Alcotest.fail "accepted processes in different modes"
+  | Error _ -> ()
+
+let test_psi_check_catches_bot_relapse () =
+  let fp = Sim.Failure_pattern.failure_free 2 in
+  let h _p t =
+    if t = 3 then Fd.Psi.Bot
+    else Fd.Psi.Cons_mode (0, Sim.Pidset.singleton 0)
+  in
+  match Fd.Psi.check fp ~horizon h with
+  | Ok () -> Alcotest.fail "accepted ⊥ after switch"
+  | Error _ -> ()
+
+let test_perfect_oracle () =
+  for seed = 1 to 40 do
+    let fp = sample_fp ~seed ~n:5 () in
+    let h = Fd.Oracle.history Fd.Suspects.perfect fp ~seed in
+    check_ok "P" (Fd.Suspects.check_perfect fp ~horizon h)
+  done
+
+let test_eventually_strong_oracle () =
+  for seed = 1 to 40 do
+    let fp = sample_fp ~seed ~n:5 () in
+    let h = Fd.Oracle.history Fd.Suspects.eventually_strong fp ~seed in
+    check_ok "<>S" (Fd.Suspects.check_eventually_strong fp ~horizon h)
+  done
+
+let test_product_oracle () =
+  let fp = Sim.Failure_pattern.make ~n:4 [ (3, 7) ] in
+  let prod = Fd.Oracle.product Fd.Omega.oracle Fd.Sigma.oracle in
+  Alcotest.(check string) "name" "(Omega,Sigma)" (Fd.Oracle.name prod);
+  let h = Fd.Oracle.history prod fp ~seed:9 in
+  let omega_part p t = fst (h p t) in
+  let sigma_part p t = snd (h p t) in
+  check_ok "product omega" (Fd.Omega.check fp ~horizon omega_part);
+  check_ok "product sigma"
+    (Fd.Sigma.check fp ~horizon:120
+       (Fd.Sigma.sample_history fp ~horizon:120 sigma_part))
+
+let test_fs_lazy_oracle () =
+  let fp = Sim.Failure_pattern.make ~n:3 [ (1, 40) ] in
+  let h = Fd.Oracle.history (Fd.Fs.oracle_lazy ~lag:25) fp ~seed:2 in
+  check_ok "fs lazy" (Fd.Fs.check fp ~horizon h);
+  Alcotest.(check bool) "green just before switch" true
+    (Fd.Fs.equal_output (h 0 64) Fd.Fs.Green);
+  Alcotest.(check bool) "red at switch" true
+    (Fd.Fs.equal_output (h 0 65) Fd.Fs.Red)
+
+let test_eventually_perfect_violates_perfect_spec () =
+  (* ◇P's pre-stabilization noise must be caught by the *perfect* checker:
+     a negative control showing the checkers separate the classes. *)
+  let found_violation = ref false in
+  for seed = 1 to 20 do
+    let fp = Sim.Failure_pattern.make ~n:4 [ (0, 200) ] in
+    let h = Fd.Oracle.history Fd.Suspects.eventually_perfect fp ~seed in
+    match Fd.Suspects.check_perfect fp ~horizon h with
+    | Error _ -> found_violation := true
+    | Ok () -> ()
+  done;
+  Alcotest.(check bool) "<>P noise caught by P checker" true !found_violation
+
+let test_oracle_const_and_map () =
+  let fp = Sim.Failure_pattern.failure_free 3 in
+  let c = Fd.Oracle.const ~name:"c" 42 in
+  let h = Fd.Oracle.history c fp ~seed:1 in
+  Alcotest.(check int) "const" 42 (h 2 77);
+  let doubled = Fd.Oracle.map ~name:"d" (fun x -> x * 2) c in
+  let h2 = Fd.Oracle.history doubled fp ~seed:1 in
+  Alcotest.(check int) "map" 84 (h2 0 0);
+  Alcotest.(check string) "names" "d" (Fd.Oracle.name doubled)
+
+(* --- Emulated detectors ------------------------------------------------ *)
+
+(* Run an emulated detector with a trivial main protocol that just records
+   the fd value it sees at each step, via outputs. *)
+let observer :
+    (unit, unit, 'fd, unit, 'fd) Sim.Protocol.t =
+  {
+    init = (fun ~n:_ _ -> ());
+    on_step = (fun ctx () _ -> ((), [ Sim.Protocol.Output ctx.fd ]));
+    on_input = Sim.Protocol.no_input;
+  }
+
+let test_sigma_majority_emulation () =
+  (* 5 processes, 2 crash: majority correct, so the join-quorum protocol
+     implements Σ.  All sampled quorums must pairwise intersect and the
+     last quorum of each correct process must contain only correct
+     processes. *)
+  let fp = Sim.Failure_pattern.make ~n:5 [ (0, 40); (1, 80) ] in
+  let layered =
+    Sim.Layered.with_detector Fd.Emulated.Sigma_majority.detector observer
+  in
+  let cfg =
+    Sim.Engine.config ~max_steps:6_000
+      ~policy:(Sim.Network.Random_delay { max_delay = 4; lambda_prob = 0.2 })
+      ~fd:(fun _ _ -> ())
+      ~detect_quiescence:false fp
+  in
+  let trace = Sim.Engine.run cfg layered in
+  let samples =
+    List.map
+      (fun (e : _ Sim.Trace.event) -> (e.pid, e.time, e.value))
+      trace.Sim.Trace.outputs
+  in
+  (* Thin the sample list to keep the O(m^2) intersection check fast, but
+     always keep the final sample per process. *)
+  let thinned =
+    List.filteri (fun i _ -> i mod 7 = 0) samples
+    @ List.filter_map
+        (fun p ->
+          match
+            List.rev
+              (List.filter (fun (q, _, _) -> Sim.Pid.equal p q) samples)
+          with
+          | last :: _ -> Some last
+          | [] -> None)
+        (Sim.Pid.all 5)
+  in
+  check_ok "emulated sigma"
+    (Fd.Sigma.check fp ~horizon:trace.Sim.Trace.ticks thinned)
+
+let test_omega_heartbeat_emulation () =
+  (* Under partial synchrony, the heartbeat Ω must stabilize on a single
+     correct leader at all correct processes. *)
+  let fp = Sim.Failure_pattern.make ~n:4 [ (0, 100) ] in
+  let layered =
+    Sim.Layered.with_detector
+      (Fd.Emulated.Omega_heartbeat.detector ~period:4)
+      observer
+  in
+  let cfg =
+    Sim.Engine.config ~max_steps:12_000
+      ~policy:(Sim.Network.Partial_synchrony { gst = 200; delta = 2 })
+      ~fd:(fun _ _ -> ())
+      ~detect_quiescence:false fp
+  in
+  let trace = Sim.Engine.run cfg layered in
+  (* Take each correct process's last output as its stabilized leader. *)
+  let leaders =
+    List.filter_map
+      (fun p ->
+        match List.rev (Sim.Trace.outputs_of trace p) with
+        | l :: _ -> Some l
+        | [] -> None)
+      (Sim.Pidset.elements (Sim.Failure_pattern.correct fp))
+  in
+  (match List.sort_uniq compare leaders with
+  | [ l ] ->
+    Alcotest.(check bool) "leader correct" true
+      (Sim.Pidset.mem l (Sim.Failure_pattern.correct fp))
+  | ls ->
+    Alcotest.failf "no common leader: %d distinct values" (List.length ls))
+
+let prop_psi_oracle_conforms =
+  QCheck.Test.make ~name:"Psi histories conform to the Psi spec" ~count:80
+    QCheck.(pair small_nat (int_bound 3))
+    (fun (seed, extra) ->
+      let fp = sample_fp ~seed:(seed + (extra * 1000) + 1) ~n:4 () in
+      let h = Fd.Oracle.history Fd.Psi.oracle fp ~seed:(seed + 1) in
+      match Fd.Psi.check fp ~horizon h with Ok () -> true | Error _ -> false)
+
+let prop_sigma_kernel_intersection =
+  QCheck.Test.make
+    ~name:"Sigma oracle quorums intersect across two independent runs"
+    ~count:60 QCheck.small_nat (fun seed ->
+      let fp = sample_fp ~seed:(seed + 1) ~n:5 () in
+      let h = Fd.Oracle.history Fd.Sigma.oracle fp ~seed:(seed + 1) in
+      (* Any two samples anywhere must intersect. *)
+      let rng = Sim.Rng.make (seed + 7) in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let p1 = Sim.Rng.int rng 5 and p2 = Sim.Rng.int rng 5 in
+        let t1 = Sim.Rng.int rng 300 and t2 = Sim.Rng.int rng 300 in
+        if not (Sim.Pidset.intersects (h p1 t1) (h p2 t2)) then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "fd"
+    [
+      ( "omega",
+        [
+          Alcotest.test_case "oracle conforms" `Quick test_omega_oracle;
+          Alcotest.test_case "fixed leader" `Quick test_omega_fixed;
+          Alcotest.test_case "rejects faulty leader" `Quick
+            test_omega_fixed_rejects_faulty_leader;
+          Alcotest.test_case "checker catches violations" `Quick
+            test_omega_check_catches_bad_history;
+        ] );
+      ( "sigma",
+        [
+          Alcotest.test_case "oracle conforms" `Quick test_sigma_oracle;
+          Alcotest.test_case "majority oracle conforms" `Quick
+            test_sigma_majority_oracle;
+          Alcotest.test_case "majority oracle needs majority" `Quick
+            test_sigma_majority_rejects_minority;
+          Alcotest.test_case "checker catches disjoint" `Quick
+            test_sigma_check_catches_disjoint;
+          Alcotest.test_case "checker catches faulty suffix" `Quick
+            test_sigma_check_catches_faulty_suffix;
+        ] );
+      ( "fs",
+        [
+          Alcotest.test_case "oracle conforms" `Quick test_fs_oracle;
+          Alcotest.test_case "green without failure" `Quick
+            test_fs_failure_free_stays_green;
+          Alcotest.test_case "checker catches early red" `Quick
+            test_fs_check_catches_early_red;
+          Alcotest.test_case "checker catches missing red" `Quick
+            test_fs_check_catches_missing_red;
+        ] );
+      ( "psi",
+        [
+          Alcotest.test_case "oracle conforms" `Quick test_psi_oracle;
+          Alcotest.test_case "forced modes" `Quick test_psi_forced_modes;
+          Alcotest.test_case "failure mode needs failure" `Quick
+            test_psi_failure_mode_needs_failure;
+          Alcotest.test_case "checker catches mode mixing" `Quick
+            test_psi_check_catches_mode_mixing;
+          Alcotest.test_case "checker catches ⊥ relapse" `Quick
+            test_psi_check_catches_bot_relapse;
+        ] );
+      ( "suspects",
+        [
+          Alcotest.test_case "perfect conforms" `Quick test_perfect_oracle;
+          Alcotest.test_case "eventually strong conforms" `Quick
+            test_eventually_strong_oracle;
+        ] );
+      ( "product",
+        [ Alcotest.test_case "(Omega,Sigma) conforms" `Quick test_product_oracle ] );
+      ( "more-oracles",
+        [
+          Alcotest.test_case "fs lazy" `Quick test_fs_lazy_oracle;
+          Alcotest.test_case "<>P violates P spec" `Quick
+            test_eventually_perfect_violates_perfect_spec;
+          Alcotest.test_case "const and map" `Quick test_oracle_const_and_map;
+        ] );
+      ( "emulated",
+        [
+          Alcotest.test_case "sigma from majority" `Slow
+            test_sigma_majority_emulation;
+          Alcotest.test_case "omega from heartbeats" `Slow
+            test_omega_heartbeat_emulation;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_psi_oracle_conforms;
+          QCheck_alcotest.to_alcotest prop_sigma_kernel_intersection;
+        ] );
+    ]

@@ -1,0 +1,642 @@
+(* Tests for the register substrate: tags, the linearizability checker
+   itself, ABD-from-Σ (Theorem 1 sufficiency, including minority-correct
+   environments), the blocking of majority quorums without Σ, the
+   shared-memory engine, and the shared-memory-over-ABD emulation. *)
+
+let test_tag_order () =
+  let open Regs.Tag in
+  Alcotest.(check bool) "initial smallest" true
+    (compare initial (next initial 0) < 0);
+  let a = next initial 2 in
+  let b = next initial 3 in
+  Alcotest.(check bool) "writer breaks ties" true (compare a b < 0);
+  let c = next a 1 in
+  Alcotest.(check bool) "next increases" true (compare a c < 0);
+  Alcotest.(check bool) "max" true (equal (max a b) b)
+
+(* --- linearizability checker ------------------------------------------- *)
+
+let op pid inv resp kind = { Regs.Linearizability.pid; inv; resp; kind }
+
+let test_lin_accepts_sequential () =
+  let h =
+    [
+      op 0 0 (Some 1) (Regs.Linearizability.Write 7);
+      op 1 2 (Some 3) (Regs.Linearizability.Read (Some 7));
+      op 0 4 (Some 5) (Regs.Linearizability.Write 8);
+      op 1 6 (Some 7) (Regs.Linearizability.Read (Some 8));
+    ]
+  in
+  Alcotest.(check bool) "sequential history" true
+    (Regs.Linearizability.check h)
+
+let test_lin_accepts_initial_read () =
+  let h = [ op 0 0 (Some 1) (Regs.Linearizability.Read None) ] in
+  Alcotest.(check bool) "read of unwritten register" true
+    (Regs.Linearizability.check h)
+
+let test_lin_rejects_stale_read () =
+  (* Write 7 completes before the read starts, yet the read returns the
+     initial value. *)
+  let h =
+    [
+      op 0 0 (Some 1) (Regs.Linearizability.Write 7);
+      op 1 2 (Some 3) (Regs.Linearizability.Read None);
+    ]
+  in
+  Alcotest.(check bool) "stale read rejected" false
+    (Regs.Linearizability.check h)
+
+let test_lin_rejects_new_old_inversion () =
+  (* Two sequential reads observing w_new then w_old. *)
+  let h =
+    [
+      op 0 0 (Some 10) (Regs.Linearizability.Write 1);
+      op 1 1 (Some 9) (Regs.Linearizability.Write 2);
+      op 2 11 (Some 12) (Regs.Linearizability.Read (Some 2));
+      op 2 13 (Some 14) (Regs.Linearizability.Read (Some 1));
+    ]
+  in
+  Alcotest.(check bool) "new-old inversion rejected" false
+    (Regs.Linearizability.check h)
+
+let test_lin_accepts_concurrent_choice () =
+  (* Concurrent writes: a read may see either. *)
+  let h v =
+    [
+      op 0 0 (Some 10) (Regs.Linearizability.Write 1);
+      op 1 0 (Some 10) (Regs.Linearizability.Write 2);
+      op 2 11 (Some 12) (Regs.Linearizability.Read (Some v));
+    ]
+  in
+  Alcotest.(check bool) "sees 1" true (Regs.Linearizability.check (h 1));
+  Alcotest.(check bool) "sees 2" true (Regs.Linearizability.check (h 2))
+
+let test_lin_incomplete_write () =
+  (* An incomplete write may be observed ... *)
+  let h =
+    [
+      op 0 0 None (Regs.Linearizability.Write 5);
+      op 1 10 (Some 11) (Regs.Linearizability.Read (Some 5));
+    ]
+  in
+  Alcotest.(check bool) "incomplete write may take effect" true
+    (Regs.Linearizability.check h);
+  (* ... or not. *)
+  let h' =
+    [
+      op 0 0 None (Regs.Linearizability.Write 5);
+      op 1 10 (Some 11) (Regs.Linearizability.Read None);
+    ]
+  in
+  Alcotest.(check bool) "incomplete write may be lost" true
+    (Regs.Linearizability.check h')
+
+let test_lin_read_must_follow_order () =
+  (* p reads 5 then q writes 6 sequentially then p reads 5 again: invalid
+     only if a write of 5 never existed... construct a clear violation:
+     read returns a value never written. *)
+  let h = [ op 0 0 (Some 1) (Regs.Linearizability.Read (Some 42)) ] in
+  Alcotest.(check bool) "read of never-written value rejected" false
+    (Regs.Linearizability.check h)
+
+(* --- ABD ----------------------------------------------------------------- *)
+
+(* Build a random workload: each process issues [ops_per_proc] operations
+   on [registers] registers at staggered times. *)
+let workload ~rng ~n ~registers ~ops_per_proc =
+  List.concat_map
+    (fun p ->
+      List.init ops_per_proc (fun i ->
+          let time = (i * 40) + Sim.Rng.int rng 20 in
+          let rid = Sim.Rng.int rng registers in
+          let input =
+            if Sim.Rng.bool rng then Regs.Abd.Read rid
+            else Regs.Abd.Write (rid, (p * 1000) + i)
+          in
+          (time, p, input)))
+    (Sim.Pid.all n)
+
+(* Stop once every correct process has as many responses as invocations it
+   will ever make. *)
+let stop_all_ops_done fp ~per_proc outputs =
+  let responded p =
+    List.length
+      (List.filter
+         (fun (e : _ Sim.Trace.event) ->
+           Sim.Pid.equal e.pid p
+           &&
+           match e.value with
+           | Regs.Abd.Responded _ -> true
+           | Regs.Abd.Invoked _ -> false)
+         outputs)
+  in
+  Sim.Pidset.for_all
+    (fun p -> responded p >= per_proc)
+    (Sim.Failure_pattern.correct fp)
+
+let run_abd ?(registers = 2) ?(ops_per_proc = 3) ?(policy = Sim.Network.Fifo)
+    ~seed fp =
+  let n = Sim.Failure_pattern.n fp in
+  let sigma = Fd.Oracle.history Fd.Sigma.oracle fp ~seed in
+  let inputs =
+    workload ~rng:(Sim.Rng.make (seed + 13)) ~n ~registers ~ops_per_proc
+  in
+  let cfg =
+    Sim.Engine.config ~policy ~seed ~max_steps:60_000 ~inputs
+      ~stop:(stop_all_ops_done fp ~per_proc:ops_per_proc)
+      ~detect_quiescence:false ~fd:sigma fp
+  in
+  Sim.Engine.run cfg (Regs.Abd.protocol ~registers)
+
+let test_abd_linearizable_fifo () =
+  for seed = 1 to 15 do
+    let fp =
+      Sim.Environment.sample Sim.Environment.any ~n:4 ~horizon:200
+        (Sim.Rng.make seed)
+    in
+    let trace = run_abd ~seed fp in
+    Alcotest.(check bool)
+      (Printf.sprintf "ops complete (seed %d)" seed)
+      true
+      (trace.Sim.Trace.stopped = `Condition);
+    Alcotest.(check bool)
+      (Printf.sprintf "linearizable (seed %d)" seed)
+      true
+      (Regs.Linearizability.check_trace trace)
+  done
+
+let test_abd_linearizable_random_delay () =
+  for seed = 1 to 15 do
+    let fp =
+      Sim.Environment.sample Sim.Environment.any ~n:4 ~horizon:200
+        (Sim.Rng.make (seed + 100))
+    in
+    let trace =
+      run_abd ~seed
+        ~policy:(Sim.Network.Random_delay { max_delay = 6; lambda_prob = 0.3 })
+        fp
+    in
+    Alcotest.(check bool) "ops complete" true
+      (trace.Sim.Trace.stopped = `Condition);
+    Alcotest.(check bool) "linearizable" true
+      (Regs.Linearizability.check_trace trace)
+  done
+
+let test_abd_survives_minority_correct () =
+  (* 5 processes, 3 crash: majorities are dead, but Σ keeps the register
+     alive — the paper's point that Σ beats majorities. *)
+  let fp = Sim.Failure_pattern.make ~n:5 [ (0, 50); (1, 90); (2, 130) ] in
+  let trace = run_abd ~seed:7 ~ops_per_proc:4 fp in
+  Alcotest.(check bool) "ops complete despite 3/5 crashes" true
+    (trace.Sim.Trace.stopped = `Condition);
+  Alcotest.(check bool) "linearizable" true
+    (Regs.Linearizability.check_trace trace)
+
+let test_abd_majority_blocks_when_minority_correct () =
+  (* Same crash pattern but quorums are strict majorities (Σ emulated
+     ex nihilo is impossible here): operations invoked after the crashes
+     must block forever. *)
+  let fp = Sim.Failure_pattern.make ~n:5 [ (0, 10); (1, 10); (2, 10) ] in
+  let majority_fd _p _t = Sim.Pidset.of_list [ 0; 1; 2 ] in
+  (* A fixed majority quorum containing the crashed processes:
+     intersection holds, but completeness does not — exactly what a
+     majority-based register uses when only a minority survives. *)
+  let inputs = [ (100, 3, Regs.Abd.Write (0, 1)); (150, 4, Regs.Abd.Read 0) ] in
+  let cfg =
+    Sim.Engine.config ~seed:3 ~max_steps:8_000 ~inputs
+      ~stop:(stop_all_ops_done fp ~per_proc:1)
+      ~detect_quiescence:false ~fd:majority_fd fp
+  in
+  let trace = Sim.Engine.run cfg (Regs.Abd.protocol ~registers:1) in
+  Alcotest.(check bool) "blocked at step limit" true
+    (trace.Sim.Trace.stopped = `Step_limit)
+
+let test_abd_read_sees_completed_write () =
+  (* Sequential: write then read on a quiet system must return the written
+     value. *)
+  let fp = Sim.Failure_pattern.failure_free 3 in
+  let sigma = Fd.Oracle.history Fd.Sigma.oracle_exact fp ~seed:1 in
+  let inputs = [ (0, 0, Regs.Abd.Write (0, 99)); (200, 1, Regs.Abd.Read 0) ] in
+  let cfg =
+    Sim.Engine.config ~seed:1 ~max_steps:20_000 ~inputs
+      ~stop:(fun outputs ->
+        List.exists
+          (fun (e : _ Sim.Trace.event) ->
+            match e.value with
+            | Regs.Abd.Responded { resp = Regs.Abd.Read_value _; _ } -> true
+            | Regs.Abd.Responded _ | Regs.Abd.Invoked _ -> false)
+          outputs)
+      ~detect_quiescence:false ~fd:sigma fp
+  in
+  let trace = Sim.Engine.run cfg (Regs.Abd.protocol ~registers:1) in
+  let read_result =
+    List.find_map
+      (fun (e : _ Sim.Trace.event) ->
+        match e.value with
+        | Regs.Abd.Responded { resp = Regs.Abd.Read_value (_, v); _ } -> Some v
+        | Regs.Abd.Responded _ | Regs.Abd.Invoked _ -> None)
+      trace.Sim.Trace.outputs
+  in
+  Alcotest.(check (option (option int))) "read sees write" (Some (Some 99))
+    read_result
+
+(* --- Shm ----------------------------------------------------------------- *)
+
+(* A tiny shm protocol: process 0 writes its pid+1 to register 0, everyone
+   else reads until non-empty and outputs what it read. *)
+module Shm_demo = struct
+  type st = Start | Waiting | Done
+
+  let proto : (st, int, unit, unit, int) Regs.Shm.proto =
+    {
+      init = (fun ~n:_ _ -> Start);
+      step =
+        (fun ctx st ~resp ->
+          match (st, resp) with
+          | Start, _ ->
+            if Sim.Pid.equal ctx.self 0 then (Done, Regs.Shm.Write (0, 42), [ 42 ])
+            else (Waiting, Regs.Shm.Read 0, [])
+          | Waiting, Some (Some v) -> (Done, Regs.Shm.Skip, [ v ])
+          | Waiting, (Some None | None) -> (Waiting, Regs.Shm.Read 0, [])
+          | Done, _ -> (Done, Regs.Shm.Skip, []));
+      input = (fun _ st () -> st);
+    }
+end
+
+let test_shm_basic () =
+  let fp = Sim.Failure_pattern.failure_free 4 in
+  let cfg =
+    Regs.Shm.config ~seed:5
+      ~stop:(Sim.Engine.stop_when_all_correct_output fp)
+      ~fd:(fun _ _ -> ())
+      fp
+  in
+  let trace = Regs.Shm.run ~registers:1 cfg Shm_demo.proto in
+  Alcotest.(check bool) "all output" true (Sim.Trace.all_correct_output trace);
+  List.iter
+    (fun p ->
+      Alcotest.(check (list int)) "read 42" [ 42 ]
+        (Sim.Trace.outputs_of trace p))
+    (Sim.Pid.all 4)
+
+let test_shm_crash_does_not_block_others () =
+  let fp = Sim.Failure_pattern.make ~n:4 [ (2, 3) ] in
+  let cfg =
+    Regs.Shm.config ~seed:5
+      ~stop:(Sim.Engine.stop_when_all_correct_output fp)
+      ~fd:(fun _ _ -> ())
+      fp
+  in
+  let trace = Regs.Shm.run ~registers:1 cfg Shm_demo.proto in
+  Alcotest.(check bool) "correct processes output" true
+    (Sim.Trace.all_correct_output trace)
+
+let test_abd_split_brain_detected () =
+  (* Mutation test: feed ABD a *broken* detector whose "quorums" do not
+     intersect (half the processes use {0,1}, the other half {2,3}).
+     Split-brain histories must appear, and the linearizability checker
+     must catch them — evidence the whole verification chain has teeth. *)
+  let fp = Sim.Failure_pattern.failure_free 4 in
+  let broken_sigma p _t =
+    if p < 2 then Sim.Pidset.of_list [ 0; 1 ] else Sim.Pidset.of_list [ 2; 3 ]
+  in
+  (* The two sides also need to be partitioned for the duration: on a
+     connected network ABD's broadcasts still disseminate writes even
+     though the quorums are broken (quorums only gate completion). *)
+  let policy =
+    Sim.Network.Partition
+      {
+        groups = [ Sim.Pidset.of_list [ 0; 1 ]; Sim.Pidset.of_list [ 2; 3 ] ];
+        heal_at = 1_000_000;
+      }
+  in
+  let violations = ref 0 in
+  for seed = 1 to 30 do
+    (* Two concurrent writes on opposite sides, then reads on both sides:
+       with disjoint quorums the sides never see each other's writes. *)
+    let inputs =
+      [
+        (0, 0, Regs.Abd.Write (0, 111));
+        (0, 2, Regs.Abd.Write (0, 222));
+        (60, 1, Regs.Abd.Read 0);
+        (60, 3, Regs.Abd.Read 0);
+        (120, 0, Regs.Abd.Read 0);
+        (120, 2, Regs.Abd.Read 0);
+      ]
+    in
+    let cfg =
+      Sim.Engine.config ~seed ~policy ~max_steps:20_000 ~inputs
+        ~stop:(stop_all_ops_done fp ~per_proc:1)
+        ~detect_quiescence:false ~fd:broken_sigma fp
+    in
+    let trace = Sim.Engine.run cfg (Regs.Abd.protocol ~registers:1) in
+    if not (Regs.Linearizability.check_trace trace) then incr violations
+  done;
+  Alcotest.(check bool)
+    "split-brain produced detectable violations" true (!violations > 0)
+
+(* --- classical MWMR-from-SWMR construction ([16, 23]) ------------------- *)
+
+let mwmr_history (trace : ('st, int Regs.Mwmr_construction.output) Sim.Trace.t)
+    =
+  (* Pair Invoked/Responded events per (pid, op_seq) into checker ops. *)
+  let invs = Hashtbl.create 32 and resps = Hashtbl.create 32 in
+  List.iter
+    (fun (e : int Regs.Mwmr_construction.output Sim.Trace.event) ->
+      match e.value with
+      | Regs.Mwmr_construction.Invoked { op_seq; op } ->
+        Hashtbl.replace invs (e.pid, op_seq) (e.time, op)
+      | Regs.Mwmr_construction.Responded { op_seq; resp } ->
+        Hashtbl.replace resps (e.pid, op_seq) (e.time, resp))
+    trace.Sim.Trace.outputs;
+  Hashtbl.fold
+    (fun (pid, op_seq) (inv, op) acc ->
+      let resp = Hashtbl.find_opt resps (pid, op_seq) in
+      let record =
+        match (op, resp) with
+        | Regs.Mwmr_construction.Write v, _ ->
+          Some
+            {
+              Regs.Linearizability.pid;
+              inv;
+              resp = Option.map fst resp;
+              kind = Regs.Linearizability.Write v;
+            }
+        | Regs.Mwmr_construction.Read,
+          Some (t, Regs.Mwmr_construction.Read_value v) ->
+          Some
+            {
+              Regs.Linearizability.pid;
+              inv;
+              resp = Some t;
+              kind = Regs.Linearizability.Read v;
+            }
+        | Regs.Mwmr_construction.Read, (None | Some (_, Regs.Mwmr_construction.Written)) ->
+          None (* incomplete read: invisible *)
+      in
+      match record with Some r -> r :: acc | None -> acc)
+    invs []
+
+let run_mwmr ~seed ~inputs fp =
+  let n = Sim.Failure_pattern.n fp in
+  let total = List.length inputs in
+  let stop outputs =
+    List.length
+      (List.filter
+         (fun (e : _ Sim.Trace.event) ->
+           match e.value with
+           | Regs.Mwmr_construction.Responded _ -> true
+           | Regs.Mwmr_construction.Invoked _ -> false)
+         outputs)
+    >= total
+  in
+  let cfg =
+    Regs.Shm.config ~seed ~max_steps:100_000 ~inputs ~stop
+      ~fd:(fun _ _ -> ())
+      fp
+  in
+  Regs.Shm.run
+    ~registers:(Regs.Mwmr_construction.registers ~n)
+    cfg Regs.Mwmr_construction.proto
+
+let test_mwmr_construction_linearizable () =
+  for seed = 1 to 20 do
+    let n = 4 in
+    let fp = Sim.Failure_pattern.failure_free n in
+    let rng = Sim.Rng.make (seed * 7) in
+    let inputs =
+      List.concat_map
+        (fun p ->
+          List.init 3 (fun i ->
+              let time = (i * 25) + Sim.Rng.int rng 15 in
+              let op =
+                if Sim.Rng.bool rng then Regs.Mwmr_construction.Read
+                else Regs.Mwmr_construction.Write ((p * 100) + i)
+              in
+              (time, p, op)))
+        (Sim.Pid.all n)
+    in
+    let trace = run_mwmr ~seed ~inputs fp in
+    Alcotest.(check bool)
+      (Printf.sprintf "ops complete (seed %d)" seed)
+      true
+      (trace.Sim.Trace.stopped = `Condition);
+    Alcotest.(check bool)
+      (Printf.sprintf "linearizable (seed %d)" seed)
+      true
+      (Regs.Linearizability.check (mwmr_history trace))
+  done
+
+let test_mwmr_construction_with_crash () =
+  (* A crashed client's in-flight operation may or may not take effect —
+     the checker accommodates both; survivors keep operating. *)
+  for seed = 1 to 10 do
+    let n = 3 in
+    let fp = Sim.Failure_pattern.make ~n [ (1, 20) ] in
+    let inputs =
+      [
+        (0, 0, Regs.Mwmr_construction.Write 10);
+        (15, 1, Regs.Mwmr_construction.Write 99);
+        (40, 0, Regs.Mwmr_construction.Read);
+        (60, 2, Regs.Mwmr_construction.Write 20);
+        (80, 0, Regs.Mwmr_construction.Read);
+        (90, 2, Regs.Mwmr_construction.Read);
+      ]
+    in
+    (* Only count completions by correct processes. *)
+    let expected = 5 in
+    let stop outputs =
+      List.length
+        (List.filter
+           (fun (e : _ Sim.Trace.event) ->
+             e.Sim.Trace.pid <> 1
+             &&
+             match e.Sim.Trace.value with
+             | Regs.Mwmr_construction.Responded _ -> true
+             | Regs.Mwmr_construction.Invoked _ -> false)
+           outputs)
+      >= expected
+    in
+    let cfg =
+      Regs.Shm.config ~seed ~max_steps:100_000 ~inputs ~stop
+        ~fd:(fun _ _ -> ())
+        fp
+    in
+    let trace =
+      Regs.Shm.run
+        ~registers:(Regs.Mwmr_construction.registers ~n)
+        cfg Regs.Mwmr_construction.proto
+    in
+    Alcotest.(check bool) "survivors complete" true
+      (trace.Sim.Trace.stopped = `Condition);
+    Alcotest.(check bool)
+      (Printf.sprintf "linearizable with crash (seed %d)" seed)
+      true
+      (Regs.Linearizability.check (mwmr_history trace))
+  done
+
+(* --- Emulate: the same shm protocol over ABD ---------------------------- *)
+
+let test_emulate_shm_over_abd () =
+  let fp = Sim.Failure_pattern.make ~n:4 [ (3, 60) ] in
+  let sigma = Fd.Oracle.history Fd.Sigma.oracle fp ~seed:11 in
+  let fd p t = ((), sigma p t) in
+  let cfg =
+    Sim.Engine.config ~seed:11 ~max_steps:40_000
+      ~stop:(Sim.Engine.stop_when_all_correct_output fp)
+      ~detect_quiescence:false ~fd fp
+  in
+  let proto = Regs.Emulate.protocol ~registers:1 Shm_demo.proto in
+  let trace = Sim.Engine.run cfg proto in
+  Alcotest.(check bool) "all correct output over ABD" true
+    (Sim.Trace.all_correct_output trace);
+  Sim.Pidset.iter
+    (fun p ->
+      Alcotest.(check (list int)) "read 42 over ABD" [ 42 ]
+        (Sim.Trace.outputs_of trace p))
+    (Sim.Failure_pattern.correct fp)
+
+(* Cross-validate the Wing–Gong checker against a brute-force reference on
+   tiny random histories: enumerate all permutations respecting real-time
+   order and register semantics. *)
+let brute_force_linearizable (ops : int Regs.Linearizability.op list) =
+  (* Drop incomplete reads like the real checker; treat incomplete writes
+     as optional. *)
+  let ops =
+    List.filter
+      (fun (op : int Regs.Linearizability.op) ->
+        match (op.resp, op.kind) with
+        | None, Regs.Linearizability.Read _ -> false
+        | _ -> true)
+      ops
+  in
+  let arr = Array.of_list ops in
+  let m = Array.length arr in
+  let rec search done_ idx_left value =
+    if List.for_all
+         (fun i -> (Array.get arr i).Regs.Linearizability.resp = None
+                   || List.mem i done_)
+         (List.init m (fun i -> i))
+    then true
+    else
+      List.exists
+        (fun i ->
+          (not (List.mem i done_))
+          && (* real-time: nothing remaining finished before i started *)
+          List.for_all
+            (fun j ->
+              j = i || List.mem j done_
+              ||
+              match (Array.get arr j).Regs.Linearizability.resp with
+              | Some rj -> rj >= (Array.get arr i).Regs.Linearizability.inv
+              | None -> true)
+            (List.init m (fun j -> j))
+          &&
+          match (Array.get arr i).Regs.Linearizability.kind with
+          | Regs.Linearizability.Read r ->
+            r = value && search (i :: done_) idx_left value
+          | Regs.Linearizability.Write v ->
+            search (i :: done_) idx_left (Some v))
+        idx_left
+  in
+  search [] (List.init m (fun i -> i)) None
+
+let prop_lin_checker_matches_brute_force =
+  QCheck.Test.make ~name:"linearizability checker matches brute force"
+    ~count:200 QCheck.small_nat (fun seed ->
+      let rng = Sim.Rng.make (seed + 1) in
+      let m = 2 + Sim.Rng.int rng 5 in
+      (* Random tiny history: interval endpoints in [0, 20), values in
+         [0, 3). *)
+      let ops =
+        List.init m (fun i ->
+            let inv = Sim.Rng.int rng 20 in
+            let resp =
+              if Sim.Rng.int rng 8 = 0 then None
+              else Some (inv + 1 + Sim.Rng.int rng 6)
+            in
+            let kind =
+              if Sim.Rng.bool rng then
+                Regs.Linearizability.Write (Sim.Rng.int rng 3)
+              else
+                Regs.Linearizability.Read
+                  (if Sim.Rng.int rng 4 = 0 then None
+                   else Some (Sim.Rng.int rng 3))
+            in
+            { Regs.Linearizability.pid = i mod 3; inv; resp; kind })
+      in
+      Regs.Linearizability.check ops = brute_force_linearizable ops)
+
+let prop_abd_linearizable =
+  QCheck.Test.make ~name:"ABD histories are linearizable in any environment"
+    ~count:25 QCheck.small_nat (fun seed ->
+      let seed = seed + 1 in
+      let fp =
+        Sim.Environment.sample Sim.Environment.any ~n:4 ~horizon:150
+          (Sim.Rng.make (seed * 31))
+      in
+      let trace =
+        run_abd ~seed
+          ~policy:(Sim.Network.Random_delay { max_delay = 4; lambda_prob = 0.2 })
+          fp
+      in
+      trace.Sim.Trace.stopped = `Condition
+      && Regs.Linearizability.check_trace trace)
+
+let () =
+  Alcotest.run "regs"
+    [
+      ("tag", [ Alcotest.test_case "ordering" `Quick test_tag_order ]);
+      ( "linearizability",
+        [
+          Alcotest.test_case "sequential ok" `Quick test_lin_accepts_sequential;
+          Alcotest.test_case "initial read ok" `Quick
+            test_lin_accepts_initial_read;
+          Alcotest.test_case "stale read rejected" `Quick
+            test_lin_rejects_stale_read;
+          Alcotest.test_case "new-old inversion rejected" `Quick
+            test_lin_rejects_new_old_inversion;
+          Alcotest.test_case "concurrent choice ok" `Quick
+            test_lin_accepts_concurrent_choice;
+          Alcotest.test_case "incomplete write both ways" `Quick
+            test_lin_incomplete_write;
+          Alcotest.test_case "unknown value rejected" `Quick
+            test_lin_read_must_follow_order;
+        ] );
+      ( "abd",
+        [
+          Alcotest.test_case "linearizable under fifo" `Slow
+            test_abd_linearizable_fifo;
+          Alcotest.test_case "linearizable under random delay" `Slow
+            test_abd_linearizable_random_delay;
+          Alcotest.test_case "survives minority correct" `Quick
+            test_abd_survives_minority_correct;
+          Alcotest.test_case "majority quorums block" `Quick
+            test_abd_majority_blocks_when_minority_correct;
+          Alcotest.test_case "read sees completed write" `Quick
+            test_abd_read_sees_completed_write;
+          Alcotest.test_case "split-brain detected (mutation test)" `Quick
+            test_abd_split_brain_detected;
+        ] );
+      ( "shm",
+        [
+          Alcotest.test_case "basic" `Quick test_shm_basic;
+          Alcotest.test_case "crash tolerated" `Quick
+            test_shm_crash_does_not_block_others;
+        ] );
+      ( "mwmr-construction",
+        [
+          Alcotest.test_case "linearizable" `Slow
+            test_mwmr_construction_linearizable;
+          Alcotest.test_case "with crash" `Quick
+            test_mwmr_construction_with_crash;
+        ] );
+      ( "emulate",
+        [ Alcotest.test_case "shm over ABD" `Quick test_emulate_shm_over_abd ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_abd_linearizable;
+          QCheck_alcotest.to_alcotest prop_lin_checker_matches_brute_force;
+        ] );
+    ]
