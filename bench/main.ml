@@ -265,12 +265,116 @@ let e12_tests =
       run "omega-stab300" (Fd.Omega.oracle_with ~leader:2 ~stabilize_at:300);
     ]
 
+(* E13: the model-checking subsystem — cost of one full exploration. *)
+let e13_tests =
+  let ff n = Sim.Failure_pattern.failure_free n in
+  Test.make_grouped ~name:"E13-model-checking"
+    [
+      Test.make ~name:"exhaustive-quorum-paxos-n2"
+        (Staged.stage (fun () ->
+             let r =
+               Mc.Exhaustive.search ~budget:50_000
+                 (Mc.Targets.quorum_paxos ~n:2) ~fp:(ff 2)
+             in
+             if r.Mc.Exhaustive.counterexample <> None then
+               failwith "e13: unexpected violation"));
+      Test.make ~name:"pct-quorum-paxos-n3-100runs"
+        (Staged.stage (fun () ->
+             ignore
+               (Mc.Pct.search ~budget:100 (Mc.Targets.quorum_paxos ~n:3)
+                  ~fp:(ff 3))));
+      Test.make ~name:"crash-adversary-2pc-n3"
+        (Staged.stage (fun () ->
+             let r =
+               Mc.Crash_adversary.search ~max_crashes:1 ~horizon:4 ~stride:2
+                 ~budget:50_000 (Mc.Targets.two_phase_commit ~n:3) ~n:3
+             in
+             if r.Mc.Crash_adversary.counterexample = None then
+               failwith "e13: 2pc blocking not found"));
+    ]
+
 let all_tests =
   Test.make_grouped ~name:"weakest-fd"
     [
       e1_tests; e2_tests; e3_tests; e4_tests; e5_tests; e6_tests; e7_tests;
-      e8_tests; e9_tests; e10_tests; e11_tests; e12_tests;
+      e8_tests; e9_tests; e10_tests; e11_tests; e12_tests; e13_tests;
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable throughput numbers for the model checker: repeat
+   each exploration workload, derive schedules/sec and steps/sec from
+   the checker's own counters, and dump latency percentiles to
+   BENCH_weakest_fd.json for tooling (CI trend lines etc.).           *)
+
+let percentile sorted q =
+  match Array.length sorted with
+  | 0 -> nan
+  | len ->
+    let i = int_of_float (ceil (q *. float_of_int len)) - 1 in
+    sorted.(max 0 (min (len - 1) i))
+
+let mc_throughput_workloads =
+  [
+    ( "mc_exhaustive_quorum_paxos_n2",
+      fun () ->
+        let r =
+          Mc.Exhaustive.search ~budget:50_000 (Mc.Targets.quorum_paxos ~n:2)
+            ~fp:(Sim.Failure_pattern.failure_free 2)
+        in
+        (r.Mc.Exhaustive.schedules, r.Mc.Exhaustive.steps) );
+    ( "mc_exhaustive_abd_n2",
+      fun () ->
+        let r =
+          Mc.Exhaustive.search ~budget:50_000 (Mc.Targets.abd ~n:2)
+            ~fp:(Sim.Failure_pattern.failure_free 2)
+        in
+        (r.Mc.Exhaustive.schedules, r.Mc.Exhaustive.steps) );
+    ( "mc_pct_quorum_paxos_n3",
+      fun () ->
+        let r =
+          Mc.Pct.search ~budget:200 (Mc.Targets.quorum_paxos ~n:3)
+            ~fp:(Sim.Failure_pattern.failure_free 3)
+        in
+        (r.Mc.Pct.schedules, r.Mc.Pct.steps) );
+    ( "mc_crash_adversary_2pc_n3",
+      fun () ->
+        let r =
+          Mc.Crash_adversary.search ~max_crashes:1 ~horizon:4 ~stride:2
+            ~budget:50_000 ~shrink:false
+            (Mc.Targets.two_phase_commit ~n:3)
+            ~n:3
+        in
+        (r.Mc.Crash_adversary.schedules, r.Mc.Crash_adversary.steps) );
+  ]
+
+let bench_json_file = "BENCH_weakest_fd.json"
+
+let mc_throughput_json () =
+  let repeats = 25 in
+  let entry (name, work) =
+    let latencies = Array.make repeats 0.0 in
+    let schedules = ref 0 and steps = ref 0 in
+    let t_all0 = Unix.gettimeofday () in
+    for i = 0 to repeats - 1 do
+      let t0 = Unix.gettimeofday () in
+      let sch, stp = work () in
+      latencies.(i) <- (Unix.gettimeofday () -. t0) *. 1e3;
+      schedules := !schedules + sch;
+      steps := !steps + stp
+    done;
+    let elapsed = Unix.gettimeofday () -. t_all0 in
+    Array.sort compare latencies;
+    Printf.sprintf
+      {|    { "name": %S, "runs": %d, "schedules_per_sec": %.0f, "steps_per_sec": %.0f, "latency_ms": { "p50": %.3f, "p90": %.3f, "p99": %.3f } }|}
+      name repeats
+      (float_of_int !schedules /. elapsed)
+      (float_of_int !steps /. elapsed)
+      (percentile latencies 0.50)
+      (percentile latencies 0.90)
+      (percentile latencies 0.99)
+  in
+  Printf.sprintf "{\n  \"suite\": \"weakest-fd-mc\",\n  \"workloads\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.map entry mc_throughput_workloads))
 
 let benchmark () =
   let ols =
@@ -316,4 +420,9 @@ let () =
     rows;
   Format.printf
     "@.(absolute numbers are machine-dependent; the shapes that matter are \
-     the ratios within each experiment group)@."
+     the ratios within each experiment group)@.";
+  let json = mc_throughput_json () in
+  let oc = open_out bench_json_file in
+  output_string oc json;
+  close_out oc;
+  Format.printf "@.model-checker throughput written to %s@." bench_json_file

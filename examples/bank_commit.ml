@@ -83,4 +83,5 @@ let () =
       "   2PC is BLOCKED: %s crashed, the others wait forever.@.   (NBAC in \
        scenario 3 terminated — that gap is exactly what FS buys.)@."
       managers.(0)
-  | `Condition | `Quiescent -> Format.printf "   2PC terminated (unexpected)@.")
+  | `Condition | `Quiescent | `Hook ->
+    Format.printf "   2PC terminated (unexpected)@.")

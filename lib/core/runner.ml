@@ -329,3 +329,167 @@ let run_psi_extraction ?(rounds = 3) ?(chunk = 220) (scenario : Scenario.t)
     steps = 0;
     messages = 0;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Model checking (the Mc subsystem) over the registered targets.      *)
+
+type mc_explorer = [ `Exhaustive | `Pct | `Random ]
+
+let mc_explorer_name = function
+  | `Exhaustive -> "exhaustive"
+  | `Pct -> "pct"
+  | `Random -> "random"
+
+type mc_summary = {
+  target : string;
+  explorer : string;
+  patterns : int;
+  schedules : int;
+  mc_steps : int;
+  exhausted : bool;
+  counterexample : Mc.Harness.counterexample option;
+}
+
+let pp_mc_summary fmt s =
+  Format.fprintf fmt
+    "@[<v>%-24s %-10s patterns=%-4d schedules=%-8d steps=%-9d %s: %s%a@]"
+    s.target s.explorer s.patterns s.schedules s.mc_steps
+    (if s.exhausted then "exhausted" else "budget-bounded")
+    (match s.counterexample with
+    | None -> "no violation"
+    | Some _ -> "VIOLATION")
+    (Format.pp_print_option (fun fmt c ->
+         Format.fprintf fmt "@ %a" Mc.Harness.pp_counterexample c))
+    s.counterexample
+
+let model_check ?(budget = 20_000) ?(max_crashes = 1) ?(horizon = 4)
+    ?(stride = 2) ?(d = 3) ?(shrink = true) name ~n ~explorer ~seed =
+  match Mc.Targets.find name ~n with
+  | None ->
+    Error
+      (Printf.sprintf "unknown target %S (known: %s)" name
+         (String.concat ", " Mc.Targets.names))
+  | Some (Mc.Targets.Packed t) ->
+    let r =
+      Mc.Crash_adversary.search ~max_crashes ~horizon ~stride ~inner:explorer
+        ~budget ~d ~shrink ~seed t ~n
+    in
+    Ok
+      {
+        target = name;
+        explorer = mc_explorer_name explorer;
+        patterns = r.Mc.Crash_adversary.patterns;
+        schedules = r.Mc.Crash_adversary.schedules;
+        mc_steps = r.Mc.Crash_adversary.steps;
+        exhausted = r.Mc.Crash_adversary.complete;
+        counterexample = r.Mc.Crash_adversary.counterexample;
+      }
+
+let model_check_scenario ?(budget = 20_000) ?(d = 3) ?(shrink = true)
+    name ~explorer ~seed (scenario : Scenario.t) =
+  let n = scenario.Scenario.n in
+  let fp = scenario.Scenario.fp in
+  match Mc.Targets.find name ~n with
+  | None ->
+    Error
+      (Printf.sprintf "unknown target %S (known: %s)" name
+         (String.concat ", " Mc.Targets.names))
+  | Some (Mc.Targets.Packed t) -> (
+    match explorer with
+    | `Exhaustive ->
+      let r = Mc.Exhaustive.search ~budget ~shrink ~seed t ~fp in
+      Ok
+        {
+          target = name;
+          explorer = "exhaustive";
+          patterns = 1;
+          schedules = r.Mc.Exhaustive.schedules;
+          mc_steps = r.Mc.Exhaustive.steps;
+          exhausted = r.Mc.Exhaustive.complete;
+          counterexample = r.Mc.Exhaustive.counterexample;
+        }
+    | `Pct ->
+      let r = Mc.Pct.search ~budget ~d ~shrink ~seed t ~fp in
+      Ok
+        {
+          target = name;
+          explorer = "pct";
+          patterns = 1;
+          schedules = r.Mc.Pct.schedules;
+          mc_steps = r.Mc.Pct.steps;
+          exhausted = false;
+          counterexample = r.Mc.Pct.counterexample;
+        }
+    | `Random ->
+      let rng = Sim.Rng.make seed in
+      let schedules = ref 0 and steps = ref 0 and found = ref None in
+      while !found = None && !schedules < budget do
+        incr schedules;
+        let r =
+          Mc.Harness.run ~seed t ~fp
+            (Sim.Scheduler.random (Sim.Rng.split rng !schedules))
+        in
+        steps := !steps + r.Mc.Harness.steps;
+        match r.Mc.Harness.violation with
+        | Some reason ->
+          let c =
+            {
+              Mc.Harness.target = name;
+              n;
+              seed;
+              schedule = Mc.Schedule.of_fp fp r.Mc.Harness.choices;
+              reason;
+              shrunk = false;
+            }
+          in
+          let c =
+            if not shrink then c
+            else
+              let violates s = Mc.Harness.violates ~seed t ~n s in
+              let schedule, _ = Mc.Shrink.minimize ~violates c.Mc.Harness.schedule in
+              { c with Mc.Harness.schedule; shrunk = true }
+          in
+          found := Some c
+        | None -> ()
+      done;
+      Ok
+        {
+          target = name;
+          explorer = "random";
+          patterns = 1;
+          schedules = !schedules;
+          mc_steps = !steps;
+          exhausted = false;
+          counterexample = !found;
+        })
+
+(* Re-exports so the [mc] executable (whose compilation unit shadows the
+   [Mc] library module) can stay entirely within [Core]. *)
+
+let mc_targets = Mc.Targets.names
+
+type mc_replay_report = {
+  re_schedule : string;
+  re_outputs : string;
+  re_violation : string option;
+}
+
+let mc_replay name ~n ~seed ~schedule =
+  match
+    try Ok (Mc.Schedule.of_string schedule) with Invalid_argument e -> Error e
+  with
+  | Error e -> Error (Printf.sprintf "bad schedule: %s" e)
+  | Ok sched -> (
+    match Mc.Targets.find name ~n with
+    | None ->
+      Error
+        (Printf.sprintf "unknown target %S (known: %s)" name
+           (String.concat ", " mc_targets))
+    | Some (Mc.Targets.Packed t) ->
+      let r = Mc.Harness.replay ~seed t ~n sched in
+      Ok
+        {
+          re_schedule = Mc.Schedule.to_string sched;
+          re_outputs = r.Mc.Harness.outputs;
+          re_violation = r.Mc.Harness.violation;
+        })

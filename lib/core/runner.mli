@@ -85,3 +85,70 @@ val run_sigma_extraction :
     and checks the emitted stream against the Ψ spec. *)
 val run_psi_extraction :
   ?rounds:int -> ?chunk:int -> Scenario.t -> seed:int -> summary
+
+(** {2 Model checking} *)
+
+(** Inner schedule explorer of the [Mc] subsystem. *)
+type mc_explorer = [ `Exhaustive | `Pct | `Random ]
+
+val mc_explorer_name : mc_explorer -> string
+
+type mc_summary = {
+  target : string;
+  explorer : string;
+  patterns : int;  (** failure patterns explored *)
+  schedules : int;  (** runs executed *)
+  mc_steps : int;  (** total process steps across all runs *)
+  exhausted : bool;  (** the (bounded) space was fully explored *)
+  counterexample : Mc.Harness.counterexample option;
+}
+
+val pp_mc_summary : Format.formatter -> mc_summary -> unit
+
+(** [model_check name ~n ~explorer ~seed] runs the crash-injection
+    adversary (patterns with at most [max_crashes] crashes on the
+    [stride]-spaced time grid up to [horizon]) with the given inner
+    schedule explorer against the registered target [name] (see
+    {!Mc.Targets.names}).  [Error _] on an unknown target name. *)
+val model_check :
+  ?budget:int ->
+  ?max_crashes:int ->
+  ?horizon:int ->
+  ?stride:int ->
+  ?d:int ->
+  ?shrink:bool ->
+  string ->
+  n:int ->
+  explorer:mc_explorer ->
+  seed:int ->
+  (mc_summary, string) result
+
+(** [model_check_scenario name ~explorer ~seed scenario] explores schedules
+    under the scenario's fixed failure pattern only. *)
+val model_check_scenario :
+  ?budget:int ->
+  ?d:int ->
+  ?shrink:bool ->
+  string ->
+  explorer:mc_explorer ->
+  seed:int ->
+  Scenario.t ->
+  (mc_summary, string) result
+
+(** The registered model-checking target names ({!Mc.Targets.names}). *)
+val mc_targets : string list
+
+type mc_replay_report = {
+  re_schedule : string;  (** the parsed schedule, re-serialized *)
+  re_outputs : string;  (** rendered output events of the replayed run *)
+  re_violation : string option;
+}
+
+(** [mc_replay name ~n ~seed ~schedule] replays a serialized counterexample
+    schedule against a registered target. *)
+val mc_replay :
+  string ->
+  n:int ->
+  seed:int ->
+  schedule:string ->
+  (mc_replay_report, string) result

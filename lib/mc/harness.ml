@@ -1,0 +1,103 @@
+type ('st, 'msg, 'fd, 'inp, 'out) target = {
+  name : string;
+  protocol : ('st, 'msg, 'fd, 'inp, 'out) Sim.Protocol.t;
+  make_fd :
+    Sim.Failure_pattern.t -> seed:int -> Sim.Pid.t -> int -> 'fd;
+  make_inputs : Sim.Failure_pattern.t -> (int * Sim.Pid.t * 'inp) list;
+  invariant : 'out Invariant.t;
+  stop : Sim.Failure_pattern.t -> 'out Sim.Trace.event list -> bool;
+  policy : Sim.Network.policy;
+  max_steps : int;
+  detect_quiescence : bool;
+  require_termination : bool;
+  time_invariant_fd : bool;
+  pp_out : Format.formatter -> 'out -> unit;
+}
+
+type run_report = {
+  violation : string option;
+  choices : int list;
+  stopped : [ `Condition | `Quiescent | `Step_limit | `Hook ];
+  steps : int;
+  outputs : string;
+}
+
+let pp_events pp_out events =
+  Format.asprintf "@[<v>%a@]"
+    (Format.pp_print_list (fun fmt (e : _ Sim.Trace.event) ->
+         Format.fprintf fmt "t=%-4d %a -> %a" e.time Sim.Pid.pp e.pid pp_out
+           e.value))
+    events
+
+let run ?(seed = 1) ?round_hook target ~fp scheduler =
+  let sched, recorded = Sim.Scheduler.recording scheduler in
+  let violation = ref None in
+  let inv = target.invariant in
+  let stop outputs =
+    match inv.Invariant.on_output fp outputs with
+    | Error e ->
+      violation := Some e;
+      true
+    | Ok () -> target.stop fp outputs
+  in
+  let cfg =
+    Sim.Engine.config ~policy:target.policy ~seed ~max_steps:target.max_steps
+      ~inputs:(target.make_inputs fp) ~stop
+      ~detect_quiescence:target.detect_quiescence ~scheduler:sched ?round_hook
+      ~fd:(target.make_fd fp ~seed) fp
+  in
+  let trace = Sim.Engine.run cfg target.protocol in
+  let violation =
+    match !violation with
+    | Some _ as v -> v
+    | None -> (
+      let must_terminate =
+        match trace.Sim.Trace.stopped with
+        | `Quiescent -> true
+        | `Step_limit -> target.require_termination
+        | `Condition | `Hook -> false
+      in
+      match inv.Invariant.final fp ~must_terminate trace.Sim.Trace.outputs with
+      | Ok () -> None
+      | Error e -> Some e)
+  in
+  {
+    violation;
+    choices = recorded ();
+    stopped = trace.Sim.Trace.stopped;
+    steps = trace.Sim.Trace.steps;
+    outputs = pp_events target.pp_out trace.Sim.Trace.outputs;
+  }
+
+let replay ?(seed = 1) target ~n schedule =
+  match try Some (Schedule.fp ~n schedule) with Invalid_argument _ -> None with
+  | None ->
+    {
+      violation = None;
+      choices = [];
+      stopped = `Condition;
+      steps = 0;
+      outputs = "(malformed schedule: illegal failure pattern)";
+    }
+  | Some fp ->
+    run ~seed target ~fp
+      (Sim.Scheduler.replay schedule.Schedule.choices ~rest:Sim.Scheduler.first)
+
+let violates ?(seed = 1) target ~n schedule =
+  (replay ~seed target ~n schedule).violation <> None
+
+type counterexample = {
+  target : string;
+  n : int;
+  seed : int;
+  schedule : Schedule.t;
+  reason : string;
+  shrunk : bool;
+}
+
+let pp_counterexample fmt c =
+  Format.fprintf fmt
+    "@[<v2>counterexample (%s, n=%d, seed=%d%s):@ reason: %s@ schedule: %a@]"
+    c.target c.n c.seed
+    (if c.shrunk then ", shrunk" else "")
+    c.reason Schedule.pp c.schedule

@@ -1,0 +1,85 @@
+(** The system-under-test abstraction shared by all explorers.
+
+    A [target] packages a protocol with everything a run needs — failure
+    detector history sampler, external inputs, delivery policy, bounds —
+    plus the {!Invariant} to check.  Explorers vary only the scheduler and
+    the failure pattern.
+
+    Failure detector histories are sampled from [(fp, seed)] and are *not*
+    part of the explored nondeterminism: an explorer quantifies over
+    schedules and (via {!Crash_adversary}) failure patterns for one fixed
+    history sample per pattern. *)
+
+type ('st, 'msg, 'fd, 'inp, 'out) target = {
+  name : string;
+  protocol : ('st, 'msg, 'fd, 'inp, 'out) Sim.Protocol.t;
+  make_fd : Sim.Failure_pattern.t -> seed:int -> Sim.Pid.t -> int -> 'fd;
+  make_inputs : Sim.Failure_pattern.t -> (int * Sim.Pid.t * 'inp) list;
+  invariant : 'out Invariant.t;
+  stop : Sim.Failure_pattern.t -> 'out Sim.Trace.event list -> bool;
+  policy : Sim.Network.policy;
+  max_steps : int;
+  detect_quiescence : bool;
+  require_termination : bool;
+      (** treat a run that exhausts [max_steps] as a termination violation
+          if correct processes are still undecided — bounded liveness for
+          protocols that never quiesce (retry loops). *)
+  time_invariant_fd : bool;
+      (** the sampled detector history returns the same value at every
+          time — lets {!Exhaustive} prune states modulo the clock.  Must be
+          false for detectors with ⊥-prefixes or stabilization times
+          (e.g. Ψ). *)
+  pp_out : Format.formatter -> 'out -> unit;
+}
+
+type run_report = {
+  violation : string option;  (** the invariant's explanation, if any *)
+  choices : int list;  (** the recorded, replayable choice sequence *)
+  stopped : [ `Condition | `Quiescent | `Step_limit | `Hook ];
+  steps : int;
+  outputs : string;  (** rendered output events, for reporting *)
+}
+
+(** [run target ~fp scheduler] executes one run under [scheduler], checking
+    the invariant online (a violation ends the run) and at the end. *)
+val run :
+  ?seed:int ->
+  ?round_hook:(now:int -> digest:int -> bool) ->
+  ('st, 'msg, 'fd, 'inp, 'out) target ->
+  fp:Sim.Failure_pattern.t ->
+  Sim.Scheduler.t ->
+  run_report
+
+(** [replay target ~n schedule] re-runs a serialized schedule: its crash
+    list becomes the failure pattern, its choices drive the scheduler
+    (then alternative 0 forever).  A malformed crash list yields a report
+    with no violation. *)
+val replay :
+  ?seed:int ->
+  ('st, 'msg, 'fd, 'inp, 'out) target ->
+  n:int ->
+  Schedule.t ->
+  run_report
+
+(** Does replaying [schedule] still violate the invariant? *)
+val violates :
+  ?seed:int ->
+  ('st, 'msg, 'fd, 'inp, 'out) target ->
+  n:int ->
+  Schedule.t ->
+  bool
+
+type counterexample = {
+  target : string;
+  n : int;
+  seed : int;
+  schedule : Schedule.t;
+  reason : string;
+  shrunk : bool;
+}
+
+val pp_counterexample : Format.formatter -> counterexample -> unit
+
+(** Render a list of output events (exposed for CLI / example programs). *)
+val pp_events :
+  (Format.formatter -> 'out -> unit) -> 'out Sim.Trace.event list -> string

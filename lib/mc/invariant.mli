@@ -1,0 +1,52 @@
+(** Trace invariants: the paper's problem specifications as predicates over
+    the outputs of a (possibly unfinished) run.
+
+    [on_output] is called online, after every emitted output, with all
+    outputs so far — it must only state *safety* properties, so a [Error]
+    stops the search with a genuine counterexample.  [final] is called once
+    the run has ended; with [must_terminate = true] (the run quiesced, or
+    the caller treats the step budget as a liveness deadline) it must also
+    check the termination clause of the spec — this is how 2PC's blocking
+    run becomes a reportable violation. *)
+
+type 'out t = {
+  name : string;
+  on_output :
+    Sim.Failure_pattern.t ->
+    'out Sim.Trace.event list ->
+    (unit, string) result;
+  final :
+    Sim.Failure_pattern.t ->
+    must_terminate:bool ->
+    'out Sim.Trace.event list ->
+    (unit, string) result;
+}
+
+(** Uniform consensus: validity (decisions were proposed), uniform
+    agreement, integrity (at most one decision per process), termination of
+    correct processes. *)
+val consensus :
+  ?pp:(Format.formatter -> 'v -> unit) ->
+  proposals:(Sim.Pid.t * 'v) list ->
+  unit ->
+  'v t
+
+(** Quittable consensus (paper Section 2.3): like consensus, plus [Quit] is
+    valid only after a failure. *)
+val qc :
+  ?pp:(Format.formatter -> 'v -> unit) ->
+  proposals:(Sim.Pid.t * 'v) list ->
+  unit ->
+  'v Qcnbac.Types.qc_decision t
+
+(** Non-blocking atomic commit: Commit needs unanimous Yes votes, Abort
+    needs a No vote or a prior failure, agreement, termination. *)
+val nbac :
+  votes:(Sim.Pid.t * Qcnbac.Types.vote) list ->
+  unit ->
+  Qcnbac.Types.outcome t
+
+(** Atomic registers: linearizability of the invocation/response history
+    (reusing {!Regs.Linearizability}), plus completion of every operation
+    invoked by a correct process. *)
+val linearizable : unit -> 'v Regs.Abd.output t

@@ -1,0 +1,35 @@
+(** PCT-style randomized priority exploration.
+
+    Each run draws a random priority permutation over the [n] processes and
+    [d - 1] priority change points over the run's scheduling decisions; the
+    scheduler always steps (and delivers from) the highest-priority enabled
+    process, demoting the running process below everyone else when a change
+    point is hit.  This concentrates probability on low-depth orderings: a
+    bug requiring [d] specific ordering constraints is hit with probability
+    at least [1 / (n * k^(d-1))] per run ([k] = decisions per run), far
+    better than uniform random walks for small [d]. *)
+
+(** [scheduler ~d ~horizon rng ~n] is one run's priority scheduler.
+    [horizon] is the expected number of scheduling decisions per run and
+    bounds where change points may fall. *)
+val scheduler : ?d:int -> horizon:int -> Sim.Rng.t -> n:int -> Sim.Scheduler.t
+
+type report = {
+  counterexample : Harness.counterexample option;
+  schedules : int;  (** runs executed *)
+  steps : int;  (** total process steps across all runs *)
+}
+
+(** [search target ~fp] runs up to [budget] PCT runs (fresh priorities and
+    change points each), stopping at the first invariant violation, which
+    is then shrunk into a replayable counterexample. *)
+val search :
+  ?budget:int ->
+  ?d:int ->
+  ?horizon:int ->
+  ?shrink:bool ->
+  ?shrink_budget:int ->
+  ?seed:int ->
+  ('st, 'msg, 'fd, 'inp, 'out) Harness.target ->
+  fp:Sim.Failure_pattern.t ->
+  report

@@ -1,0 +1,33 @@
+(** Replayable schedules: the serialized form of a counterexample.
+
+    A schedule fixes everything the adversary controls in a run: the
+    failure pattern (as a crash list) and the sequence of choice-point
+    indices the scheduler resolved (see {!Sim.Scheduler}).  Re-running the
+    same protocol configuration under [Scheduler.replay choices
+    ~rest:Scheduler.first] with the same failure pattern reproduces the
+    run — and therefore the violation — exactly. *)
+
+type t = {
+  crashes : (Sim.Pid.t * int) list;  (** [(pid, crash time)] *)
+  choices : int list;  (** recorded choice indices, oldest first *)
+}
+
+val empty : t
+val make : ?crashes:(Sim.Pid.t * int) list -> int list -> t
+
+(** Extract the crash list from a failure pattern. *)
+val of_fp : Sim.Failure_pattern.t -> int list -> t
+
+(** Rebuild the failure pattern ([invalid_arg] on a malformed crash list). *)
+val fp : n:int -> t -> Sim.Failure_pattern.t
+
+(** Number of recorded choices. *)
+val length : t -> int
+
+(** Round-trippable textual form, e.g. ["crashes=0@3;choices=1,0,2"]. *)
+val to_string : t -> string
+
+(** Inverse of [to_string]; [invalid_arg] on malformed input. *)
+val of_string : string -> t
+
+val pp : Format.formatter -> t -> unit

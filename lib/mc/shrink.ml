@@ -1,0 +1,74 @@
+let take arr l = Array.to_list (Array.sub arr 0 l)
+
+let minimize ?(budget = 400) ~violates schedule =
+  let used = ref 0 in
+  let try_ s =
+    if !used >= budget then false
+    else begin
+      incr used;
+      violates s
+    end
+  in
+  (* Pass 1: drop whole crashes — fewer failures is a simpler adversary. *)
+  let rec drop_crashes (s : Schedule.t) =
+    let rec go acc = function
+      | [] -> None
+      | c :: rest ->
+        let cand = { s with Schedule.crashes = List.rev_append acc rest } in
+        if try_ cand then Some cand else go (c :: acc) rest
+    in
+    match go [] s.Schedule.crashes with
+    | Some s' -> drop_crashes s'
+    | None -> s
+  in
+  (* Pass 2: truncate the choice sequence — the replay scheduler continues
+     with alternative 0 after the recorded prefix, so shorter prefixes are
+     complete schedules too.  Binary search for a short violating prefix
+     (violations need not be monotone in the prefix length, so the result
+     is re-verified and greedy, not necessarily globally minimal). *)
+  let truncate (s : Schedule.t) =
+    let arr = Array.of_list s.Schedule.choices in
+    let with_len l = { s with Schedule.choices = take arr l } in
+    if Array.length arr = 0 then s
+    else if try_ (with_len 0) then with_len 0
+    else begin
+      let lo = ref 0 and hi = ref (Array.length arr) in
+      (* invariant: [with_len !hi] violates, [with_len !lo] does not *)
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if try_ (with_len mid) then hi := mid else lo := mid
+      done;
+      with_len !hi
+    end
+  in
+  (* Pass 3: canonicalize — zero out nonzero choices where possible. *)
+  let zero (s : Schedule.t) =
+    let arr = Array.of_list s.Schedule.choices in
+    Array.iteri
+      (fun i v ->
+        if v <> 0 then begin
+          arr.(i) <- 0;
+          let cand = { s with Schedule.choices = Array.to_list arr } in
+          if not (try_ cand) then arr.(i) <- v
+        end)
+      arr;
+    { s with Schedule.choices = Array.to_list arr }
+  in
+  (* Pass 4: pull crash times down to the earliest still-violating time. *)
+  let crash_times (s : Schedule.t) =
+    let rec go acc = function
+      | [] -> { s with Schedule.crashes = List.rev acc }
+      | (p, at) :: rest when at > 0 ->
+        let cand =
+          { s with Schedule.crashes = List.rev_append acc ((p, 0) :: rest) }
+        in
+        if try_ cand then go ((p, 0) :: acc) rest else go ((p, at) :: acc) rest
+      | c :: rest -> go (c :: acc) rest
+    in
+    go [] s.Schedule.crashes
+  in
+  let s =
+    schedule |> drop_crashes |> truncate |> zero |> crash_times |> truncate
+  in
+  (* Only return the shrunk form if it genuinely still violates. *)
+  if violates s then (s, !used) else (schedule, !used)

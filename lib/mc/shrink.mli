@@ -1,0 +1,15 @@
+(** Greedy counterexample minimization.
+
+    [minimize ~violates schedule] assumes [violates schedule = true] and
+    searches for a smaller schedule that still violates: it drops crashes,
+    truncates the choice sequence (the replay scheduler extends any prefix
+    with alternative 0), zeroes individual choices and pulls crash times
+    to 0, re-running the system via [violates] each time.  Returns the
+    minimized schedule and the number of replays spent.  At most [budget]
+    replays are performed (default 400); the result is always verified to
+    still violate, falling back to the input schedule otherwise. *)
+val minimize :
+  ?budget:int ->
+  violates:(Schedule.t -> bool) ->
+  Schedule.t ->
+  Schedule.t * int

@@ -1,0 +1,75 @@
+(** Ready-made systems under test for the explorers and the [mc] CLI.
+
+    Each constructor fixes a protocol, its detector oracle (sampled once
+    per failure pattern — time-invariant variants where possible, so the
+    exhaustive explorer's digest pruning applies), the workload and the
+    invariant; the explorers supply schedules and failure patterns. *)
+
+(** Consensus from (Ω, Σ): single-decree Paxos with Σ quorums, instant Ω.
+    Checked against the uniform consensus spec. *)
+val quorum_paxos :
+  n:int ->
+  ( int Cons.Quorum_paxos.state,
+    int Cons.Quorum_paxos.msg,
+    Fd.Omega.output * Fd.Sigma.output,
+    int,
+    int )
+  Harness.target
+
+(** [quorum_paxos] with a planted bug: process 0 outputs an unproposed
+    value.  Every schedule violates validity — used to check that the
+    explorers actually detect violations and that counterexamples replay. *)
+val broken_validity :
+  n:int ->
+  ( int Cons.Quorum_paxos.state,
+    int Cons.Quorum_paxos.msg,
+    Fd.Omega.output * Fd.Sigma.output,
+    int,
+    int )
+  Harness.target
+
+(** ABD atomic registers from Σ: one register, every process writes its own
+    value then reads.  Checked for linearizability and operation
+    completion. *)
+val abd :
+  n:int ->
+  ( int Regs.Abd.state,
+    int Regs.Abd.msg,
+    Fd.Sigma.output,
+    int Regs.Abd.input,
+    int Regs.Abd.output )
+  Harness.target
+
+(** Classical two-phase commit (no failure detector), all-Yes votes,
+    checked against the NBAC spec.  Blocks when the coordinator crashes —
+    the violation {!Crash_adversary} is expected to find. *)
+val two_phase_commit :
+  n:int ->
+  ( Qcnbac.Two_phase_commit.state,
+    Qcnbac.Two_phase_commit.msg,
+    unit,
+    Qcnbac.Types.vote,
+    Qcnbac.Types.outcome )
+  Harness.target
+
+(** Quittable consensus from Ψ, checked against the QC spec ([Quit] only
+    after a failure).  Ψ's ⊥ period means runs never quiesce early, so this
+    target relies on its step bound as the liveness deadline. *)
+val qc_psi :
+  n:int ->
+  ( int Qcnbac.Qc_psi.state,
+    int Qcnbac.Qc_psi.msg,
+    Fd.Psi.output,
+    int,
+    int Qcnbac.Types.qc_decision )
+  Harness.target
+
+(** Existentially packed target, for name-indexed lookup from the CLI. *)
+type packed = Packed : ('st, 'msg, 'fd, 'inp, 'out) Harness.target -> packed
+
+val all : n:int -> (string * packed) list
+
+val find : string -> n:int -> packed option
+
+(** The registry's target names. *)
+val names : string list

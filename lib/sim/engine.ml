@@ -7,6 +7,8 @@ type ('msg, 'fd, 'inp, 'out) config = {
   max_steps : int;
   stop : 'out Trace.event list -> bool;
   detect_quiescence : bool;
+  scheduler : Scheduler.t option;
+  round_hook : (now:int -> digest:int -> bool) option;
 }
 
 let stop_when_all_correct_output fp outputs =
@@ -18,9 +20,20 @@ let stop_when_all_correct_output fp outputs =
 let stop_after_outputs k outputs = List.length outputs >= k
 
 let config ?(policy = Network.Fifo) ?(seed = 1) ?(max_steps = 20_000)
-    ?(inputs = []) ?(stop = fun _ -> false) ?(detect_quiescence = true) ~fd fp
-    =
-  { fp; fd; inputs; policy; seed; max_steps; stop; detect_quiescence }
+    ?(inputs = []) ?(stop = fun _ -> false) ?(detect_quiescence = true)
+    ?scheduler ?round_hook ~fd fp =
+  {
+    fp;
+    fd;
+    inputs;
+    policy;
+    seed;
+    max_steps;
+    stop;
+    detect_quiescence;
+    scheduler;
+    round_hook;
+  }
 
 type 'inp pending_inputs = (int * 'inp) list array
 (* per-pid inputs, each with its not-before time, kept sorted by time *)
@@ -35,12 +48,32 @@ let prepare_inputs ~n inputs : _ pending_inputs =
     (fun l -> List.stable_sort (fun (a, _) (b, _) -> Int.compare a b) l)
     arr
 
+(* A structural digest of everything that determines the run's future except
+   the clock: protocol states, buffered messages, undelivered inputs and the
+   outputs emitted so far (the stop condition and the model checker's
+   invariants read them).  Marshalling gives a deep, collision-resistant
+   digest; states that cannot be marshalled fall back to a bounded
+   structural hash. *)
+let state_digest states net inputs outputs =
+  let st_h =
+    try Hashtbl.hash (Digest.bytes (Marshal.to_bytes states [ Marshal.Closures ]))
+    with _ -> Hashtbl.hash_param 1024 1024 states
+  in
+  Hashtbl.hash
+    ( st_h,
+      Network.digest net,
+      Hashtbl.hash_param 1024 1024 inputs,
+      Hashtbl.hash_param 1024 1024 outputs )
+
 let run cfg (proto : _ Protocol.t) =
   let n = Failure_pattern.n cfg.fp in
   let rng = Rng.make cfg.seed in
-  let sched_rng = Rng.split rng 1 in
-  let net_rng = Rng.split rng 2 in
-  let net = Network.create cfg.policy net_rng in
+  let sched =
+    match cfg.scheduler with
+    | Some s -> s
+    | None -> Scheduler.random (Rng.split rng 1)
+  in
+  let net = Network.create cfg.policy sched in
   let states = Array.init n (fun p -> proto.init ~n p) in
   let inputs = prepare_inputs ~n cfg.inputs in
   let outputs = ref [] in
@@ -98,7 +131,7 @@ let run cfg (proto : _ Protocol.t) =
      while !steps < cfg.max_steps do
        round_actions := 0;
        let alive = Failure_pattern.alive_at cfg.fp ~time:!now in
-       let order = Rng.shuffle sched_rng alive in
+       let order = Scheduler.order sched alive in
        List.iter
          (fun p ->
            if
@@ -130,6 +163,14 @@ let run cfg (proto : _ Protocol.t) =
          stopped := `Quiescent;
          raise Exit
        end;
+       (match cfg.round_hook with
+       | Some hook ->
+         let digest = state_digest states net inputs !outputs in
+         if not (hook ~now:!now ~digest) then begin
+           stopped := `Hook;
+           raise Exit
+         end
+       | None -> ());
        (* An empty round (everyone crashed mid-round accounting) still must
           advance time so pending crash-dependent conditions progress. *)
        if order = [] then raise Exit

@@ -24,10 +24,23 @@ type ('msg, 'fd, 'inp, 'out) config = {
           flight, no pending input, and a whole round produced no action.
           Disable for protocols that go idle between internally-timed
           retries. *)
+  scheduler : Scheduler.t option;
+      (** resolves every nondeterministic choice of the run (round order,
+          message delays, delivery picks).  [None] means the classic
+          seeded-RNG scheduler derived from [seed].  Supplying a recording
+          or replaying scheduler is how the model checker enumerates and
+          reproduces schedules. *)
+  round_hook : (now:int -> digest:int -> bool) option;
+      (** called after every completed round with the clock and a
+          structural digest of the global state (process states, message
+          buffer, pending inputs, outputs); return [false] to end the run
+          with [stopped = `Hook].  The model checker uses it to prune
+          revisited states. *)
 }
 
 (** A configuration with no inputs, [Fifo] delivery, a [max_steps] of
-    [20_000], quiescence detection on and a never-true stop condition. *)
+    [20_000], quiescence detection on, a never-true stop condition, the
+    seeded-RNG scheduler and no round hook. *)
 val config :
   ?policy:Network.policy ->
   ?seed:int ->
@@ -35,6 +48,8 @@ val config :
   ?inputs:(int * Pid.t * 'inp) list ->
   ?stop:('out Trace.event list -> bool) ->
   ?detect_quiescence:bool ->
+  ?scheduler:Scheduler.t ->
+  ?round_hook:(now:int -> digest:int -> bool) ->
   fd:(Pid.t -> int -> 'fd) ->
   Failure_pattern.t ->
   ('msg, 'fd, 'inp, 'out) config

@@ -24,15 +24,15 @@ type 'msg envelope = {
 
 type 'msg t = {
   policy : policy;
-  rng : Rng.t;
+  sched : Scheduler.t;
   queues : (Pid.t, 'msg envelope list ref) Hashtbl.t;
   mutable next_seq : int;
   mutable sent : int;
   mutable delivered : int;
 }
 
-let create policy rng =
-  { policy; rng; queues = Hashtbl.create 16; next_seq = 0; sent = 0; delivered = 0 }
+let create policy sched =
+  { policy; sched; queues = Hashtbl.create 16; next_seq = 0; sent = 0; delivered = 0 }
 
 let queue t dst =
   match Hashtbl.find_opt t.queues dst with
@@ -51,7 +51,10 @@ let delay_bounds t ~now =
 
 let send t ~now ~src ~dst msg =
   let lo, hi = delay_bounds t ~now in
-  let delay = if hi <= lo then lo else lo + Rng.int t.rng (hi - lo + 1) in
+  let delay =
+    if hi <= lo then lo
+    else lo + t.sched.Scheduler.choose (Scheduler.Send_delay { src; dst; lo; hi })
+  in
   let ready_at = now + delay in
   let ready_at, deadline =
     match t.policy with
@@ -86,6 +89,19 @@ let oldest = function
   | e :: rest ->
     Some (List.fold_left (fun acc e -> if e.seq < acc.seq then e else acc) e rest)
 
+(* Choice-point pick among [ready]: candidates are presented in global send
+   order so recorded indices are stable and replayable. *)
+let pick_ready t ~dst ready =
+  match ready with
+  | [] -> None
+  | [ e ] -> Some e
+  | _ ->
+    let sorted = List.sort (fun a b -> Int.compare a.seq b.seq) ready in
+    let candidates = List.map (fun e -> e.src) sorted in
+    let i = t.sched.Scheduler.choose (Scheduler.Deliver_pick { dst; candidates }) in
+    let i = if i < 0 || i >= List.length sorted then 0 else i in
+    Some (List.nth sorted i)
+
 let deliver t ~now ~dst =
   let q = queue t dst in
   let ready = List.filter (fun e -> e.ready_at <= now) !q in
@@ -105,13 +121,37 @@ let deliver t ~now ~dst =
     | None -> (
       match ready with
       | [] -> None
-      | _ when Rng.float t.rng < lambda_prob -> None
-      | _ -> take_envelope t q (Rng.pick t.rng ready)))
+      | _
+        when t.sched.Scheduler.choose
+               (Scheduler.Deliver_skip { dst; prob = lambda_prob })
+             <> 0 -> None
+      | _ -> (
+        match pick_ready t ~dst ready with
+        | None -> None
+        | Some e -> take_envelope t q e)))
 
 let pending t ~dst = List.length !(queue t dst)
 
 let in_flight t =
   Hashtbl.fold (fun _ q acc -> acc + List.length !q) t.queues 0
+
+let digest t =
+  let qs =
+    Hashtbl.fold
+      (fun dst q acc ->
+        let envs =
+          List.sort (fun a b -> Int.compare a.seq b.seq) !q
+          |> List.map (fun e ->
+                 ( e.src,
+                   Hashtbl.hash_param 256 256 e.payload,
+                   e.seq,
+                   e.ready_at,
+                   e.deadline ))
+        in
+        (dst, envs) :: acc)
+      t.queues []
+  in
+  Hashtbl.hash_param 1024 1024 (List.sort compare qs)
 
 let sent_count t = t.sent
 let delivered_count t = t.delivered

@@ -33,7 +33,11 @@ type policy =
           algorithm of this library must cope.  Processes in no listed
           group form an implicit extra group. *)
 
-val create : policy -> Rng.t -> 'msg t
+(** [create policy sched] builds an empty buffer whose nondeterministic
+    choices (delays, message picks, empty-message substitutions) are
+    resolved by [sched] — pass [Scheduler.random rng] for the classic
+    seeded behaviour. *)
+val create : policy -> Scheduler.t -> 'msg t
 
 (** [send t ~now ~src ~dst msg] enqueues a message. *)
 val send : 'msg t -> now:int -> src:Pid.t -> dst:Pid.t -> 'msg -> unit
@@ -48,6 +52,11 @@ val pending : 'msg t -> dst:Pid.t -> int
 
 (** [in_flight t] counts all undelivered messages. *)
 val in_flight : 'msg t -> int
+
+(** A structural hash of the buffer contents (per-destination envelopes
+    with senders, payloads, timing) — used by the model checker to detect
+    revisited global states. *)
+val digest : 'msg t -> int
 
 (** Number of messages ever sent. *)
 val sent_count : 'msg t -> int

@@ -1,0 +1,66 @@
+type choice =
+  | Round_order of Pid.t list
+  | Send_delay of { src : Pid.t; dst : Pid.t; lo : int; hi : int }
+  | Deliver_pick of { dst : Pid.t; candidates : Pid.t list }
+  | Deliver_skip of { dst : Pid.t; prob : float }
+
+type t = { choose : choice -> int }
+
+let arity = function
+  | Round_order candidates -> List.length candidates
+  | Send_delay { lo; hi; _ } -> max 1 (hi - lo + 1)
+  | Deliver_pick { candidates; _ } -> List.length candidates
+  | Deliver_skip _ -> 2
+
+let clamp c i =
+  let a = arity c in
+  if i < 0 then 0 else if i >= a then a - 1 else i
+
+let random rng =
+  {
+    choose =
+      (fun c ->
+        match c with
+        | Deliver_skip { prob; _ } -> if Rng.float rng < prob then 1 else 0
+        | Round_order _ | Send_delay _ | Deliver_pick _ ->
+          let a = arity c in
+          if a <= 1 then 0 else Rng.int rng a);
+  }
+
+let first = { choose = (fun _ -> 0) }
+
+let of_fun choose = { choose = (fun c -> clamp c (choose c)) }
+
+let recording t =
+  let log = ref [] in
+  let sched = { choose = (fun c -> let i = t.choose c in log := i :: !log; i) } in
+  (sched, fun () -> List.rev !log)
+
+let counting t =
+  let count = ref 0 in
+  let sched = { choose = (fun c -> incr count; t.choose c) } in
+  (sched, fun () -> !count)
+
+let replay choices ~rest =
+  let remaining = ref choices in
+  {
+    choose =
+      (fun c ->
+        match !remaining with
+        | i :: tl ->
+          remaining := tl;
+          clamp c i
+        | [] -> rest.choose c);
+  }
+
+let order t pids =
+  let rec go acc remaining =
+    match remaining with
+    | [] -> List.rev acc
+    | [ p ] -> List.rev (p :: acc)
+    | _ ->
+      let i = clamp (Round_order remaining) (t.choose (Round_order remaining)) in
+      let p = List.nth remaining i in
+      go (p :: acc) (List.filteri (fun j _ -> j <> i) remaining)
+  in
+  go [] pids

@@ -1,0 +1,58 @@
+(** Pluggable resolution of the engine's nondeterministic choice points.
+
+    Every source of nondeterminism in a run — the per-round order in which
+    alive processes take their steps, the delay assigned to each message,
+    which deliverable message a step receives and whether a step receives
+    the empty message instead — is expressed as a [choice] and resolved by
+    a scheduler.  The seeded-RNG scheduler reproduces the classic random
+    simulation; the model checker substitutes recording, replaying and
+    systematically-enumerating schedulers (see [Mc]) without touching the
+    engine or the protocols.
+
+    A scheduler returns the *index* of its selection, in [0 .. arity-1].
+    Replayable schedules are exactly the recorded index sequences. *)
+
+type choice =
+  | Round_order of Pid.t list
+      (** pick which of the remaining candidates steps next this round;
+          the engine asks repeatedly until the round order is fixed *)
+  | Send_delay of { src : Pid.t; dst : Pid.t; lo : int; hi : int }
+      (** pick a message delay in [lo .. hi]: index [i] means [lo + i] *)
+  | Deliver_pick of { dst : Pid.t; candidates : Pid.t list }
+      (** pick which deliverable message (identified by sender, oldest
+          first per sender) a step of [dst] receives *)
+  | Deliver_skip of { dst : Pid.t; prob : float }
+      (** 0 = deliver, 1 = receive the empty message instead; [prob] is
+          the probability a randomized scheduler should give to 1 *)
+
+type t = { choose : choice -> int }
+
+(** Number of alternatives of a choice (always at least 1). *)
+val arity : choice -> int
+
+(** The seeded-RNG scheduler: uniform picks, [Deliver_skip] honours its
+    probability.  With the same [Rng.t] state it is fully deterministic —
+    this is what [Engine.run] uses when no scheduler is supplied. *)
+val random : Rng.t -> t
+
+(** Always picks alternative 0 — the canonical deterministic schedule
+    (round order as listed, minimal delays, oldest sender first). *)
+val first : t
+
+(** Build a scheduler from a function; out-of-range picks are clamped. *)
+val of_fun : (choice -> int) -> t
+
+(** [recording t] wraps [t]; the second component returns all indices
+    chosen so far, oldest first — a replayable schedule. *)
+val recording : t -> t * (unit -> int list)
+
+(** [counting t] wraps [t]; the second component returns how many choices
+    have been resolved so far. *)
+val counting : t -> t * (unit -> int)
+
+(** [replay choices ~rest] follows [choices] (clamped to each arity), then
+    delegates to [rest] once exhausted. *)
+val replay : int list -> rest:t -> t
+
+(** [order t pids] fixes a round order by repeated [Round_order] choices. *)
+val order : t -> Pid.t list -> Pid.t list

@@ -8,7 +8,7 @@ type ('st, 'out) t = {
   ticks : int;
   messages_sent : int;
   messages_delivered : int;
-  stopped : [ `Condition | `Quiescent | `Step_limit ];
+  stopped : [ `Condition | `Quiescent | `Step_limit | `Hook ];
 }
 
 let outputs_of t p =
@@ -49,6 +49,7 @@ let pp pp_out fmt t =
     (match t.stopped with
     | `Condition -> "condition"
     | `Quiescent -> "quiescent"
-    | `Step_limit -> "step-limit")
+    | `Step_limit -> "step-limit"
+    | `Hook -> "hook")
     (Format.pp_print_list pp_event)
     t.outputs

@@ -12,9 +12,10 @@ type ('st, 'out) t = {
   ticks : int;  (** final global time *)
   messages_sent : int;
   messages_delivered : int;
-  stopped : [ `Condition | `Quiescent | `Step_limit ];
+  stopped : [ `Condition | `Quiescent | `Step_limit | `Hook ];
       (** why the run ended: the stop condition held, nothing could change
-          any more, or the step budget ran out. *)
+          any more, the step budget ran out, or the round hook cut the run
+          short (model-checker pruning). *)
 }
 
 (** [outputs_of t p] lists the values output by process [p], oldest first. *)

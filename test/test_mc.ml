@@ -1,0 +1,220 @@
+(* Tier-1 tests for the model-checking subsystem: the exhaustive explorer
+   proves small instances of the paper's algorithms correct, and the same
+   machinery catches planted bugs (broken validity) and the classical 2PC
+   blocking scenario with replayable, shrunk counterexamples. *)
+
+let ff n = Sim.Failure_pattern.failure_free n
+
+(* ---- schedules round-trip ----------------------------------------- *)
+
+let test_schedule_roundtrip () =
+  let cases =
+    [
+      Mc.Schedule.empty;
+      Mc.Schedule.make [ 1; 0; 2; 0 ];
+      Mc.Schedule.make ~crashes:[ (0, 3) ] [];
+      Mc.Schedule.make ~crashes:[ (2, 0); (0, 7) ] [ 0; 0; 1 ];
+    ]
+  in
+  List.iter
+    (fun s ->
+      let s' = Mc.Schedule.of_string (Mc.Schedule.to_string s) in
+      Alcotest.(check string)
+        "schedule round-trips"
+        (Mc.Schedule.to_string s)
+        (Mc.Schedule.to_string s'))
+    cases;
+  Alcotest.check_raises "malformed schedule rejected"
+    (Invalid_argument "Schedule.of_string: cannot parse nonsense") (fun () ->
+      ignore (Mc.Schedule.of_string "nonsense"))
+
+(* ---- the verification direction: no violations exist ---------------- *)
+
+let test_exhaustive_quorum_paxos () =
+  let t = Mc.Targets.quorum_paxos ~n:2 in
+  let r = Mc.Exhaustive.search ~budget:50_000 t ~fp:(ff 2) in
+  Alcotest.(check bool) "space exhausted" true r.Mc.Exhaustive.complete;
+  Alcotest.(check bool)
+    "no violation in any schedule" true
+    (r.Mc.Exhaustive.counterexample = None);
+  Alcotest.(check bool) "explored more than one schedule" true
+    (r.Mc.Exhaustive.schedules > 1)
+
+let test_exhaustive_quorum_paxos_with_crash () =
+  let t = Mc.Targets.quorum_paxos ~n:2 in
+  let r =
+    Mc.Crash_adversary.search ~max_crashes:1 ~horizon:4 ~stride:2
+      ~inner:`Exhaustive ~budget:50_000 t ~n:2
+  in
+  Alcotest.(check bool) "all patterns exhausted" true
+    r.Mc.Crash_adversary.complete;
+  Alcotest.(check bool)
+    "no violation under any failure pattern" true
+    (r.Mc.Crash_adversary.counterexample = None);
+  Alcotest.(check bool) "several patterns tried" true
+    (r.Mc.Crash_adversary.patterns > 1)
+
+let test_exhaustive_abd () =
+  let t = Mc.Targets.abd ~n:2 in
+  let r = Mc.Exhaustive.search ~budget:50_000 t ~fp:(ff 2) in
+  Alcotest.(check bool) "space exhausted" true r.Mc.Exhaustive.complete;
+  Alcotest.(check bool)
+    "every schedule linearizable" true
+    (r.Mc.Exhaustive.counterexample = None)
+
+(* ---- the falsification direction: planted bugs are caught ----------- *)
+
+let test_exhaustive_catches_broken_validity () =
+  let t = Mc.Targets.broken_validity ~n:2 in
+  let r = Mc.Exhaustive.search ~budget:10_000 t ~fp:(ff 2) in
+  match r.Mc.Exhaustive.counterexample with
+  | None -> Alcotest.fail "planted validity bug not found"
+  | Some c ->
+    Alcotest.(check bool) "counterexample was shrunk" true c.Mc.Harness.shrunk;
+    Alcotest.(check bool)
+      "reason names validity" true
+      (String.length c.Mc.Harness.reason >= 8
+      && String.sub c.Mc.Harness.reason 0 8 = "validity");
+    (* the serialized schedule replays to the same violation *)
+    let s = Mc.Schedule.of_string (Mc.Schedule.to_string c.Mc.Harness.schedule) in
+    Alcotest.(check bool) "replay reproduces the violation" true
+      (Mc.Harness.violates t ~n:2 s)
+
+let test_pct_catches_broken_validity () =
+  let t = Mc.Targets.broken_validity ~n:3 in
+  let r = Mc.Pct.search ~budget:200 ~d:3 t ~fp:(ff 3) in
+  match r.Mc.Pct.counterexample with
+  | None -> Alcotest.fail "PCT did not find the planted validity bug"
+  | Some c ->
+    Alcotest.(check bool) "replay reproduces" true
+      (Mc.Harness.violates t ~n:3 c.Mc.Harness.schedule)
+
+let test_crash_adversary_finds_2pc_blocking () =
+  let t = Mc.Targets.two_phase_commit ~n:2 in
+  let r =
+    Mc.Crash_adversary.search ~max_crashes:1 ~horizon:4 ~stride:2
+      ~inner:`Exhaustive ~budget:50_000 t ~n:2
+  in
+  match r.Mc.Crash_adversary.counterexample with
+  | None -> Alcotest.fail "2PC blocking not found by the crash adversary"
+  | Some c ->
+    Alcotest.(check bool)
+      "the blocking run needs a crash" true
+      (c.Mc.Harness.schedule.Mc.Schedule.crashes <> []);
+    Alcotest.(check bool) "counterexample was shrunk" true c.Mc.Harness.shrunk;
+    Alcotest.(check bool)
+      "reason names termination" true
+      (String.length c.Mc.Harness.reason >= 11
+      && String.sub c.Mc.Harness.reason 0 11 = "termination");
+    (* round-trip through the textual form, then replay *)
+    let s = Mc.Schedule.of_string (Mc.Schedule.to_string c.Mc.Harness.schedule) in
+    let rep = Mc.Harness.replay t ~n:2 s in
+    Alcotest.(check bool) "replay reproduces the blocking" true
+      (rep.Mc.Harness.violation <> None)
+
+let test_qc_psi_survives_crash_adversary () =
+  (* the same adversary that breaks 2PC: QC from Psi must stay clean —
+     with a failure it may Quit, without one it must decide a proposal *)
+  let t = Mc.Targets.qc_psi ~n:2 in
+  let r =
+    Mc.Crash_adversary.search ~max_crashes:1 ~horizon:4 ~stride:2
+      ~inner:`Random ~budget:600 ~inner_budget:100 t ~n:2
+  in
+  (match r.Mc.Crash_adversary.counterexample with
+  | None -> ()
+  | Some c ->
+    Alcotest.failf "QC violated: %s"
+      (Format.asprintf "%a" Mc.Harness.pp_counterexample c));
+  Alcotest.(check bool) "several patterns tried" true
+    (r.Mc.Crash_adversary.patterns > 1)
+
+(* ---- shrinking ------------------------------------------------------ *)
+
+let test_shrinker_minimizes () =
+  let t = Mc.Targets.broken_validity ~n:2 in
+  (* pad a violating schedule with junk choices and a redundant crash on
+     process 1 (the bug lives in process 0's output) *)
+  let noisy =
+    Mc.Schedule.make ~crashes:[ (1, 4) ] [ 1; 1; 1; 0; 1; 0; 1; 1; 0; 1 ]
+  in
+  Alcotest.(check bool) "noisy schedule violates" true
+    (Mc.Harness.violates t ~n:2 noisy);
+  let shrunk, replays = Mc.Shrink.minimize
+      ~violates:(fun s -> Mc.Harness.violates t ~n:2 s)
+      noisy
+  in
+  Alcotest.(check bool) "shrunk schedule still violates" true
+    (Mc.Harness.violates t ~n:2 shrunk);
+  Alcotest.(check (list (pair int int))) "redundant crash dropped" []
+    shrunk.Mc.Schedule.crashes;
+  Alcotest.(check int) "all junk choices dropped" 0
+    (Mc.Schedule.length shrunk);
+  Alcotest.(check bool) "within replay budget" true (replays <= 400)
+
+(* ---- core integration ----------------------------------------------- *)
+
+let test_runner_model_check () =
+  (match
+     Core.Runner.model_check ~budget:50_000 "cons.quorum_paxos" ~n:2
+       ~explorer:`Exhaustive ~seed:1
+   with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+    Alcotest.(check bool) "quorum paxos clean" true
+      (s.Core.Runner.counterexample = None);
+    Alcotest.(check bool) "exhausted" true s.Core.Runner.exhausted);
+  (match Core.Runner.model_check "no.such.target" ~n:2 ~explorer:`Random ~seed:1 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown target accepted");
+  match
+    Core.Runner.model_check_scenario ~budget:5_000 "cons.broken_validity"
+      ~explorer:`Exhaustive ~seed:1
+      (Core.Scenario.failure_free ~n:2)
+  with
+  | Error e -> Alcotest.fail e
+  | Ok s -> (
+    match s.Core.Runner.counterexample with
+    | None -> Alcotest.fail "scenario model check missed the planted bug"
+    | Some c ->
+      let r =
+        Core.Runner.mc_replay "cons.broken_validity" ~n:2 ~seed:1
+          ~schedule:(Mc.Schedule.to_string c.Mc.Harness.schedule)
+      in
+      (match r with
+      | Error e -> Alcotest.fail e
+      | Ok rep ->
+        Alcotest.(check bool) "CLI-level replay reproduces" true
+          (rep.Core.Runner.re_violation <> None)))
+
+let () =
+  Alcotest.run "mc"
+    [
+      ( "schedule",
+        [ Alcotest.test_case "round-trip" `Quick test_schedule_roundtrip ] );
+      ( "exhaustive",
+        [
+          Alcotest.test_case "quorum-paxos n=2 clean" `Quick
+            test_exhaustive_quorum_paxos;
+          Alcotest.test_case "quorum-paxos n=2 clean under crashes" `Quick
+            test_exhaustive_quorum_paxos_with_crash;
+          Alcotest.test_case "abd n=2 linearizable" `Quick test_exhaustive_abd;
+          Alcotest.test_case "broken validity caught + replay" `Quick
+            test_exhaustive_catches_broken_validity;
+        ] );
+      ( "pct",
+        [
+          Alcotest.test_case "broken validity caught" `Quick
+            test_pct_catches_broken_validity;
+        ] );
+      ( "crash-adversary",
+        [
+          Alcotest.test_case "2pc blocking found + replay" `Quick
+            test_crash_adversary_finds_2pc_blocking;
+          Alcotest.test_case "qc from psi survives" `Quick
+            test_qc_psi_survives_crash_adversary;
+        ] );
+      ( "shrink",
+        [ Alcotest.test_case "greedy minimization" `Quick test_shrinker_minimizes ] );
+      ( "core",
+        [ Alcotest.test_case "runner integration" `Quick test_runner_model_check ] );
+    ]

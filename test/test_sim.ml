@@ -178,6 +178,36 @@ let test_engine_determinism () =
     (Sim.Trace.decision_times t1)
     (Sim.Trace.decision_times t2)
 
+(* With the scheduler refactor, all run nondeterminism flows through one
+   [Scheduler.t]: equal (config, seed) must give *byte-identical* traces,
+   whatever the delivery policy.  Serialized with closures so the comparison
+   covers outputs, final states and every counter. *)
+let test_engine_byte_determinism () =
+  let fp = Sim.Failure_pattern.make ~n:5 [ (1, 3) ] in
+  let bytes_of trace = Marshal.to_bytes trace [ Marshal.Closures ] in
+  List.iter
+    (fun (name, policy) ->
+      let t1 = run_flood ~policy ~seed:99 fp
+      and t2 = run_flood ~policy ~seed:99 fp in
+      Alcotest.(check bool)
+        (name ^ ": byte-identical traces")
+        true
+        (Bytes.equal (bytes_of t1) (bytes_of t2));
+      let t3 = run_flood ~policy ~seed:100 fp in
+      ignore t3)
+    [
+      ("fifo", Sim.Network.Fifo);
+      ( "random-delay",
+        Sim.Network.Random_delay { max_delay = 7; lambda_prob = 0.3 } );
+      ("partial-synchrony", Sim.Network.Partial_synchrony { gst = 40; delta = 3 });
+      ( "partition",
+        Sim.Network.Partition
+          {
+            groups = [ Sim.Pidset.of_list [ 0; 1; 2 ] ];
+            heal_at = 20;
+          } );
+    ]
+
 let test_engine_crashed_never_steps () =
   (* Process 2 crashes at time 0: it must never output. *)
   let fp = Sim.Failure_pattern.make ~n:4 [ (2, 0) ] in
@@ -199,7 +229,7 @@ let test_engine_quiescence () =
   let trace = Sim.Engine.run cfg idle in
   (match trace.Sim.Trace.stopped with
   | `Quiescent -> ()
-  | `Condition | `Step_limit -> Alcotest.fail "expected quiescence");
+  | `Condition | `Step_limit | `Hook -> Alcotest.fail "expected quiescence");
   Alcotest.(check bool) "few steps" true (trace.Sim.Trace.steps < 100)
 
 let test_engine_inputs_delivered () =
@@ -244,7 +274,9 @@ let test_network_partition_freezes_cross_traffic () =
     [ Sim.Pidset.of_list [ 0; 1 ]; Sim.Pidset.of_list [ 2; 3 ] ]
   in
   let net =
-    Sim.Network.create (Sim.Network.Partition { groups; heal_at = 100 }) rng
+    Sim.Network.create
+      (Sim.Network.Partition { groups; heal_at = 100 })
+      (Sim.Scheduler.random rng)
   in
   (* Cross-group message at t=5: not deliverable before the heal. *)
   Sim.Network.send net ~now:5 ~src:0 ~dst:2 "x";
@@ -347,7 +379,7 @@ let prop_network_delivers =
         | _ -> Sim.Network.Partial_synchrony { gst = 30; delta = 2 }
       in
       let rng = Sim.Rng.make (seed + 1) in
-      let net = Sim.Network.create policy rng in
+      let net = Sim.Network.create policy (Sim.Scheduler.random rng) in
       (* Send 30 messages to pid 0 at various times, then step pid 0 until
          drained. *)
       for i = 1 to 30 do
@@ -412,6 +444,8 @@ let () =
           Alcotest.test_case "flood under policies" `Quick
             test_engine_flood_policies;
           Alcotest.test_case "determinism" `Quick test_engine_determinism;
+          Alcotest.test_case "byte-identical determinism" `Quick
+            test_engine_byte_determinism;
           Alcotest.test_case "crashed never steps" `Quick
             test_engine_crashed_never_steps;
           Alcotest.test_case "quiescence" `Quick test_engine_quiescence;
