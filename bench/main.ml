@@ -346,6 +346,29 @@ let mc_throughput_workloads =
         in
         (r.Mc.Crash_adversary.schedules, r.Mc.Crash_adversary.steps) );
   ]
+  (* the same exhaustive abd workload through the deterministic parallel
+     explorer, one row per domain count — the scaling contract is
+     domains4 >= 2x domains1 schedules/sec on a multicore machine *)
+  @ List.map
+      (fun domains ->
+        ( Printf.sprintf "mc_exhaustive_abd_n2_domains%d" domains,
+          fun () ->
+            let opts =
+              {
+                Mc.Harness.default_opts with
+                Mc.Harness.domains;
+                budget = 50_000;
+                inner_budget = 50_000;
+                shrink = false;
+              }
+            in
+            let r =
+              Mc.Parallel.search ~opts
+                ~fps:[ Sim.Failure_pattern.failure_free 2 ]
+                (Mc.Targets.abd ~n:2) ~n:2
+            in
+            (r.Mc.Crash_adversary.schedules, r.Mc.Crash_adversary.steps) ))
+      [ 1; 2; 4 ]
 
 let bench_json_file = "BENCH_weakest_fd.json"
 

@@ -34,12 +34,8 @@ let replay_schedule name ~n ~seed spec =
       Format.printf "no violation@.";
       0)
 
-let explore name ~n ~explorer ~budget ~depth ~seed ~max_crashes ~horizon
-    ~stride ~shrink =
-  match
-    Core.Runner.model_check ~budget ~max_crashes ~horizon ~stride ~d:depth
-      ~shrink name ~n ~explorer ~seed
-  with
+let explore name ~n ~(opts : Core.Runner.mc_opts) =
+  match Core.Runner.model_check ~opts name ~n with
   | Error e ->
     Printf.eprintf "mc: %s\n" e;
     124
@@ -47,8 +43,8 @@ let explore name ~n ~explorer ~budget ~depth ~seed ~max_crashes ~horizon
     Format.printf "%a@." Core.Runner.pp_mc_summary s;
     (match s.Core.Runner.counterexample with Some _ -> 1 | None -> 0)
 
-let run list protocol n explorer budget depth seed max_crashes horizon stride
-    no_shrink replay =
+let run list protocol n explorer domains budget depth seed max_crashes horizon
+    stride no_shrink replay =
   if list then list_targets ()
   else
     match protocol with
@@ -59,8 +55,21 @@ let run list protocol n explorer budget depth seed max_crashes horizon stride
       match replay with
       | Some spec -> replay_schedule name ~n ~seed spec
       | None ->
-        explore name ~n ~explorer ~budget ~depth ~seed ~max_crashes ~horizon
-          ~stride ~shrink:(not no_shrink))
+        let opts =
+          {
+            Core.Runner.mc_default_opts with
+            Core.Runner.explorer;
+            domains;
+            budget;
+            d = depth;
+            seed;
+            max_crashes;
+            horizon;
+            stride;
+            shrink = not no_shrink;
+          }
+        in
+        explore name ~n ~opts)
 
 open Cmdliner
 
@@ -87,6 +96,14 @@ let explorer_t =
     & info [ "explorer"; "e" ] ~docv:"KIND"
         ~doc:"Schedule explorer: $(b,exhaustive), $(b,pct) or $(b,random).")
 
+let domains_t =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel exploration (results are identical \
+           for every N, including 1).")
+
 let budget_t =
   Arg.(
     value & opt int 100_000
@@ -94,9 +111,12 @@ let budget_t =
 
 let depth_t =
   Arg.(
-    value & opt int 3
+    value
+    & opt (some int) None
     & info [ "depth"; "d" ] ~docv:"D"
-        ~doc:"PCT bug depth (number of ordering constraints).")
+        ~doc:
+          "PCT bug depth (number of ordering constraints); only valid with \
+           $(b,--explorer pct).")
 
 let seed_t =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Base seed.")
@@ -136,7 +156,8 @@ let cmd =
   Cmd.v
     (Cmd.info "mc" ~doc)
     Term.(
-      const run $ list_t $ protocol_t $ n_t $ explorer_t $ budget_t $ depth_t
-      $ seed_t $ max_crashes_t $ horizon_t $ stride_t $ no_shrink_t $ replay_t)
+      const run $ list_t $ protocol_t $ n_t $ explorer_t $ domains_t
+      $ budget_t $ depth_t $ seed_t $ max_crashes_t $ horizon_t $ stride_t
+      $ no_shrink_t $ replay_t)
 
 let () = exit (Cmd.eval' cmd)

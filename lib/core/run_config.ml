@@ -1,0 +1,12 @@
+type t = {
+  policy : Sim.Network.policy;
+  max_steps : int option;
+  seed : int;
+}
+
+let make ?(policy = Sim.Network.Fifo) ?max_steps ~seed () =
+  { policy; max_steps; seed }
+
+let default = make ~seed:1 ()
+
+let steps t ~default = match t.max_steps with Some s -> s | None -> default

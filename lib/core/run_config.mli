@@ -1,0 +1,25 @@
+(** Engine-level plumbing shared by every {!Runner} workload.
+
+    Every runner used to thread its own [?policy]/[?max_steps]/[~seed]
+    triple; this record carries them once so a workload can be described
+    separately from how it is driven ([Runner.run]). *)
+
+type t = {
+  policy : Sim.Network.policy;
+      (** message-delivery policy (only the message-passing engine reads
+          it; shared-memory and extraction workloads ignore it) *)
+  max_steps : int option;
+      (** engine step bound; [None] = the workload's own default *)
+  seed : int;  (** root seed for oracles, schedulers and workloads *)
+}
+
+(** [make ~seed ()] builds a config; [policy] defaults to FIFO and
+    [max_steps] to the per-workload default. *)
+val make :
+  ?policy:Sim.Network.policy -> ?max_steps:int -> seed:int -> unit -> t
+
+(** FIFO, per-workload default steps, seed 1. *)
+val default : t
+
+(** [steps t ~default] resolves the step bound. *)
+val steps : t -> default:int -> int

@@ -34,6 +34,30 @@ let consensus_algo_name = function
   | Chandra_toueg -> "chandra-toueg"
   | Multivalued w -> Printf.sprintf "multivalued-%db" w
 
+type nbac_algo = Nbac_psi_fs | Two_phase_commit
+
+let nbac_algo_name = function
+  | Nbac_psi_fs -> "nbac/qc+fs"
+  | Two_phase_commit -> "2pc"
+
+type workload =
+  | Consensus of {
+      algo : consensus_algo;
+      proposals : (Sim.Pid.t * int) list option;
+    }
+  | Quittable_consensus of { mode : Fd.Psi.mode option }
+  | Nbac of {
+      algo : nbac_algo;
+      votes : (Sim.Pid.t * Qcnbac.Types.vote) list option;
+    }
+  | Registers of {
+      ops_per_proc : int;
+      registers : int;
+      quorums : [ `Sigma | `Majority ];
+    }
+  | Sigma_extraction
+  | Psi_extraction of { rounds : int; chunk : int }
+
 let default_proposals n = List.map (fun p -> (p, p mod 2)) (Sim.Pid.all n)
 
 let inputs_at_zero xs = List.map (fun (p, v) -> (0, p, v)) xs
@@ -57,8 +81,11 @@ let mk_summary ~algorithm ~detector ~(scenario : Scenario.t) ~spec_ok
     messages = trace.Sim.Trace.messages_sent;
   }
 
-let run_consensus ?(policy = Sim.Network.Fifo) ?(max_steps = 150_000)
-    ?proposals algo (scenario : Scenario.t) ~seed =
+let run_consensus_w (cfg : Run_config.t) algo proposals
+    (scenario : Scenario.t) =
+  let policy = cfg.Run_config.policy in
+  let seed = cfg.Run_config.seed in
+  let max_steps = Run_config.steps cfg ~default:150_000 in
   let fp = scenario.Scenario.fp in
   let n = Sim.Failure_pattern.n fp in
   let proposals =
@@ -144,7 +171,9 @@ let qc_decision_string decisions =
              d)
          ds)
 
-let run_qc ?(max_steps = 150_000) ?mode (scenario : Scenario.t) ~seed =
+let run_qc_w (cfg : Run_config.t) mode (scenario : Scenario.t) =
+  let seed = cfg.Run_config.seed in
+  let max_steps = Run_config.steps cfg ~default:150_000 in
   let fp = scenario.Scenario.fp in
   let n = Sim.Failure_pattern.n fp in
   let proposals = default_proposals n in
@@ -155,7 +184,7 @@ let run_qc ?(max_steps = 150_000) ?mode (scenario : Scenario.t) ~seed =
   in
   let psi = Fd.Oracle.history oracle fp ~seed in
   let cfg =
-    Sim.Engine.config ~seed ~max_steps
+    Sim.Engine.config ~policy:cfg.Run_config.policy ~seed ~max_steps
       ~inputs:(inputs_at_zero proposals)
       ~stop:(Sim.Engine.stop_when_all_correct_output fp)
       ~detect_quiescence:false ~fd:psi fp
@@ -166,12 +195,6 @@ let run_qc ?(max_steps = 150_000) ?mode (scenario : Scenario.t) ~seed =
     ~scenario
     ~spec_ok:(Qcnbac.Qc_spec.check ~proposals ~decisions fp)
     ~decision:(qc_decision_string decisions) trace
-
-type nbac_algo = Nbac_psi_fs | Two_phase_commit
-
-let nbac_algo_name = function
-  | Nbac_psi_fs -> "nbac/qc+fs"
-  | Two_phase_commit -> "2pc"
 
 let outcome_string decisions =
   match
@@ -184,8 +207,10 @@ let outcome_string decisions =
          (fun d -> Format.asprintf "%a" Qcnbac.Types.pp_outcome d)
          ds)
 
-let run_nbac ?(max_steps = 150_000) ?votes algo (scenario : Scenario.t) ~seed
-    =
+let run_nbac_w (cfg : Run_config.t) algo votes (scenario : Scenario.t) =
+  let policy = cfg.Run_config.policy in
+  let seed = cfg.Run_config.seed in
+  let max_steps = Run_config.steps cfg ~default:150_000 in
   let fp = scenario.Scenario.fp in
   let n = Sim.Failure_pattern.n fp in
   let votes =
@@ -206,7 +231,7 @@ let run_nbac ?(max_steps = 150_000) ?votes algo (scenario : Scenario.t) ~seed
     let psi = Fd.Oracle.history Fd.Psi.oracle fp ~seed in
     let fs = Fd.Oracle.history Fd.Fs.oracle fp ~seed:(seed + 1) in
     let cfg =
-      Sim.Engine.config ~seed ~max_steps ~inputs ~stop
+      Sim.Engine.config ~policy ~seed ~max_steps ~inputs ~stop
         ~detect_quiescence:false
         ~fd:(fun p t -> (psi p t, fs p t))
         fp
@@ -214,7 +239,7 @@ let run_nbac ?(max_steps = 150_000) ?votes algo (scenario : Scenario.t) ~seed
     finish "(Psi,FS)" (Sim.Engine.run cfg Qcnbac.Nbac_from_qc.protocol)
   | Two_phase_commit ->
     let cfg =
-      Sim.Engine.config ~seed ~max_steps ~inputs ~stop
+      Sim.Engine.config ~policy ~seed ~max_steps ~inputs ~stop
         ~detect_quiescence:false
         ~fd:(fun _ _ -> ())
         fp
@@ -234,8 +259,10 @@ let register_workload ~rng ~n ~registers ~ops_per_proc =
           (time, p, input)))
     (Sim.Pid.all n)
 
-let run_register_workload ?(max_steps = 80_000) ?(ops_per_proc = 3)
-    ?(registers = 2) ?(quorums = `Sigma) (scenario : Scenario.t) ~seed =
+let run_registers_w (cfg : Run_config.t) ~ops_per_proc ~registers ~quorums
+    (scenario : Scenario.t) =
+  let seed = cfg.Run_config.seed in
+  let max_steps = Run_config.steps cfg ~default:80_000 in
   let fp = scenario.Scenario.fp in
   let n = Sim.Failure_pattern.n fp in
   let fd, detector =
@@ -267,11 +294,11 @@ let run_register_workload ?(max_steps = 80_000) ?(ops_per_proc = 3)
       (fun p -> responded p >= ops_per_proc)
       (Sim.Failure_pattern.correct fp)
   in
-  let cfg =
-    Sim.Engine.config ~seed ~max_steps ~inputs ~stop ~detect_quiescence:false
-      ~fd fp
+  let ecfg =
+    Sim.Engine.config ~policy:cfg.Run_config.policy ~seed ~max_steps ~inputs
+      ~stop ~detect_quiescence:false ~fd fp
   in
-  let trace = Sim.Engine.run cfg (Regs.Abd.protocol ~registers) in
+  let trace = Sim.Engine.run ecfg (Regs.Abd.protocol ~registers) in
   let lin = Regs.Linearizability.check_trace trace in
   {
     algorithm = "abd-registers";
@@ -285,13 +312,16 @@ let run_register_workload ?(max_steps = 80_000) ?(ops_per_proc = 3)
     messages = trace.Sim.Trace.messages_sent;
   }
 
-let run_sigma_extraction ?(max_steps = 60_000) (scenario : Scenario.t) ~seed =
+let run_sigma_extraction_w (cfg : Run_config.t) (scenario : Scenario.t) =
+  let seed = cfg.Run_config.seed in
+  let max_steps = Run_config.steps cfg ~default:60_000 in
   let fp = scenario.Scenario.fp in
   let sigma = Fd.Oracle.history Fd.Sigma.oracle fp ~seed in
-  let cfg =
-    Sim.Engine.config ~seed ~max_steps ~detect_quiescence:false ~fd:sigma fp
+  let ecfg =
+    Sim.Engine.config ~policy:cfg.Run_config.policy ~seed ~max_steps
+      ~detect_quiescence:false ~fd:sigma fp
   in
-  let trace = Sim.Engine.run cfg Extract.Sigma_extraction.protocol in
+  let trace = Sim.Engine.run ecfg Extract.Sigma_extraction.protocol in
   let samples =
     List.map
       (fun (e : Sim.Pidset.t Sim.Trace.event) -> (e.pid, e.time, e.value))
@@ -310,10 +340,12 @@ let run_sigma_extraction ?(max_steps = 60_000) (scenario : Scenario.t) ~seed =
     messages = trace.Sim.Trace.messages_sent;
   }
 
-let run_psi_extraction ?(rounds = 3) ?(chunk = 220) (scenario : Scenario.t)
-    ~seed =
+let run_psi_extraction_w (cfg : Run_config.t) ~rounds ~chunk
+    (scenario : Scenario.t) =
   let fp = scenario.Scenario.fp in
-  let result = Extract.Psi_extraction.run ~fp ~seed ~rounds ~chunk in
+  let result =
+    Extract.Psi_extraction.run ~fp ~seed:cfg.Run_config.seed ~rounds ~chunk
+  in
   let spec_ok = Extract.Psi_extraction.check fp result in
   {
     algorithm = "extract-psi";
@@ -330,15 +362,72 @@ let run_psi_extraction ?(rounds = 3) ?(chunk = 220) (scenario : Scenario.t)
     messages = 0;
   }
 
+let run cfg workload scenario =
+  match workload with
+  | Consensus { algo; proposals } -> run_consensus_w cfg algo proposals scenario
+  | Quittable_consensus { mode } -> run_qc_w cfg mode scenario
+  | Nbac { algo; votes } -> run_nbac_w cfg algo votes scenario
+  | Registers { ops_per_proc; registers; quorums } ->
+    run_registers_w cfg ~ops_per_proc ~registers ~quorums scenario
+  | Sigma_extraction -> run_sigma_extraction_w cfg scenario
+  | Psi_extraction { rounds; chunk } ->
+    run_psi_extraction_w cfg ~rounds ~chunk scenario
+
+(* Historical per-problem entry points, now thin wrappers over [run]. *)
+
+let run_consensus ?(policy = Sim.Network.Fifo) ?max_steps ?proposals algo
+    scenario ~seed =
+  run
+    (Run_config.make ~policy ?max_steps ~seed ())
+    (Consensus { algo; proposals })
+    scenario
+
+let run_qc ?max_steps ?mode scenario ~seed =
+  run
+    (Run_config.make ?max_steps ~seed ())
+    (Quittable_consensus { mode })
+    scenario
+
+let run_nbac ?max_steps ?votes algo scenario ~seed =
+  run (Run_config.make ?max_steps ~seed ()) (Nbac { algo; votes }) scenario
+
+let run_register_workload ?max_steps ?(ops_per_proc = 3) ?(registers = 2)
+    ?(quorums = `Sigma) scenario ~seed =
+  run
+    (Run_config.make ?max_steps ~seed ())
+    (Registers { ops_per_proc; registers; quorums })
+    scenario
+
+let run_sigma_extraction ?max_steps scenario ~seed =
+  run (Run_config.make ?max_steps ~seed ()) Sigma_extraction scenario
+
+let run_psi_extraction ?(rounds = 3) ?(chunk = 220) scenario ~seed =
+  run
+    (Run_config.make ~seed ())
+    (Psi_extraction { rounds; chunk })
+    scenario
+
 (* ------------------------------------------------------------------ *)
 (* Model checking (the Mc subsystem) over the registered targets.      *)
 
-type mc_explorer = [ `Exhaustive | `Pct | `Random ]
+type mc_explorer = Mc.Harness.explorer
 
-let mc_explorer_name = function
-  | `Exhaustive -> "exhaustive"
-  | `Pct -> "pct"
-  | `Random -> "random"
+let mc_explorer_name = Mc.Harness.explorer_name
+
+type mc_opts = Mc.Harness.opts = {
+  explorer : Mc.Harness.explorer;
+  domains : int;
+  budget : int;
+  inner_budget : int;
+  max_crashes : int;
+  horizon : int;
+  stride : int;
+  d : int option;
+  shrink : bool;
+  seed : int;
+}
+
+let mc_default_opts = Mc.Harness.default_opts
 
 type mc_summary = {
   target : string;
@@ -362,106 +451,45 @@ let pp_mc_summary fmt s =
          Format.fprintf fmt "@ %a" Mc.Harness.pp_counterexample c))
     s.counterexample
 
-let model_check ?(budget = 20_000) ?(max_crashes = 1) ?(horizon = 4)
-    ?(stride = 2) ?(d = 3) ?(shrink = true) name ~n ~explorer ~seed =
-  match Mc.Targets.find name ~n with
-  | None ->
-    Error
-      (Printf.sprintf "unknown target %S (known: %s)" name
-         (String.concat ", " Mc.Targets.names))
-  | Some (Mc.Targets.Packed t) ->
-    let r =
-      Mc.Crash_adversary.search ~max_crashes ~horizon ~stride ~inner:explorer
-        ~budget ~d ~shrink ~seed t ~n
-    in
-    Ok
-      {
-        target = name;
-        explorer = mc_explorer_name explorer;
-        patterns = r.Mc.Crash_adversary.patterns;
-        schedules = r.Mc.Crash_adversary.schedules;
-        mc_steps = r.Mc.Crash_adversary.steps;
-        exhausted = r.Mc.Crash_adversary.complete;
-        counterexample = r.Mc.Crash_adversary.counterexample;
-      }
+let summarize name (opts : Mc.Harness.opts) (r : Mc.Crash_adversary.report) =
+  {
+    target = name;
+    explorer = Mc.Harness.explorer_name opts.Mc.Harness.explorer;
+    patterns = r.Mc.Crash_adversary.patterns;
+    schedules = r.Mc.Crash_adversary.schedules;
+    mc_steps = r.Mc.Crash_adversary.steps;
+    exhausted = r.Mc.Crash_adversary.complete;
+    counterexample = r.Mc.Crash_adversary.counterexample;
+  }
 
-let model_check_scenario ?(budget = 20_000) ?(d = 3) ?(shrink = true)
-    name ~explorer ~seed (scenario : Scenario.t) =
-  let n = scenario.Scenario.n in
-  let fp = scenario.Scenario.fp in
-  match Mc.Targets.find name ~n with
-  | None ->
-    Error
-      (Printf.sprintf "unknown target %S (known: %s)" name
-         (String.concat ", " Mc.Targets.names))
-  | Some (Mc.Targets.Packed t) -> (
-    match explorer with
-    | `Exhaustive ->
-      let r = Mc.Exhaustive.search ~budget ~shrink ~seed t ~fp in
-      Ok
-        {
-          target = name;
-          explorer = "exhaustive";
-          patterns = 1;
-          schedules = r.Mc.Exhaustive.schedules;
-          mc_steps = r.Mc.Exhaustive.steps;
-          exhausted = r.Mc.Exhaustive.complete;
-          counterexample = r.Mc.Exhaustive.counterexample;
-        }
-    | `Pct ->
-      let r = Mc.Pct.search ~budget ~d ~shrink ~seed t ~fp in
-      Ok
-        {
-          target = name;
-          explorer = "pct";
-          patterns = 1;
-          schedules = r.Mc.Pct.schedules;
-          mc_steps = r.Mc.Pct.steps;
-          exhausted = false;
-          counterexample = r.Mc.Pct.counterexample;
-        }
-    | `Random ->
-      let rng = Sim.Rng.make seed in
-      let schedules = ref 0 and steps = ref 0 and found = ref None in
-      while !found = None && !schedules < budget do
-        incr schedules;
-        let r =
-          Mc.Harness.run ~seed t ~fp
-            (Sim.Scheduler.random (Sim.Rng.split rng !schedules))
-        in
-        steps := !steps + r.Mc.Harness.steps;
-        match r.Mc.Harness.violation with
-        | Some reason ->
-          let c =
-            {
-              Mc.Harness.target = name;
-              n;
-              seed;
-              schedule = Mc.Schedule.of_fp fp r.Mc.Harness.choices;
-              reason;
-              shrunk = false;
-            }
-          in
-          let c =
-            if not shrink then c
-            else
-              let violates s = Mc.Harness.violates ~seed t ~n s in
-              let schedule, _ = Mc.Shrink.minimize ~violates c.Mc.Harness.schedule in
-              { c with Mc.Harness.schedule; shrunk = true }
-          in
-          found := Some c
-        | None -> ()
-      done;
-      Ok
-        {
-          target = name;
-          explorer = "random";
-          patterns = 1;
-          schedules = !schedules;
-          mc_steps = !steps;
-          exhausted = false;
-          counterexample = !found;
-        })
+let model_check ?(opts = Mc.Harness.default_opts) name ~n =
+  match Mc.Harness.validate_opts opts with
+  | Error e -> Error e
+  | Ok () -> (
+    match Mc.Targets.find name ~n with
+    | None ->
+      Error
+        (Printf.sprintf "unknown target %S (known: %s)" name
+           (String.concat ", " Mc.Targets.names))
+    | Some (Mc.Targets.Packed t) ->
+      Ok (summarize name opts (Mc.Parallel.search ~opts t ~n)))
+
+let model_check_scenario ?(opts = Mc.Harness.default_opts) name
+    (scenario : Scenario.t) =
+  match Mc.Harness.validate_opts opts with
+  | Error e -> Error e
+  | Ok () -> (
+    let n = scenario.Scenario.n in
+    let fp = scenario.Scenario.fp in
+    match Mc.Targets.find name ~n with
+    | None ->
+      Error
+        (Printf.sprintf "unknown target %S (known: %s)" name
+           (String.concat ", " Mc.Targets.names))
+    | Some (Mc.Targets.Packed t) ->
+      (* the single fixed pattern gets the whole budget *)
+      let opts = { opts with Mc.Harness.inner_budget = opts.Mc.Harness.budget } in
+      Ok (summarize name opts (Mc.Parallel.search ~opts ~fps:[ fp ] t ~n)))
 
 (* Re-exports so the [mc] executable (whose compilation unit shadows the
    [Mc] library module) can stay entirely within [Core]. *)

@@ -1,6 +1,10 @@
 (** One-call runners for every algorithm in the library, returning a uniform
     summary — the workhorse behind the examples, the experiment tables and
-    the benchmarks. *)
+    the benchmarks.
+
+    The unified entry point is {!run}: a {!Run_config.t} (engine plumbing)
+    applied to a {!workload} (what to execute) under a {!Scenario.t}.  The
+    historical [run_*] functions survive as thin wrappers. *)
 
 (** Outcome of one run. *)
 type summary = {
@@ -29,8 +33,45 @@ type consensus_algo =
 
 val consensus_algo_name : consensus_algo -> string
 
-(** [run_consensus algo scenario ~seed ~proposals] runs one consensus
-    instance.  Proposals default to alternating 0/1. *)
+(** NBAC solutions. *)
+type nbac_algo =
+  | Nbac_psi_fs  (** NBAC from QC + FS (Figure 4), on (Ψ, FS) *)
+  | Two_phase_commit  (** blocking baseline *)
+
+val nbac_algo_name : nbac_algo -> string
+
+(** What to execute: each constructor names one of the paper's problems
+    with its problem-specific inputs ([None] = the historical default).
+    Engine plumbing (policy, step bound, seed) lives in {!Run_config.t}. *)
+type workload =
+  | Consensus of {
+      algo : consensus_algo;
+      proposals : (Sim.Pid.t * int) list option;
+          (** default: alternating 0/1 *)
+    }
+  | Quittable_consensus of { mode : Fd.Psi.mode option }
+      (** [mode] forces the Ψ branch; [None] lets the oracle choose *)
+  | Nbac of {
+      algo : nbac_algo;
+      votes : (Sim.Pid.t * Qcnbac.Types.vote) list option;
+          (** default: everyone votes Yes *)
+    }
+  | Registers of {
+      ops_per_proc : int;
+      registers : int;
+      quorums : [ `Sigma | `Majority ];
+          (** quorum source: Σ oracle or fixed majorities *)
+    }
+  | Sigma_extraction  (** Figure 1 transformation, checked against Σ *)
+  | Psi_extraction of { rounds : int; chunk : int }
+      (** Figure 3 transformation, checked against Ψ *)
+
+(** [run cfg workload scenario] executes one workload instance and checks
+    its problem specification.  ([Psi_extraction] drives its own engine
+    instances: it ignores [cfg.policy] and [cfg.max_steps].) *)
+val run : Run_config.t -> workload -> Scenario.t -> summary
+
+(** @deprecated Thin wrapper over {!run} with [Consensus]; prefer [run]. *)
 val run_consensus :
   ?policy:Sim.Network.policy ->
   ?max_steps:int ->
@@ -40,8 +81,7 @@ val run_consensus :
   seed:int ->
   summary
 
-(** [run_qc scenario ~seed ~mode] runs quittable consensus from Ψ; [mode]
-    forces the Ψ branch ([None] lets the oracle choose). *)
+(** @deprecated Thin wrapper over {!run} with [Quittable_consensus]. *)
 val run_qc :
   ?max_steps:int ->
   ?mode:Fd.Psi.mode ->
@@ -49,13 +89,7 @@ val run_qc :
   seed:int ->
   summary
 
-(** NBAC solutions. *)
-type nbac_algo =
-  | Nbac_psi_fs  (** NBAC from QC + FS (Figure 4), on (Ψ, FS) *)
-  | Two_phase_commit  (** blocking baseline *)
-
-val nbac_algo_name : nbac_algo -> string
-
+(** @deprecated Thin wrapper over {!run} with [Nbac]. *)
 val run_nbac :
   ?max_steps:int ->
   ?votes:(Sim.Pid.t * Qcnbac.Types.vote) list ->
@@ -64,9 +98,7 @@ val run_nbac :
   seed:int ->
   summary
 
-(** [run_register_workload scenario ~seed ~ops_per_proc ~registers ~quorums]
-    runs a read/write workload over ABD and checks linearizability.
-    [quorums] picks the quorum source: Σ oracle or fixed majorities. *)
+(** @deprecated Thin wrapper over {!run} with [Registers]. *)
 val run_register_workload :
   ?max_steps:int ->
   ?ops_per_proc:int ->
@@ -76,22 +108,44 @@ val run_register_workload :
   seed:int ->
   summary
 
-(** [run_sigma_extraction scenario ~seed] runs the Figure 1 transformation
-    and checks the emitted quorums against the Σ spec. *)
+(** @deprecated Thin wrapper over {!run} with [Sigma_extraction]. *)
 val run_sigma_extraction :
   ?max_steps:int -> Scenario.t -> seed:int -> summary
 
-(** [run_psi_extraction scenario ~seed] runs the Figure 3 transformation
-    and checks the emitted stream against the Ψ spec. *)
+(** @deprecated Thin wrapper over {!run} with [Psi_extraction]. *)
 val run_psi_extraction :
   ?rounds:int -> ?chunk:int -> Scenario.t -> seed:int -> summary
 
-(** {2 Model checking} *)
+(** {2 Model checking}
+
+    The search knobs live in a single {!Mc.Harness.opts} record
+    (re-exported here as {!mc_opts} so the [mc] executable — whose own
+    compilation unit shadows the [Mc] library module — never needs the
+    [Mc] path).  All domain counts, including 1, run through the
+    deterministic parallel explorer {!Mc.Parallel}: the summary is
+    bit-identical whatever [opts.domains] is. *)
 
 (** Inner schedule explorer of the [Mc] subsystem. *)
-type mc_explorer = [ `Exhaustive | `Pct | `Random ]
+type mc_explorer = Mc.Harness.explorer
 
 val mc_explorer_name : mc_explorer -> string
+
+(** Re-export of {!Mc.Harness.opts}. *)
+type mc_opts = Mc.Harness.opts = {
+  explorer : Mc.Harness.explorer;
+  domains : int;
+  budget : int;
+  inner_budget : int;
+  max_crashes : int;
+  horizon : int;
+  stride : int;
+  d : int option;
+  shrink : bool;
+  seed : int;
+}
+
+(** {!Mc.Harness.default_opts}. *)
+val mc_default_opts : mc_opts
 
 type mc_summary = {
   target : string;
@@ -105,35 +159,22 @@ type mc_summary = {
 
 val pp_mc_summary : Format.formatter -> mc_summary -> unit
 
-(** [model_check name ~n ~explorer ~seed] runs the crash-injection
-    adversary (patterns with at most [max_crashes] crashes on the
-    [stride]-spaced time grid up to [horizon]) with the given inner
-    schedule explorer against the registered target [name] (see
-    {!Mc.Targets.names}).  [Error _] on an unknown target name. *)
+(** [model_check ?opts name ~n] runs the crash-injection adversary
+    (patterns with at most [opts.max_crashes] crashes on the
+    [opts.stride]-spaced time grid up to [opts.horizon]) with the
+    configured inner schedule explorer against the registered target
+    [name] (see {!Mc.Targets.names}), on [opts.domains] domains.
+    [Error _] on an unknown target name or invalid [opts] (e.g. a PCT
+    depth [d] combined with a non-PCT explorer — it would be silently
+    ignored). *)
 val model_check :
-  ?budget:int ->
-  ?max_crashes:int ->
-  ?horizon:int ->
-  ?stride:int ->
-  ?d:int ->
-  ?shrink:bool ->
-  string ->
-  n:int ->
-  explorer:mc_explorer ->
-  seed:int ->
-  (mc_summary, string) result
+  ?opts:mc_opts -> string -> n:int -> (mc_summary, string) result
 
-(** [model_check_scenario name ~explorer ~seed scenario] explores schedules
-    under the scenario's fixed failure pattern only. *)
+(** [model_check_scenario ?opts name scenario] explores schedules under the
+    scenario's fixed failure pattern only; the whole [opts.budget] goes to
+    that single pattern. *)
 val model_check_scenario :
-  ?budget:int ->
-  ?d:int ->
-  ?shrink:bool ->
-  string ->
-  explorer:mc_explorer ->
-  seed:int ->
-  Scenario.t ->
-  (mc_summary, string) result
+  ?opts:mc_opts -> string -> Scenario.t -> (mc_summary, string) result
 
 (** The registered model-checking target names ({!Mc.Targets.names}). *)
 val mc_targets : string list

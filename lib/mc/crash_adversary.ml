@@ -6,7 +6,7 @@
    reported counterexample uses the fewest failures the bug needs — crashes
    can also *mask* bugs that live in specific processes. *)
 
-type inner = [ `Exhaustive | `Pct | `Random ]
+type inner = Harness.explorer
 
 type report = {
   counterexample : Harness.counterexample option;

@@ -9,7 +9,7 @@
     counterexample carries its failure pattern inside the schedule, so
     replaying it reproduces both the crashes and the ordering. *)
 
-type inner = [ `Exhaustive | `Pct | `Random ]
+type inner = Harness.explorer
 
 type report = {
   counterexample : Harness.counterexample option;

@@ -46,7 +46,7 @@ let search ?(budget = 10_000) ?(prune = true) ?prune_mod_time
                 base.Sim.Scheduler.choose c);
           }
         in
-        let hook ~now ~digest =
+        let hook ~now ~digest ~steps:_ =
           if (not prune) || !consumed < depth then true
           else begin
             let key =

@@ -22,6 +22,53 @@ type run_report = {
   outputs : string;
 }
 
+type explorer = [ `Exhaustive | `Pct | `Random ]
+
+let explorer_name = function
+  | `Exhaustive -> "exhaustive"
+  | `Pct -> "pct"
+  | `Random -> "random"
+
+type opts = {
+  explorer : explorer;
+  domains : int;
+  budget : int;
+  inner_budget : int;
+  max_crashes : int;
+  horizon : int;
+  stride : int;
+  d : int option;
+  shrink : bool;
+  seed : int;
+}
+
+let default_opts =
+  {
+    explorer = `Exhaustive;
+    domains = 1;
+    budget = 20_000;
+    inner_budget = 2_000;
+    max_crashes = 1;
+    horizon = 4;
+    stride = 2;
+    d = None;
+    shrink = true;
+    seed = 1;
+  }
+
+let validate_opts o =
+  if o.domains < 1 then
+    Error (Printf.sprintf "domains must be >= 1 (got %d)" o.domains)
+  else
+    match (o.d, o.explorer) with
+    | Some _, (`Exhaustive | `Random) ->
+      Error
+        (Printf.sprintf
+           "the PCT depth d is only meaningful for the pct explorer (got \
+            explorer=%s): it would be silently ignored"
+           (explorer_name o.explorer))
+    | _ -> Ok ()
+
 let pp_events pp_out events =
   Format.asprintf "@[<v>%a@]"
     (Format.pp_print_list (fun fmt (e : _ Sim.Trace.event) ->

@@ -40,11 +40,48 @@ type run_report = {
   outputs : string;  (** rendered output events, for reporting *)
 }
 
+(** The inner schedule explorer every search front-end chooses between.
+    Defined once here; {!Crash_adversary}, {!Parallel} and [Core.Runner]
+    all re-export this type rather than declaring their own copy. *)
+type explorer = [ `Exhaustive | `Pct | `Random ]
+
+val explorer_name : explorer -> string
+
+(** One record carrying every knob a search accepts — the single
+    configuration surface of {!Parallel.search} and of
+    [Core.Runner.model_check].  Build it as
+    [{ Harness.default_opts with budget = ...; domains = 4 }]. *)
+type opts = {
+  explorer : explorer;
+  domains : int;
+      (** total parallelism (worker domains including the coordinating
+          one); 1 = fully sequential, no domains spawned *)
+  budget : int;  (** total schedule budget across all failure patterns *)
+  inner_budget : int;  (** per-failure-pattern schedule cap *)
+  max_crashes : int;  (** crash-adversary bound on faulty processes *)
+  horizon : int;  (** latest injected crash time *)
+  stride : int;  (** crash time grid spacing *)
+  d : int option;
+      (** PCT bug depth.  [None] lets pct default to 3; [Some _] with a
+          non-pct explorer is rejected by {!validate_opts} instead of being
+          silently dropped. *)
+  shrink : bool;
+  seed : int;  (** root seed; all per-run RNG streams derive from it *)
+}
+
+(** [`Exhaustive] explorer, 1 domain, budget 20_000, inner budget 2_000,
+    max_crashes 1, horizon 4, stride 2, no d, shrink on, seed 1. *)
+val default_opts : opts
+
+(** Reject inconsistent option combinations: [domains < 1], or a PCT depth
+    [d] supplied to an explorer that would ignore it. *)
+val validate_opts : opts -> (unit, string) result
+
 (** [run target ~fp scheduler] executes one run under [scheduler], checking
     the invariant online (a violation ends the run) and at the end. *)
 val run :
   ?seed:int ->
-  ?round_hook:(now:int -> digest:int -> bool) ->
+  ?round_hook:(now:int -> digest:int -> steps:int -> bool) ->
   ('st, 'msg, 'fd, 'inp, 'out) target ->
   fp:Sim.Failure_pattern.t ->
   Sim.Scheduler.t ->

@@ -1,0 +1,426 @@
+(* Parallel exploration = racy speculation + canonical adjudication.
+
+   Workers execute runs and record trajectories; a single coordinator
+   consumes them in a fixed order and makes every decision that shows up
+   in the report (pruning, counting, the counterexample).  A trajectory
+   is a pure function of (target, fp, prefix-or-index, seed), so the
+   report is independent of the domain count and of scheduling luck.
+   See parallel.mli for the full argument. *)
+
+(* ---- shared visited-digest filter ---------------------------------- *)
+
+(* Fixed-capacity open-addressing set of digest keys.  Single writer (the
+   coordinator), many racy readers (the workers).  Slots hold immediate
+   ints, so concurrent reads cannot tear under the OCaml memory model; a
+   stale read just misses a key, which only costs speculation time.  A
+   hit is always genuine: only the writer stores, and it stores key k
+   solely along the probe path of k. *)
+module Filter = struct
+  type t = {
+    slots : int array;  (* 0 = empty, otherwise key + 1 *)
+    mask : int;
+    mutable occupied : int;  (* coordinator-only *)
+    limit : int;
+  }
+
+  let probe_bound = 64
+
+  let create bits =
+    let cap = 1 lsl bits in
+    {
+      slots = Array.make cap 0;
+      mask = cap - 1;
+      occupied = 0;
+      limit = cap - (cap / 8);
+    }
+
+  let slot_of t key = (key * 0x9E3779B1) land t.mask
+
+  let mem t key =
+    let v = key + 1 in
+    let rec go i tries =
+      let s = Array.unsafe_get t.slots i in
+      if s = v then true
+      else if s = 0 || tries >= probe_bound then false
+      else go ((i + 1) land t.mask) (tries + 1)
+    in
+    go (slot_of t key) 0
+
+  (* Coordinator-only.  Dropping an insert (full / probe bound) is fine:
+     the filter stays a subset of the coordinator's exact seen-set. *)
+  let add t key =
+    if t.occupied < t.limit then
+      let v = key + 1 in
+      let rec go i tries =
+        let s = Array.unsafe_get t.slots i in
+        if s = v then ()
+        else if s = 0 then begin
+          Array.unsafe_set t.slots i v;
+          t.occupied <- t.occupied + 1
+        end
+        else if tries < probe_bound then go ((i + 1) land t.mask) (tries + 1)
+      in
+      go (slot_of t key) 0
+end
+
+(* ---- jobs ----------------------------------------------------------- *)
+
+type work = Prefix of int list | Sampled of int
+
+(* A recorded trajectory.  [sp_hooks] holds one (digest key, choices
+   consumed, steps executed) triple per round hook that fired past the
+   prefix; [sp_filter_cut] marks a speculative early cut on a filter
+   hit, which the coordinator must justify against its exact seen-set.
+   The shared filter stores per-pattern *salted* keys; the coordinator's
+   seen-set and [sp_hooks] carry the raw keys sequential pruning uses. *)
+type spec = {
+  sp_choices : int list;
+  sp_arities : int array;
+  sp_hooks : (int * int * int) array;
+  sp_filter_cut : bool;
+  sp_violation : string option;
+  sp_steps : int;
+}
+
+type job_state = Pending | Running | Done of spec | Cancelled
+
+type job = { j_pat : int; j_work : work; mutable j_state : job_state }
+
+let salt ~pat key = Hashtbl.hash (pat, key)
+
+let take_prefix choices i = Array.to_list (Array.sub choices 0 i)
+
+(* ---- search --------------------------------------------------------- *)
+
+let search ~(opts : Harness.opts) ?fps target ~n =
+  let o = opts in
+  let fps =
+    match fps with
+    | Some l -> Array.of_list l
+    | None ->
+      Array.of_list
+        (Crash_adversary.patterns ~n ~max_crashes:o.max_crashes
+           ~horizon:o.horizon ~stride:o.stride)
+  in
+  let d = Option.value o.d ~default:3 in
+  let n_domains = max 1 (min o.domains 64) in
+  let prune_mod_time = target.Harness.time_invariant_fd in
+  let filter = Filter.create 20 in
+  let cancelled = Atomic.make false in
+  let mutex = Mutex.create () in
+  let cond = Condition.create () in
+  let queue : job Queue.t = Queue.create () in
+  let shutdown = ref false in
+
+  (* -- speculative execution (runs on any domain) -- *)
+  let exec_prefix ~use_filter ~pat prefix =
+    let fp = fps.(pat) in
+    let depth = List.length prefix in
+    let arities = ref [] in
+    let consumed = ref 0 in
+    let base = Sim.Scheduler.replay prefix ~rest:Sim.Scheduler.first in
+    let sched =
+      {
+        Sim.Scheduler.choose =
+          (fun c ->
+            arities := Sim.Scheduler.arity c :: !arities;
+            incr consumed;
+            base.Sim.Scheduler.choose c);
+      }
+    in
+    let hooks = ref [] in
+    let filter_cut = ref false in
+    let hook ~now ~digest ~steps =
+      if Atomic.get cancelled then false
+      else if !consumed < depth then true
+      else begin
+        let key =
+          if prune_mod_time then digest else Hashtbl.hash (digest, now)
+        in
+        hooks := (key, !consumed, steps) :: !hooks;
+        if use_filter && Filter.mem filter (salt ~pat key) then begin
+          filter_cut := true;
+          false
+        end
+        else true
+      end
+    in
+    let r = Harness.run ~seed:o.seed target ~fp ~round_hook:hook sched in
+    {
+      sp_choices = r.Harness.choices;
+      sp_arities = Array.of_list (List.rev !arities);
+      sp_hooks = Array.of_list (List.rev !hooks);
+      sp_filter_cut = !filter_cut;
+      sp_violation = r.Harness.violation;
+      sp_steps = r.Harness.steps;
+    }
+  in
+  let exec_sampled ~pat idx =
+    let fp = fps.(pat) in
+    (* per-run stream derived from the root seed, independent of which
+       domain executes the run *)
+    let rng = Sim.Rng.make (Hashtbl.hash (o.seed, pat, idx, "mc.parallel")) in
+    let sched =
+      match o.explorer with
+      | `Pct ->
+        Pct.scheduler ~d ~horizon:(max 1 target.Harness.max_steps) rng ~n
+      | `Random | `Exhaustive -> Sim.Scheduler.random rng
+    in
+    let r = Harness.run ~seed:o.seed target ~fp sched in
+    {
+      sp_choices = r.Harness.choices;
+      sp_arities = [||];
+      sp_hooks = [||];
+      sp_filter_cut = false;
+      sp_violation = r.Harness.violation;
+      sp_steps = r.Harness.steps;
+    }
+  in
+  let execute j =
+    match j.j_work with
+    | Prefix p -> exec_prefix ~use_filter:true ~pat:j.j_pat p
+    | Sampled i -> exec_sampled ~pat:j.j_pat i
+  in
+
+  (* -- domain pool -- *)
+  let worker () =
+    let rec loop () =
+      Mutex.lock mutex;
+      let rec take () =
+        if !shutdown then None
+        else
+          match Queue.take_opt queue with
+          | None ->
+            Condition.wait cond mutex;
+            take ()
+          | Some j when j.j_state <> Pending -> take ()
+          | Some j ->
+            j.j_state <- Running;
+            Some j
+      in
+      match take () with
+      | None -> Mutex.unlock mutex
+      | Some j ->
+        Mutex.unlock mutex;
+        let r = execute j in
+        Mutex.lock mutex;
+        j.j_state <- Done r;
+        Condition.broadcast cond;
+        Mutex.unlock mutex;
+        loop ()
+    in
+    loop ()
+  in
+  let workers =
+    Array.init (n_domains - 1) (fun _ -> Domain.spawn worker)
+  in
+  let submit jobs =
+    if jobs <> [] then begin
+      Mutex.lock mutex;
+      List.iter (fun j -> Queue.push j queue) jobs;
+      Condition.broadcast cond;
+      Mutex.unlock mutex
+    end
+  in
+  (* Block until [j] is adjudicable; claim and run it inline if no worker
+     picked it up yet (this is also the whole story when domains = 1). *)
+  let await j =
+    Mutex.lock mutex;
+    let rec go () =
+      match j.j_state with
+      | Done r ->
+        Mutex.unlock mutex;
+        r
+      | Pending ->
+        j.j_state <- Running;
+        Mutex.unlock mutex;
+        let r = execute j in
+        Mutex.lock mutex;
+        j.j_state <- Done r;
+        Mutex.unlock mutex;
+        r
+      | Running ->
+        Condition.wait cond mutex;
+        go ()
+      | Cancelled -> assert false
+    in
+    go ()
+  in
+
+  (* -- canonical adjudication -- *)
+  let patterns_tried = ref 0 in
+  let total_schedules = ref 0 in
+  let total_steps = ref 0 in
+  let found = ref None in
+  let complete = ref true in
+  let remaining () = o.budget - !total_schedules in
+  let mk_cex ~fp reason choices =
+    let c =
+      {
+        Harness.target = target.Harness.name;
+        n;
+        seed = o.seed;
+        schedule = Schedule.of_fp fp choices;
+        reason;
+        shrunk = false;
+      }
+    in
+    if not o.shrink then c
+    else
+      let violates s = Harness.violates ~seed:o.seed target ~n s in
+      let schedule, _ = Shrink.minimize ~violates c.Harness.schedule in
+      { c with Harness.schedule; shrunk = true }
+  in
+
+  (* Roots of every pattern's prefix tree are known upfront: submit them
+     all so workers pipeline across patterns. *)
+  let roots =
+    if o.explorer = `Exhaustive then begin
+      let js =
+        Array.mapi
+          (fun pat _ -> { j_pat = pat; j_work = Prefix []; j_state = Pending })
+          fps
+      in
+      submit (Array.to_list js);
+      js
+    end
+    else [||]
+  in
+
+  let adjudicate_exhaustive ~pat ~budget =
+    let fp = fps.(pat) in
+    let seen = Hashtbl.create 4096 in
+    let frontier : job Queue.t = Queue.create () in
+    Queue.push roots.(pat) frontier;
+    let schedules = ref 0 in
+    let out_of_budget = ref false in
+    let enqueue_children spec ~depth ~upto =
+      let seq = Array.of_list spec.sp_choices in
+      let batch = ref [] in
+      for i = depth to upto - 1 do
+        for alt = 1 to spec.sp_arities.(i) - 1 do
+          let j =
+            {
+              j_pat = pat;
+              j_work = Prefix (take_prefix seq i @ [ alt ]);
+              j_state = Pending;
+            }
+          in
+          Queue.push j frontier;
+          batch := j :: !batch
+        done
+      done;
+      submit (List.rev !batch)
+    in
+    while
+      !found = None && (not (Queue.is_empty frontier)) && not !out_of_budget
+    do
+      let j = Queue.pop frontier in
+      if !schedules >= budget then out_of_budget := true
+      else begin
+        incr schedules;
+        let depth =
+          match j.j_work with Prefix p -> List.length p | Sampled _ -> 0
+        in
+        let spec = await j in
+        (* Justify a speculative filter cut against the exact seen-set:
+           on a (rare) salted-hash false hit, re-run without the filter. *)
+        let spec =
+          if
+            spec.sp_filter_cut
+            && not
+                 (Array.exists
+                    (fun (key, _, _) -> Hashtbl.mem seen key)
+                    spec.sp_hooks)
+          then
+            (match j.j_work with
+            | Prefix p -> exec_prefix ~use_filter:false ~pat p
+            | Sampled _ -> assert false)
+          else spec
+        in
+        let cut = ref None in
+        (try
+           Array.iter
+             (fun (key, consumed, steps) ->
+               if Hashtbl.mem seen key then begin
+                 cut := Some (consumed, steps);
+                 raise Exit
+               end
+               else begin
+                 Hashtbl.add seen key ();
+                 Filter.add filter (salt ~pat key)
+               end)
+             spec.sp_hooks
+         with Exit -> ());
+        match !cut with
+        | Some (consumed, steps) ->
+          total_steps := !total_steps + steps;
+          enqueue_children spec ~depth ~upto:consumed
+        | None -> (
+          total_steps := !total_steps + spec.sp_steps;
+          match spec.sp_violation with
+          | Some reason -> found := Some (mk_cex ~fp reason spec.sp_choices)
+          | None ->
+            enqueue_children spec ~depth ~upto:(Array.length spec.sp_arities))
+      end
+    done;
+    total_schedules := !total_schedules + !schedules;
+    if !out_of_budget || not (Queue.is_empty frontier) then complete := false
+  in
+
+  let adjudicate_sampled ~pat ~budget =
+    let fp = fps.(pat) in
+    let jobs =
+      Array.init budget (fun i ->
+          { j_pat = pat; j_work = Sampled i; j_state = Pending })
+    in
+    submit (Array.to_list jobs);
+    let i = ref 0 in
+    while !found = None && !i < budget do
+      let spec = await jobs.(!i) in
+      incr total_schedules;
+      total_steps := !total_steps + spec.sp_steps;
+      (match spec.sp_violation with
+      | Some reason -> found := Some (mk_cex ~fp reason spec.sp_choices)
+      | None -> ());
+      incr i
+    done;
+    Mutex.lock mutex;
+    for k = !i to budget - 1 do
+      if jobs.(k).j_state = Pending then jobs.(k).j_state <- Cancelled
+    done;
+    Mutex.unlock mutex;
+    complete := false
+  in
+
+  Array.iteri
+    (fun pat _ ->
+      if !found = None && remaining () > 0 then begin
+        incr patterns_tried;
+        let b = min o.inner_budget (remaining ()) in
+        match o.explorer with
+        | `Exhaustive -> adjudicate_exhaustive ~pat ~budget:b
+        | `Pct | `Random -> adjudicate_sampled ~pat ~budget:b
+      end
+      else if !found = None then complete := false)
+    fps;
+
+  (* first-counterexample cancellation: junk pending work, drain what is
+     in flight, join the pool *)
+  Atomic.set cancelled true;
+  Mutex.lock mutex;
+  Queue.iter
+    (fun j -> if j.j_state = Pending then j.j_state <- Cancelled)
+    queue;
+  Queue.clear queue;
+  shutdown := true;
+  Condition.broadcast cond;
+  Mutex.unlock mutex;
+  Array.iter Domain.join workers;
+  {
+    Crash_adversary.counterexample = !found;
+    patterns = !patterns_tried;
+    schedules = !total_schedules;
+    steps = !total_steps;
+    complete = !complete && !found = None;
+  }

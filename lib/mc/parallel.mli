@@ -1,0 +1,70 @@
+(** Parallel schedule exploration on OCaml 5 domains.
+
+    [search] shards the crash-pattern × schedule frontier of a
+    {!Crash_adversary}-style search across a pool of [Domain]s while
+    keeping the result — counterexample, pattern/schedule/step counts,
+    completeness — *bit-identical for every domain count*, including 1.
+
+    {2 How determinism survives parallelism}
+
+    The explorer splits every run into two halves:
+
+    - {b Speculation} (parallel, racy): a worker domain executes a run
+      to completion with pruning {e disabled}, recording its trajectory —
+      the choice indices taken, the arity of every choice point, and the
+      per-round [(digest, choices-consumed, steps)] triples the engine's
+      round hook exposes.  A run's trajectory is a pure function of
+      [(target, failure pattern, prefix, seed)], so it does not matter
+      when, where, or how often it is executed.
+    - {b Adjudication} (sequential, canonical): a single coordinator
+      consumes speculation results in a fixed order — failure patterns
+      fewest-crashes-first, and within a pattern the FIFO frontier order
+      of prefixes — and replays the pruning decisions against its private
+      exact seen-set.  Because a violation ends a run before any further
+      hook fires, a recorded trajectory with a violation has it at the
+      very end; the adjudicator reports it only if no earlier hook entry
+      is pruned.  Every counter the report carries (schedules, steps,
+      cut positions) is derived from adjudicated trajectories, never from
+      wall-clock racing.
+
+    Workers consult a shared, atomic visited-digest filter so that a
+    speculative run can cut itself as soon as it reaches a state the
+    coordinator has already marked seen.  The filter only ever grows and
+    only the coordinator inserts, so a filter hit during speculation
+    implies the adjudicator would cut the run at or before the same
+    round — speculation can only do {e wasted} work, never change the
+    outcome.  (A rare salted-hash collision can make a speculative cut
+    unjustified; the adjudicator detects this and deterministically
+    re-executes the run with the filter disabled.)
+
+    Cancellation: when the coordinator adjudicates the first
+    counterexample, it flags cancellation (prefix runs abort at their
+    next round hook, sampled runs finish their bounded run), junks all
+    pending work, and joins the pool — in-flight work is drained, never
+    abandoned.
+
+    PCT and random exploration parallelize by run index instead of by
+    prefix: run [i] of pattern [p] draws its scheduler from an RNG stream
+    derived from [(root seed, p, i)], so the stream does not depend on
+    which domain executes the run, and the reported counterexample is the
+    one with the smallest run index.  (Note this indexing differs from
+    the sequential {!Pct.search}, whose streams chain through one
+    advancing generator; the two explorers are each self-consistent, not
+    mutually identical.)
+
+    The report is {!Crash_adversary.report}: the two searches agree on
+    semantics, budget accounting ([budget] total across patterns,
+    [inner_budget] per pattern, fewest-crashes-first) and reporting. *)
+
+(** [search ~opts target ~n] explores failure patterns × schedules with
+    [opts.domains]-way parallelism.  [?fps] overrides the enumerated
+    failure patterns (e.g. a single scenario pattern); by default they
+    are {!Crash_adversary.patterns} from [opts].  [opts.d] falls back to
+    3 when [None]; callers wanting rejection of meaningless combinations
+    should run {!Harness.validate_opts} first. *)
+val search :
+  opts:Harness.opts ->
+  ?fps:Sim.Failure_pattern.t list ->
+  ('st, 'msg, 'fd, 'inp, 'out) Harness.target ->
+  n:int ->
+  Crash_adversary.report

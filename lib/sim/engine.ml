@@ -8,7 +8,7 @@ type ('msg, 'fd, 'inp, 'out) config = {
   stop : 'out Trace.event list -> bool;
   detect_quiescence : bool;
   scheduler : Scheduler.t option;
-  round_hook : (now:int -> digest:int -> bool) option;
+  round_hook : (now:int -> digest:int -> steps:int -> bool) option;
 }
 
 let stop_when_all_correct_output fp outputs =
@@ -166,7 +166,7 @@ let run cfg (proto : _ Protocol.t) =
        (match cfg.round_hook with
        | Some hook ->
          let digest = state_digest states net inputs !outputs in
-         if not (hook ~now:!now ~digest) then begin
+         if not (hook ~now:!now ~digest ~steps:!steps) then begin
            stopped := `Hook;
            raise Exit
          end

@@ -30,12 +30,14 @@ type ('msg, 'fd, 'inp, 'out) config = {
           seeded-RNG scheduler derived from [seed].  Supplying a recording
           or replaying scheduler is how the model checker enumerates and
           reproduces schedules. *)
-  round_hook : (now:int -> digest:int -> bool) option;
-      (** called after every completed round with the clock and a
-          structural digest of the global state (process states, message
-          buffer, pending inputs, outputs); return [false] to end the run
-          with [stopped = `Hook].  The model checker uses it to prune
-          revisited states. *)
+  round_hook : (now:int -> digest:int -> steps:int -> bool) option;
+      (** called after every completed round with the clock, a structural
+          digest of the global state (process states, message buffer,
+          pending inputs, outputs) and the number of process steps executed
+          so far; return [false] to end the run with [stopped = `Hook].
+          The model checker uses it to prune revisited states, and the
+          parallel explorer uses [steps] to account a run cut at this hook
+          exactly as if it had physically stopped here. *)
 }
 
 (** A configuration with no inputs, [Fifo] delivery, a [max_steps] of
@@ -49,7 +51,7 @@ val config :
   ?stop:('out Trace.event list -> bool) ->
   ?detect_quiescence:bool ->
   ?scheduler:Scheduler.t ->
-  ?round_hook:(now:int -> digest:int -> bool) ->
+  ?round_hook:(now:int -> digest:int -> steps:int -> bool) ->
   fd:(Pid.t -> int -> 'fd) ->
   Failure_pattern.t ->
   ('msg, 'fd, 'inp, 'out) config

@@ -107,6 +107,36 @@ let test_runner_extractions () =
        (Core.Scenario.failure_free ~n:3)
        ~seed:3)
 
+let test_run_config_api () =
+  (* the historical wrappers are thin aliases of [run]: same workload
+     through either entry point must produce the same summary *)
+  let sc = Core.Scenario.one_crash ~n:3 ~at:60 in
+  let via_wrapper = Core.Runner.run_consensus Core.Runner.Quorum_paxos sc ~seed:7 in
+  let via_run =
+    Core.Runner.run
+      (Core.Run_config.make ~seed:7 ())
+      (Core.Runner.Consensus
+         { algo = Core.Runner.Quorum_paxos; proposals = None })
+      sc
+  in
+  Alcotest.(check string) "consensus summaries agree"
+    (Format.asprintf "%a" Core.Runner.pp_summary via_wrapper)
+    (Format.asprintf "%a" Core.Runner.pp_summary via_run);
+  let via_wrapper =
+    Core.Runner.run_register_workload ~max_steps:6_000 ~quorums:`Majority sc
+      ~seed:2
+  in
+  let via_run =
+    Core.Runner.run
+      (Core.Run_config.make ~max_steps:6_000 ~seed:2 ())
+      (Core.Runner.Registers
+         { ops_per_proc = 3; registers = 2; quorums = `Majority })
+      sc
+  in
+  Alcotest.(check string) "register summaries agree"
+    (Format.asprintf "%a" Core.Runner.pp_summary via_wrapper)
+    (Format.asprintf "%a" Core.Runner.pp_summary via_run)
+
 let test_catalogue () =
   Alcotest.(check int) "five claims" 5 (List.length Core.Catalogue.all);
   List.iter
@@ -143,6 +173,7 @@ let () =
         ] );
       ( "catalogue",
         [
+          Alcotest.test_case "run-config api" `Quick test_run_config_api;
           Alcotest.test_case "claims" `Quick test_catalogue;
           Alcotest.test_case "summary printing" `Quick test_summary_printing;
         ] );

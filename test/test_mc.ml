@@ -153,22 +153,30 @@ let test_shrinker_minimizes () =
 
 (* ---- core integration ----------------------------------------------- *)
 
+let opts = Core.Runner.mc_default_opts
+
 let test_runner_model_check () =
   (match
-     Core.Runner.model_check ~budget:50_000 "cons.quorum_paxos" ~n:2
-       ~explorer:`Exhaustive ~seed:1
+     Core.Runner.model_check
+       ~opts:{ opts with Core.Runner.budget = 50_000 }
+       "cons.quorum_paxos" ~n:2
    with
   | Error e -> Alcotest.fail e
   | Ok s ->
     Alcotest.(check bool) "quorum paxos clean" true
       (s.Core.Runner.counterexample = None);
     Alcotest.(check bool) "exhausted" true s.Core.Runner.exhausted);
-  (match Core.Runner.model_check "no.such.target" ~n:2 ~explorer:`Random ~seed:1 with
+  (match
+     Core.Runner.model_check
+       ~opts:{ opts with Core.Runner.explorer = `Random }
+       "no.such.target" ~n:2
+   with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "unknown target accepted");
   match
-    Core.Runner.model_check_scenario ~budget:5_000 "cons.broken_validity"
-      ~explorer:`Exhaustive ~seed:1
+    Core.Runner.model_check_scenario
+      ~opts:{ opts with Core.Runner.budget = 5_000 }
+      "cons.broken_validity"
       (Core.Scenario.failure_free ~n:2)
   with
   | Error e -> Alcotest.fail e
@@ -185,6 +193,114 @@ let test_runner_model_check () =
       | Ok rep ->
         Alcotest.(check bool) "CLI-level replay reproduces" true
           (rep.Core.Runner.re_violation <> None)))
+
+(* ---- parallel exploration ------------------------------------------- *)
+
+let contains s affix =
+  let ls = String.length s and la = String.length affix in
+  let rec go i = i + la <= ls && (String.sub s i la = affix || go (i + 1)) in
+  go 0
+
+(* The whole determinism contract in one string: pattern/schedule/step
+   counts, exhaustion, and the (shrunk) counterexample. *)
+let summary_string name ~n o =
+  match Core.Runner.model_check ~opts:o name ~n with
+  | Error e -> Alcotest.fail e
+  | Ok s -> Format.asprintf "%a" Core.Runner.pp_mc_summary s
+
+let check_domain_independent ?(domains = [ 2; 4 ]) name ~n o =
+  let reference = summary_string name ~n { o with Core.Runner.domains = 1 } in
+  List.iter
+    (fun k ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s: domains=%d == domains=1" name k)
+        reference
+        (summary_string name ~n { o with Core.Runner.domains = k }))
+    domains;
+  reference
+
+let test_parallel_matches_sequential_2pc () =
+  (* exhaustive crash adversary finds the 2PC blocking counterexample;
+     every domain count must report the same one, byte for byte *)
+  let s =
+    check_domain_independent "qcnbac.two_phase_commit" ~n:2
+      { opts with Core.Runner.budget = 50_000 }
+  in
+  Alcotest.(check bool) "blocking found" true
+    (contains s "VIOLATION")
+
+let test_parallel_matches_sequential_broken_validity () =
+  let s =
+    check_domain_independent "cons.broken_validity" ~n:2
+      { opts with Core.Runner.budget = 10_000 }
+  in
+  Alcotest.(check bool) "planted bug found" true
+    (contains s "VIOLATION")
+
+let test_parallel_matches_sequential_clean_exhausted () =
+  (* no-counterexample direction: patterns/schedules counts of a fully
+     exhausted space must also be domain-count independent *)
+  let s =
+    check_domain_independent "cons.quorum_paxos" ~n:2
+      { opts with Core.Runner.budget = 50_000 }
+  in
+  Alcotest.(check bool) "space exhausted" true
+    (contains s "exhausted")
+
+let test_parallel_sampled_explorers () =
+  ignore
+    (check_domain_independent "cons.broken_validity" ~n:3
+       { opts with Core.Runner.explorer = `Pct; d = Some 3; budget = 400 });
+  ignore
+    (check_domain_independent "cons.broken_validity" ~n:2
+       { opts with Core.Runner.explorer = `Random; budget = 400 })
+
+let test_parallel_cancellation_stress () =
+  (* first-counterexample cancellation must never lose a violation that a
+     single-domain search reports: sweep seeds so cancellation lands at
+     different points relative to in-flight speculative work *)
+  List.iter
+    (fun seed ->
+      let o =
+        { opts with Core.Runner.explorer = `Random; budget = 300; seed }
+      in
+      let reference =
+        summary_string "cons.broken_validity" ~n:2
+          { o with Core.Runner.domains = 1 }
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: single-domain search finds the bug" seed)
+        true
+        (contains reference "VIOLATION");
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d: domains=4 reports the same violation" seed)
+        reference
+        (summary_string "cons.broken_validity" ~n:2
+           { o with Core.Runner.domains = 4 }))
+    (List.init 12 (fun i -> i + 1))
+
+let test_opts_validation () =
+  (match
+     Core.Runner.model_check
+       ~opts:{ opts with Core.Runner.d = Some 3 }
+       "cons.quorum_paxos" ~n:2
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "PCT depth with exhaustive explorer accepted");
+  (match
+     Core.Runner.model_check
+       ~opts:{ opts with Core.Runner.explorer = `Random; d = Some 2 }
+       "cons.quorum_paxos" ~n:2
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "PCT depth with random explorer accepted");
+  match
+    Core.Runner.model_check
+      ~opts:{ opts with Core.Runner.domains = 0 }
+      "cons.quorum_paxos" ~n:2
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "domains=0 accepted"
 
 let () =
   Alcotest.run "mc"
@@ -217,4 +333,18 @@ let () =
         [ Alcotest.test_case "greedy minimization" `Quick test_shrinker_minimizes ] );
       ( "core",
         [ Alcotest.test_case "runner integration" `Quick test_runner_model_check ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "2pc blocking domain-independent" `Quick
+            test_parallel_matches_sequential_2pc;
+          Alcotest.test_case "broken validity domain-independent" `Quick
+            test_parallel_matches_sequential_broken_validity;
+          Alcotest.test_case "clean exhaustion domain-independent" `Quick
+            test_parallel_matches_sequential_clean_exhausted;
+          Alcotest.test_case "pct/random domain-independent" `Quick
+            test_parallel_sampled_explorers;
+          Alcotest.test_case "cancellation loses no violation" `Quick
+            test_parallel_cancellation_stress;
+          Alcotest.test_case "opts validation" `Quick test_opts_validation;
+        ] );
     ]
