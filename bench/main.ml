@@ -293,11 +293,45 @@ let e13_tests =
                failwith "e13: 2pc blocking not found"));
     ]
 
+(* E14: observability overhead — the same quorum-paxos run uninstrumented,
+   with the no-op [Sim.Event.null] sink, and with a full [Obs.Collector]
+   (ring + metrics + profile).  The contract (docs/OBSERVABILITY.md) is
+   that the no-sink row is unchanged by the subsystem's existence: every
+   emit site is guarded, so no event is allocated when no sink is set. *)
+let e14_tests =
+  let run_paxos ?sink () =
+    let fp = Sim.Failure_pattern.make ~n:5 [ (0, 40) ] in
+    let omega = Fd.Oracle.history Fd.Omega.oracle_instant fp ~seed:14 in
+    let sigma = Fd.Oracle.history Fd.Sigma.oracle_exact fp ~seed:14 in
+    let proposals = List.map (fun q -> (q, q mod 2)) (Sim.Pid.all 5) in
+    let cfg =
+      Sim.Engine.config ~seed:14 ~max_steps:150_000
+        ~inputs:(List.map (fun (q, v) -> (0, q, v)) proposals)
+        ~stop:(Sim.Engine.stop_when_all_correct_output fp)
+        ~detect_quiescence:false ?sink
+        ~fd:(fun q t -> (omega q t, sigma q t))
+        fp
+    in
+    ignore (Sim.Engine.run cfg Cons.Quorum_paxos.protocol)
+  in
+  Test.make_grouped ~name:"E14-observability"
+    [
+      Test.make ~name:"paxos-n5-no-sink"
+        (Staged.stage (fun () -> run_paxos ()));
+      Test.make ~name:"paxos-n5-null-sink"
+        (Staged.stage (fun () -> run_paxos ~sink:Sim.Event.null ()));
+      Test.make ~name:"paxos-n5-collector"
+        (Staged.stage (fun () ->
+             let c = Obs.Collector.create () in
+             run_paxos ~sink:c.Obs.Collector.sink ()));
+    ]
+
 let all_tests =
   Test.make_grouped ~name:"weakest-fd"
     [
       e1_tests; e2_tests; e3_tests; e4_tests; e5_tests; e6_tests; e7_tests;
       e8_tests; e9_tests; e10_tests; e11_tests; e12_tests; e13_tests;
+      e14_tests;
     ]
 
 (* ------------------------------------------------------------------ *)

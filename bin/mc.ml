@@ -18,8 +18,8 @@ let list_targets () =
   List.iter (fun name -> Printf.printf "  %s\n" name) Core.Runner.mc_targets;
   0
 
-let replay_schedule name ~n ~seed spec =
-  match Core.Runner.mc_replay name ~n ~seed ~schedule:spec with
+let replay_schedule ?trace name ~n ~seed spec =
+  match Core.Runner.mc_replay ?trace name ~n ~seed ~schedule:spec with
   | Error e ->
     Printf.eprintf "mc: %s\n" e;
     124
@@ -34,8 +34,8 @@ let replay_schedule name ~n ~seed spec =
       Format.printf "no violation@.";
       0)
 
-let explore name ~n ~(opts : Core.Runner.mc_opts) =
-  match Core.Runner.model_check ~opts name ~n with
+let explore ?trace name ~n ~(opts : Core.Runner.mc_opts) =
+  match Core.Runner.model_check ~opts ?trace name ~n with
   | Error e ->
     Printf.eprintf "mc: %s\n" e;
     124
@@ -44,7 +44,7 @@ let explore name ~n ~(opts : Core.Runner.mc_opts) =
     (match s.Core.Runner.counterexample with Some _ -> 1 | None -> 0)
 
 let run list protocol n explorer domains budget depth seed max_crashes horizon
-    stride no_shrink replay =
+    stride no_shrink replay trace =
   if list then list_targets ()
   else
     match protocol with
@@ -53,7 +53,7 @@ let run list protocol n explorer domains budget depth seed max_crashes horizon
       124
     | Some name -> (
       match replay with
-      | Some spec -> replay_schedule name ~n ~seed spec
+      | Some spec -> replay_schedule ?trace name ~n ~seed spec
       | None ->
         let opts =
           {
@@ -69,7 +69,7 @@ let run list protocol n explorer domains budget depth seed max_crashes horizon
             shrink = not no_shrink;
           }
         in
-        explore name ~n ~opts)
+        explore ?trace name ~n ~opts)
 
 open Cmdliner
 
@@ -151,6 +151,18 @@ let replay_t =
           "Replay a serialized schedule (e.g. 'crashes=0\\@0;choices=1,0') \
            instead of exploring.")
 
+let trace_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSONL observability record to $(docv): the search summary \
+           as metadata plus, when a counterexample is found, the event trace \
+           of its deterministic replay.  The search itself is never \
+           instrumented, so results stay identical across $(b,--domains) \
+           counts.")
+
 let cmd =
   let doc = "bounded model checking of the simulated protocols" in
   Cmd.v
@@ -158,6 +170,6 @@ let cmd =
     Term.(
       const run $ list_t $ protocol_t $ n_t $ explorer_t $ domains_t
       $ budget_t $ depth_t $ seed_t $ max_crashes_t $ horizon_t $ stride_t
-      $ no_shrink_t $ replay_t)
+      $ no_shrink_t $ replay_t $ trace_t)
 
 let () = exit (Cmd.eval' cmd)

@@ -9,7 +9,10 @@
      dune exec bin/simulate.exe -- registers -n 5 --crash 0@50 --ops 4
      dune exec bin/simulate.exe -- extract-sigma -n 4 --crash 2@100
      dune exec bin/simulate.exe -- extract-psi -n 3 --crash 1@30
-*)
+
+   Any subcommand accepts [--trace FILE] to write the run's JSONL
+   observability record (events, metrics, profile — see
+   docs/OBSERVABILITY.md) and print the collected metric rows. *)
 
 open Cmdliner
 
@@ -36,6 +39,15 @@ let crashes_arg =
     value & opt_all crash_conv []
     & info [ "crash" ] ~docv:"PID@TIME" ~doc:"Crash process PID at TIME.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's JSONL observability trace (events, metrics, \
+           profile) to $(docv) and print the metric rows.")
+
 let scenario_of ~n ~crashes =
   let fp = Sim.Failure_pattern.make ~n crashes in
   {
@@ -47,11 +59,22 @@ let scenario_of ~n ~crashes =
 
 let report s =
   Format.printf "%a@." Core.Runner.pp_summary s;
+  (match s.Core.Runner.metrics with
+  | [] -> ()
+  | rows ->
+    Format.printf "metrics:@.";
+    List.iter (fun (name, v) -> Format.printf "  %-24s %d@." name v) rows);
   match s.Core.Runner.spec_ok with
   | Ok () -> ()
   | Error e ->
     Format.printf "spec violation detail: %s@." e;
     exit 1
+
+(* One run = one [Run_config.t] + one workload; every subcommand funnels
+   through here so [--trace] behaves identically everywhere. *)
+let execute ?max_steps ~n ~seed ~crashes ~trace workload =
+  let cfg = Core.Run_config.make ?max_steps ?trace ~seed () in
+  report (Core.Runner.run cfg workload (scenario_of ~n ~crashes))
 
 let consensus_cmd =
   let algo_arg =
@@ -70,11 +93,12 @@ let consensus_cmd =
       & opt algo_conv Core.Runner.Quorum_paxos
       & info [ "algo" ] ~docv:"ALGO" ~doc:"Consensus algorithm.")
   in
-  let run n seed crashes algo =
-    report (Core.Runner.run_consensus algo (scenario_of ~n ~crashes) ~seed)
+  let run n seed crashes trace algo =
+    execute ~n ~seed ~crashes ~trace
+      (Core.Runner.Consensus { algo; proposals = None })
   in
   Cmd.v (Cmd.info "consensus" ~doc:"Run a consensus algorithm")
-    Term.(const run $ n_arg $ seed_arg $ crashes_arg $ algo_arg)
+    Term.(const run $ n_arg $ seed_arg $ crashes_arg $ trace_arg $ algo_arg)
 
 let qc_cmd =
   let mode_arg =
@@ -87,11 +111,12 @@ let qc_cmd =
       value & opt mode_conv None
       & info [ "mode" ] ~docv:"MODE" ~doc:"Force the Psi branch (cons|fs|auto).")
   in
-  let run n seed crashes mode =
-    report (Core.Runner.run_qc ?mode (scenario_of ~n ~crashes) ~seed)
+  let run n seed crashes trace mode =
+    execute ~n ~seed ~crashes ~trace
+      (Core.Runner.Quittable_consensus { mode })
   in
   Cmd.v (Cmd.info "qc" ~doc:"Run quittable consensus from Psi")
-    Term.(const run $ n_arg $ seed_arg $ crashes_arg $ mode_arg)
+    Term.(const run $ n_arg $ seed_arg $ crashes_arg $ trace_arg $ mode_arg)
 
 let nbac_cmd =
   let algo_arg =
@@ -109,7 +134,7 @@ let nbac_cmd =
       value & opt_all int []
       & info [ "no" ] ~docv:"PID" ~doc:"Process PID votes No (default: all Yes).")
   in
-  let run n seed crashes algo nos =
+  let run n seed crashes trace algo nos =
     let sc = scenario_of ~n ~crashes in
     let votes =
       List.filter_map
@@ -120,11 +145,13 @@ let nbac_cmd =
           else Some (p, Qcnbac.Types.Yes))
         (Sim.Pid.all n)
     in
+    let cfg = Core.Run_config.make ~max_steps:60_000 ?trace ~seed () in
     report
-      (Core.Runner.run_nbac ~max_steps:60_000 ~votes algo sc ~seed)
+      (Core.Runner.run cfg (Core.Runner.Nbac { algo; votes = Some votes }) sc)
   in
   Cmd.v (Cmd.info "nbac" ~doc:"Run non-blocking atomic commit")
-    Term.(const run $ n_arg $ seed_arg $ crashes_arg $ algo_arg $ no_arg)
+    Term.(
+      const run $ n_arg $ seed_arg $ crashes_arg $ trace_arg $ algo_arg $ no_arg)
 
 let registers_cmd =
   let ops_arg =
@@ -138,29 +165,31 @@ let registers_cmd =
       & info [ "majority" ]
           ~doc:"Use fixed majority quorums instead of Sigma (may block).")
   in
-  let run n seed crashes ops majority =
+  let run n seed crashes trace ops majority =
     let quorums = if majority then `Majority else `Sigma in
-    report
-      (Core.Runner.run_register_workload ~ops_per_proc:ops ~quorums
-         (scenario_of ~n ~crashes) ~seed)
+    execute ~n ~seed ~crashes ~trace
+      (Core.Runner.Registers { ops_per_proc = ops; registers = 2; quorums })
   in
   Cmd.v (Cmd.info "registers" ~doc:"Run an ABD register workload")
-    Term.(const run $ n_arg $ seed_arg $ crashes_arg $ ops_arg $ majority_arg)
+    Term.(
+      const run $ n_arg $ seed_arg $ crashes_arg $ trace_arg $ ops_arg
+      $ majority_arg)
 
 let extract_sigma_cmd =
-  let run n seed crashes =
-    report (Core.Runner.run_sigma_extraction (scenario_of ~n ~crashes) ~seed)
+  let run n seed crashes trace =
+    execute ~n ~seed ~crashes ~trace Core.Runner.Sigma_extraction
   in
   Cmd.v
     (Cmd.info "extract-sigma" ~doc:"Run the Figure 1 Sigma extraction")
-    Term.(const run $ n_arg $ seed_arg $ crashes_arg)
+    Term.(const run $ n_arg $ seed_arg $ crashes_arg $ trace_arg)
 
 let extract_psi_cmd =
-  let run n seed crashes =
-    report (Core.Runner.run_psi_extraction (scenario_of ~n ~crashes) ~seed)
+  let run n seed crashes trace =
+    execute ~n ~seed ~crashes ~trace
+      (Core.Runner.Psi_extraction { rounds = 3; chunk = 220 })
   in
   Cmd.v (Cmd.info "extract-psi" ~doc:"Run the Figure 3 Psi extraction")
-    Term.(const run $ n_arg $ seed_arg $ crashes_arg)
+    Term.(const run $ n_arg $ seed_arg $ crashes_arg $ trace_arg)
 
 let () =
   let default =

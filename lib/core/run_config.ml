@@ -2,10 +2,11 @@ type t = {
   policy : Sim.Network.policy;
   max_steps : int option;
   seed : int;
+  trace : string option;
 }
 
-let make ?(policy = Sim.Network.Fifo) ?max_steps ~seed () =
-  { policy; max_steps; seed }
+let make ?(policy = Sim.Network.Fifo) ?max_steps ?trace ~seed () =
+  { policy; max_steps; seed; trace }
 
 let default = make ~seed:1 ()
 

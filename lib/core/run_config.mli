@@ -11,14 +11,25 @@ type t = {
   max_steps : int option;
       (** engine step bound; [None] = the workload's own default *)
   seed : int;  (** root seed for oracles, schedulers and workloads *)
+  trace : string option;
+      (** when set, install an observability collector on the run and write
+          its JSONL trace (events, metrics, profile — see
+          docs/OBSERVABILITY.md) to this path; the collected metric rows
+          also land in [Runner.summary.metrics].  [None] (the default) runs
+          fully uninstrumented. *)
 }
 
-(** [make ~seed ()] builds a config; [policy] defaults to FIFO and
-    [max_steps] to the per-workload default. *)
+(** [make ~seed ()] builds a config; [policy] defaults to FIFO,
+    [max_steps] to the per-workload default and [trace] to off. *)
 val make :
-  ?policy:Sim.Network.policy -> ?max_steps:int -> seed:int -> unit -> t
+  ?policy:Sim.Network.policy ->
+  ?max_steps:int ->
+  ?trace:string ->
+  seed:int ->
+  unit ->
+  t
 
-(** FIFO, per-workload default steps, seed 1. *)
+(** FIFO, per-workload default steps, seed 1, no trace. *)
 val default : t
 
 (** [steps t ~default] resolves the step bound. *)

@@ -8,6 +8,7 @@ type summary = {
   latency : int option;
   steps : int;
   messages : int;
+  metrics : (string * int) list;
 }
 
 let pp_summary fmt s =
@@ -79,10 +80,29 @@ let mk_summary ~algorithm ~detector ~(scenario : Scenario.t) ~spec_ok
     latency = Sim.Trace.latency trace;
     steps = trace.Sim.Trace.steps;
     messages = trace.Sim.Trace.messages_sent;
+    metrics = [];
   }
 
-let run_consensus_w (cfg : Run_config.t) algo proposals
+(* --- observability plumbing ---------------------------------------- *)
+
+let sink_of obs =
+  match obs with None -> None | Some c -> Some c.Obs.Collector.sink
+
+(* Wrap a quorum-valued detector history so every query lands its quorum's
+   size in a histogram — "quorum sizes touched" without touching the
+   algorithms themselves. *)
+let observe_quorums obs name fd =
+  match obs with
+  | None -> fd
+  | Some c ->
+    fun p t ->
+      let q = fd p t in
+      Obs.Metrics.observe c.Obs.Collector.metrics name (Sim.Pidset.cardinal q);
+      q
+
+let run_consensus_w ?obs (cfg : Run_config.t) algo proposals
     (scenario : Scenario.t) =
+  let sink = sink_of obs in
   let policy = cfg.Run_config.policy in
   let seed = cfg.Run_config.seed in
   let max_steps = Run_config.steps cfg ~default:150_000 in
@@ -111,9 +131,10 @@ let run_consensus_w (cfg : Run_config.t) algo proposals
   | Quorum_paxos ->
     let omega = Fd.Oracle.history Fd.Omega.oracle fp ~seed in
     let sigma = Fd.Oracle.history Fd.Sigma.oracle fp ~seed:(seed + 1) in
+    let sigma = observe_quorums obs "sigma.quorum_size" sigma in
     let cfg =
       Sim.Engine.config ~policy ~seed ~max_steps ~inputs ~stop
-        ~detect_quiescence:false
+        ~detect_quiescence:false ?sink ~render_out:string_of_int
         ~fd:(fun p t -> (omega p t, sigma p t))
         fp
     in
@@ -121,16 +142,19 @@ let run_consensus_w (cfg : Run_config.t) algo proposals
   | Multivalued width ->
     let omega = Fd.Oracle.history Fd.Omega.oracle fp ~seed in
     let sigma = Fd.Oracle.history Fd.Sigma.oracle fp ~seed:(seed + 1) in
+    let sigma = observe_quorums obs "sigma.quorum_size" sigma in
     let cfg =
       Sim.Engine.config ~policy ~seed ~max_steps ~inputs ~stop
-        ~detect_quiescence:false
+        ~detect_quiescence:false ?sink ~render_out:string_of_int
         ~fd:(fun p t -> (omega p t, sigma p t))
         fp
     in
     finish (Sim.Engine.run cfg (Cons.Multivalued.protocol ~width))
   | Disk_paxos_shm ->
     let omega = Fd.Oracle.history Fd.Omega.oracle fp ~seed in
-    let cfg = Regs.Shm.config ~seed ~max_steps ~inputs ~stop ~fd:omega fp in
+    let cfg =
+      Regs.Shm.config ~seed ~max_steps ~inputs ~stop ?sink ~fd:omega fp
+    in
     finish
       (Regs.Shm.run
          ~registers:(Cons.Disk_paxos.registers ~n)
@@ -138,9 +162,10 @@ let run_consensus_w (cfg : Run_config.t) algo proposals
   | Disk_paxos_abd ->
     let omega = Fd.Oracle.history Fd.Omega.oracle fp ~seed in
     let sigma = Fd.Oracle.history Fd.Sigma.oracle fp ~seed:(seed + 1) in
+    let sigma = observe_quorums obs "sigma.quorum_size" sigma in
     let cfg =
       Sim.Engine.config ~policy ~seed ~max_steps ~inputs ~stop
-        ~detect_quiescence:false
+        ~detect_quiescence:false ?sink
         ~fd:(fun p t -> (omega p t, sigma p t))
         fp
     in
@@ -153,7 +178,8 @@ let run_consensus_w (cfg : Run_config.t) algo proposals
     let suspects = Fd.Oracle.history Fd.Suspects.eventually_strong fp ~seed in
     let cfg =
       Sim.Engine.config ~policy ~seed ~max_steps ~inputs ~stop
-        ~detect_quiescence:false ~fd:suspects fp
+        ~detect_quiescence:false ?sink ~render_out:string_of_int ~fd:suspects
+        fp
     in
     finish (Sim.Engine.run cfg Cons.Chandra_toueg.protocol)
 
@@ -171,7 +197,7 @@ let qc_decision_string decisions =
              d)
          ds)
 
-let run_qc_w (cfg : Run_config.t) mode (scenario : Scenario.t) =
+let run_qc_w ?obs (cfg : Run_config.t) mode (scenario : Scenario.t) =
   let seed = cfg.Run_config.seed in
   let max_steps = Run_config.steps cfg ~default:150_000 in
   let fp = scenario.Scenario.fp in
@@ -187,7 +213,12 @@ let run_qc_w (cfg : Run_config.t) mode (scenario : Scenario.t) =
     Sim.Engine.config ~policy:cfg.Run_config.policy ~seed ~max_steps
       ~inputs:(inputs_at_zero proposals)
       ~stop:(Sim.Engine.stop_when_all_correct_output fp)
-      ~detect_quiescence:false ~fd:psi fp
+      ~detect_quiescence:false ?sink:(sink_of obs)
+      ~render_out:(fun d ->
+        Format.asprintf "%a"
+          (Qcnbac.Types.pp_qc_decision Format.pp_print_int)
+          d)
+      ~fd:psi fp
   in
   let trace = Sim.Engine.run cfg Qcnbac.Qc_psi.protocol in
   let decisions = Qcnbac.Qc_spec.decisions_of_trace trace in
@@ -207,7 +238,9 @@ let outcome_string decisions =
          (fun d -> Format.asprintf "%a" Qcnbac.Types.pp_outcome d)
          ds)
 
-let run_nbac_w (cfg : Run_config.t) algo votes (scenario : Scenario.t) =
+let run_nbac_w ?obs (cfg : Run_config.t) algo votes (scenario : Scenario.t) =
+  let sink = sink_of obs in
+  let render_outcome d = Format.asprintf "%a" Qcnbac.Types.pp_outcome d in
   let policy = cfg.Run_config.policy in
   let seed = cfg.Run_config.seed in
   let max_steps = Run_config.steps cfg ~default:150_000 in
@@ -232,7 +265,7 @@ let run_nbac_w (cfg : Run_config.t) algo votes (scenario : Scenario.t) =
     let fs = Fd.Oracle.history Fd.Fs.oracle fp ~seed:(seed + 1) in
     let cfg =
       Sim.Engine.config ~policy ~seed ~max_steps ~inputs ~stop
-        ~detect_quiescence:false
+        ~detect_quiescence:false ?sink ~render_out:render_outcome
         ~fd:(fun p t -> (psi p t, fs p t))
         fp
     in
@@ -240,7 +273,7 @@ let run_nbac_w (cfg : Run_config.t) algo votes (scenario : Scenario.t) =
   | Two_phase_commit ->
     let cfg =
       Sim.Engine.config ~policy ~seed ~max_steps ~inputs ~stop
-        ~detect_quiescence:false
+        ~detect_quiescence:false ?sink ~render_out:render_outcome
         ~fd:(fun _ _ -> ())
         fp
     in
@@ -259,8 +292,8 @@ let register_workload ~rng ~n ~registers ~ops_per_proc =
           (time, p, input)))
     (Sim.Pid.all n)
 
-let run_registers_w (cfg : Run_config.t) ~ops_per_proc ~registers ~quorums
-    (scenario : Scenario.t) =
+let run_registers_w ?obs (cfg : Run_config.t) ~ops_per_proc ~registers
+    ~quorums (scenario : Scenario.t) =
   let seed = cfg.Run_config.seed in
   let max_steps = Run_config.steps cfg ~default:80_000 in
   let fp = scenario.Scenario.fp in
@@ -294,9 +327,15 @@ let run_registers_w (cfg : Run_config.t) ~ops_per_proc ~registers ~quorums
       (fun p -> responded p >= ops_per_proc)
       (Sim.Failure_pattern.correct fp)
   in
+  let fd = observe_quorums obs "sigma.quorum_size" fd in
+  let render_op = function
+    | Regs.Abd.Invoked { op_seq; _ } -> Printf.sprintf "invoke#%d" op_seq
+    | Regs.Abd.Responded { op_seq; _ } -> Printf.sprintf "respond#%d" op_seq
+  in
   let ecfg =
     Sim.Engine.config ~policy:cfg.Run_config.policy ~seed ~max_steps ~inputs
-      ~stop ~detect_quiescence:false ~fd fp
+      ~stop ~detect_quiescence:false ?sink:(sink_of obs)
+      ~render_out:render_op ~fd fp
   in
   let trace = Sim.Engine.run ecfg (Regs.Abd.protocol ~registers) in
   let lin = Regs.Linearizability.check_trace trace in
@@ -310,16 +349,20 @@ let run_registers_w (cfg : Run_config.t) ~ops_per_proc ~registers ~quorums
     latency = Sim.Trace.latency trace;
     steps = trace.Sim.Trace.steps;
     messages = trace.Sim.Trace.messages_sent;
+    metrics = [];
   }
 
-let run_sigma_extraction_w (cfg : Run_config.t) (scenario : Scenario.t) =
+let run_sigma_extraction_w ?obs (cfg : Run_config.t) (scenario : Scenario.t) =
   let seed = cfg.Run_config.seed in
   let max_steps = Run_config.steps cfg ~default:60_000 in
   let fp = scenario.Scenario.fp in
   let sigma = Fd.Oracle.history Fd.Sigma.oracle fp ~seed in
+  let sigma = observe_quorums obs "sigma.quorum_size" sigma in
   let ecfg =
     Sim.Engine.config ~policy:cfg.Run_config.policy ~seed ~max_steps
-      ~detect_quiescence:false ~fd:sigma fp
+      ~detect_quiescence:false ?sink:(sink_of obs)
+      ~render_out:(fun q -> Format.asprintf "%a" Sim.Pidset.pp q)
+      ~fd:sigma fp
   in
   let trace = Sim.Engine.run ecfg Extract.Sigma_extraction.protocol in
   let samples =
@@ -328,6 +371,14 @@ let run_sigma_extraction_w (cfg : Run_config.t) (scenario : Scenario.t) =
       trace.Sim.Trace.outputs
   in
   let spec_ok = Fd.Sigma.check fp ~horizon:trace.Sim.Trace.ticks samples in
+  (match obs with
+  | None -> ()
+  | Some c ->
+    List.iter
+      (fun (_, _, q) ->
+        Obs.Metrics.observe c.Obs.Collector.metrics "sigma.extracted_size"
+          (Sim.Pidset.cardinal q))
+      samples);
   {
     algorithm = "extract-sigma";
     detector = "D=Sigma via ABD";
@@ -338,13 +389,15 @@ let run_sigma_extraction_w (cfg : Run_config.t) (scenario : Scenario.t) =
     latency = Sim.Trace.latency trace;
     steps = trace.Sim.Trace.steps;
     messages = trace.Sim.Trace.messages_sent;
+    metrics = [];
   }
 
-let run_psi_extraction_w (cfg : Run_config.t) ~rounds ~chunk
+let run_psi_extraction_w ?obs (cfg : Run_config.t) ~rounds ~chunk
     (scenario : Scenario.t) =
   let fp = scenario.Scenario.fp in
   let result =
-    Extract.Psi_extraction.run ~fp ~seed:cfg.Run_config.seed ~rounds ~chunk
+    Extract.Psi_extraction.run ?sink:(sink_of obs) ~fp
+      ~seed:cfg.Run_config.seed ~rounds ~chunk ()
   in
   let spec_ok = Extract.Psi_extraction.check fp result in
   {
@@ -360,18 +413,39 @@ let run_psi_extraction_w (cfg : Run_config.t) ~rounds ~chunk
     latency = None;
     steps = 0;
     messages = 0;
+    metrics = [];
   }
 
-let run cfg workload scenario =
+let dispatch ?obs cfg workload scenario =
   match workload with
-  | Consensus { algo; proposals } -> run_consensus_w cfg algo proposals scenario
-  | Quittable_consensus { mode } -> run_qc_w cfg mode scenario
-  | Nbac { algo; votes } -> run_nbac_w cfg algo votes scenario
+  | Consensus { algo; proposals } ->
+    run_consensus_w ?obs cfg algo proposals scenario
+  | Quittable_consensus { mode } -> run_qc_w ?obs cfg mode scenario
+  | Nbac { algo; votes } -> run_nbac_w ?obs cfg algo votes scenario
   | Registers { ops_per_proc; registers; quorums } ->
-    run_registers_w cfg ~ops_per_proc ~registers ~quorums scenario
-  | Sigma_extraction -> run_sigma_extraction_w cfg scenario
+    run_registers_w ?obs cfg ~ops_per_proc ~registers ~quorums scenario
+  | Sigma_extraction -> run_sigma_extraction_w ?obs cfg scenario
   | Psi_extraction { rounds; chunk } ->
-    run_psi_extraction_w cfg ~rounds ~chunk scenario
+    run_psi_extraction_w ?obs cfg ~rounds ~chunk scenario
+
+let run cfg workload (scenario : Scenario.t) =
+  match cfg.Run_config.trace with
+  | None -> dispatch cfg workload scenario
+  | Some path ->
+    let obs = Obs.Collector.create () in
+    let s = dispatch ~obs cfg workload scenario in
+    let meta =
+      [
+        ("kind", "run");
+        ("algorithm", s.algorithm);
+        ("detector", s.detector);
+        ("scenario", s.scenario);
+        ("seed", string_of_int cfg.Run_config.seed);
+        ("spec", match s.spec_ok with Ok () -> "ok" | Error e -> e);
+      ]
+    in
+    Obs.Jsonl.write_run ~path ~meta obs;
+    { s with metrics = Obs.Collector.metric_rows obs }
 
 (* Historical per-problem entry points, now thin wrappers over [run]. *)
 
@@ -462,7 +536,46 @@ let summarize name (opts : Mc.Harness.opts) (r : Mc.Crash_adversary.report) =
     counterexample = r.Mc.Crash_adversary.counterexample;
   }
 
-let model_check ?(opts = Mc.Harness.default_opts) name ~n =
+(* Tracing an exploration must not instrument the parallel explorer (its
+   speculative runs would race on the collector and break the bit-identical
+   summary contract), so [--trace] records the search summary plus — when a
+   counterexample was found — the fully deterministic replay of its
+   schedule, events and all. *)
+let write_mc_trace path name ~n ~(opts : Mc.Harness.opts) (s : mc_summary) =
+  let obs = Obs.Collector.create () in
+  (match s.counterexample with
+  | Some c -> (
+    match Mc.Targets.find name ~n with
+    | Some (Mc.Targets.Packed t) ->
+      ignore
+        (Mc.Harness.replay ~seed:opts.Mc.Harness.seed
+           ~sink:obs.Obs.Collector.sink t ~n c.Mc.Harness.schedule)
+    | None -> ())
+  | None -> ());
+  let meta =
+    [
+      ("kind", "mc");
+      ("target", s.target);
+      ("explorer", s.explorer);
+      ("n", string_of_int n);
+      ("seed", string_of_int opts.Mc.Harness.seed);
+      ("patterns", string_of_int s.patterns);
+      ("schedules", string_of_int s.schedules);
+      ("steps", string_of_int s.mc_steps);
+      ("exhausted", string_of_bool s.exhausted);
+      ( "violation",
+        match s.counterexample with
+        | None -> ""
+        | Some c -> c.Mc.Harness.reason );
+      ( "schedule",
+        match s.counterexample with
+        | None -> ""
+        | Some c -> Mc.Schedule.to_string c.Mc.Harness.schedule );
+    ]
+  in
+  Obs.Jsonl.write_run ~path ~meta obs
+
+let model_check ?(opts = Mc.Harness.default_opts) ?trace name ~n =
   match Mc.Harness.validate_opts opts with
   | Error e -> Error e
   | Ok () -> (
@@ -472,9 +585,13 @@ let model_check ?(opts = Mc.Harness.default_opts) name ~n =
         (Printf.sprintf "unknown target %S (known: %s)" name
            (String.concat ", " Mc.Targets.names))
     | Some (Mc.Targets.Packed t) ->
-      Ok (summarize name opts (Mc.Parallel.search ~opts t ~n)))
+      let s = summarize name opts (Mc.Parallel.search ~opts t ~n) in
+      (match trace with
+      | None -> ()
+      | Some path -> write_mc_trace path name ~n ~opts s);
+      Ok s)
 
-let model_check_scenario ?(opts = Mc.Harness.default_opts) name
+let model_check_scenario ?(opts = Mc.Harness.default_opts) ?trace name
     (scenario : Scenario.t) =
   match Mc.Harness.validate_opts opts with
   | Error e -> Error e
@@ -489,7 +606,11 @@ let model_check_scenario ?(opts = Mc.Harness.default_opts) name
     | Some (Mc.Targets.Packed t) ->
       (* the single fixed pattern gets the whole budget *)
       let opts = { opts with Mc.Harness.inner_budget = opts.Mc.Harness.budget } in
-      Ok (summarize name opts (Mc.Parallel.search ~opts ~fps:[ fp ] t ~n)))
+      let s = summarize name opts (Mc.Parallel.search ~opts ~fps:[ fp ] t ~n) in
+      (match trace with
+      | None -> ()
+      | Some path -> write_mc_trace path name ~n ~opts s);
+      Ok s)
 
 (* Re-exports so the [mc] executable (whose compilation unit shadows the
    [Mc] library module) can stay entirely within [Core]. *)
@@ -502,7 +623,7 @@ type mc_replay_report = {
   re_violation : string option;
 }
 
-let mc_replay name ~n ~seed ~schedule =
+let mc_replay ?trace name ~n ~seed ~schedule =
   match
     try Ok (Mc.Schedule.of_string schedule) with Invalid_argument e -> Error e
   with
@@ -514,7 +635,25 @@ let mc_replay name ~n ~seed ~schedule =
         (Printf.sprintf "unknown target %S (known: %s)" name
            (String.concat ", " mc_targets))
     | Some (Mc.Targets.Packed t) ->
-      let r = Mc.Harness.replay ~seed t ~n sched in
+      let obs =
+        match trace with None -> None | Some _ -> Some (Obs.Collector.create ())
+      in
+      let r = Mc.Harness.replay ~seed ?sink:(sink_of obs) t ~n sched in
+      (match (trace, obs) with
+      | Some path, Some c ->
+        Obs.Jsonl.write_run ~path
+          ~meta:
+            [
+              ("kind", "mc-replay");
+              ("target", name);
+              ("n", string_of_int n);
+              ("seed", string_of_int seed);
+              ("schedule", Mc.Schedule.to_string sched);
+              ( "violation",
+                Option.value ~default:"" r.Mc.Harness.violation );
+            ]
+          c
+      | _ -> ());
       Ok
         {
           re_schedule = Mc.Schedule.to_string sched;

@@ -17,6 +17,10 @@ type summary = {
   latency : int option;  (** global time of the last first-output *)
   steps : int;
   messages : int;
+  metrics : (string * int) list;
+      (** observability metric rows (name-sorted; see docs/OBSERVABILITY.md
+          for the glossary).  Empty unless the run was traced
+          ([Run_config.trace]). *)
 }
 
 val pp_summary : Format.formatter -> summary -> unit
@@ -68,7 +72,11 @@ type workload =
 
 (** [run cfg workload scenario] executes one workload instance and checks
     its problem specification.  ([Psi_extraction] drives its own engine
-    instances: it ignores [cfg.policy] and [cfg.max_steps].) *)
+    instances: it ignores [cfg.policy] and [cfg.max_steps].)
+
+    When [cfg.trace] is set, the run is executed with an observability
+    collector installed: its JSONL trace is written to that path and the
+    collected metric rows are returned in [summary.metrics]. *)
 val run : Run_config.t -> workload -> Scenario.t -> summary
 
 (** @deprecated Thin wrapper over {!run} with [Consensus]; prefer [run]. *)
@@ -166,15 +174,26 @@ val pp_mc_summary : Format.formatter -> mc_summary -> unit
     [name] (see {!Mc.Targets.names}), on [opts.domains] domains.
     [Error _] on an unknown target name or invalid [opts] (e.g. a PCT
     depth [d] combined with a non-PCT explorer — it would be silently
-    ignored). *)
+    ignored).
+
+    [?trace] writes a JSONL observability record to the given path: the
+    search summary as metadata plus, when a counterexample was found, the
+    event trace of its deterministic replay.  The search itself is never
+    instrumented — speculative parallel runs would race on a collector —
+    so the summary (and the trace file minus its profile record) is
+    bit-identical across domain counts. *)
 val model_check :
-  ?opts:mc_opts -> string -> n:int -> (mc_summary, string) result
+  ?opts:mc_opts -> ?trace:string -> string -> n:int -> (mc_summary, string) result
 
 (** [model_check_scenario ?opts name scenario] explores schedules under the
     scenario's fixed failure pattern only; the whole [opts.budget] goes to
-    that single pattern. *)
+    that single pattern.  [?trace] as in {!model_check}. *)
 val model_check_scenario :
-  ?opts:mc_opts -> string -> Scenario.t -> (mc_summary, string) result
+  ?opts:mc_opts ->
+  ?trace:string ->
+  string ->
+  Scenario.t ->
+  (mc_summary, string) result
 
 (** The registered model-checking target names ({!Mc.Targets.names}). *)
 val mc_targets : string list
@@ -186,8 +205,10 @@ type mc_replay_report = {
 }
 
 (** [mc_replay name ~n ~seed ~schedule] replays a serialized counterexample
-    schedule against a registered target. *)
+    schedule against a registered target.  [?trace] writes the replayed
+    run's JSONL observability record to the given path. *)
 val mc_replay :
+  ?trace:string ->
   string ->
   n:int ->
   seed:int ->

@@ -17,19 +17,38 @@ let algorithm :
 
 (* The real execution of A (lines 9-15): run the engine once with the same
    detector history, each process proposing its phase-1 conclusion. *)
-let real_execution ~fp ~seed ~history ~proposals =
+let real_execution ?sink ~fp ~seed ~history ~proposals () =
   let cfg =
     Sim.Engine.config ~seed:(seed + 101) ~max_steps:120_000
       ~inputs:(List.map (fun (p, v) -> (0, p, v)) proposals)
       ~stop:(Sim.Engine.stop_when_all_correct_output fp)
-      ~detect_quiescence:false ~fd:history fp
+      ~detect_quiescence:false ?sink
+      ~render_out:(fun d ->
+        Format.asprintf "%a"
+          (Qcnbac.Types.pp_qc_decision Format.pp_print_int)
+          d)
+      ~fd:history fp
   in
   let trace = Sim.Engine.run cfg algorithm in
   match trace.Sim.Trace.outputs with
   | [] -> None
   | e :: _ -> Some e.Sim.Trace.value
 
-let run ~fp ~seed ~rounds ~chunk =
+(* Extraction-specific metric events ([psi.*] in the glossary); round [r]
+   and time [horizon] locate them on the extraction timeline. *)
+let emit_metric sink ~round ~time name value =
+  match sink with
+  | None -> ()
+  | Some s ->
+    s.Sim.Event.emit
+      {
+        Sim.Event.time;
+        round;
+        vc = None;
+        kind = Sim.Event.Metric { name; value };
+      }
+
+let run ?sink ~fp ~seed ~rounds ~chunk () =
   let n = Sim.Failure_pattern.n fp in
   let history = Fd.Oracle.history Fd.Psi.oracle fp ~seed in
   let full_horizon = (rounds + 1) * chunk in
@@ -53,7 +72,7 @@ let run ~fp ~seed ~rounds ~chunk =
   in
   (* Phase 2: agree by actually executing A. *)
   let real_decision =
-    match real_execution ~fp ~seed ~history ~proposals with
+    match real_execution ?sink ~fp ~seed ~history ~proposals () with
     | Some d -> d
     | None -> Qcnbac.Types.Quit (* unreachable for a live QC algorithm *)
   in
@@ -158,6 +177,23 @@ let run ~fp ~seed ~rounds ~chunk =
           in
           { horizon; outputs })
   in
+  (match sink with
+  | None -> ()
+  | Some _ ->
+    emit_metric sink ~round:0 ~time:0 "psi.dag_total"
+      (Array.length samples_full);
+    List.iteri
+      (fun i (r : round_outputs) ->
+        let cut =
+          Array.fold_left
+            (fun acc (s : _ Dag.sample) ->
+              if s.Dag.time <= r.horizon then acc + 1 else acc)
+            0 samples_full
+        in
+        emit_metric sink ~round:(i + 1) ~time:r.horizon "psi.dag_samples" cut;
+        emit_metric sink ~round:(i + 1) ~time:r.horizon "psi.round_outputs"
+          (List.length r.outputs))
+      rounds_out);
   { mode; rounds = bot_round :: rounds_out; real_decision }
 
 let check fp result =

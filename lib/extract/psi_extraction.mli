@@ -38,7 +38,13 @@ type result = {
     oracle history) under failure pattern [fp].  Each round adds [chunk]
     sample times.  Deterministic given [seed]. *)
 val run :
-  fp:Sim.Failure_pattern.t -> seed:int -> rounds:int -> chunk:int -> result
+  ?sink:Sim.Event.sink ->
+  fp:Sim.Failure_pattern.t ->
+  seed:int ->
+  rounds:int ->
+  chunk:int ->
+  unit ->
+  result
 
 (** [check fp result] validates the extracted stream against the Ψ
     specification, reading rounds as time: a ⊥ prefix, a common mode, red

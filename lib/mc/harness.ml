@@ -76,12 +76,24 @@ let pp_events pp_out events =
            e.value))
     events
 
-let run ?(seed = 1) ?round_hook target ~fp scheduler =
+let run ?(seed = 1) ?round_hook ?sink target ~fp scheduler =
   let sched, recorded = Sim.Scheduler.recording scheduler in
   let violation = ref None in
   let inv = target.invariant in
+  (* Invariant evaluation is bracketed as its own profiling phase when a
+     sink is installed; with [sink = None] both closures below reduce to
+     the uninstrumented originals. *)
+  let checked f =
+    match sink with
+    | None -> f ()
+    | Some s ->
+      s.Sim.Event.phase_enter Sim.Event.Invariant_check;
+      Fun.protect
+        ~finally:(fun () -> s.Sim.Event.phase_exit Sim.Event.Invariant_check)
+        f
+  in
   let stop outputs =
-    match inv.Invariant.on_output fp outputs with
+    match checked (fun () -> inv.Invariant.on_output fp outputs) with
     | Error e ->
       violation := Some e;
       true
@@ -91,6 +103,8 @@ let run ?(seed = 1) ?round_hook target ~fp scheduler =
     Sim.Engine.config ~policy:target.policy ~seed ~max_steps:target.max_steps
       ~inputs:(target.make_inputs fp) ~stop
       ~detect_quiescence:target.detect_quiescence ~scheduler:sched ?round_hook
+      ?sink
+      ~render_out:(fun v -> Format.asprintf "%a" target.pp_out v)
       ~fd:(target.make_fd fp ~seed) fp
   in
   let trace = Sim.Engine.run cfg target.protocol in
@@ -104,7 +118,10 @@ let run ?(seed = 1) ?round_hook target ~fp scheduler =
         | `Step_limit -> target.require_termination
         | `Condition | `Hook -> false
       in
-      match inv.Invariant.final fp ~must_terminate trace.Sim.Trace.outputs with
+      match
+        checked (fun () ->
+            inv.Invariant.final fp ~must_terminate trace.Sim.Trace.outputs)
+      with
       | Ok () -> None
       | Error e -> Some e)
   in
@@ -116,7 +133,7 @@ let run ?(seed = 1) ?round_hook target ~fp scheduler =
     outputs = pp_events target.pp_out trace.Sim.Trace.outputs;
   }
 
-let replay ?(seed = 1) target ~n schedule =
+let replay ?(seed = 1) ?sink target ~n schedule =
   match try Some (Schedule.fp ~n schedule) with Invalid_argument _ -> None with
   | None ->
     {
@@ -127,7 +144,7 @@ let replay ?(seed = 1) target ~n schedule =
       outputs = "(malformed schedule: illegal failure pattern)";
     }
   | Some fp ->
-    run ~seed target ~fp
+    run ~seed ?sink target ~fp
       (Sim.Scheduler.replay schedule.Schedule.choices ~rest:Sim.Scheduler.first)
 
 let violates ?(seed = 1) target ~n schedule =

@@ -78,10 +78,17 @@ val default_opts : opts
 val validate_opts : opts -> (unit, string) result
 
 (** [run target ~fp scheduler] executes one run under [scheduler], checking
-    the invariant online (a violation ends the run) and at the end. *)
+    the invariant online (a violation ends the run) and at the end.
+
+    [?sink] installs an observability sink on the underlying engine run and
+    additionally brackets invariant evaluation in an [Invariant_check]
+    phase span.  Exploration never passes one (the parallel explorer's
+    speculative runs would race on it); tracing a counterexample means
+    replaying it with a sink — see [Core.Runner.model_check]'s [~trace]. *)
 val run :
   ?seed:int ->
   ?round_hook:(now:int -> digest:int -> steps:int -> bool) ->
+  ?sink:Sim.Event.sink ->
   ('st, 'msg, 'fd, 'inp, 'out) target ->
   fp:Sim.Failure_pattern.t ->
   Sim.Scheduler.t ->
@@ -93,6 +100,7 @@ val run :
     with no violation. *)
 val replay :
   ?seed:int ->
+  ?sink:Sim.Event.sink ->
   ('st, 'msg, 'fd, 'inp, 'out) target ->
   n:int ->
   Schedule.t ->

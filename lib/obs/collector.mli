@@ -1,0 +1,29 @@
+(** The standard sink implementation: a ring-buffered event log, an event-
+    derived metrics table and per-phase span timers, bundled behind one
+    {!Sim.Event.sink} to install into an engine config (or pass to
+    [Mc.Harness.run]/[replay]). *)
+
+type t = {
+  events : Sim.Event.t Ring.t;
+  metrics : Metrics.t;
+  profile : Profile.t;
+  sink : Sim.Event.sink;
+}
+
+(** Events retained before the ring starts dropping (65536). *)
+val default_capacity : int
+
+(** [create ?capacity ?clock ()] — [clock] is forwarded to the profiler. *)
+val create : ?capacity:int -> ?clock:(unit -> int64) -> unit -> t
+
+(** Retained events, oldest first. *)
+val events : t -> Sim.Event.t list
+
+(** Events evicted by the ring. *)
+val dropped : t -> int
+
+(** Metric rows for [Runner.summary]: the metrics snapshot plus
+    [events.recorded] / [events.dropped] bookkeeping. *)
+val metric_rows : t -> (string * int) list
+
+val clear : t -> unit

@@ -1,0 +1,97 @@
+(* Hand-rolled JSON emission: the toolchain has no JSON library and the
+   schema is small and flat, so each record is printed directly.  Schema
+   reference: docs/OBSERVABILITY.md. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let str s = "\"" ^ escape s ^ "\""
+
+let obj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> str k ^ ":" ^ v) fields) ^ "}"
+
+let int_list l = "[" ^ String.concat "," (List.map string_of_int l) ^ "]"
+
+let event_fields (e : Sim.Event.t) =
+  let pid =
+    match Sim.Event.pid_of e.kind with
+    | Some p -> [ ("pid", string_of_int p) ]
+    | None -> []
+  in
+  let extra =
+    match e.kind with
+    | Send { src; dst } ->
+      [ ("src", string_of_int src); ("dst", string_of_int dst) ]
+    | Deliver { src; dst; sent_at } ->
+      [ ("src", string_of_int src); ("dst", string_of_int dst);
+        ("sent_at", string_of_int sent_at) ]
+    | Crash _ | Fd_query _ | Input _ -> []
+    | Output { info; _ } -> if info = "" then [] else [ ("info", str info) ]
+    | Metric { name; value } ->
+      [ ("name", str name); ("value", string_of_int value) ]
+  in
+  let vc =
+    match e.vc with
+    | Some vc -> [ ("vc", int_list (Sim.Vclock.to_list vc)) ]
+    | None -> []
+  in
+  [ ("type", str "event");
+    ("t", string_of_int e.time);
+    ("round", string_of_int e.round);
+    ("kind", str (Sim.Event.kind_name e.kind)) ]
+  @ pid @ extra @ vc
+
+let event_line e = obj (event_fields e)
+
+let meta_line kvs =
+  obj (("type", str "meta") :: List.map (fun (k, v) -> (k, str v)) kvs)
+
+let metrics_line rows =
+  obj
+    [ ("type", str "metrics");
+      ("rows", obj (List.map (fun (k, v) -> (k, string_of_int v)) rows)) ]
+
+let profile_line spans =
+  obj
+    [ ("type", str "profile");
+      ( "spans",
+        obj
+          (List.map
+             (fun (name, (r : Profile.row)) ->
+               ( name,
+                 obj
+                   [ ("count", string_of_int r.count);
+                     ("total_ns", Int64.to_string r.total_ns) ] ))
+             spans) ) ]
+
+let output_collector oc ~meta (c : Collector.t) =
+  output_string oc (meta_line meta);
+  output_char oc '\n';
+  Ring.iter
+    (fun e ->
+      output_string oc (event_line e);
+      output_char oc '\n')
+    c.Collector.events;
+  output_string oc (metrics_line (Collector.metric_rows c));
+  output_char oc '\n';
+  output_string oc (profile_line (Profile.snapshot c.Collector.profile));
+  output_char oc '\n'
+
+let write_run ~path ~meta c =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_collector oc ~meta c)

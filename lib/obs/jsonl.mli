@@ -1,0 +1,22 @@
+(** JSONL serialization of a collected run: one [meta] record, one record
+    per retained event (oldest first), one [metrics] record, one [profile]
+    record.  The schema is documented in docs/OBSERVABILITY.md.
+
+    Everything except the [profile] line is deterministic for a fixed
+    schedule, which is what lets CI diff trace files across [--domains]
+    counts after stripping profile records. *)
+
+(** JSON string escaping (quotes, backslash, control characters). *)
+val escape : string -> string
+
+val event_line : Sim.Event.t -> string
+val meta_line : (string * string) list -> string
+val metrics_line : (string * int) list -> string
+val profile_line : (string * Profile.row) list -> string
+
+(** [output_collector oc ~meta c] writes the four-part record stream. *)
+val output_collector :
+  out_channel -> meta:(string * string) list -> Collector.t -> unit
+
+(** [write_run ~path ~meta c] writes (truncating) the trace file. *)
+val write_run : path:string -> meta:(string * string) list -> Collector.t -> unit

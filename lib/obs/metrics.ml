@@ -1,0 +1,73 @@
+type histogram = {
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+  buckets : int array;  (* log2 buckets: buckets.(i) counts values in [2^(i-1), 2^i) *)
+}
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 16; histograms = Hashtbl.create 16 }
+
+let incr ?(by = 1) t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.add t.counters name (ref by)
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let bucket_of v =
+  (* 0 -> bucket 0; v >= 1 -> 1 + floor(log2 v), capped *)
+  let rec log2 acc v = if v <= 1 then acc else log2 (acc + 1) (v lsr 1) in
+  if v <= 0 then 0 else min 62 (1 + log2 0 v)
+
+let observe t name v =
+  let h =
+    match Hashtbl.find_opt t.histograms name with
+    | Some h -> h
+    | None ->
+      let h =
+        { h_count = 0; h_sum = 0; h_min = max_int; h_max = min_int;
+          buckets = Array.make 63 0 }
+      in
+      Hashtbl.add t.histograms name h;
+      h
+  in
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  let b = bucket_of v in
+  h.buckets.(b) <- h.buckets.(b) + 1
+
+let histogram t name = Hashtbl.find_opt t.histograms name
+
+(* Flatten counters and histogram summaries into one sorted row list, so a
+   single [(string * int) list] can travel in [Runner.summary]. *)
+let snapshot t =
+  let rows = Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters [] in
+  let rows =
+    Hashtbl.fold
+      (fun k h acc ->
+        (k ^ ".count", h.h_count)
+        :: (k ^ ".sum", h.h_sum)
+        :: (k ^ ".min", h.h_min)
+        :: (k ^ ".max", h.h_max)
+        :: acc)
+      t.histograms rows
+  in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) rows
+
+let clear t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.histograms
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list (fun ppf (k, v) -> Format.fprintf ppf "%s=%d" k v))
+    (snapshot t)

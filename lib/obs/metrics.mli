@@ -1,0 +1,36 @@
+(** Per-run counters and histograms keyed by dotted metric names (see
+    docs/OBSERVABILITY.md for the glossary).  Purely deterministic: values
+    derive from run events only, never from wall-clock time, so metric
+    snapshots are reproducible across hosts and domain counts. *)
+
+type t
+
+type histogram = {
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+  buckets : int array;
+      (** power-of-two buckets: [buckets.(0)] counts values <= 0,
+          [buckets.(i)] counts values in [2^(i-1), 2^i). *)
+}
+
+val create : unit -> t
+
+(** [incr ?by t name] bumps counter [name] (created at 0 on first use). *)
+val incr : ?by:int -> t -> string -> unit
+
+(** Current counter value; 0 if never incremented. *)
+val counter : t -> string -> int
+
+(** [observe t name v] records [v] into histogram [name]. *)
+val observe : t -> string -> int -> unit
+
+val histogram : t -> string -> histogram option
+
+(** All counters plus histogram summaries ([name.count], [name.sum],
+    [name.min], [name.max]) as one name-sorted row list. *)
+val snapshot : t -> (string * int) list
+
+val clear : t -> unit
+val pp : Format.formatter -> t -> unit

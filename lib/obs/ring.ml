@@ -1,0 +1,37 @@
+type 'a t = {
+  data : 'a option array;
+  capacity : int;
+  mutable next : int;  (* slot the next push writes *)
+  mutable pushed : int;  (* total pushes ever *)
+}
+
+let create ~capacity =
+  let capacity = max capacity 1 in
+  { data = Array.make capacity None; capacity; next = 0; pushed = 0 }
+
+let capacity t = t.capacity
+
+let push t x =
+  t.data.(t.next) <- Some x;
+  t.next <- (t.next + 1) mod t.capacity;
+  t.pushed <- t.pushed + 1
+
+let length t = min t.pushed t.capacity
+let pushed t = t.pushed
+let dropped t = max 0 (t.pushed - t.capacity)
+
+let clear t =
+  Array.fill t.data 0 t.capacity None;
+  t.next <- 0;
+  t.pushed <- 0
+
+(* Oldest retained element first. *)
+let to_list t =
+  let len = length t in
+  let start = if t.pushed <= t.capacity then 0 else t.next in
+  List.init len (fun i ->
+      match t.data.((start + i) mod t.capacity) with
+      | Some x -> x
+      | None -> assert false)
+
+let iter f t = List.iter f (to_list t)

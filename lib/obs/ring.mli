@@ -1,0 +1,30 @@
+(** A bounded ring buffer: keeps the last [capacity] pushed elements and
+    counts how many older ones were dropped.  Backs the event log so a
+    pathological run cannot hold the whole execution in memory. *)
+
+type 'a t
+
+(** [create ~capacity] — capacities below 1 are clamped to 1. *)
+val create : capacity:int -> 'a t
+
+val capacity : 'a t -> int
+
+(** [push t x] appends [x], evicting the oldest element when full. *)
+val push : 'a t -> 'a -> unit
+
+(** Elements currently retained. *)
+val length : 'a t -> int
+
+(** Total elements ever pushed. *)
+val pushed : 'a t -> int
+
+(** Elements evicted because the buffer was full. *)
+val dropped : 'a t -> int
+
+val clear : 'a t -> unit
+
+(** Retained elements, oldest first. *)
+val to_list : 'a t -> 'a list
+
+(** [iter f t] applies [f] oldest-first. *)
+val iter : ('a -> unit) -> 'a t -> unit

@@ -19,11 +19,12 @@ type ('fd, 'inp, 'out) config = {
   seed : int;
   max_steps : int;
   stop : 'out Sim.Trace.event list -> bool;
+  sink : Sim.Event.sink option;
 }
 
 let config ?(seed = 1) ?(max_steps = 50_000) ?(inputs = [])
-    ?(stop = fun _ -> false) ~fd fp =
-  { fp; fd; inputs; seed; max_steps; stop }
+    ?(stop = fun _ -> false) ?sink ~fd fp =
+  { fp; fd; inputs; seed; max_steps; stop; sink }
 
 let run ~registers cfg proto =
   let n = Sim.Failure_pattern.n cfg.fp in
@@ -45,18 +46,41 @@ let run ~registers cfg proto =
   let steps = ref 0 in
   let now = ref 0 in
   let stop_flag = ref false in
+  (* Observability: no network and no vector clocks here, so events carry
+     [vc = None]; round numbers still count scheduling rounds. *)
+  let round = ref 0 in
+  let traced = cfg.sink <> None in
+  let crash_seen = if traced then Array.make n false else [||] in
+  let emit kind =
+    match cfg.sink with
+    | None -> ()
+    | Some s ->
+      s.Sim.Event.emit
+        { Sim.Event.time = !now; round = !round; vc = None; kind }
+  in
+  let enter ph =
+    match cfg.sink with None -> () | Some s -> s.Sim.Event.phase_enter ph
+  in
+  let exit_ ph =
+    match cfg.sink with None -> () | Some s -> s.Sim.Event.phase_exit ph
+  in
   let step_of p =
     let due, later =
       List.partition (fun (time, _) -> time <= !now) inputs.(p)
     in
     inputs.(p) <- later;
     let ctx () =
+      if traced then emit (Sim.Event.Fd_query p);
       { Sim.Protocol.self = p; n; now = !now; fd = cfg.fd p !now }
     in
     List.iter
-      (fun (_, inp) -> states.(p) <- proto.input (ctx ()) states.(p) inp)
+      (fun (_, inp) ->
+        if traced then emit (Sim.Event.Input p);
+        states.(p) <- proto.input (ctx ()) states.(p) inp)
       due;
+    enter Sim.Event.Step;
     let st, cmd, outs = proto.step (ctx ()) states.(p) ~resp:last_resp.(p) in
+    exit_ Sim.Event.Step;
     states.(p) <- st;
     (match cmd with
     | Read rid ->
@@ -72,15 +96,28 @@ let run ~registers cfg proto =
     List.iter
       (fun v ->
         outputs := { Sim.Trace.time = !now; pid = p; value = v } :: !outputs;
+        if traced then emit (Sim.Event.Output { pid = p; info = "" });
         if cfg.stop !outputs then stop_flag := true)
       outs
   in
   let stopped = ref `Step_limit in
   (try
      while !steps < cfg.max_steps do
+       if traced then
+         for p = 0 to n - 1 do
+           if
+             (not crash_seen.(p))
+             && Sim.Failure_pattern.crashed_at cfg.fp ~time:!now p
+           then begin
+             crash_seen.(p) <- true;
+             emit (Sim.Event.Crash p)
+           end
+         done;
        let alive = Sim.Failure_pattern.alive_at cfg.fp ~time:!now in
        if alive = [] then raise Exit;
+       enter Sim.Event.Schedule;
        let order = Sim.Rng.shuffle sched_rng alive in
+       exit_ Sim.Event.Schedule;
        List.iter
          (fun p ->
            if
@@ -96,7 +133,8 @@ let run ~registers cfg proto =
        if !stop_flag then begin
          stopped := `Condition;
          raise Exit
-       end
+       end;
+       incr round
      done
    with Exit -> ());
   {

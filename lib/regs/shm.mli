@@ -40,6 +40,10 @@ type ('fd, 'inp, 'out) config = {
   seed : int;
   max_steps : int;
   stop : 'out Sim.Trace.event list -> bool;
+  sink : Sim.Event.sink option;
+      (** observability sink (input / fd-query / output / crash events and
+          schedule / step phase spans; no sends and no vector clocks in this
+          model).  [None] (the default) emits nothing. *)
 }
 
 val config :
@@ -47,6 +51,7 @@ val config :
   ?max_steps:int ->
   ?inputs:(int * Sim.Pid.t * 'inp) list ->
   ?stop:('out Sim.Trace.event list -> bool) ->
+  ?sink:Sim.Event.sink ->
   fd:(Sim.Pid.t -> int -> 'fd) ->
   Sim.Failure_pattern.t ->
   ('fd, 'inp, 'out) config

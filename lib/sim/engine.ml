@@ -9,6 +9,8 @@ type ('msg, 'fd, 'inp, 'out) config = {
   detect_quiescence : bool;
   scheduler : Scheduler.t option;
   round_hook : (now:int -> digest:int -> steps:int -> bool) option;
+  sink : Event.sink option;
+  render_out : ('out -> string) option;
 }
 
 let stop_when_all_correct_output fp outputs =
@@ -21,7 +23,7 @@ let stop_after_outputs k outputs = List.length outputs >= k
 
 let config ?(policy = Network.Fifo) ?(seed = 1) ?(max_steps = 20_000)
     ?(inputs = []) ?(stop = fun _ -> false) ?(detect_quiescence = true)
-    ?scheduler ?round_hook ~fd fp =
+    ?scheduler ?round_hook ?sink ?render_out ~fd fp =
   {
     fp;
     fd;
@@ -33,6 +35,8 @@ let config ?(policy = Network.Fifo) ?(seed = 1) ?(max_steps = 20_000)
     detect_quiescence;
     scheduler;
     round_hook;
+    sink;
+    render_out;
   }
 
 type 'inp pending_inputs = (int * 'inp) list array
@@ -79,8 +83,30 @@ let run cfg (proto : _ Protocol.t) =
   let outputs = ref [] in
   let steps = ref 0 in
   let now = ref 0 in
+  let round = ref 0 in
   let stop_flag = ref false in
   let round_actions = ref 0 in
+  (* Observability.  With the default [sink = None], every emit site below
+     is a single branch on an immutable local and no vector clock is
+     maintained — instrumented and uninstrumented runs take the same
+     schedule and produce the same trace. *)
+  let sink = cfg.sink in
+  let traced = sink <> None in
+  let vcs = if traced then Array.init n (fun _ -> Vclock.zero n) else [||] in
+  let crash_seen = if traced then Array.make n false else [||] in
+  let emit ?vc kind =
+    match sink with
+    | None -> ()
+    | Some s -> s.Event.emit { Event.time = !now; round = !round; vc; kind }
+  in
+  let vc_of p = if traced then Some vcs.(p) else None in
+  let enter ph = match sink with None -> () | Some s -> s.Event.phase_enter ph in
+  let exit_ ph = match sink with None -> () | Some s -> s.Event.phase_exit ph in
+  let render v =
+    match cfg.render_out with
+    | None -> ""
+    | Some f -> ( try f v with _ -> "")
+  in
   (* Apply the actions of one step of process [p]. *)
   let apply_actions p acts =
     List.iter
@@ -88,18 +114,25 @@ let run cfg (proto : _ Protocol.t) =
         round_actions := !round_actions + 1;
         match act with
         | Protocol.Send (dst, m) ->
-          if Pid.valid ~n dst then
-            Network.send net ~now:!now ~src:p ~dst m
+          if Pid.valid ~n dst then begin
+            Network.send ?vc:(vc_of p) net ~now:!now ~src:p ~dst m;
+            if traced then emit ?vc:(vc_of p) (Event.Send { src = p; dst })
+          end
         | Protocol.Broadcast m ->
           List.iter
-            (fun dst -> Network.send net ~now:!now ~src:p ~dst m)
+            (fun dst ->
+              Network.send ?vc:(vc_of p) net ~now:!now ~src:p ~dst m;
+              if traced then emit ?vc:(vc_of p) (Event.Send { src = p; dst }))
             (Pid.all n)
         | Protocol.Output v ->
           outputs := { Trace.time = !now; pid = p; value = v } :: !outputs;
+          if traced then
+            emit ?vc:(vc_of p) (Event.Output { pid = p; info = render v });
           if cfg.stop !outputs then stop_flag := true)
       acts
   in
   let step_of p =
+    if traced then vcs.(p) <- Vclock.tick vcs.(p) p;
     (* Deliver any due external inputs first, then take one atomic step. *)
     let due, later =
       List.partition (fun (time, _) -> time <= !now) inputs.(p)
@@ -107,6 +140,10 @@ let run cfg (proto : _ Protocol.t) =
     inputs.(p) <- later;
     List.iter
       (fun (_, inp) ->
+        if traced then begin
+          emit ?vc:(vc_of p) (Event.Input p);
+          emit ?vc:(vc_of p) (Event.Fd_query p)
+        end;
         let ctx =
           { Protocol.self = p; n; now = !now; fd = cfg.fd p !now }
         in
@@ -114,9 +151,27 @@ let run cfg (proto : _ Protocol.t) =
         states.(p) <- st;
         apply_actions p acts)
       due;
-    let recv = Network.deliver net ~now:!now ~dst:p in
+    enter Event.Delivery;
+    let recv_env = Network.deliver_env net ~now:!now ~dst:p in
+    exit_ Event.Delivery;
+    let recv =
+      match recv_env with
+      | None -> None
+      | Some d ->
+        if traced then begin
+          (match d.Network.d_vc with
+          | Some sender_vc -> vcs.(p) <- Vclock.merge vcs.(p) sender_vc
+          | None -> ());
+          emit ?vc:(vc_of p)
+            (Event.Deliver { src = d.Network.d_src; dst = p; sent_at = d.Network.d_sent_at })
+        end;
+        Some (d.Network.d_src, d.Network.d_msg)
+    in
+    if traced then emit ?vc:(vc_of p) (Event.Fd_query p);
     let ctx = { Protocol.self = p; n; now = !now; fd = cfg.fd p !now } in
+    enter Event.Step;
     let st, acts = proto.on_step ctx states.(p) recv in
+    exit_ Event.Step;
     states.(p) <- st;
     apply_actions p acts
   in
@@ -130,8 +185,20 @@ let run cfg (proto : _ Protocol.t) =
   (try
      while !steps < cfg.max_steps do
        round_actions := 0;
+       if traced then
+         for p = 0 to n - 1 do
+           if
+             (not crash_seen.(p))
+             && Failure_pattern.crashed_at cfg.fp ~time:!now p
+           then begin
+             crash_seen.(p) <- true;
+             emit ?vc:(vc_of p) (Event.Crash p)
+           end
+         done;
        let alive = Failure_pattern.alive_at cfg.fp ~time:!now in
+       enter Event.Schedule;
        let order = Scheduler.order sched alive in
+       exit_ Event.Schedule;
        List.iter
          (fun p ->
            if
@@ -173,7 +240,8 @@ let run cfg (proto : _ Protocol.t) =
        | None -> ());
        (* An empty round (everyone crashed mid-round accounting) still must
           advance time so pending crash-dependent conditions progress. *)
-       if order = [] then raise Exit
+       if order = [] then raise Exit;
+       incr round
      done
    with Exit -> ());
   {

@@ -38,11 +38,22 @@ type ('msg, 'fd, 'inp, 'out) config = {
           The model checker uses it to prune revisited states, and the
           parallel explorer uses [steps] to account a run cut at this hook
           exactly as if it had physically stopped here. *)
+  sink : Event.sink option;
+      (** observability sink receiving typed events (send / deliver / crash
+          / fd-query / input / output) and phase spans (schedule, delivery,
+          protocol step).  When a sink is installed the engine also
+          maintains per-process vector clocks, stamps them on envelopes and
+          tags every event with the acting process's clock.  [None] (the
+          default) emits nothing, maintains no clocks and leaves the run
+          byte-identical to an uninstrumented one. *)
+  render_out : ('out -> string) option;
+      (** renders an output value for [Event.Output]'s [info] field; [None]
+          leaves it empty.  Only consulted when a sink is installed. *)
 }
 
 (** A configuration with no inputs, [Fifo] delivery, a [max_steps] of
     [20_000], quiescence detection on, a never-true stop condition, the
-    seeded-RNG scheduler and no round hook. *)
+    seeded-RNG scheduler, no round hook and no observability sink. *)
 val config :
   ?policy:Network.policy ->
   ?seed:int ->
@@ -52,6 +63,8 @@ val config :
   ?detect_quiescence:bool ->
   ?scheduler:Scheduler.t ->
   ?round_hook:(now:int -> digest:int -> steps:int -> bool) ->
+  ?sink:Event.sink ->
+  ?render_out:('out -> string) ->
   fd:(Pid.t -> int -> 'fd) ->
   Failure_pattern.t ->
   ('msg, 'fd, 'inp, 'out) config

@@ -1,0 +1,67 @@
+type kind =
+  | Send of { src : Pid.t; dst : Pid.t }
+  | Deliver of { src : Pid.t; dst : Pid.t; sent_at : int }
+  | Crash of Pid.t
+  | Fd_query of Pid.t
+  | Input of Pid.t
+  | Output of { pid : Pid.t; info : string }
+  | Metric of { name : string; value : int }
+
+type t = { time : int; round : int; vc : Vclock.t option; kind : kind }
+
+type phase = Schedule | Delivery | Step | Invariant_check | Phase of string
+
+type sink = {
+  emit : t -> unit;
+  phase_enter : phase -> unit;
+  phase_exit : phase -> unit;
+}
+
+let null =
+  {
+    emit = (fun _ -> ());
+    phase_enter = (fun _ -> ());
+    phase_exit = (fun _ -> ());
+  }
+
+let phase_name = function
+  | Schedule -> "schedule"
+  | Delivery -> "delivery"
+  | Step -> "step"
+  | Invariant_check -> "invariant_check"
+  | Phase s -> s
+
+let kind_name = function
+  | Send _ -> "send"
+  | Deliver _ -> "deliver"
+  | Crash _ -> "crash"
+  | Fd_query _ -> "fd_query"
+  | Input _ -> "input"
+  | Output _ -> "output"
+  | Metric _ -> "metric"
+
+let pid_of = function
+  | Send { src; _ } -> Some src
+  | Deliver { dst; _ } -> Some dst
+  | Crash p | Fd_query p | Input p -> Some p
+  | Output { pid; _ } -> Some pid
+  | Metric _ -> None
+
+let pp_kind ppf = function
+  | Send { src; dst } -> Format.fprintf ppf "send %d->%d" src dst
+  | Deliver { src; dst; sent_at } ->
+    Format.fprintf ppf "deliver %d->%d (sent@@%d)" src dst sent_at
+  | Crash p -> Format.fprintf ppf "crash %d" p
+  | Fd_query p -> Format.fprintf ppf "fd_query %d" p
+  | Input p -> Format.fprintf ppf "input %d" p
+  | Output { pid; info } ->
+    if info = "" then Format.fprintf ppf "output %d" pid
+    else Format.fprintf ppf "output %d %s" pid info
+  | Metric { name; value } -> Format.fprintf ppf "metric %s=%d" name value
+
+let pp ppf e =
+  Format.fprintf ppf "[t=%d r=%d%a] %a" e.time e.round
+    (fun ppf -> function
+      | None -> ()
+      | Some vc -> Format.fprintf ppf " vc=%a" Vclock.pp vc)
+    e.vc pp_kind e.kind

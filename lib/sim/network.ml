@@ -20,6 +20,8 @@ type 'msg envelope = {
   seq : int;  (* global send order; ties broken by it for determinism *)
   ready_at : int;  (* earliest delivery time *)
   deadline : int;  (* must be delivered by this time if dst keeps stepping *)
+  sent_at : int;  (* send time, for delivery-delay metrics *)
+  vc : Vclock.t option;  (* sender clock at send time, when tracing *)
 }
 
 type 'msg t = {
@@ -49,7 +51,7 @@ let delay_bounds t ~now =
   | Partial_synchrony { gst; delta } ->
     if now >= gst then (1, max delta 1) else (1, max (4 * delta) 1)
 
-let send t ~now ~src ~dst msg =
+let send ?vc t ~now ~src ~dst msg =
   let lo, hi = delay_bounds t ~now in
   let delay =
     if hi <= lo then lo
@@ -73,16 +75,23 @@ let send t ~now ~src ~dst msg =
         let at = max ready_at (heal_at + 1) in
         (at, at)
   in
-  let env = { src; payload = msg; seq = t.next_seq; ready_at; deadline } in
+  let env = { src; payload = msg; seq = t.next_seq; ready_at; deadline; sent_at = now; vc } in
   t.next_seq <- t.next_seq + 1;
   t.sent <- t.sent + 1;
   let q = queue t dst in
   q := env :: !q
 
+type 'msg delivery = {
+  d_src : Pid.t;
+  d_msg : 'msg;
+  d_sent_at : int;
+  d_vc : Vclock.t option;
+}
+
 let take_envelope t q env =
   q := List.filter (fun e -> e.seq <> env.seq) !q;
   t.delivered <- t.delivered + 1;
-  Some (env.src, env.payload)
+  Some { d_src = env.src; d_msg = env.payload; d_sent_at = env.sent_at; d_vc = env.vc }
 
 let oldest = function
   | [] -> None
@@ -102,7 +111,7 @@ let pick_ready t ~dst ready =
     let i = if i < 0 || i >= List.length sorted then 0 else i in
     Some (List.nth sorted i)
 
-let deliver t ~now ~dst =
+let deliver_env t ~now ~dst =
   let q = queue t dst in
   let ready = List.filter (fun e -> e.ready_at <= now) !q in
   let overdue = List.filter (fun e -> e.deadline <= now) ready in
@@ -129,6 +138,11 @@ let deliver t ~now ~dst =
         match pick_ready t ~dst ready with
         | None -> None
         | Some e -> take_envelope t q e)))
+
+let deliver t ~now ~dst =
+  match deliver_env t ~now ~dst with
+  | None -> None
+  | Some d -> Some (d.d_src, d.d_msg)
 
 let pending t ~dst = List.length !(queue t dst)
 

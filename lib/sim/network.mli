@@ -39,13 +39,28 @@ type policy =
     seeded behaviour. *)
 val create : policy -> Scheduler.t -> 'msg t
 
-(** [send t ~now ~src ~dst msg] enqueues a message. *)
-val send : 'msg t -> now:int -> src:Pid.t -> dst:Pid.t -> 'msg -> unit
+(** [send t ~now ~src ~dst msg] enqueues a message.  [?vc] stamps the
+    envelope with the sender's vector clock (the engine passes it when a
+    tracing sink is installed; it does not affect delivery or digests). *)
+val send :
+  ?vc:Vclock.t -> 'msg t -> now:int -> src:Pid.t -> dst:Pid.t -> 'msg -> unit
+
+(** A delivered message with its envelope metadata — sender, send time and
+    (when the sender was tracing) the sender's clock at send time. *)
+type 'msg delivery = {
+  d_src : Pid.t;
+  d_msg : 'msg;
+  d_sent_at : int;
+  d_vc : Vclock.t option;
+}
 
 (** [deliver t ~now ~dst] picks the message (with its sender) that a step of
     [dst] at time [now] receives, removing it from the buffer; [None] is the
     empty message. *)
 val deliver : 'msg t -> now:int -> dst:Pid.t -> (Pid.t * 'msg) option
+
+(** Like {!deliver} but keeps the envelope metadata, for tracing. *)
+val deliver_env : 'msg t -> now:int -> dst:Pid.t -> 'msg delivery option
 
 (** [pending t ~dst] counts undelivered messages addressed to [dst]. *)
 val pending : 'msg t -> dst:Pid.t -> int

@@ -38,6 +38,16 @@ let all_correct_output t =
     (fun p -> Option.is_some (first_output t p))
     (Failure_pattern.correct t.fp)
 
+let stats t =
+  [
+    ("run.steps", t.steps);
+    ("run.ticks", t.ticks);
+    ("run.outputs", List.length t.outputs);
+    ("net.sent", t.messages_sent);
+    ("net.delivered", t.messages_delivered);
+  ]
+  @ (match latency t with None -> [] | Some l -> [ ("run.latency", l) ])
+
 let pp pp_out fmt t =
   let pp_event fmt (e : 'out event) =
     Format.fprintf fmt "@[t=%-5d %a -> %a@]" e.time Pid.pp e.pid pp_out e.value

@@ -35,5 +35,12 @@ val latency : ('st, 'out) t -> int option
     one output. *)
 val all_correct_output : ('st, 'out) t -> bool
 
+(** [stats t] renders the trace's scalar counters as metric rows
+    ([run.steps], [run.ticks], [run.outputs], [net.sent], [net.delivered],
+    plus [run.latency] when anything was output) — the run-summary side of
+    the observability layer; the per-event side lives in {!Event} and the
+    [obs] library. *)
+val stats : ('st, 'out) t -> (string * int) list
+
 val pp :
   (Format.formatter -> 'out -> unit) -> Format.formatter -> ('st, 'out) t -> unit

@@ -21,6 +21,9 @@ val leq : t -> t -> bool
 
 val equal : t -> t -> bool
 
+(** Components in pid order — for serialization. *)
+val to_list : t -> int list
+
 (** [dominates a b] holds iff [leq b a] and [not (equal a b)]. *)
 val dominates : t -> t -> bool
 

@@ -165,7 +165,7 @@ let test_psi_extraction_failure_free () =
      produce (Ω,Σ). *)
   for seed = 1 to 5 do
     let fp = Sim.Failure_pattern.failure_free 3 in
-    let result = Extract.Psi_extraction.run ~fp ~seed ~rounds:3 ~chunk:220 in
+    let result = Extract.Psi_extraction.run ~fp ~seed ~rounds:3 ~chunk:220 () in
     Alcotest.(check bool)
       (Printf.sprintf "cons mode (seed %d)" seed)
       true (result.Extract.Psi_extraction.mode = `Cons);
@@ -175,7 +175,7 @@ let test_psi_extraction_failure_free () =
 let test_psi_extraction_with_crash () =
   for seed = 1 to 8 do
     let fp = Sim.Failure_pattern.make ~n:3 [ ((seed mod 3), 30) ] in
-    let result = Extract.Psi_extraction.run ~fp ~seed ~rounds:3 ~chunk:220 in
+    let result = Extract.Psi_extraction.run ~fp ~seed ~rounds:3 ~chunk:220 () in
     check_ok
       (Printf.sprintf "psi extraction spec (seed %d)" seed)
       (Extract.Psi_extraction.check fp result)
@@ -183,7 +183,7 @@ let test_psi_extraction_with_crash () =
 
 let test_psi_extraction_rounds_shape () =
   let fp = Sim.Failure_pattern.failure_free 3 in
-  let result = Extract.Psi_extraction.run ~fp ~seed:2 ~rounds:4 ~chunk:220 in
+  let result = Extract.Psi_extraction.run ~fp ~seed:2 ~rounds:4 ~chunk:220 () in
   Alcotest.(check int) "rounds+bot" 5
     (List.length result.Extract.Psi_extraction.rounds);
   (* Round 0 is the ⊥ round: no outputs yet. *)

@@ -151,6 +151,74 @@ let test_shrinker_minimizes () =
     (Mc.Schedule.length shrunk);
   Alcotest.(check bool) "within replay budget" true (replays <= 400)
 
+(* Quality contract on what the searches actually hand the user: a shrunk
+   counterexample (1) still violates, (2) replays byte-identically — the
+   whole report, outputs and all, serialized with closures — and (3) is a
+   fixed point of the shrinker, so re-shrinking a reported schedule never
+   changes it. *)
+let bytes_of_report r = Marshal.to_bytes r [ Marshal.Closures ]
+
+let check_shrink_quality name t ~n (c : Mc.Harness.counterexample) =
+  let s = c.Mc.Harness.schedule in
+  Alcotest.(check bool) (name ^ ": shrunk still violates") true
+    (Mc.Harness.violates t ~n s);
+  let r1 = Mc.Harness.replay t ~n s and r2 = Mc.Harness.replay t ~n s in
+  Alcotest.(check bool)
+    (name ^ ": replay is byte-identical")
+    true
+    (Bytes.equal (bytes_of_report r1) (bytes_of_report r2));
+  let s', _ =
+    Mc.Shrink.minimize ~violates:(fun x -> Mc.Harness.violates t ~n x) s
+  in
+  Alcotest.(check string)
+    (name ^ ": shrinking is idempotent")
+    (Mc.Schedule.to_string s)
+    (Mc.Schedule.to_string s')
+
+let test_shrunk_counterexample_quality () =
+  (let t = Mc.Targets.broken_validity ~n:2 in
+   let r = Mc.Exhaustive.search ~budget:10_000 t ~fp:(ff 2) in
+   match r.Mc.Exhaustive.counterexample with
+   | None -> Alcotest.fail "broken validity not found"
+   | Some c -> check_shrink_quality "broken-validity" t ~n:2 c);
+  let t = Mc.Targets.two_phase_commit ~n:2 in
+  let r =
+    Mc.Crash_adversary.search ~max_crashes:1 ~horizon:4 ~stride:2
+      ~inner:`Exhaustive ~budget:50_000 t ~n:2
+  in
+  match r.Mc.Crash_adversary.counterexample with
+  | None -> Alcotest.fail "2pc blocking not found"
+  | Some c -> check_shrink_quality "2pc-blocking" t ~n:2 c
+
+let test_shrink_idempotent_under_noise () =
+  (* Sweep random noisy violating schedules: minimization must land on a
+     fixed point every time, not just on the hand-picked example above. *)
+  let t = Mc.Targets.broken_validity ~n:2 in
+  let violates s = Mc.Harness.violates t ~n:2 s in
+  let exercised = ref 0 in
+  for seed = 1 to 12 do
+    let rng = Sim.Rng.make (seed * 37) in
+    let noise =
+      List.init (5 + Sim.Rng.int rng 10) (fun _ -> Sim.Rng.int rng 2)
+    in
+    let crashes = if Sim.Rng.bool rng then [ (1, Sim.Rng.int rng 6) ] else [] in
+    let noisy = Mc.Schedule.make ~crashes noise in
+    if violates noisy then begin
+      incr exercised;
+      let s1, _ = Mc.Shrink.minimize ~violates noisy in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: minimized still violates" seed)
+        true (violates s1);
+      let s2, _ = Mc.Shrink.minimize ~violates s1 in
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d: minimization is a fixed point" seed)
+        (Mc.Schedule.to_string s1)
+        (Mc.Schedule.to_string s2)
+    end
+  done;
+  Alcotest.(check bool) "sweep exercised violating schedules" true
+    (!exercised > 0)
+
 (* ---- core integration ----------------------------------------------- *)
 
 let opts = Core.Runner.mc_default_opts
@@ -330,7 +398,14 @@ let () =
             test_qc_psi_survives_crash_adversary;
         ] );
       ( "shrink",
-        [ Alcotest.test_case "greedy minimization" `Quick test_shrinker_minimizes ] );
+        [
+          Alcotest.test_case "greedy minimization" `Quick
+            test_shrinker_minimizes;
+          Alcotest.test_case "shrunk counterexample quality" `Quick
+            test_shrunk_counterexample_quality;
+          Alcotest.test_case "idempotent under noise" `Quick
+            test_shrink_idempotent_under_noise;
+        ] );
       ( "core",
         [ Alcotest.test_case "runner integration" `Quick test_runner_model_check ] );
       ( "parallel",

@@ -542,31 +542,56 @@ let brute_force_linearizable (ops : int Regs.Linearizability.op list) =
   in
   search [] (List.init m (fun i -> i)) None
 
+(* Random tiny history: up to 7 operations, interval endpoints in [0, 20),
+   values in [0, 3) — small enough that the permutation reference above
+   stays instant, adversarial enough (overlaps, incomplete ops, repeated
+   values) to exercise every branch of the Wing–Gong checker. *)
+let random_history ~rng =
+  let m = 2 + Sim.Rng.int rng 6 in
+  List.init m (fun i ->
+      let inv = Sim.Rng.int rng 20 in
+      let resp =
+        if Sim.Rng.int rng 8 = 0 then None
+        else Some (inv + 1 + Sim.Rng.int rng 6)
+      in
+      let kind =
+        if Sim.Rng.bool rng then
+          Regs.Linearizability.Write (Sim.Rng.int rng 3)
+        else
+          Regs.Linearizability.Read
+            (if Sim.Rng.int rng 4 = 0 then None
+             else Some (Sim.Rng.int rng 3))
+      in
+      { Regs.Linearizability.pid = i mod 3; inv; resp; kind })
+
 let prop_lin_checker_matches_brute_force =
   QCheck.Test.make ~name:"linearizability checker matches brute force"
     ~count:200 QCheck.small_nat (fun seed ->
       let rng = Sim.Rng.make (seed + 1) in
-      let m = 2 + Sim.Rng.int rng 5 in
-      (* Random tiny history: interval endpoints in [0, 20), values in
-         [0, 3). *)
-      let ops =
-        List.init m (fun i ->
-            let inv = Sim.Rng.int rng 20 in
-            let resp =
-              if Sim.Rng.int rng 8 = 0 then None
-              else Some (inv + 1 + Sim.Rng.int rng 6)
-            in
-            let kind =
-              if Sim.Rng.bool rng then
-                Regs.Linearizability.Write (Sim.Rng.int rng 3)
-              else
-                Regs.Linearizability.Read
-                  (if Sim.Rng.int rng 4 = 0 then None
-                   else Some (Sim.Rng.int rng 3))
-            in
-            { Regs.Linearizability.pid = i mod 3; inv; resp; kind })
-      in
+      let ops = random_history ~rng in
       Regs.Linearizability.check ops = brute_force_linearizable ops)
+
+(* The same cross-validation as a fixed-seed sweep: 1000 deterministic
+   cases (seeds 1..1000), so the corpus never shifts under a QCheck
+   version bump and a failure names its seed directly.  Also asserts the
+   corpus is non-vacuous: both verdicts must actually occur. *)
+let test_lin_brute_force_sweep () =
+  let accepted = ref 0 and rejected = ref 0 in
+  for seed = 1 to 1000 do
+    let rng = Sim.Rng.make (seed * 1709 + 11) in
+    let ops = random_history ~rng in
+    let fast = Regs.Linearizability.check ops in
+    let slow = brute_force_linearizable ops in
+    if fast <> slow then
+      Alcotest.failf
+        "checker disagrees with brute force on seed %d: checker=%b \
+         reference=%b (%d ops)"
+        seed fast slow (List.length ops);
+    if fast then incr accepted else incr rejected
+  done;
+  Alcotest.(check bool) "corpus contains linearizable histories" true
+    (!accepted > 0);
+  Alcotest.(check bool) "corpus contains violations" true (!rejected > 0)
 
 let prop_abd_linearizable =
   QCheck.Test.make ~name:"ABD histories are linearizable in any environment"
@@ -638,5 +663,7 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_abd_linearizable;
           QCheck_alcotest.to_alcotest prop_lin_checker_matches_brute_force;
+          Alcotest.test_case "brute-force sweep, 1000 seeded cases" `Slow
+            test_lin_brute_force_sweep;
         ] );
     ]

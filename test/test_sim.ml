@@ -395,6 +395,117 @@ let prop_network_delivers =
       done;
       !received = 30)
 
+(* --- Algebraic laws of the two value types every layer leans on.
+   [Pidset] is a [Set.Make] wrapper, but [intersects]/[majorities]/[full]
+   are hand-written; [Vclock] is entirely hand-rolled, and the Figure 1
+   extraction plus the tracing layer both depend on merge/leq being a
+   semilattice and its partial order.  Checked by QCheck over random
+   values rather than by example. --- *)
+
+let pidset_arb =
+  QCheck.map
+    ~rev:(fun s -> List.map (fun p -> (p, true)) (Sim.Pidset.elements s))
+    (fun l ->
+      Sim.Pidset.of_list (List.filter_map (fun (i, keep) ->
+          if keep then Some (abs i mod 8) else None) l))
+    QCheck.(small_list (pair small_int bool))
+
+let pidset_pair = QCheck.pair pidset_arb pidset_arb
+let pidset_triple = QCheck.triple pidset_arb pidset_arb pidset_arb
+let ps_eq = Sim.Pidset.equal
+
+let prop_pidset_union_laws =
+  QCheck.Test.make ~name:"pidset union: idempotent, commutative, associative"
+    ~count:300 pidset_triple (fun (a, b, c) ->
+      let open Sim.Pidset in
+      ps_eq (union a a) a
+      && ps_eq (union a b) (union b a)
+      && ps_eq (union (union a b) c) (union a (union b c)))
+
+let prop_pidset_inter_laws =
+  QCheck.Test.make ~name:"pidset inter: idempotent, commutative, associative"
+    ~count:300 pidset_triple (fun (a, b, c) ->
+      let open Sim.Pidset in
+      ps_eq (inter a a) a
+      && ps_eq (inter a b) (inter b a)
+      && ps_eq (inter (inter a b) c) (inter a (inter b c)))
+
+let prop_pidset_absorption =
+  QCheck.Test.make ~name:"pidset lattice absorption + distributivity"
+    ~count:300 pidset_triple (fun (a, b, c) ->
+      let open Sim.Pidset in
+      ps_eq (union a (inter a b)) a
+      && ps_eq (inter a (union a b)) a
+      && ps_eq (inter a (union b c)) (union (inter a b) (inter a c)))
+
+let prop_pidset_intersects_spec =
+  QCheck.Test.make ~name:"pidset intersects a b <=> inter a b nonempty"
+    ~count:300 pidset_pair (fun (a, b) ->
+      Sim.Pidset.intersects a b
+      = not (Sim.Pidset.is_empty (Sim.Pidset.inter a b)))
+
+(* A vector clock for n=4, built by replaying a random tick script. *)
+let vclock_arb =
+  QCheck.map
+    (fun ticks ->
+      List.fold_left (fun c p -> Sim.Vclock.tick c (abs p mod 4))
+        (Sim.Vclock.zero 4) ticks)
+    QCheck.(small_list small_int)
+
+let vclock_pair = QCheck.pair vclock_arb vclock_arb
+let vclock_triple = QCheck.triple vclock_arb vclock_arb vclock_arb
+
+let prop_vclock_merge_semilattice =
+  QCheck.Test.make
+    ~name:"vclock merge: idempotent, commutative, associative" ~count:300
+    vclock_triple (fun (a, b, c) ->
+      let open Sim.Vclock in
+      equal (merge a a) a
+      && equal (merge a b) (merge b a)
+      && equal (merge (merge a b) c) (merge a (merge b c)))
+
+let prop_vclock_partial_order =
+  QCheck.Test.make
+    ~name:"vclock leq: reflexive, antisymmetric, transitive" ~count:300
+    vclock_triple (fun (a, b, c) ->
+      let open Sim.Vclock in
+      (* reflexivity *)
+      leq a a
+      (* antisymmetry *)
+      && ((not (leq a b && leq b a)) || equal a b)
+      (* transitivity, on a chain built to be ordered *)
+      &&
+      let ab = merge a b in
+      let abc = merge ab c in
+      leq a ab && leq ab abc && leq a abc)
+
+let prop_vclock_merge_is_lub =
+  QCheck.Test.make ~name:"vclock merge is the least upper bound" ~count:300
+    vclock_triple (fun (a, b, c) ->
+      let open Sim.Vclock in
+      let m = merge a b in
+      leq a m && leq b m
+      && (* least: any common upper bound is above the merge *)
+      let u = merge c m in
+      ((not (leq a c && leq b c)) || leq m c) && leq m u)
+
+let prop_vclock_tick_dominates =
+  QCheck.Test.make ~name:"vclock tick strictly dominates" ~count:300
+    QCheck.(pair vclock_arb (int_bound 3))
+    (fun (a, p) ->
+      let open Sim.Vclock in
+      let a' = tick a p in
+      dominates a' a && (not (leq a' a)) && get a' p = get a p + 1)
+
+let prop_vclock_concurrent_symmetric =
+  QCheck.Test.make
+    ~name:"vclock concurrent: symmetric, irreflexive, excludes leq"
+    ~count:300 vclock_pair (fun (a, b) ->
+      let open Sim.Vclock in
+      concurrent a b = concurrent b a
+      && (not (concurrent a a))
+      && ((not (concurrent a b)) || not (leq a b || leq b a)))
+
 let prop_engine_deterministic =
   QCheck.Test.make ~name:"engine runs are reproducible" ~count:30
     QCheck.(pair small_nat small_nat)
@@ -468,5 +579,17 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_network_delivers;
           QCheck_alcotest.to_alcotest prop_engine_deterministic;
+        ] );
+      ( "algebraic-laws",
+        [
+          QCheck_alcotest.to_alcotest prop_pidset_union_laws;
+          QCheck_alcotest.to_alcotest prop_pidset_inter_laws;
+          QCheck_alcotest.to_alcotest prop_pidset_absorption;
+          QCheck_alcotest.to_alcotest prop_pidset_intersects_spec;
+          QCheck_alcotest.to_alcotest prop_vclock_merge_semilattice;
+          QCheck_alcotest.to_alcotest prop_vclock_partial_order;
+          QCheck_alcotest.to_alcotest prop_vclock_merge_is_lub;
+          QCheck_alcotest.to_alcotest prop_vclock_tick_dominates;
+          QCheck_alcotest.to_alcotest prop_vclock_concurrent_symmetric;
         ] );
     ]
