@@ -326,12 +326,46 @@ let e14_tests =
              run_paxos ~sink:c.Obs.Collector.sink ()));
     ]
 
+(* E15: the net runtime — SMR (Cons.Smr under emulated (Ω,Σ)) over the
+   deterministic loopback transport, driven closed-loop: submit one
+   command at replica 0, step the whole cluster round-robin until it is
+   applied, repeat.  The idle row measures pure detector overhead: what
+   the cluster's links carry (heartbeats + Σ join-quorum rounds) when no
+   client is talking. *)
+let smr_applied t p =
+  Cons.Smr.applied (Net.Smr_node.smr_state (Net.Local.state t p))
+
+let smr_closed_loop ~n ~count () =
+  let t = Net.Local.create ~period:16 ~n () in
+  Net.Local.run t ~rounds:200;
+  for i = 0 to count - 1 do
+    Net.Local.submit t 0 (Printf.sprintf "cmd-%d" i);
+    while smr_applied t 0 < i + 1 do
+      Net.Local.step t
+    done
+  done
+
+let e15_tests =
+  let idle ~n ~rounds () =
+    let t = Net.Local.create ~period:16 ~n () in
+    Net.Local.run t ~rounds
+  in
+  Test.make_grouped ~name:"E15-net"
+    [
+      Test.make ~name:"smr-loopback-n3-20cmds"
+        (Staged.stage (smr_closed_loop ~n:3 ~count:20));
+      Test.make ~name:"smr-loopback-n5-20cmds"
+        (Staged.stage (smr_closed_loop ~n:5 ~count:20));
+      Test.make ~name:"detector-idle-n3-1000rounds"
+        (Staged.stage (idle ~n:3 ~rounds:1_000));
+    ]
+
 let all_tests =
   Test.make_grouped ~name:"weakest-fd"
     [
       e1_tests; e2_tests; e3_tests; e4_tests; e5_tests; e6_tests; e7_tests;
       e8_tests; e9_tests; e10_tests; e11_tests; e12_tests; e13_tests;
-      e14_tests;
+      e14_tests; e15_tests;
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -430,8 +464,58 @@ let mc_throughput_json () =
       (percentile latencies 0.90)
       (percentile latencies 0.99)
   in
-  Printf.sprintf "{\n  \"suite\": \"weakest-fd-mc\",\n  \"workloads\": [\n%s\n  ]\n}\n"
-    (String.concat ",\n" (List.map entry mc_throughput_workloads))
+  String.concat ",\n" (List.map entry mc_throughput_workloads)
+
+(* E15 rows for the same JSON file: SMR commands/sec and per-command
+   latency percentiles over the loopback cluster, closed loop, plus the
+   idle detector-overhead row (frames the links carry with no client). *)
+let net_throughput_json () =
+  let smr_row ~n ~count =
+    let t = Net.Local.create ~period:16 ~n () in
+    Net.Local.run t ~rounds:200;
+    let lat = Array.make count 0.0 in
+    let t_all0 = Unix.gettimeofday () in
+    for i = 0 to count - 1 do
+      let t0 = Unix.gettimeofday () in
+      Net.Local.submit t 0 (Printf.sprintf "cmd-%d" i);
+      while smr_applied t 0 < i + 1 do
+        Net.Local.step t
+      done;
+      lat.(i) <- (Unix.gettimeofday () -. t0) *. 1e3
+    done;
+    let elapsed = Unix.gettimeofday () -. t_all0 in
+    Array.sort compare lat;
+    Printf.sprintf
+      {|    { "name": "net_smr_loopback_n%d", "commands": %d, "commands_per_sec": %.0f, "latency_ms": { "p50": %.3f, "p90": %.3f, "p99": %.3f } }|}
+      n count
+      (float_of_int count /. elapsed)
+      (percentile lat 0.50) (percentile lat 0.90) (percentile lat 0.99)
+  in
+  let heartbeat_row ~n ~rounds =
+    let t = Net.Local.create ~period:16 ~n () in
+    (* let Σ's initial join rounds settle so the window is steady-state *)
+    Net.Local.run t ~rounds:200;
+    let d0 = Net.Loopback.delivered (Net.Local.hub t) in
+    let t0 = Unix.gettimeofday () in
+    Net.Local.run t ~rounds;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let frames = Net.Loopback.delivered (Net.Local.hub t) - d0 in
+    Printf.sprintf
+      {|    { "name": "net_detector_idle_n%d", "rounds": %d, "frames_delivered": %d, "frames_per_round": %.3f, "frames_per_sec": %.0f }|}
+      n rounds frames
+      (float_of_int frames /. float_of_int rounds)
+      (float_of_int frames /. elapsed)
+  in
+  String.concat ",\n"
+    [
+      smr_row ~n:3 ~count:200;
+      smr_row ~n:5 ~count:200;
+      heartbeat_row ~n:3 ~rounds:5_000;
+    ]
+
+let bench_json () =
+  Printf.sprintf "{\n  \"suite\": \"weakest-fd-mc\",\n  \"workloads\": [\n%s,\n%s\n  ]\n}\n"
+    (mc_throughput_json ()) (net_throughput_json ())
 
 let benchmark () =
   let ols =
@@ -478,7 +562,7 @@ let () =
   Format.printf
     "@.(absolute numbers are machine-dependent; the shapes that matter are \
      the ratios within each experiment group)@.";
-  let json = mc_throughput_json () in
+  let json = bench_json () in
   let oc = open_out bench_json_file in
   output_string oc json;
   close_out oc;

@@ -1,0 +1,289 @@
+(* A real SMR cluster on this machine: one OS process per replica,
+   Unix-domain stream sockets between them, quorum Paxos under an emulated
+   (Ω, Σ) running on heartbeats — no simulator anywhere.
+
+     dune exec bin/cluster.exe -- demo -n 3 --count 40
+     dune exec bin/cluster.exe -- node --self 0 -n 3 --dir /tmp/wfd
+     dune exec bin/cluster.exe -- client --dir /tmp/wfd --target 0 --count 10
+
+   [demo] spawns the cluster, runs a closed-loop client against node 0,
+   SIGKILLs the highest-numbered replica halfway through, and exits 0 iff
+   every surviving replica applied the identical command log — the paper's
+   agreement, observed over sockets with a real crash. *)
+
+open Cmdliner
+
+let node_addr dir i = Unix.ADDR_UNIX (Filename.concat dir (Printf.sprintf "node-%d.sock" i))
+let client_addr dir i = Unix.ADDR_UNIX (Filename.concat dir (Printf.sprintf "client-%d.sock" i))
+let log_path dir i = Filename.concat dir (Printf.sprintf "log-%d.txt" i)
+let trace_path dir i = Filename.concat dir (Printf.sprintf "trace-%d.jsonl" i)
+
+let node_config ~dir ~self ~n ~period ~tick_ms ~trace =
+  {
+    (Net.Smr_node.default_config ~self
+       ~addrs:(Array.init n (node_addr dir))
+       ~client_addr:(client_addr dir self))
+    with
+    Net.Smr_node.period;
+    tick_s = float_of_int tick_ms /. 1000.;
+    log_path = Some (log_path dir self);
+    trace_path = (if trace then Some (trace_path dir self) else None);
+  }
+
+(* ---------------------------------------------------------------- node *)
+
+let run_node dir self n period tick_ms trace =
+  Net.Smr_node.serve (node_config ~dir ~self ~n ~period ~tick_ms ~trace)
+
+(* -------------------------------------------------------------- client *)
+
+let connect_retry addr ~attempts ~delay_s =
+  let rec go k =
+    let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () -> fd
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if k <= 1 then failwith ("connect: " ^ Unix.error_message e)
+      else begin
+        Unix.sleepf delay_s;
+        go (k - 1)
+      end
+  in
+  go attempts
+
+let read_frame_blocking fd =
+  match Net.Wire.read_frame fd with
+  | Some b -> b
+  | None -> failwith "server closed the connection"
+
+(* Closed loop: send one command, wait for its decided (seq, slot), repeat.
+   Returns per-command latencies (seconds), in order. *)
+let closed_loop fd ~count ~prefix ~on_progress =
+  let lats = ref [] in
+  for k = 0 to count - 1 do
+    let t0 = Unix.gettimeofday () in
+    Net.Wire.write_frame fd (Net.Wire.encode (Printf.sprintf "%s-%d" prefix k));
+    let _seq, _slot = (Net.Wire.decode (read_frame_blocking fd) : int * int) in
+    lats := (Unix.gettimeofday () -. t0) :: !lats;
+    on_progress k
+  done;
+  List.rev !lats
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+
+let print_latencies lats =
+  let a = Array.of_list lats in
+  Array.sort compare a;
+  let total = Array.fold_left ( +. ) 0. a in
+  Printf.printf
+    "commands=%d throughput=%.1f/s p50=%.1fms p90=%.1fms p99=%.1fms\n%!"
+    (Array.length a)
+    (float_of_int (Array.length a) /. total)
+    (1000. *. percentile a 0.50)
+    (1000. *. percentile a 0.90)
+    (1000. *. percentile a 0.99)
+
+let run_client dir target count prefix =
+  let fd = connect_retry (client_addr dir target) ~attempts:50 ~delay_s:0.1 in
+  let lats = closed_loop fd ~count ~prefix ~on_progress:(fun _ -> ()) in
+  Unix.close fd;
+  print_latencies lats
+
+(* ---------------------------------------------------------------- demo *)
+
+let read_log path =
+  match open_in path with
+  | exception Sys_error _ -> []
+  | ic ->
+    let rec go acc =
+      match input_line ic with
+      | line -> go (line :: acc)
+      | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+    in
+    go []
+
+let rec mkdtemp () =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wfd-cluster-%d-%d" (Unix.getpid ()) (Random.int 100000))
+  in
+  match Unix.mkdir path 0o700 with
+  | () -> path
+  | exception Unix.Unix_error (EEXIST, _, _) -> mkdtemp ()
+
+let run_demo n count period tick_ms trace dir_opt =
+  Random.self_init ();
+  if n < 3 then failwith "demo needs n >= 3 (a majority must survive)";
+  let dir = match dir_opt with Some d -> (try Unix.mkdir d 0o700 with Unix.Unix_error (EEXIST,_,_) -> ()); d | None -> mkdtemp () in
+  Printf.printf "demo: n=%d count=%d dir=%s\n%!" n count dir;
+  (* spawn replicas *)
+  let pids =
+    Array.init n (fun i ->
+        match Unix.fork () with
+        | 0 ->
+          (try run_node dir i n period tick_ms trace
+           with e ->
+             Printf.eprintf "node %d died: %s\n%!" i (Printexc.to_string e));
+          Stdlib.exit 0
+        | pid -> pid)
+  in
+  let victim = n - 1 in
+  let killed = ref false in
+  let cleanup signal =
+    Array.iteri
+      (fun i pid ->
+        if not (!killed && i = victim) then
+          try Unix.kill pid signal with Unix.Unix_error _ -> ())
+      pids
+  in
+  let fail msg =
+    Printf.eprintf "demo FAILED: %s\n%!" msg;
+    cleanup Sys.sigkill;
+    Stdlib.exit 1
+  in
+  (try
+     (* closed-loop client against node 0; SIGKILL the victim halfway *)
+     let fd = connect_retry (client_addr dir 0) ~attempts:100 ~delay_s:0.1 in
+     let lats =
+       closed_loop fd ~count ~prefix:"cmd" ~on_progress:(fun k ->
+           if (not !killed) && k >= count / 2 then begin
+             killed := true;
+             Printf.printf "killing node %d (SIGKILL) after %d commands\n%!"
+               victim (k + 1);
+             Unix.kill pids.(victim) Sys.sigkill;
+             ignore (Unix.waitpid [] pids.(victim))
+           end)
+     in
+     Unix.close fd;
+     print_latencies lats
+   with e -> fail (Printexc.to_string e));
+  (* wait until every survivor has applied all [count] commands *)
+  let survivors = List.filter (fun i -> i <> victim) (Sim.Pid.all n) in
+  let deadline = Unix.gettimeofday () +. 30. in
+  let rec settle () =
+    let logs = List.map (fun i -> read_log (log_path dir i)) survivors in
+    let done_ =
+      List.for_all (fun l -> List.length l >= count) logs
+      && List.for_all (fun l -> l = List.hd logs) logs
+    in
+    if done_ then logs
+    else if Unix.gettimeofday () > deadline then begin
+      List.iter2
+        (fun i l -> Printf.eprintf "  node %d applied %d\n%!" i (List.length l))
+        survivors logs;
+      fail "survivors did not converge on the full log"
+    end
+    else begin
+      Unix.sleepf 0.2;
+      settle ()
+    end
+  in
+  let logs = settle () in
+  (* clean shutdown (flushes traces), then final byte-for-byte comparison *)
+  cleanup Sys.sigterm;
+  Array.iteri
+    (fun i pid ->
+      if i <> victim then try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+    pids;
+  let final = List.map (fun i -> read_log (log_path dir i)) survivors in
+  let identical = List.for_all (fun l -> l = List.hd final) final in
+  if not identical then fail "final logs differ";
+  let l0 = List.hd logs in
+  Printf.printf "agreement: %d surviving replicas, identical logs, %d entries\n%!"
+    (List.length survivors) (List.length l0);
+  if trace then
+    List.iter
+      (fun i -> Printf.printf "trace: %s\n%!" (trace_path dir i))
+      survivors;
+  Printf.printf "demo OK\n%!"
+
+(* ----------------------------------------------------------- cmdliner *)
+
+let dir_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "dir" ] ~docv:"DIR" ~doc:"Directory for sockets and logs.")
+
+let n_arg =
+  Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Number of replicas.")
+
+let period_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "period" ] ~docv:"STEPS" ~doc:"Ω heartbeat period (local steps).")
+
+let tick_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "tick" ] ~docv:"MS" ~doc:"Wall-clock milliseconds per idle step.")
+
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:"Write per-node JSONL observability traces (on clean shutdown).")
+
+let count_arg =
+  Arg.(
+    value & opt int 40
+    & info [ "count" ] ~docv:"K" ~doc:"Number of commands to submit.")
+
+let node_cmd =
+  let self =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "self" ] ~docv:"PID" ~doc:"This replica's identifier.")
+  in
+  Cmd.v
+    (Cmd.info "node" ~doc:"Run one SMR replica (until SIGTERM).")
+    Term.(const run_node $ dir_arg $ self $ n_arg $ period_arg $ tick_arg $ trace_arg)
+
+let client_cmd =
+  let target =
+    Arg.(
+      value & opt int 0
+      & info [ "target" ] ~docv:"PID" ~doc:"Replica to submit to.")
+  in
+  let prefix =
+    Arg.(
+      value & opt string "cmd"
+      & info [ "prefix" ] ~docv:"STR" ~doc:"Command payload prefix.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Closed-loop client: submit K commands, wait for each decision.")
+    Term.(const run_client $ dir_arg $ target $ count_arg $ prefix)
+
+let demo_cmd =
+  let dir_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Working directory (default: fresh temp dir).")
+  in
+  Cmd.v
+    (Cmd.info "demo"
+       ~doc:
+         "Spawn an n-replica cluster over Unix-domain sockets, run a \
+          closed-loop client, SIGKILL one replica mid-run, verify the \
+          survivors applied identical logs.")
+    Term.(
+      const run_demo $ n_arg $ count_arg $ period_arg $ tick_arg $ trace_arg
+      $ dir_opt)
+
+let () =
+  let info =
+    Cmd.info "cluster"
+      ~doc:"Real asynchronous message-passing runtime for the paper's protocols."
+  in
+  Stdlib.exit (Cmd.eval (Cmd.group info [ node_cmd; client_cmd; demo_cmd ]))

@@ -18,6 +18,7 @@ type 'c state = {
 
 let applied st = st.applied
 let backlog st = List.length st.pending
+let submitted st = st.next_seq
 
 let inner :
     ('c cmd Quorum_paxos.state, 'c cmd Quorum_paxos.msg,

@@ -32,3 +32,8 @@ val applied : 'c state -> int
 
 (** Commands known to a process but not yet decided. *)
 val backlog : 'c state -> int
+
+(** Number of commands this process has submitted via [on_input] — the next
+    submission gets this as its [seq].  Client front-ends use it to pair a
+    submission with its decided log entry. *)
+val submitted : 'c state -> int

@@ -107,6 +107,8 @@ module Omega_heartbeat = struct
     in
     (st, acts)
 
+  let timeout st q = st.timeout.(q)
+
   let detector ~period =
     {
       Sim.Layered.proto =

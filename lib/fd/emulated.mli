@@ -37,4 +37,9 @@ module Omega_heartbeat : sig
 
   (** Current suspect set — exposed for tests. *)
   val suspects : state -> Sim.Pidset.t
+
+  (** Current timeout for heartbeats of [q], in local steps — exposed so
+      tests can assert the adaptation (a false suspicion of [q] grows it;
+      it never shrinks). *)
+  val timeout : state -> Sim.Pid.t -> int
 end

@@ -55,7 +55,9 @@ type opts = {
   explorer : explorer;
   domains : int;
       (** total parallelism (worker domains including the coordinating
-          one); 1 = fully sequential, no domains spawned *)
+          one); 1 = fully sequential, no domains spawned.  A cap: the
+          pool never exceeds [Domain.recommended_domain_count ()] — see
+          {!Parallel} on why oversubscription anti-scales. *)
   budget : int;  (** total schedule budget across all failure patterns *)
   inner_budget : int;  (** per-failure-pattern schedule cap *)
   max_crashes : int;  (** crash-adversary bound on faulty processes *)

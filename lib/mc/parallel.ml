@@ -9,58 +9,72 @@
 
 (* ---- shared visited-digest filter ---------------------------------- *)
 
-(* Fixed-capacity open-addressing set of digest keys.  Single writer (the
-   coordinator), many racy readers (the workers).  Slots hold immediate
-   ints, so concurrent reads cannot tear under the OCaml memory model; a
-   stale read just misses a key, which only costs speculation time.  A
-   hit is always genuine: only the writer stores, and it stores key k
-   solely along the probe path of k. *)
+(* Fixed-capacity open-addressing set of digest keys, sharded into
+   independent stripes.  Single writer (the coordinator), many racy
+   readers (the workers).  Slots hold immediate ints, so concurrent reads
+   cannot tear under the OCaml memory model; a stale read just misses a
+   key, which only costs speculation time.  A hit is always genuine: only
+   the writer stores, and it stores key k solely along the probe path of
+   k.  Striping keeps a probe sequence inside one small table, so the
+   cache lines a reader walks are mostly ones the writer is not currently
+   dirtying — the readers of the unstriped filter spent their time on
+   invalidated lines. *)
 module Filter = struct
-  type t = {
+  type stripe = {
     slots : int array;  (* 0 = empty, otherwise key + 1 *)
-    mask : int;
     mutable occupied : int;  (* coordinator-only *)
     limit : int;
   }
 
+  type t = { stripes : stripe array; smask : int; mask : int }
+
   let probe_bound = 64
 
-  let create bits =
+  (* [stripes] must be a power of two; [bits] is per-stripe capacity. *)
+  let create ~stripes bits =
     let cap = 1 lsl bits in
     {
-      slots = Array.make cap 0;
+      stripes =
+        Array.init stripes (fun _ ->
+            { slots = Array.make cap 0; occupied = 0; limit = cap - (cap / 8) });
+      smask = stripes - 1;
       mask = cap - 1;
-      occupied = 0;
-      limit = cap - (cap / 8);
     }
 
-  let slot_of t key = (key * 0x9E3779B1) land t.mask
+  (* Stripe from high bits, slot from low bits of the same product, so
+     the two indices stay independent. *)
+  let mix key = key * 0x9E3779B1
+  let stripe_of t h = t.stripes.((h lsr 24) land t.smask)
 
   let mem t key =
+    let h = mix key in
+    let st = stripe_of t h in
     let v = key + 1 in
     let rec go i tries =
-      let s = Array.unsafe_get t.slots i in
+      let s = Array.unsafe_get st.slots i in
       if s = v then true
       else if s = 0 || tries >= probe_bound then false
       else go ((i + 1) land t.mask) (tries + 1)
     in
-    go (slot_of t key) 0
+    go (h land t.mask) 0
 
   (* Coordinator-only.  Dropping an insert (full / probe bound) is fine:
      the filter stays a subset of the coordinator's exact seen-set. *)
   let add t key =
-    if t.occupied < t.limit then
+    let h = mix key in
+    let st = stripe_of t h in
+    if st.occupied < st.limit then
       let v = key + 1 in
       let rec go i tries =
-        let s = Array.unsafe_get t.slots i in
+        let s = Array.unsafe_get st.slots i in
         if s = v then ()
         else if s = 0 then begin
-          Array.unsafe_set t.slots i v;
-          t.occupied <- t.occupied + 1
+          Array.unsafe_set st.slots i v;
+          st.occupied <- st.occupied + 1
         end
         else if tries < probe_bound then go ((i + 1) land t.mask) (tries + 1)
       in
-      go (slot_of t key) 0
+      go (h land t.mask) 0
 end
 
 (* ---- jobs ----------------------------------------------------------- *)
@@ -103,12 +117,23 @@ let search ~(opts : Harness.opts) ?fps target ~n =
            ~horizon:o.horizon ~stride:o.stride)
   in
   let d = Option.value o.d ~default:3 in
-  let n_domains = max 1 (min o.domains 64) in
+  (* The requested domain count is a cap, the hardware is the other:
+     spawning more worker domains than cores makes speculation strictly
+     slower (condvar churn, context switches, staler filter reads) — the
+     measured domains4 < domains1 regression on small machines.  The
+     report is domain-count independent either way. *)
+  let n_domains =
+    max 1 (min (min o.domains 64) (Domain.recommended_domain_count ()))
+  in
   let prune_mod_time = target.Harness.time_invariant_fd in
-  let filter = Filter.create 20 in
+  let filter = Filter.create ~stripes:8 17 in
   let cancelled = Atomic.make false in
   let mutex = Mutex.create () in
-  let cond = Condition.create () in
+  (* Split wakeups: workers sleep on [work_cond] (signalled by submission),
+     the coordinator sleeps on [done_cond] (signalled by completion).  The
+     single-condvar version woke every worker on every completion. *)
+  let work_cond = Condition.create () in
+  let done_cond = Condition.create () in
   let queue : job Queue.t = Queue.create () in
   let shutdown = ref false in
 
@@ -183,30 +208,47 @@ let search ~(opts : Harness.opts) ?fps target ~n =
   in
 
   (* -- domain pool -- *)
+  (* Workers claim jobs in batches: one lock round trip per [pop_batch]
+     jobs instead of per job.  Completion is still published per job, so
+     the coordinator never waits on the tail of somebody's batch for a
+     result that is already known. *)
+  let pop_batch = 8 in
   let worker () =
+    let rec claim () =
+      (* mutex held *)
+      if !shutdown then []
+      else begin
+        let claimed = ref [] in
+        while
+          List.length !claimed < pop_batch && not (Queue.is_empty queue)
+        do
+          let j = Queue.pop queue in
+          if j.j_state = Pending then begin
+            j.j_state <- Running;
+            claimed := j :: !claimed
+          end
+        done;
+        match List.rev !claimed with
+        | [] ->
+          Condition.wait work_cond mutex;
+          claim ()
+        | l -> l
+      end
+    in
     let rec loop () =
       Mutex.lock mutex;
-      let rec take () =
-        if !shutdown then None
-        else
-          match Queue.take_opt queue with
-          | None ->
-            Condition.wait cond mutex;
-            take ()
-          | Some j when j.j_state <> Pending -> take ()
-          | Some j ->
-            j.j_state <- Running;
-            Some j
-      in
-      match take () with
-      | None -> Mutex.unlock mutex
-      | Some j ->
+      match claim () with
+      | [] -> Mutex.unlock mutex
+      | batch ->
         Mutex.unlock mutex;
-        let r = execute j in
-        Mutex.lock mutex;
-        j.j_state <- Done r;
-        Condition.broadcast cond;
-        Mutex.unlock mutex;
+        List.iter
+          (fun j ->
+            let r = execute j in
+            Mutex.lock mutex;
+            j.j_state <- Done r;
+            Condition.signal done_cond;
+            Mutex.unlock mutex)
+          batch;
         loop ()
     in
     loop ()
@@ -218,7 +260,9 @@ let search ~(opts : Harness.opts) ?fps target ~n =
     if jobs <> [] then begin
       Mutex.lock mutex;
       List.iter (fun j -> Queue.push j queue) jobs;
-      Condition.broadcast cond;
+      (match jobs with
+      | [ _ ] -> Condition.signal work_cond
+      | _ -> Condition.broadcast work_cond);
       Mutex.unlock mutex
     end
   in
@@ -240,7 +284,7 @@ let search ~(opts : Harness.opts) ?fps target ~n =
         Mutex.unlock mutex;
         r
       | Running ->
-        Condition.wait cond mutex;
+        Condition.wait done_cond mutex;
         go ()
       | Cancelled -> assert false
     in
@@ -414,7 +458,7 @@ let search ~(opts : Harness.opts) ?fps target ~n =
     queue;
   Queue.clear queue;
   shutdown := true;
-  Condition.broadcast cond;
+  Condition.broadcast work_cond;
   Mutex.unlock mutex;
   Array.iter Domain.join workers;
   {

@@ -35,7 +35,22 @@
     round — speculation can only do {e wasted} work, never change the
     outcome.  (A rare salted-hash collision can make a speculative cut
     unjustified; the adjudicator detects this and deterministically
-    re-executes the run with the filter disabled.)
+    re-executes the run with the filter disabled.)  The filter is sharded
+    into stripes so reader probe paths mostly avoid the cache lines the
+    coordinator is writing.
+
+    {2 Scaling}
+
+    [opts.domains] is a cap, not a demand: the pool never spawns more
+    total domains than [Domain.recommended_domain_count ()].
+    Oversubscribing a small machine made the racy-speculation design
+    strictly slower than sequential search (every completion woke every
+    worker; speculative runs executed against ever-staler filters), so a
+    request for 4 domains on a 1-core machine now runs the sequential
+    path — and the report is bit-identical either way.  Workers claim
+    queued jobs in small batches (one lock round trip per batch) and
+    completions wake only the coordinator, on a dedicated condition
+    variable.
 
     Cancellation: when the coordinator adjudicates the first
     counterexample, it flags cancellation (prefix runs abort at their

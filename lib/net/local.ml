@@ -1,0 +1,41 @@
+type 'c t = {
+  hub : Loopback.hub;
+  nodes : ('c Smr_node.pstate, 'c Smr_node.pmsg, 'c, int * 'c Cons.Smr.cmd) Node.t array;
+  logs : (int * 'c Cons.Smr.cmd) list ref array;  (* newest first *)
+}
+
+let create ?(period = 16) ?(sink = fun _ -> None) ~n () =
+  let hub = Loopback.create ~n in
+  let proto = Smr_node.protocol ~period in
+  {
+    hub;
+    nodes =
+      Array.init n (fun p ->
+          Node.create ?sink:(sink p) ~transport:(Loopback.endpoint hub p)
+            proto);
+    logs = Array.init n (fun _ -> ref []);
+  }
+
+let hub t = t.hub
+
+let step t =
+  Array.iteri
+    (fun p node ->
+      if not (Loopback.crashed t.hub p) then begin
+        ignore (Node.step node);
+        match Node.drain_outputs node with
+        | [] -> ()
+        | outs -> t.logs.(p) := List.rev_append outs !(t.logs.(p))
+      end)
+    t.nodes
+
+let run t ~rounds =
+  for _ = 1 to rounds do
+    step t
+  done
+
+let submit t p c = Node.inject t.nodes.(p) c
+let crash t p = Loopback.crash t.hub p
+let applied_log t p = List.rev !(t.logs.(p))
+let state t p = Node.state t.nodes.(p)
+let now t p = Node.now t.nodes.(p)

@@ -1,0 +1,38 @@
+(** A whole SMR cluster in one process over the {!Loopback} transport,
+    driven cooperatively (round-robin, one step per node per round).
+
+    Deterministic — the loopback hub delivers in send order — so tests
+    assert exact agreement and benchmarks measure protocol cost without
+    socket noise.  {!crash} kills a node mid-run exactly like the demo's
+    SIGKILL: its frames stop, its steps stop, and the survivors' detectors
+    notice by missing heartbeats. *)
+
+type 'c t
+
+(** [create ~n ()] builds [n] replicas of {!Smr_node.protocol}.
+    [period] is Ω's heartbeat period in steps (default 16).
+    [sink p] optionally installs a tracing sink per node. *)
+val create :
+  ?period:int -> ?sink:(Sim.Pid.t -> Sim.Event.sink option) -> n:int ->
+  unit -> 'c t
+
+val hub : 'c t -> Loopback.hub
+
+(** One round: every live node takes one step (pid order). *)
+val step : 'c t -> unit
+
+val run : 'c t -> rounds:int -> unit
+
+(** [submit t p c]: inject command [c] at replica [p] (its next step). *)
+val submit : 'c t -> Sim.Pid.t -> 'c -> unit
+
+(** Kill a replica: no more steps, frames from/to it vanish. *)
+val crash : 'c t -> Sim.Pid.t -> unit
+
+(** Decided entries applied by [p] so far, in slot order. *)
+val applied_log : 'c t -> Sim.Pid.t -> (int * 'c Cons.Smr.cmd) list
+
+val state : 'c t -> Sim.Pid.t -> 'c Smr_node.pstate
+
+(** Local step counter of [p] (= rounds it has taken). *)
+val now : 'c t -> Sim.Pid.t -> int

@@ -1,0 +1,121 @@
+type ('st, 'msg, 'inp, 'out) t = {
+  transport : Transport.t;
+  proto : ('st, 'msg, unit, 'inp, 'out) Sim.Protocol.t;
+  sink : Sim.Event.sink option;
+  track_vc : bool;
+  render_out : 'out -> string;
+  mutable st : 'st;
+  mutable vc : Sim.Vclock.t;
+  mutable now : int;
+  inputs : 'inp Queue.t;
+  outputs : 'out Queue.t;
+}
+
+let create ?sink ?(track_vc = false) ?(render_out = fun _ -> "") ~transport
+    proto =
+  let n = transport.Transport.n in
+  {
+    transport;
+    proto;
+    sink;
+    track_vc;
+    render_out;
+    st = proto.Sim.Protocol.init ~n transport.Transport.self;
+    vc = Sim.Vclock.zero n;
+    now = 0;
+    inputs = Queue.create ();
+    outputs = Queue.create ();
+  }
+
+let inject t inp = Queue.push inp t.inputs
+let drain_outputs t =
+  let l = List.of_seq (Queue.to_seq t.outputs) in
+  Queue.clear t.outputs;
+  l
+let state t = t.st
+let now t = t.now
+let transport t = t.transport
+
+let emit t kind =
+  match t.sink with
+  | None -> ()
+  | Some s ->
+    let vc = if t.track_vc then Some t.vc else None in
+    s.Sim.Event.emit { Sim.Event.time = t.now; round = t.now; vc; kind }
+
+let ctx t =
+  { Sim.Protocol.self = t.transport.Transport.self; n = t.transport.Transport.n;
+    now = t.now; fd = () }
+
+let send_envelope t dst msg =
+  let env =
+    { Wire.env_src = t.transport.Transport.self;
+      env_sent_at = t.now;
+      env_vc = (if t.track_vc then Some (Sim.Vclock.to_list t.vc) else None);
+      env_msg = msg }
+  in
+  t.transport.Transport.send dst (Wire.encode_envelope env)
+
+let apply_actions t acts =
+  let self = t.transport.Transport.self in
+  let n = t.transport.Transport.n in
+  List.iter
+    (fun act ->
+      match act with
+      | Sim.Protocol.Send (dst, m) ->
+        if Sim.Pid.valid ~n dst then begin
+          send_envelope t dst m;
+          emit t (Sim.Event.Send { src = self; dst })
+        end
+      | Sim.Protocol.Broadcast m ->
+        List.iter
+          (fun dst ->
+            send_envelope t dst m;
+            emit t (Sim.Event.Send { src = self; dst }))
+          (Sim.Pid.all n)
+      | Sim.Protocol.Output v ->
+        Queue.push v t.outputs;
+        let info = try t.render_out v with _ -> "" in
+        emit t (Sim.Event.Output { pid = self; info }))
+    acts
+
+let step ?(timeout_ms = 0) t =
+  let self = t.transport.Transport.self in
+  if t.track_vc then t.vc <- Sim.Vclock.tick t.vc self;
+  let busy = ref false in
+  (* external inputs first, exactly like the engine *)
+  while not (Queue.is_empty t.inputs) do
+    busy := true;
+    let inp = Queue.pop t.inputs in
+    emit t (Sim.Event.Input self);
+    emit t (Sim.Event.Fd_query self);
+    let st, acts = t.proto.Sim.Protocol.on_input (ctx t) t.st inp in
+    t.st <- st;
+    apply_actions t acts
+  done;
+  (* at most one receive *)
+  let recv =
+    match t.transport.Transport.poll ~timeout_ms with
+    | None -> None
+    | Some (_, frame) -> (
+      match Wire.decode_envelope frame with
+      | exception _ -> None (* corrupt frame: drop, as the net would *)
+      | env ->
+        busy := true;
+        (match env.Wire.env_vc with
+        | Some l when t.track_vc ->
+          t.vc <- Sim.Vclock.merge t.vc (Sim.Vclock.of_list l)
+        | _ -> ());
+        emit t
+          (Sim.Event.Deliver
+             { src = env.Wire.env_src; dst = self;
+               sent_at = env.Wire.env_sent_at });
+        Some (env.Wire.env_src, env.Wire.env_msg))
+  in
+  emit t (Sim.Event.Fd_query self);
+  let st, acts = t.proto.Sim.Protocol.on_step (ctx t) t.st recv in
+  t.st <- st;
+  if acts <> [] then busy := true;
+  apply_actions t acts;
+  t.now <- t.now + 1;
+  !busy

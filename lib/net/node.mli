@@ -1,0 +1,53 @@
+(** The node main loop: runs one process of any {!Sim.Protocol.t} — the
+    same automaton value the simulator and the model checker execute,
+    unchanged — over a {!Transport.t}.
+
+    The loop reproduces the engine's atomic-step semantics: each {!step}
+    delivers the due external inputs through [on_input], then receives at
+    most one message and takes one [on_step].  [ctx.now] is the node's
+    local step counter (the paper's processes have no global clock; local
+    step counting is what the emulated detectors' timeouts are written
+    against).  Messages travel as {!Wire.envelope}s so the receiver can
+    reconstruct [sent_at] (sender's step clock) and, when tracing, merge
+    the sender's vector clock — a traced real run emits the same
+    {!Sim.Event} vocabulary as a traced simulation, into the same
+    {!Obs.Collector}.
+
+    The driven protocol has [fd = unit]: on a real network the failure
+    detector is not an oracle but an emulated layer composed underneath
+    (see {!Sim.Layered.with_detector} and {!Smr_node}). *)
+
+type ('st, 'msg, 'inp, 'out) t
+
+(** [create ~transport proto] initialises the protocol for
+    [transport.self] of [transport.n] processes.  [sink] installs event
+    tracing ([track_vc] additionally maintains and ships vector clocks —
+    envelope overhead, so off by default). *)
+val create :
+  ?sink:Sim.Event.sink ->
+  ?track_vc:bool ->
+  ?render_out:('out -> string) ->
+  transport:Transport.t ->
+  ('st, 'msg, unit, 'inp, 'out) Sim.Protocol.t ->
+  ('st, 'msg, 'inp, 'out) t
+
+(** Queue an external operation invocation; delivered (in order) at the
+    start of the next {!step}. *)
+val inject : ('st, 'msg, 'inp, 'out) t -> 'inp -> unit
+
+(** One atomic step: inputs, then at most one receive (waiting at most
+    [timeout_ms] for the transport, default 0), then [on_step].  Returns
+    [true] iff the step did something beyond the empty receive — delivered
+    an input or a message, or produced an action — so callers can pace
+    idle loops. *)
+val step : ?timeout_ms:int -> ('st, 'msg, 'inp, 'out) t -> bool
+
+(** Outputs produced since the last call, oldest first. *)
+val drain_outputs : ('st, 'msg, 'inp, 'out) t -> 'out list
+
+val state : ('st, 'msg, 'inp, 'out) t -> 'st
+
+(** Local step counter = the [ctx.now] of the next step. *)
+val now : ('st, 'msg, 'inp, 'out) t -> int
+
+val transport : ('st, 'msg, 'inp, 'out) t -> Transport.t

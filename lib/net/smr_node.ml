@@ -1,0 +1,191 @@
+module Omega = Fd.Emulated.Omega_heartbeat
+module Sigma = Fd.Emulated.Sigma_majority
+
+type 'c pstate = (Omega.state * Sigma.state) * 'c Cons.Smr.state
+
+type 'c pmsg =
+  ((Omega.msg, Sigma.msg) Sim.Layered.wire, 'c Cons.Smr.msg) Sim.Layered.wire
+
+let protocol ~period =
+  Sim.Layered.with_detector
+    (Sim.Layered.pair (Omega.detector ~period) Sigma.detector)
+    Cons.Smr.protocol
+
+let smr_state ((_, smr) : 'c pstate) = smr
+let omega_state (((om, _), _) : 'c pstate) = om
+let sigma_state (((_, si), _) : 'c pstate) = si
+
+type config = {
+  self : Sim.Pid.t;
+  addrs : Unix.sockaddr array;
+  client_addr : Unix.sockaddr;
+  period : int;
+  tick_s : float;
+  max_burst : int;
+  log_path : string option;
+  trace_path : string option;
+}
+
+let default_config ~self ~addrs ~client_addr =
+  {
+    self;
+    addrs;
+    client_addr;
+    period = 16;
+    tick_s = 1e-3;
+    max_burst = 64;
+    log_path = None;
+    trace_path = None;
+  }
+
+type client = {
+  fd : Unix.file_descr;
+  dec : Wire.Decoder.t;
+}
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let serve cfg =
+  let stop = ref false in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true));
+  Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true));
+  let collector =
+    match cfg.trace_path with
+    | None -> None
+    | Some _ -> Some (Obs.Collector.create ())
+  in
+  let sink = Option.map (fun c -> c.Obs.Collector.sink) collector in
+  let transport = Tcp.create ~self:cfg.self ~addrs:cfg.addrs () in
+  let node =
+    Node.create ?sink ~track_vc:(sink <> None)
+      ~render_out:(fun (slot, _) -> Printf.sprintf "slot=%d" slot)
+      ~transport
+      (protocol ~period:cfg.period)
+  in
+  (* client listener *)
+  (match cfg.client_addr with
+  | Unix.ADDR_UNIX path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | _ -> ());
+  let listen_fd =
+    Unix.socket (Unix.domain_of_sockaddr cfg.client_addr) Unix.SOCK_STREAM 0
+  in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  Unix.set_nonblock listen_fd;
+  Unix.bind listen_fd cfg.client_addr;
+  Unix.listen listen_fd 64;
+  let clients = ref [] in
+  let pending : (int, Unix.file_descr) Hashtbl.t = Hashtbl.create 64 in
+  let next_seq = ref (Cons.Smr.submitted (smr_state (Node.state node))) in
+  let log_oc = Option.map open_out cfg.log_path in
+  let rbuf = Bytes.create 65536 in
+  let accept_clients () =
+    let continue = ref true in
+    while !continue do
+      match Unix.accept listen_fd with
+      | fd, _ ->
+        Unix.set_nonblock fd;
+        clients := { fd; dec = Wire.Decoder.create () } :: !clients
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+        continue := false
+      | exception Unix.Unix_error (EINTR, _, _) -> ()
+      | exception Unix.Unix_error (_, _, _) -> continue := false
+    done
+  in
+  let read_client c =
+    (* true to keep the connection *)
+    match Unix.read c.fd rbuf 0 (Bytes.length rbuf) with
+    | 0 -> false
+    | nread ->
+      Wire.Decoder.feed c.dec rbuf nread;
+      let continue = ref true in
+      while !continue do
+        match Wire.Decoder.next c.dec with
+        | None -> continue := false
+        | Some frame ->
+          let payload : string = Wire.decode frame in
+          let seq = !next_seq in
+          incr next_seq;
+          Hashtbl.replace pending seq c.fd;
+          Node.inject node payload
+      done;
+      true
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> true
+    | exception Unix.Unix_error (_, _, _) -> false
+    | exception _ -> false
+  in
+  let reply fd (seq : int) (slot : int) =
+    let frame = Wire.frame (Wire.encode (seq, slot)) in
+    try
+      let len = Bytes.length frame in
+      let rec go off =
+        if off < len then go (off + Unix.write fd frame off (len - off))
+      in
+      go 0
+    with Unix.Unix_error _ -> ()
+  in
+  let handle_outputs () =
+    List.iter
+      (fun (slot, cmd) ->
+        (match log_oc with
+        | None -> ()
+        | Some oc ->
+          Printf.fprintf oc "%d\t%d\t%d\t%s\n" slot cmd.Cons.Smr.origin
+            cmd.Cons.Smr.seq
+            (String.escaped cmd.Cons.Smr.payload);
+          flush oc);
+        if cmd.Cons.Smr.origin = cfg.self then
+          match Hashtbl.find_opt pending cmd.Cons.Smr.seq with
+          | None -> ()
+          | Some fd ->
+            Hashtbl.remove pending cmd.Cons.Smr.seq;
+            reply fd cmd.Cons.Smr.seq slot)
+      (Node.drain_outputs node)
+  in
+  let tick_ms = int_of_float (Float.max 1. (cfg.tick_s *. 1000.)) in
+  let burst = ref 0 in
+  while not !stop do
+    let timeout_ms = if !burst > 0 then 0 else tick_ms in
+    (match Node.step node ~timeout_ms with
+    | busy -> if busy && !burst < cfg.max_burst then incr burst else burst := 0
+    | exception Unix.Unix_error (EINTR, _, _) -> ());
+    handle_outputs ();
+    accept_clients ();
+    clients :=
+      List.filter
+        (fun c ->
+          if read_client c then true
+          else begin
+            close_quiet c.fd;
+            false
+          end)
+        !clients
+  done;
+  (* clean shutdown *)
+  (match (collector, cfg.trace_path) with
+  | Some c, Some path ->
+    Obs.Jsonl.write_run ~path
+      ~meta:
+        [
+          ("kind", "net-node");
+          ("self", string_of_int cfg.self);
+          ("n", string_of_int (Array.length cfg.addrs));
+          ("period", string_of_int cfg.period);
+          ("steps", string_of_int (Node.now node));
+        ]
+      c
+  | _ -> ());
+  let st = transport.Transport.stats () in
+  Printf.eprintf
+    "node %d: steps=%d applied=%d sent=%d delivered=%d reconnects=%d \
+     dropped=%d\n%!"
+    cfg.self (Node.now node)
+    (Cons.Smr.applied (smr_state (Node.state node)))
+    st.Transport.sent st.Transport.delivered st.Transport.reconnects
+    st.Transport.dropped;
+  Option.iter close_out log_oc;
+  List.iter (fun c -> close_quiet c.fd) !clients;
+  close_quiet listen_fd;
+  (match cfg.client_addr with
+  | Unix.ADDR_UNIX path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | _ -> ());
+  transport.Transport.close ()

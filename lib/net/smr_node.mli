@@ -1,0 +1,49 @@
+(** The deployable SMR replica: quorum Paxos under an emulated (Ω, Σ)
+    pair, served over real sockets.
+
+    {!protocol} is the full stack as one ordinary [Sim.Protocol.t] —
+    [Layered.with_detector (Layered.pair Ω Σ) Smr.protocol] — so the
+    exact automaton a deployed node runs can also be dropped into the
+    simulator or the model checker.  Ω's heartbeat [period] is in local
+    steps; {!serve} paces steps at a fixed wall-clock tick, which is the
+    step-counter ↔ real-time mapping (docs/NET.md) that turns the
+    detectors' step timeouts into wall-clock timeouts.
+
+    {!serve} is the node process body used by [bin/cluster.ml]: transport
+    event loop, client listener (framed {!Wire} requests), applied-log
+    file (one line per decided slot, flushed eagerly so an observer — or
+    the demo verifier — can diff logs of live nodes), optional JSONL trace
+    dumped on SIGTERM. *)
+
+type 'c pstate
+type 'c pmsg
+
+(** The composed replica automaton.  Inputs are client commands; outputs
+    are decided [(slot, cmd)] entries in slot order. *)
+val protocol :
+  period:int ->
+  ('c pstate, 'c pmsg, unit, 'c, int * 'c Cons.Smr.cmd) Sim.Protocol.t
+
+(** Views into the layers, for tests and status lines. *)
+val smr_state : 'c pstate -> 'c Cons.Smr.state
+
+val omega_state : 'c pstate -> Fd.Emulated.Omega_heartbeat.state
+val sigma_state : 'c pstate -> Fd.Emulated.Sigma_majority.state
+
+type config = {
+  self : Sim.Pid.t;
+  addrs : Unix.sockaddr array;  (** transport address of every node *)
+  client_addr : Unix.sockaddr;  (** this node's client-facing listener *)
+  period : int;  (** Ω heartbeat period in local steps (default 16) *)
+  tick_s : float;  (** seconds per idle step (default 1e-3) *)
+  max_burst : int;  (** steps taken back-to-back while busy (default 64) *)
+  log_path : string option;  (** applied-log file *)
+  trace_path : string option;  (** JSONL trace, written on SIGTERM *)
+}
+
+val default_config : self:Sim.Pid.t -> addrs:Unix.sockaddr array ->
+  client_addr:Unix.sockaddr -> config
+
+(** Run a replica with [string] commands until SIGTERM (clean shutdown:
+    close sockets, flush log, dump trace).  Never returns normally. *)
+val serve : config -> unit

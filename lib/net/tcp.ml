@@ -1,0 +1,369 @@
+(* One listening socket; one outbound connection per peer, opened lazily
+   and re-opened with exponential backoff; inbound connections identified
+   by their hello frame.  Everything is non-blocking and single-threaded:
+   [poll] runs the select loop until a frame arrives or the timeout
+   elapses, and [send] only enqueues. *)
+
+let backoff_min = 0.05
+let backoff_max = 2.0
+
+type out_state =
+  | Down of { mutable next_try : float }
+  | Connecting of Unix.file_descr
+  | Up of Unix.file_descr
+
+type peer = {
+  mutable conn : out_state;
+  mutable backoff : float;  (* delay before the next connect attempt *)
+  mutable ever_up : bool;  (* distinguishes reconnects from first connects *)
+  mutable failed : bool;  (* a connect/write has failed since last Up *)
+  (* Frames before [outq]: the hello of a fresh connection.  A frame is
+     removed only once fully written, so [head_off] bytes of the head have
+     reached the kernel. *)
+  mutable front : bytes list;
+  outq : bytes Queue.t;
+  mutable out_bytes : int;
+  mutable head_off : int;
+}
+
+type in_conn = {
+  fd : Unix.file_descr;
+  dec : Wire.Decoder.t;
+  mutable peer : Sim.Pid.t option;  (* None until the hello frame *)
+}
+
+type t = {
+  self : Sim.Pid.t;
+  n : int;
+  addrs : Unix.sockaddr array;
+  queue_cap : int;
+  listen_fd : Unix.file_descr;
+  peers : peer array;  (* index self unused *)
+  mutable inbound : in_conn list;
+  ready : (Sim.Pid.t * bytes) Queue.t;  (* decoded, undelivered frames *)
+  rbuf : bytes;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable reconnects : int;
+  mutable dropped : int;
+}
+
+let now () = Unix.gettimeofday ()
+
+let new_peer () =
+  {
+    conn = Down { next_try = 0. };
+    backoff = backoff_min;
+    ever_up = false;
+    failed = false;
+    front = [];
+    outq = Queue.create ();
+    out_bytes = 0;
+    head_off = 0;
+  }
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Connection lost (or never made): back off, and rewind the partially
+   written head frame so the next connection resends it whole. *)
+let mark_down t q =
+  let p = t.peers.(q) in
+  (match p.conn with
+  | Connecting fd | Up fd -> close_quiet fd
+  | Down _ -> ());
+  p.failed <- true;
+  p.head_off <- 0;
+  p.front <- [];
+  p.conn <- Down { next_try = now () +. p.backoff };
+  p.backoff <- Float.min backoff_max (p.backoff *. 2.)
+
+let mark_up t q fd =
+  let p = t.peers.(q) in
+  if p.ever_up then t.reconnects <- t.reconnects + 1;
+  p.ever_up <- true;
+  p.failed <- false;
+  p.backoff <- backoff_min;
+  p.conn <- Up fd;
+  p.front <- [ Wire.frame (Wire.hello ~self:t.self) ];
+  p.head_off <- 0
+
+(* Start a non-blocking connect if the backoff window has passed. *)
+let try_connect t q =
+  let p = t.peers.(q) in
+  match p.conn with
+  | Connecting _ | Up _ -> ()
+  | Down d when d.next_try > now () -> ()
+  | Down _ -> (
+    let dom = Unix.domain_of_sockaddr t.addrs.(q) in
+    let fd = Unix.socket dom Unix.SOCK_STREAM 0 in
+    Unix.set_nonblock fd;
+    (try Unix.setsockopt fd Unix.TCP_NODELAY true
+     with Unix.Unix_error _ -> ());
+    match Unix.connect fd t.addrs.(q) with
+    | () -> mark_up t q fd
+    | exception Unix.Unix_error ((EINPROGRESS | EWOULDBLOCK | EAGAIN), _, _)
+      ->
+      p.conn <- Connecting fd
+    | exception Unix.Unix_error (_, _, _) ->
+      close_quiet fd;
+      mark_down t q)
+
+(* Drain the write side of an Up connection as far as the kernel accepts. *)
+let flush_peer t q =
+  let p = t.peers.(q) in
+  match p.conn with
+  | Down _ | Connecting _ -> ()
+  | Up fd -> (
+    let head () =
+      match p.front with
+      | b :: _ -> Some b
+      | [] -> Queue.peek_opt p.outq
+    in
+    let pop () =
+      match p.front with
+      | _ :: rest -> p.front <- rest
+      | [] ->
+        let b = Queue.pop p.outq in
+        p.out_bytes <- p.out_bytes - Bytes.length b
+    in
+    try
+      let continue = ref true in
+      while !continue do
+        match head () with
+        | None -> continue := false
+        | Some b ->
+          let len = Bytes.length b - p.head_off in
+          let n = Unix.write fd b p.head_off len in
+          if n = len then begin
+            pop ();
+            p.head_off <- 0
+          end
+          else begin
+            p.head_off <- p.head_off + n;
+            continue := false
+          end
+      done
+    with
+    | Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | Unix.Unix_error (_, _, _) -> mark_down t q)
+
+let enqueue t q frame =
+  let p = t.peers.(q) in
+  if p.out_bytes + Bytes.length frame > t.queue_cap then
+    t.dropped <- t.dropped + 1
+  else begin
+    Queue.push frame p.outq;
+    p.out_bytes <- p.out_bytes + Bytes.length frame
+  end
+
+let handle_readable t ic =
+  let rec drain () =
+    match Unix.read ic.fd t.rbuf 0 (Bytes.length t.rbuf) with
+    | 0 -> false (* EOF *)
+    | nread ->
+      Wire.Decoder.feed ic.dec t.rbuf nread;
+      let ok = ref true in
+      let continue = ref true in
+      while !continue do
+        match Wire.Decoder.next ic.dec with
+        | None -> continue := false
+        | Some frame -> (
+          match ic.peer with
+          | Some src -> Queue.push (src, frame) t.ready
+          | None -> (
+            match Wire.parse_hello frame with
+            | Ok src when Sim.Pid.valid ~n:t.n src -> ic.peer <- Some src
+            | Ok _ | Error _ ->
+              ok := false;
+              continue := false))
+      done;
+      !ok && (if nread = Bytes.length t.rbuf then drain () else true)
+  in
+  match drain () with
+  | true -> true
+  | false | (exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _))
+    ->
+    true
+  | exception Unix.Unix_error (_, _, _) -> false
+
+(* One pass of connection management + select.  Returns after at most
+   [timeout] seconds. *)
+let step t ~timeout =
+  for q = 0 to t.n - 1 do
+    if q <> t.self then begin
+      try_connect t q;
+      flush_peer t q
+    end
+  done;
+  let reads = ref [ t.listen_fd ] in
+  let writes = ref [] in
+  let soonest = ref timeout in
+  List.iter (fun ic -> reads := ic.fd :: !reads) t.inbound;
+  for q = 0 to t.n - 1 do
+    if q <> t.self then begin
+      let p = t.peers.(q) in
+      match p.conn with
+      | Connecting fd -> writes := fd :: !writes
+      | Up fd ->
+        (* read side only to notice EOF / reset promptly *)
+        reads := fd :: !reads;
+        if p.front <> [] || not (Queue.is_empty p.outq) then
+          writes := fd :: !writes
+      | Down d ->
+        let dt = d.next_try -. now () in
+        if dt > 0. && dt < !soonest then soonest := dt
+    end
+  done;
+  let timeout = Float.max 0. !soonest in
+  match Unix.select !reads !writes [] timeout with
+  | exception Unix.Unix_error (EINTR, _, _) -> ()
+  | rs, ws, _ ->
+    (* finish / progress outbound connections *)
+    for q = 0 to t.n - 1 do
+      if q <> t.self then begin
+        let p = t.peers.(q) in
+        (match p.conn with
+        | Connecting fd when List.memq fd ws -> (
+          match Unix.getsockopt_error fd with
+          | None -> mark_up t q fd
+          | Some _ -> mark_down t q)
+        | Up fd when List.memq fd ws -> flush_peer t q
+        | _ -> ());
+        (match p.conn with
+        | Up fd when List.memq fd rs ->
+          (* any traffic (or EOF) on an outbound conn means it died: the
+             peer never writes on connections it accepted *)
+          let buf = Bytes.create 1 in
+          (match Unix.read fd buf 0 1 with
+          | 0 -> mark_down t q
+          | _ -> mark_down t q
+          | exception
+              Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+            ()
+          | exception Unix.Unix_error (_, _, _) -> mark_down t q)
+        | _ -> ())
+      end
+    done;
+    (* accept new inbound connections *)
+    if List.memq t.listen_fd rs then begin
+      let continue = ref true in
+      while !continue do
+        match Unix.accept t.listen_fd with
+        | fd, _ ->
+          Unix.set_nonblock fd;
+          (try Unix.setsockopt fd Unix.TCP_NODELAY true
+           with Unix.Unix_error _ -> ());
+          t.inbound <-
+            { fd; dec = Wire.Decoder.create (); peer = None } :: t.inbound
+        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+          continue := false
+        | exception Unix.Unix_error (EINTR, _, _) -> ()
+        | exception Unix.Unix_error (_, _, _) -> continue := false
+      done
+    end;
+    (* read inbound connections *)
+    t.inbound <-
+      List.filter
+        (fun ic ->
+          if List.memq ic.fd rs then
+            if handle_readable t ic then true
+            else begin
+              close_quiet ic.fd;
+              false
+            end
+          else true)
+        t.inbound
+
+let create ?(queue_cap = 4 * 1024 * 1024) ~self ~addrs () =
+  (* a write to a reset connection must surface as EPIPE, not kill us *)
+  (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+   with Invalid_argument _ -> ());
+  let n = Array.length addrs in
+  (match addrs.(self) with
+  | Unix.ADDR_UNIX path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | _ -> ());
+  let listen_fd =
+    Unix.socket (Unix.domain_of_sockaddr addrs.(self)) Unix.SOCK_STREAM 0
+  in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  Unix.set_nonblock listen_fd;
+  Unix.bind listen_fd addrs.(self);
+  Unix.listen listen_fd 64;
+  let t =
+    {
+      self;
+      n;
+      addrs;
+      queue_cap;
+      listen_fd;
+      peers = Array.init n (fun _ -> new_peer ());
+      inbound = [];
+      ready = Queue.create ();
+      rbuf = Bytes.create 65536;
+      sent = 0;
+      delivered = 0;
+      reconnects = 0;
+      dropped = 0;
+    }
+  in
+  let send dst payload =
+    if Sim.Pid.valid ~n dst then begin
+      t.sent <- t.sent + 1;
+      let frame = Wire.frame payload in
+      if dst = t.self then Queue.push (t.self, payload) t.ready
+      else enqueue t dst frame
+    end
+  in
+  let poll ~timeout_ms =
+    let deadline = now () +. (float_of_int timeout_ms /. 1000.) in
+    let rec loop () =
+      match Queue.take_opt t.ready with
+      | Some (src, frame) ->
+        t.delivered <- t.delivered + 1;
+        Some (src, frame)
+      | None ->
+        let remaining = deadline -. now () in
+        if remaining < 0. && timeout_ms > 0 then None
+        else begin
+          step t ~timeout:(Float.max 0. remaining);
+          if timeout_ms = 0 then
+            (* single pass *)
+            match Queue.take_opt t.ready with
+            | Some (src, frame) ->
+              t.delivered <- t.delivered + 1;
+              Some (src, frame)
+            | None -> None
+          else loop ()
+        end
+    in
+    loop ()
+  in
+  let stats () =
+    let down = ref [] in
+    for q = 0 to n - 1 do
+      if q <> t.self && t.peers.(q).failed then down := q :: !down
+    done;
+    {
+      Transport.sent = t.sent;
+      delivered = t.delivered;
+      reconnects = t.reconnects;
+      dropped = t.dropped;
+      down = Sim.Pidset.of_list !down;
+    }
+  in
+  let close () =
+    close_quiet t.listen_fd;
+    List.iter (fun ic -> close_quiet ic.fd) t.inbound;
+    t.inbound <- [];
+    Array.iter
+      (fun p ->
+        match p.conn with
+        | Connecting fd | Up fd -> close_quiet fd
+        | Down _ -> ())
+      t.peers;
+    match addrs.(self) with
+    | Unix.ADDR_UNIX path -> (
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    | _ -> ()
+  in
+  { Transport.self; n; send; poll; stats; close }

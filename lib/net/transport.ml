@@ -1,0 +1,16 @@
+type stats = {
+  sent : int;
+  delivered : int;
+  reconnects : int;
+  dropped : int;
+  down : Sim.Pidset.t;
+}
+
+type t = {
+  self : Sim.Pid.t;
+  n : int;
+  send : Sim.Pid.t -> bytes -> unit;
+  poll : timeout_ms:int -> (Sim.Pid.t * bytes) option;
+  stats : unit -> stats;
+  close : unit -> unit;
+}

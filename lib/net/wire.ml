@@ -1,0 +1,104 @@
+let max_frame = 16 * 1024 * 1024
+
+let frame payload =
+  let len = Bytes.length payload in
+  let b = Bytes.create (4 + len) in
+  Bytes.set_int32_be b 0 (Int32.of_int len);
+  Bytes.blit payload 0 b 4 len;
+  b
+
+let rec write_all fd b off len =
+  if len > 0 then begin
+    let w =
+      try Unix.write fd b off len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd b (off + w) (len - w)
+  end
+
+let write_frame fd payload =
+  let b = frame payload in
+  write_all fd b 0 (Bytes.length b)
+
+let rec read_exact fd b off len =
+  if len = 0 then true
+  else
+    match Unix.read fd b off len with
+    | 0 -> false
+    | r -> read_exact fd b (off + r) (len - r)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_exact fd b off len
+
+let read_frame fd =
+  let hdr = Bytes.create 4 in
+  if not (read_exact fd hdr 0 4) then None
+  else begin
+    let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+    if len < 0 || len > max_frame then
+      failwith (Printf.sprintf "net: oversized frame (%d bytes)" len);
+    let payload = Bytes.create len in
+    if read_exact fd payload 0 len then Some payload else None
+  end
+
+module Decoder = struct
+  (* Valid bytes live in [pos, limit) of [data]; feeding compacts or grows
+     as needed, popping a frame just advances [pos]. *)
+  type t = { mutable data : bytes; mutable pos : int; mutable limit : int }
+
+  let create () = { data = Bytes.create 4096; pos = 0; limit = 0 }
+  let buffered t = t.limit - t.pos
+
+  let feed t b len =
+    let used = buffered t in
+    if t.limit + len > Bytes.length t.data then begin
+      let need = used + len in
+      let cap = max need (2 * Bytes.length t.data) in
+      let data = if need > Bytes.length t.data then Bytes.create cap else t.data in
+      Bytes.blit t.data t.pos data 0 used;
+      t.data <- data;
+      t.pos <- 0;
+      t.limit <- used
+    end;
+    Bytes.blit b 0 t.data t.limit len;
+    t.limit <- t.limit + len
+
+  let next t =
+    if buffered t < 4 then None
+    else begin
+      let len = Int32.to_int (Bytes.get_int32_be t.data t.pos) in
+      if len < 0 || len > max_frame then
+        failwith (Printf.sprintf "net: oversized frame (%d bytes)" len);
+      if buffered t < 4 + len then None
+      else begin
+        let payload = Bytes.sub t.data (t.pos + 4) len in
+        t.pos <- t.pos + 4 + len;
+        if t.pos = t.limit then begin
+          t.pos <- 0;
+          t.limit <- 0
+        end;
+        Some payload
+      end
+    end
+end
+
+let encode v = Marshal.to_bytes v []
+let decode b = Marshal.from_bytes b 0
+
+type 'msg envelope = {
+  env_src : Sim.Pid.t;
+  env_sent_at : int;
+  env_vc : int list option;
+  env_msg : 'msg;
+}
+
+let encode_envelope e = encode e
+let decode_envelope b = (decode b : _ envelope)
+
+let magic = "weakest-fd-net/1"
+
+let hello ~self = encode (magic, (self : int))
+
+let parse_hello b =
+  match (decode b : string * int) with
+  | m, pid when m = magic -> Ok pid
+  | m, _ -> Error (Printf.sprintf "net: bad hello magic %S" m)
+  | exception _ -> Error "net: undecodable hello frame"

@@ -1,0 +1,76 @@
+(** Wire format of the [net] runtime (docs/NET.md).
+
+    Every connection carries a stream of frames: a 4-byte big-endian payload
+    length followed by the payload.  Peer connections open with a hello
+    frame identifying the sender; every subsequent frame is one marshalled
+    {!envelope}.  Client connections carry marshalled request / response
+    values directly.
+
+    Marshal is the codec: every node of a cluster runs the same binary (the
+    deployment model of [bin/cluster.ml]), so representation compatibility
+    is the binary's own compatibility.  The hello frame carries a magic
+    string and version so a mismatched peer fails loudly instead of
+    corrupting state. *)
+
+(** Frame payloads are capped (16 MiB): a corrupt length prefix must not
+    make a node allocate gigabytes. *)
+val max_frame : int
+
+(** {2 Framing} *)
+
+(** [frame payload] is the length-prefixed wire form. *)
+val frame : bytes -> bytes
+
+(** [write_frame fd payload] writes a whole frame, retrying on [EINTR] and
+    partial writes.  @raise Unix.Unix_error on a dead socket. *)
+val write_frame : Unix.file_descr -> bytes -> unit
+
+(** [read_frame fd] blocks until one whole frame is read.  [None] on EOF.
+    @raise Failure on an oversized frame. *)
+val read_frame : Unix.file_descr -> bytes option
+
+(** A streaming frame decoder for non-blocking reads: feed raw chunks in,
+    pop complete frames out. *)
+module Decoder : sig
+  type t
+
+  val create : unit -> t
+
+  (** [feed t buf len] appends the first [len] bytes of [buf]. *)
+  val feed : t -> bytes -> int -> unit
+
+  (** Next complete frame, if any.  @raise Failure on an oversized frame. *)
+  val next : t -> bytes option
+
+  (** Bytes buffered but not yet consumed as frames. *)
+  val buffered : t -> int
+end
+
+(** {2 Codec} *)
+
+val encode : 'a -> bytes
+val decode : bytes -> 'a
+
+(** {2 Peer envelopes} *)
+
+(** The per-message envelope between cluster nodes: sender, sender's local
+    step clock at send time (the [sent_at] of the Deliver event it produces)
+    and, when the sender traces, its vector clock — so a real run emits the
+    same {!Sim.Event} vocabulary as a simulated one. *)
+type 'msg envelope = {
+  env_src : Sim.Pid.t;
+  env_sent_at : int;
+  env_vc : int list option;
+  env_msg : 'msg;
+}
+
+val encode_envelope : 'msg envelope -> bytes
+val decode_envelope : bytes -> 'msg envelope
+
+(** {2 Hello} *)
+
+(** [hello ~self] is the connection-opening frame payload; [parse_hello]
+    returns the peer pid or [Error] on a magic/version mismatch. *)
+val hello : self:Sim.Pid.t -> bytes
+
+val parse_hello : bytes -> (Sim.Pid.t, string) result

@@ -20,3 +20,29 @@ val output_collector :
 
 (** [write_run ~path ~meta c] writes (truncating) the trace file. *)
 val write_run : path:string -> meta:(string * string) list -> Collector.t -> unit
+
+(** {2 Reading}
+
+    The inverse direction, so traces written by real cluster runs
+    ([bin/cluster.ml --trace]) and by simulated runs can be loaded,
+    validated and diffed by the same tooling.  [record_of_line] inverts
+    {!event_line} / {!meta_line} / {!metrics_line} / {!profile_line}
+    exactly: for any event [e], parsing [event_line e] yields [Event e']
+    with [e' = e] up to vector-clock physical identity. *)
+
+type record =
+  | Meta of (string * string) list
+  | Event of Sim.Event.t
+  | Metrics of (string * int) list
+  | Profile of (string * Profile.row) list
+
+val record_of_line : string -> (record, string) result
+
+(** All records until EOF, in file order.
+    @raise Failure on a malformed line (with its line number). *)
+val of_channel : in_channel -> record list
+
+val read_file : string -> record list
+
+(** The events of a record stream, in order. *)
+val events : record list -> Sim.Event.t list

@@ -23,6 +23,39 @@ let retag_main acts =
       | Protocol.Output o -> Protocol.Output o)
     acts
 
+(* Detector-layer actions of the second component of [pair]: tagged [Main],
+   outputs (always [()]) dropped. *)
+let retag_snd acts =
+  List.filter_map
+    (fun act ->
+      match act with
+      | Protocol.Send (p, m) -> Some (Protocol.Send (p, Main m))
+      | Protocol.Broadcast m -> Some (Protocol.Broadcast (Main m))
+      | Protocol.Output () -> None)
+    acts
+
+let pair a b =
+  let open Protocol in
+  {
+    proto =
+      {
+        init = (fun ~n p -> (a.proto.init ~n p, b.proto.init ~n p));
+        on_step =
+          (fun ctx (sa, sb) recv ->
+            let recv_a, recv_b =
+              match recv with
+              | None -> (None, None)
+              | Some (p, Detector m) -> (Some (p, m), None)
+              | Some (p, Main m) -> (None, Some (p, m))
+            in
+            let sa, acts_a = a.proto.on_step ctx sa recv_a in
+            let sb, acts_b = b.proto.on_step ctx sb recv_b in
+            ((sa, sb), retag_det acts_a @ retag_snd acts_b));
+        on_input = Protocol.no_input;
+      };
+    current = (fun (sa, sb) -> (a.current sa, b.current sb));
+  }
+
 let with_detector det main =
   let open Protocol in
   let det_ctx (ctx : unit ctx) = { ctx with fd = () } in

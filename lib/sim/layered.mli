@@ -26,3 +26,13 @@ val with_detector :
   ('dst, 'dmsg, 'fd) emulated ->
   ('st, 'msg, 'fd, 'inp, 'out) Protocol.t ->
   ('dst * 'st, ('dmsg, 'msg) wire, unit, 'inp, 'out) Protocol.t
+
+(** [pair a b] runs two detector implementations side by side as one,
+    outputting the product of their current values — e.g. Ω and Σ composed
+    under quorum Paxos, each refreshed by its own messages.  Both layers
+    step on every scheduled step; a received message is routed to the layer
+    that produced it (tagged [Detector] for [a], [Main] for [b]). *)
+val pair :
+  ('s1, 'm1, 'f1) emulated ->
+  ('s2, 'm2, 'f2) emulated ->
+  ('s1 * 's2, ('m1, 'm2) wire, 'f1 * 'f2) emulated

@@ -17,6 +17,7 @@ let leq a b =
 
 let equal a b = a = b
 let to_list = Array.to_list
+let of_list = Array.of_list
 let dominates a b = leq b a && not (equal a b)
 let concurrent a b = (not (leq a b)) && not (leq b a)
 

@@ -24,6 +24,10 @@ val equal : t -> t -> bool
 (** Components in pid order — for serialization. *)
 val to_list : t -> int list
 
+(** Inverse of {!to_list} — for deserialization (trace readers, wire
+    envelopes). *)
+val of_list : int list -> t
+
 (** [dominates a b] holds iff [leq b a] and [not (equal a b)]. *)
 val dominates : t -> t -> bool
 

@@ -323,6 +323,150 @@ let test_omega_heartbeat_emulation () =
   | ls ->
     Alcotest.failf "no common leader: %d distinct values" (List.length ls))
 
+(* Σ staleness sweep: with only a minority correct, every majority quorum
+   contains a process that is going to crash, and once the crashes land no
+   join-quorum round can ever complete again — the output freezes on a
+   quorum polluted by crashed processes.  This is the environment where Σ
+   is *not* implementable ex nihilo, observed from the implementation
+   side.  Swept over seeds and crash times; the frozen-rounds check uses
+   engine determinism (a longer run extends the shorter one exactly). *)
+let test_sigma_staleness_minority_correct () =
+  let layered =
+    Sim.Layered.with_detector Fd.Emulated.Sigma_majority.detector observer
+  in
+  List.iter
+    (fun (seed, t0) ->
+      let crashes = [ (2, t0); (3, t0 + 20); (4, t0 + 40) ] in
+      let fp = Sim.Failure_pattern.make ~n:5 crashes in
+      let run max_steps =
+        let cfg =
+          Sim.Engine.config ~seed ~max_steps
+            ~policy:(Sim.Network.Random_delay { max_delay = 4; lambda_prob = 0.2 })
+            ~fd:(fun _ _ -> ())
+            ~detect_quiescence:false fp
+        in
+        Sim.Engine.run cfg layered
+      in
+      let short = run 4_000 in
+      let long = run 12_000 in
+      let rounds (trace : _ Sim.Trace.t) p =
+        Fd.Emulated.Sigma_majority.rounds (fst trace.Sim.Trace.final_states.(p))
+      in
+      let crashed = Sim.Pidset.of_list (List.map fst crashes) in
+      List.iter
+        (fun p ->
+          Alcotest.(check int)
+            (Printf.sprintf "seed %d: rounds frozen after the crashes (pid %d)"
+               seed p)
+            (rounds short p) (rounds long p);
+          let quorum =
+            Fd.Emulated.Sigma_majority.detector.Sim.Layered.current
+              (fst long.Sim.Trace.final_states.(p))
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf
+               "seed %d: the stale quorum contains a crashed process (pid %d)"
+               seed p)
+            true
+            (Sim.Pidset.intersects quorum crashed))
+        [ 0; 1 ])
+    [ (1, 60); (2, 60); (3, 100); (4, 140); (5, 100) ]
+
+(* Control for the sweep above: with a majority correct the join-quorum
+   rounds never stop. *)
+let test_sigma_rounds_keep_completing_majority_correct () =
+  let layered =
+    Sim.Layered.with_detector Fd.Emulated.Sigma_majority.detector observer
+  in
+  List.iter
+    (fun seed ->
+      let fp = Sim.Failure_pattern.make ~n:5 [ (3, 60); (4, 100) ] in
+      let run max_steps =
+        let cfg =
+          Sim.Engine.config ~seed ~max_steps
+            ~policy:(Sim.Network.Random_delay { max_delay = 4; lambda_prob = 0.2 })
+            ~fd:(fun _ _ -> ())
+            ~detect_quiescence:false fp
+        in
+        Sim.Engine.run cfg layered
+      in
+      let short = run 4_000 in
+      let long = run 12_000 in
+      let rounds (trace : _ Sim.Trace.t) p =
+        Fd.Emulated.Sigma_majority.rounds (fst trace.Sim.Trace.final_states.(p))
+      in
+      List.iter
+        (fun p ->
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d: rounds keep completing (pid %d)" seed p)
+            true
+            (rounds long p > rounds short p))
+        [ 0; 1; 2 ])
+    [ 1; 2; 3 ]
+
+(* Ω sweep under partial synchrony: before GST the adversary may delay
+   heartbeats up to 4δ, provoking false suspicions; each one grows the
+   wrongly-suspected process's timeout.  After GST delays are bounded by
+   δ, so the grown timeouts stop being violated and every correct process
+   converges on the smallest correct process.  Swept over seeds: every
+   run must converge, and across the sweep at least one run must have
+   actually exercised the adaptation (a timeout grown beyond its initial
+   4·period) — otherwise the test proves nothing about repair. *)
+let test_omega_adaptation_and_post_gst_convergence () =
+  let period = 4 in
+  let adapted = ref false in
+  List.iter
+    (fun seed ->
+      let fp = Sim.Failure_pattern.make ~n:4 [ (0, 150) ] in
+      let layered =
+        Sim.Layered.with_detector
+          (Fd.Emulated.Omega_heartbeat.detector ~period)
+          observer
+      in
+      let gst = 400 in
+      let cfg =
+        Sim.Engine.config ~seed ~max_steps:16_000
+          ~policy:(Sim.Network.Partial_synchrony { gst; delta = 16 })
+          ~fd:(fun _ _ -> ())
+          ~detect_quiescence:false fp
+      in
+      let trace = Sim.Engine.run cfg layered in
+      let correct = Sim.Pidset.elements (Sim.Failure_pattern.correct fp) in
+      let min_correct = List.fold_left min max_int correct in
+      List.iter
+        (fun p ->
+          (* stabilization: one constant, correct leader over the whole
+             second half of the run *)
+          let half = trace.Sim.Trace.ticks / 2 in
+          let late =
+            List.filter_map
+              (fun (e : _ Sim.Trace.event) ->
+                if Sim.Pid.equal e.pid p && e.time >= half then Some e.value
+                else None)
+              trace.Sim.Trace.outputs
+          in
+          (match List.sort_uniq compare late with
+          | [ l ] ->
+            Alcotest.(check int)
+              (Printf.sprintf
+                 "seed %d: pid %d settles on the smallest correct process"
+                 seed p)
+              min_correct l
+          | ls ->
+            Alcotest.failf "seed %d: pid %d saw %d late leaders" seed p
+              (List.length ls));
+          let om = fst trace.Sim.Trace.final_states.(p) in
+          if
+            List.exists
+              (fun q ->
+                Fd.Emulated.Omega_heartbeat.timeout om q > 4 * period)
+              correct
+          then adapted := true)
+        correct)
+    [ 1; 2; 3; 4; 5; 6 ];
+  Alcotest.(check bool)
+    "at least one sweep run exercised timeout adaptation" true !adapted
+
 let prop_psi_oracle_conforms =
   QCheck.Test.make ~name:"Psi histories conform to the Psi spec" ~count:80
     QCheck.(pair small_nat (int_bound 3))
@@ -413,6 +557,12 @@ let () =
             test_sigma_majority_emulation;
           Alcotest.test_case "omega from heartbeats" `Slow
             test_omega_heartbeat_emulation;
+          Alcotest.test_case "sigma staleness, minority correct" `Slow
+            test_sigma_staleness_minority_correct;
+          Alcotest.test_case "sigma rounds keep completing, majority correct"
+            `Slow test_sigma_rounds_keep_completing_majority_correct;
+          Alcotest.test_case "omega adaptation and post-GST convergence" `Slow
+            test_omega_adaptation_and_post_gst_convergence;
         ] );
       ( "properties",
         [

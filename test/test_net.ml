@@ -1,0 +1,335 @@
+(* Tests for the net runtime: wire framing, the loopback cluster (SMR
+   agreement with and without a crash, detector behaviour over a real
+   message path), and the socket transport itself.  The point being
+   checked throughout: the protocols are the *same automata* the simulator
+   runs, so what the paper's model promises (agreement under crashes,
+   eventual leader election from heartbeats) must survive the trip onto a
+   transport. *)
+
+(* ------------------------------------------------------------------ *)
+(* Wire                                                                *)
+
+let feed_chunked dec bytes sizes =
+  (* feed [bytes] to [dec] in chunks of the given sizes (cycled) *)
+  let n = Bytes.length bytes in
+  let sizes = if sizes = [] then [ n ] else sizes in
+  let rec go off sz =
+    if off < n then begin
+      let k = min (List.nth sizes (sz mod List.length sizes)) (n - off) in
+      let k = max k 1 in
+      Net.Wire.Decoder.feed dec (Bytes.sub bytes off k) k;
+      go (off + k) (sz + 1)
+    end
+  in
+  go 0 0
+
+let drain dec =
+  let rec go acc =
+    match Net.Wire.Decoder.next dec with
+    | None -> List.rev acc
+    | Some f -> go (f :: acc)
+  in
+  go []
+
+let test_decoder_reassembles () =
+  let payloads = [ "a"; ""; String.make 300 'x'; "end" ] in
+  let stream =
+    Bytes.concat Bytes.empty
+      (List.map (fun s -> Net.Wire.frame (Bytes.of_string s)) payloads)
+  in
+  List.iter
+    (fun sizes ->
+      let dec = Net.Wire.Decoder.create () in
+      feed_chunked dec stream sizes;
+      let got = List.map Bytes.to_string (drain dec) in
+      Alcotest.(check (list string)) "frames survive rechunking" payloads got)
+    [ [ 1 ]; [ 2; 3 ]; [ 7 ]; [ 1000 ]; [ 3; 1; 4; 1; 5 ] ]
+
+let prop_decoder_roundtrip =
+  QCheck.Test.make ~name:"wire: decoder round-trips any chunking" ~count:200
+    QCheck.(pair (small_list (string_of_size Gen.(0 -- 200))) (small_list (1 -- 64)))
+    (fun (payloads, sizes) ->
+      let stream =
+        Bytes.concat Bytes.empty
+          (List.map (fun s -> Net.Wire.frame (Bytes.of_string s)) payloads)
+      in
+      let dec = Net.Wire.Decoder.create () in
+      feed_chunked dec stream sizes;
+      List.map Bytes.to_string (drain dec) = payloads)
+
+let test_envelope_roundtrip () =
+  let env =
+    { Net.Wire.env_src = 2; env_sent_at = 41; env_vc = Some [ 1; 0; 7 ];
+      env_msg = ("hello", 13) }
+  in
+  let env' = Net.Wire.decode_envelope (Net.Wire.encode_envelope env) in
+  Alcotest.(check bool) "envelope round-trips" true (env = env')
+
+let test_hello () =
+  (match Net.Wire.parse_hello (Net.Wire.hello ~self:3) with
+  | Ok p -> Alcotest.(check int) "hello names the sender" 3 p
+  | Error e -> Alcotest.fail e);
+  match Net.Wire.parse_hello (Bytes.of_string "garbage") with
+  | Ok _ -> Alcotest.fail "garbage accepted as hello"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Loopback SMR cluster                                                *)
+
+let log_view l =
+  List.map
+    (fun (slot, (c : string Cons.Smr.cmd)) ->
+      (slot, c.Cons.Smr.origin, c.Cons.Smr.seq, c.Cons.Smr.payload))
+    l
+
+let run_until ?(cap = 20_000) cluster pred =
+  let rec go r =
+    if pred () then r
+    else if r >= cap then Alcotest.fail "cluster did not converge"
+    else begin
+      Net.Local.step cluster;
+      go (r + 1)
+    end
+  in
+  go 0
+
+let applied_at cluster p = List.length (Net.Local.applied_log cluster p)
+
+let test_loopback_agreement () =
+  let n = 3 in
+  let cluster = Net.Local.create ~n () in
+  let cmds = [ (0, "a"); (1, "b"); (2, "c"); (0, "d"); (1, "e") ] in
+  List.iter (fun (p, c) -> Net.Local.submit cluster p c) cmds;
+  let k = List.length cmds in
+  ignore
+    (run_until cluster (fun () ->
+         List.for_all (fun p -> applied_at cluster p >= k) (Sim.Pid.all n)));
+  let logs = List.map (fun p -> log_view (Net.Local.applied_log cluster p)) (Sim.Pid.all n) in
+  (match logs with
+  | l0 :: rest ->
+    List.iteri
+      (fun i l ->
+        Alcotest.(check bool)
+          (Printf.sprintf "log %d equals log 0" (i + 1))
+          true (l = l0))
+      rest;
+    (* every submitted command decided exactly once *)
+    let decided =
+      List.map (fun (_, origin, _, payload) -> (origin, payload)) l0
+      |> List.sort compare
+    in
+    Alcotest.(check bool) "all commands decided once" true
+      (decided = List.sort compare cmds)
+  | [] -> assert false)
+
+let test_loopback_crash () =
+  let n = 3 in
+  let cluster = Net.Local.create ~n () in
+  Net.Local.submit cluster 0 "pre0";
+  Net.Local.submit cluster 1 "pre1";
+  ignore
+    (run_until cluster (fun () ->
+         List.for_all (fun p -> applied_at cluster p >= 2) (Sim.Pid.all n)));
+  (* kill node 2 mid-run; the survivors are a majority and must keep going *)
+  Net.Local.crash cluster 2;
+  Net.Local.submit cluster 0 "post0";
+  Net.Local.submit cluster 1 "post1";
+  ignore
+    (run_until cluster (fun () ->
+         applied_at cluster 0 >= 4 && applied_at cluster 1 >= 4));
+  let l0 = log_view (Net.Local.applied_log cluster 0) in
+  let l1 = log_view (Net.Local.applied_log cluster 1) in
+  Alcotest.(check bool) "surviving logs identical" true (l0 = l1);
+  Alcotest.(check bool) "post-crash commands decided" true
+    (List.exists (fun (_, _, _, p) -> p = "post0") l0
+    && List.exists (fun (_, _, _, p) -> p = "post1") l0)
+
+(* ------------------------------------------------------------------ *)
+(* Detectors over the loopback transport (satellite: Fd.Emulated       *)
+(* hardening asserted on a real message path, not just the simulator)  *)
+
+let test_omega_converges_on_loopback () =
+  let n = 3 in
+  let cluster = Net.Local.create ~n () in
+  Net.Local.run cluster ~rounds:500;
+  List.iter
+    (fun p ->
+      let om = Net.Smr_node.omega_state (Net.Local.state cluster p) in
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d trusts nobody falsely" p)
+        true
+        (Sim.Pidset.is_empty (Fd.Emulated.Omega_heartbeat.suspects om)))
+    (Sim.Pid.all n)
+
+let test_omega_crash_detection_on_loopback () =
+  let n = 3 in
+  let cluster = Net.Local.create ~n () in
+  Net.Local.run cluster ~rounds:300;
+  Net.Local.crash cluster 0;
+  Net.Local.run cluster ~rounds:2_000;
+  List.iter
+    (fun p ->
+      let om = Net.Smr_node.omega_state (Net.Local.state cluster p) in
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d suspects the crashed node" p)
+        true
+        (Sim.Pidset.mem 0 (Fd.Emulated.Omega_heartbeat.suspects om)))
+    [ 1; 2 ]
+
+let test_omega_timeout_adapts_on_loopback () =
+  (* Block node 0's outbound frames long enough to provoke a false
+     suspicion at node 1, then unblock: node 1 must re-trust 0, and its
+     timeout for 0 must have grown (the adaptation that gives eventual
+     accuracy after GST). *)
+  let n = 3 in
+  let cluster = Net.Local.create ~n () in
+  Net.Local.run cluster ~rounds:300;
+  let suspects_0 p =
+    Sim.Pidset.mem 0
+      (Fd.Emulated.Omega_heartbeat.suspects
+         (Net.Smr_node.omega_state (Net.Local.state cluster p)))
+  in
+  Alcotest.(check bool) "initially trusted" false (suspects_0 1);
+  Net.Loopback.block (Net.Local.hub cluster) 0;
+  ignore (run_until cluster (fun () -> suspects_0 1));
+  Net.Loopback.unblock (Net.Local.hub cluster) 0;
+  ignore (run_until cluster (fun () -> not (suspects_0 1)));
+  Net.Loopback.block (Net.Local.hub cluster) 0;
+  (* the grown timeout makes the second suspicion strictly later *)
+  let r1 = run_until cluster (fun () -> suspects_0 1) in
+  ignore r1;
+  Net.Loopback.unblock (Net.Local.hub cluster) 0;
+  ignore (run_until cluster (fun () -> not (suspects_0 1)))
+
+let test_sigma_quorums_on_loopback () =
+  let n = 5 in
+  let cluster = Net.Local.create ~n () in
+  Net.Local.run cluster ~rounds:800;
+  let quorums =
+    List.map
+      (fun p ->
+        let si = Net.Smr_node.sigma_state (Net.Local.state cluster p) in
+        Alcotest.(check bool)
+          (Printf.sprintf "node %d completed join-quorum rounds" p)
+          true
+          (Fd.Emulated.Sigma_majority.rounds si > 0);
+        (Fd.Emulated.Sigma_majority.detector.Sim.Layered.current si))
+      (Sim.Pid.all n)
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          Alcotest.(check bool) "quorums intersect" true
+            (Sim.Pidset.intersects a b))
+        quorums)
+    quorums
+
+(* ------------------------------------------------------------------ *)
+(* Tcp transport                                                       *)
+
+let tmp_addr =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Unix.ADDR_UNIX
+      (Filename.concat
+         (Filename.get_temp_dir_name ())
+         (Printf.sprintf "wfd-test-%d-%d.sock" (Unix.getpid ()) !counter))
+
+let test_tcp_pair () =
+  let addrs = [| tmp_addr (); tmp_addr () |] in
+  let t0 = Net.Tcp.create ~self:0 ~addrs () in
+  let t1 = Net.Tcp.create ~self:1 ~addrs () in
+  let sent = List.init 20 (fun i -> Printf.sprintf "msg-%d" i) in
+  List.iter (fun m -> t0.Net.Transport.send 1 (Bytes.of_string m)) sent;
+  let received = ref [] in
+  let deadline = Unix.gettimeofday () +. 5. in
+  while List.length !received < 20 && Unix.gettimeofday () < deadline do
+    (* both ends must pump their event loops *)
+    ignore (t0.Net.Transport.poll ~timeout_ms:10);
+    match t1.Net.Transport.poll ~timeout_ms:10 with
+    | Some (src, frame) -> received := (src, Bytes.to_string frame) :: !received
+    | None -> ()
+  done;
+  let received = List.rev !received in
+  Alcotest.(check bool) "all frames arrive in order from 0" true
+    (received = List.map (fun m -> (0, m)) sent);
+  t0.Net.Transport.close ();
+  t1.Net.Transport.close ()
+
+let test_tcp_self_send () =
+  let addrs = [| tmp_addr () |] in
+  let t = Net.Tcp.create ~self:0 ~addrs () in
+  t.Net.Transport.send 0 (Bytes.of_string "loop");
+  (match t.Net.Transport.poll ~timeout_ms:0 with
+  | Some (0, b) -> Alcotest.(check string) "self frame" "loop" (Bytes.to_string b)
+  | _ -> Alcotest.fail "self-send not delivered");
+  t.Net.Transport.close ()
+
+let test_tcp_reconnect () =
+  let addrs = [| tmp_addr (); tmp_addr () |] in
+  let t0 = Net.Tcp.create ~self:0 ~addrs () in
+  (* peer 1 not up yet: frames queue, peer goes down, stats notice *)
+  t0.Net.Transport.send 1 (Bytes.of_string "early");
+  let pump t ms = ignore (t.Net.Transport.poll ~timeout_ms:ms) in
+  pump t0 30;
+  pump t0 30;
+  Alcotest.(check bool) "peer 1 reported down before it exists" true
+    (Sim.Pidset.mem 1 (t0.Net.Transport.stats ()).Net.Transport.down);
+  (* bring peer 1 up: the queued frame must arrive (reconnect + flush) *)
+  let t1 = Net.Tcp.create ~self:1 ~addrs () in
+  let got = ref None in
+  let deadline = Unix.gettimeofday () +. 5. in
+  while !got = None && Unix.gettimeofday () < deadline do
+    pump t0 10;
+    match t1.Net.Transport.poll ~timeout_ms:10 with
+    | Some (src, b) -> got := Some (src, Bytes.to_string b)
+    | None -> ()
+  done;
+  Alcotest.(check (option (pair int string)))
+    "frame queued while down arrives after connect" (Some (0, "early")) !got;
+  Alcotest.(check bool) "peer 1 no longer down" true
+    (not (Sim.Pidset.mem 1 (t0.Net.Transport.stats ()).Net.Transport.down));
+  t0.Net.Transport.close ();
+  t1.Net.Transport.close ()
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "decoder reassembles chunked frames" `Quick
+            test_decoder_reassembles;
+          Alcotest.test_case "envelope round-trip" `Quick
+            test_envelope_roundtrip;
+          Alcotest.test_case "hello" `Quick test_hello;
+          QCheck_alcotest.to_alcotest prop_decoder_roundtrip;
+        ] );
+      ( "loopback-smr",
+        [
+          Alcotest.test_case "three replicas agree" `Quick
+            test_loopback_agreement;
+          Alcotest.test_case "agreement survives a crash" `Quick
+            test_loopback_crash;
+        ] );
+      ( "detectors-on-loopback",
+        [
+          Alcotest.test_case "omega: no false suspicion at steady state"
+            `Quick test_omega_converges_on_loopback;
+          Alcotest.test_case "omega: crash detected" `Quick
+            test_omega_crash_detection_on_loopback;
+          Alcotest.test_case "omega: timeout adapts across false suspicion"
+            `Quick test_omega_timeout_adapts_on_loopback;
+          Alcotest.test_case "sigma: rounds complete, quorums intersect"
+            `Quick test_sigma_quorums_on_loopback;
+        ] );
+      ( "tcp",
+        [
+          Alcotest.test_case "ordered delivery between two endpoints" `Quick
+            test_tcp_pair;
+          Alcotest.test_case "self send" `Quick test_tcp_self_send;
+          Alcotest.test_case "queue while down, flush on connect" `Quick
+            test_tcp_reconnect;
+        ] );
+    ]

@@ -349,6 +349,109 @@ let test_jsonl_write_run () =
     Alcotest.(check int) "metrics + profile tail" 2 (List.length tail)
   | [] -> Alcotest.fail "empty trace file")
 
+(* --- Jsonl reader: the inverse direction ------------------------------ *)
+
+let test_jsonl_read_file_roundtrip () =
+  let fp = Sim.Failure_pattern.failure_free 3 in
+  let c = Obs.Collector.create () in
+  ignore (run_flood ~sink:c.Obs.Collector.sink fp);
+  let path = Filename.temp_file "obs_read" ".jsonl" in
+  Obs.Jsonl.write_run ~path ~meta:[ ("kind", "test"); ("n", "3") ] c;
+  let records = Obs.Jsonl.read_file path in
+  Sys.remove path;
+  (match records with
+  | Obs.Jsonl.Meta kvs :: _ ->
+    Alcotest.(check (option string))
+      "meta kind survives" (Some "test") (List.assoc_opt "kind" kvs)
+  | _ -> Alcotest.fail "first record is not meta");
+  Alcotest.(check bool) "every retained event survives, in order" true
+    (Obs.Jsonl.events records = Obs.Collector.events c);
+  let metrics =
+    List.find_map
+      (function Obs.Jsonl.Metrics rows -> Some rows | _ -> None)
+      records
+  in
+  Alcotest.(check bool) "metrics rows survive" true
+    (metrics = Some (Obs.Collector.metric_rows c));
+  Alcotest.(check bool) "profile record present" true
+    (List.exists (function Obs.Jsonl.Profile _ -> true | _ -> false) records)
+
+let test_jsonl_reader_rejects_garbage () =
+  List.iter
+    (fun line ->
+      match Obs.Jsonl.record_of_line line with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %S" line)
+      | Error _ -> ())
+    [
+      "";
+      "not json";
+      "[1,2]";
+      {|{"type":"event"}|};
+      {|{"type":"event","t":0,"round":0,"kind":"send","src":0}|};
+      {|{"type":"wat"}|};
+      {|{"t":0}|};
+      {|{"type":"event","t":0,"round":0,"kind":"send","src":0,"dst":1}x|};
+    ]
+
+(* The full event vocabulary round-trips through one serialized line —
+   the property that makes traces from real cluster runs (bin/cluster
+   --trace) loadable and diffable against simulated ones. *)
+let prop_jsonl_event_roundtrip =
+  let open QCheck in
+  let gen =
+    let open Gen in
+    let pid = 0 -- 5 in
+    let text = string_size ~gen:printable (0 -- 20) in
+    let kind =
+      oneof
+        [
+          map2 (fun src dst -> Sim.Event.Send { src; dst }) pid pid;
+          map3
+            (fun src dst sent_at -> Sim.Event.Deliver { src; dst; sent_at })
+            pid pid (0 -- 1000);
+          map (fun p -> Sim.Event.Crash p) pid;
+          map (fun p -> Sim.Event.Fd_query p) pid;
+          map (fun p -> Sim.Event.Input p) pid;
+          map2 (fun p info -> Sim.Event.Output { pid = p; info }) pid text;
+          map2
+            (fun name value -> Sim.Event.Metric { name; value })
+            text (0 -- 100_000);
+        ]
+    in
+    let vc =
+      opt (map Sim.Vclock.of_list (list_size (1 -- 6) (0 -- 50)))
+    in
+    map2
+      (fun (time, round) (vc, kind) -> { Sim.Event.time; round; vc; kind })
+      (pair (0 -- 10_000) (0 -- 10_000))
+      (pair vc kind)
+  in
+  QCheck.Test.make ~count:500
+    ~name:"jsonl: every event kind round-trips through its line"
+    (QCheck.make gen) (fun e ->
+      match Obs.Jsonl.record_of_line (Obs.Jsonl.event_line e) with
+      | Ok (Obs.Jsonl.Event e') -> e' = e
+      | Ok _ | Error _ -> false)
+
+(* Strings with every escape class survive: quotes, backslashes, control
+   characters, tabs/newlines, and raw high bytes. *)
+let test_jsonl_escape_roundtrip () =
+  List.iter
+    (fun s ->
+      let e =
+        { Sim.Event.time = 1; round = 2; vc = None;
+          kind = Sim.Event.Output { pid = 0; info = s } }
+      in
+      match Obs.Jsonl.record_of_line (Obs.Jsonl.event_line e) with
+      | Ok (Obs.Jsonl.Event e') ->
+        Alcotest.(check bool) (Printf.sprintf "%S survives" s) true (e' = e)
+      | Ok _ -> Alcotest.fail "wrong record type"
+      | Error msg -> Alcotest.fail msg)
+    [
+      {|say "hi"|}; "back\\slash"; "tab\there"; "line\nbreak"; "\r";
+      "\x01\x02\x1f"; "caf\xc3\xa9"; "\xff\xfe";
+    ]
+
 (* --- Runner integration: --trace on plain runs and on mc -------------- *)
 
 let strip_profile lines =
@@ -496,6 +599,16 @@ let () =
           Alcotest.test_case "escape" `Quick test_jsonl_escape;
           Alcotest.test_case "record lines" `Quick test_jsonl_lines;
           Alcotest.test_case "write_run" `Quick test_jsonl_write_run;
+        ] );
+      ( "jsonl-reader",
+        [
+          Alcotest.test_case "write_run/read_file round-trip" `Quick
+            test_jsonl_read_file_roundtrip;
+          Alcotest.test_case "rejects malformed lines" `Quick
+            test_jsonl_reader_rejects_garbage;
+          Alcotest.test_case "escape classes round-trip" `Quick
+            test_jsonl_escape_roundtrip;
+          QCheck_alcotest.to_alcotest prop_jsonl_event_roundtrip;
         ] );
       ( "runner",
         [
