@@ -360,12 +360,46 @@ let e15_tests =
         (Staged.stage (idle ~n:3 ~rounds:1_000));
     ]
 
+(* E16: chaos — the same loopback SMR cluster with the nemesis adversary
+   in the transport stack (node → Rel → Nemesis → hub): sustained frame
+   loss at two rates, and a scripted partition+heal, each one full
+   harness run with its online invariants on (docs/FAULTS.md). *)
+let chaos_schedule text =
+  match Net.Nemesis.parse_schedule text with
+  | Ok s -> s
+  | Error e -> failwith e
+
+let chaos_run ~n ~rounds ~cmds text () =
+  let cfg =
+    {
+      (Net.Chaos.default ~n ~schedule:(chaos_schedule text)) with
+      Net.Chaos.rounds;
+      cmds;
+      cmd_every = 60;
+    }
+  in
+  let r = Net.Chaos.run cfg in
+  if not (Net.Chaos.ok r) then failwith "chaos invariant failed under bench"
+
+let e16_tests =
+  Test.make_grouped ~name:"E16-chaos"
+    [
+      Test.make ~name:"smr-loss1pct-n3-600rounds"
+        (Staged.stage (chaos_run ~n:3 ~rounds:600 ~cmds:6 "at 0 drop * 0.01"));
+      Test.make ~name:"smr-loss5pct-n3-600rounds"
+        (Staged.stage (chaos_run ~n:3 ~rounds:600 ~cmds:6 "at 0 drop * 0.05"));
+      Test.make ~name:"smr-partition-heal-n3-800rounds"
+        (Staged.stage
+           (chaos_run ~n:3 ~rounds:800 ~cmds:6
+              "at 150 partition 0 1 | 2\nat 400 heal"));
+    ]
+
 let all_tests =
   Test.make_grouped ~name:"weakest-fd"
     [
       e1_tests; e2_tests; e3_tests; e4_tests; e5_tests; e6_tests; e7_tests;
       e8_tests; e9_tests; e10_tests; e11_tests; e12_tests; e13_tests;
-      e14_tests; e15_tests;
+      e14_tests; e15_tests; e16_tests;
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -513,9 +547,86 @@ let net_throughput_json () =
       heartbeat_row ~n:3 ~rounds:5_000;
     ]
 
+(* E16 rows: the closed loop of [net_throughput_json] with the nemesis
+   dropping frames (Rel retransmitting around it), and one scripted
+   partition+heal run reporting the measured Ω reconvergence latency. *)
+let chaos_throughput_json () =
+  let lossy_row ~n ~drop ~count =
+    let ctrl =
+      Net.Nemesis.create ~seed:1 ~n
+        (chaos_schedule (Printf.sprintf "at 0 drop * %g" drop))
+    in
+    let t =
+      Net.Local.create ~period:16
+        ~wrap:(fun _ tr ->
+          Net.Rel.transport
+            (Net.Rel.wrap ~resend_every:8 (Net.Nemesis.wrap ctrl tr)))
+        ~n ()
+    in
+    let step () =
+      Net.Nemesis.tick ctrl;
+      Net.Local.step t
+    in
+    for _ = 1 to 200 do
+      step ()
+    done;
+    let lat = Array.make count 0.0 in
+    let t_all0 = Unix.gettimeofday () in
+    for i = 0 to count - 1 do
+      let t0 = Unix.gettimeofday () in
+      Net.Local.submit t 0 (Printf.sprintf "cmd-%d" i);
+      while smr_applied t 0 < i + 1 do
+        step ()
+      done;
+      lat.(i) <- (Unix.gettimeofday () -. t0) *. 1e3
+    done;
+    let elapsed = Unix.gettimeofday () -. t_all0 in
+    Array.sort compare lat;
+    let s = Net.Nemesis.stats ctrl in
+    Printf.sprintf
+      {|    { "name": "net_chaos_smr_loss%g_n%d", "commands": %d, "drop_rate": %g, "frames_dropped": %d, "commands_per_sec": %.0f, "latency_ms": { "p50": %.3f, "p90": %.3f, "p99": %.3f } }|}
+      (100. *. drop) n count drop s.Net.Nemesis.n_dropped
+      (float_of_int count /. elapsed)
+      (percentile lat 0.50) (percentile lat 0.90) (percentile lat 0.99)
+  in
+  let partition_row ~n =
+    let cfg =
+      {
+        (Net.Chaos.default ~n
+           ~schedule:(chaos_schedule "at 300 partition 0 1 | 2\nat 900 heal"))
+        with
+        Net.Chaos.rounds = 2_000;
+        cmds = 20;
+        cmd_every = 80;
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    let r = Net.Chaos.run cfg in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let heal =
+      match r.Net.Chaos.heals with
+      | { Net.Chaos.reconverged_in = Some d; _ } :: _ -> d
+      | _ -> -1
+    in
+    Printf.sprintf
+      {|    { "name": "net_chaos_partition_heal_n%d", "rounds": %d, "rounds_per_sec": %.0f, "heal_reconverge_rounds": %d, "frames_dropped": %d, "rel_retransmits": %d, "invariants_ok": %b }|}
+      n r.Net.Chaos.rounds_run
+      (float_of_int r.Net.Chaos.rounds_run /. elapsed)
+      heal r.Net.Chaos.nemesis.Net.Nemesis.n_dropped
+      r.Net.Chaos.rel_retransmits (Net.Chaos.ok r)
+  in
+  String.concat ",\n"
+    [
+      lossy_row ~n:3 ~drop:0.01 ~count:100;
+      lossy_row ~n:3 ~drop:0.05 ~count:100;
+      partition_row ~n:3;
+    ]
+
 let bench_json () =
-  Printf.sprintf "{\n  \"suite\": \"weakest-fd-mc\",\n  \"workloads\": [\n%s,\n%s\n  ]\n}\n"
+  Printf.sprintf
+    "{\n  \"suite\": \"weakest-fd-mc\",\n  \"workloads\": [\n%s,\n%s,\n%s\n  ]\n}\n"
     (mc_throughput_json ()) (net_throughput_json ())
+    (chaos_throughput_json ())
 
 let benchmark () =
   let ols =

@@ -204,6 +204,70 @@ let run_demo n count period tick_ms trace dir_opt =
       survivors;
   Printf.printf "demo OK\n%!"
 
+(* --------------------------------------------------------------- chaos *)
+
+(* In-process loopback cluster under a nemesis schedule (docs/FAULTS.md).
+   Everything is driven by logical rounds and a seeded RNG, so two runs
+   with the same seed and schedule produce identical survivor logs and an
+   identical JSONL trace (profile spans excluded) — the replayability the
+   CI chaos smoke job diffs. *)
+
+let default_schedule n =
+  (* partition a majority {0..⌈n/2⌉-1} away from the rest, then heal *)
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf "at 300 partition";
+  for p = 0 to ((n + 1) / 2) - 1 do
+    Buffer.add_string buf (Printf.sprintf " %d" p)
+  done;
+  Buffer.add_string buf " |";
+  for p = (n + 1) / 2 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf " %d" p)
+  done;
+  Buffer.add_string buf "\nat 900 heal\n";
+  Buffer.contents buf
+
+let run_chaos n seed rounds period cmds cmd_every schedule_file trace_path =
+  let text =
+    match schedule_file with
+    | None -> default_schedule n
+    | Some f -> (
+      match open_in_bin f with
+      | exception Sys_error e ->
+        Printf.eprintf "chaos: %s\n%!" e;
+        Stdlib.exit 2
+      | ic ->
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        s)
+  in
+  let schedule =
+    match Net.Nemesis.parse_schedule text with
+    | Ok s -> s
+    | Error e ->
+      Printf.eprintf "chaos: bad schedule: %s\n%!" e;
+      Stdlib.exit 2
+  in
+  let cfg =
+    { (Net.Chaos.default ~n ~schedule) with seed; rounds; period; cmds; cmd_every }
+  in
+  let collector = Obs.Collector.create () in
+  let report = Net.Chaos.run ~collector cfg in
+  Format.printf "%a@?" Net.Chaos.pp_report report;
+  (match trace_path with
+  | None -> ()
+  | Some path ->
+    Obs.Jsonl.write_run ~path
+      ~meta:
+        [
+          ("tool", "chaos");
+          ("n", string_of_int n);
+          ("seed", string_of_int seed);
+          ("rounds", string_of_int rounds);
+        ]
+      collector;
+    Printf.printf "trace: %s\n%!" path);
+  if not (Net.Chaos.ok report) then Stdlib.exit 1
+
 (* ----------------------------------------------------------- cmdliner *)
 
 let dir_arg =
@@ -281,9 +345,59 @@ let demo_cmd =
       const run_demo $ n_arg $ count_arg $ period_arg $ tick_arg $ trace_arg
       $ dir_opt)
 
+let chaos_cmd =
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Nemesis RNG seed.")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 2500
+      & info [ "rounds" ] ~docv:"R" ~doc:"Round-robin rounds to drive.")
+  in
+  let cmds =
+    Arg.(
+      value & opt int 20
+      & info [ "cmds" ] ~docv:"K" ~doc:"Client commands submitted over the run.")
+  in
+  let cmd_every =
+    Arg.(
+      value & opt int 100
+      & info [ "cmd-every" ] ~docv:"R"
+          ~doc:"Rounds between command submissions.")
+  in
+  let schedule =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "schedule" ] ~docv:"FILE"
+          ~doc:
+            "Fault schedule (docs/FAULTS.md grammar). Default: partition a \
+             majority at round 300, heal at 900.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"PATH" ~doc:"Write the run's JSONL trace here.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the in-process loopback cluster under a scripted nemesis \
+          (partitions, loss, skew, ...), checking agreement, quorum \
+          intersection, leader reconvergence and progress online. Exits 0 \
+          iff every invariant held. Deterministic: same seed and schedule \
+          replay bit-for-bit.")
+    Term.(
+      const run_chaos $ n_arg $ seed $ rounds $ period_arg $ cmds $ cmd_every
+      $ schedule $ trace)
+
 let () =
   let info =
     Cmd.info "cluster"
       ~doc:"Real asynchronous message-passing runtime for the paper's protocols."
   in
-  Stdlib.exit (Cmd.eval (Cmd.group info [ node_cmd; client_cmd; demo_cmd ]))
+  Stdlib.exit
+    (Cmd.eval (Cmd.group info [ node_cmd; client_cmd; demo_cmd; chaos_cmd ]))

@@ -1,0 +1,275 @@
+type config = {
+  n : int;
+  seed : int;
+  rounds : int;
+  period : int;
+  schedule : Nemesis.schedule;
+  cmds : int;
+  cmd_every : int;
+  check_every : int;
+  watchdog : int;
+  heal_bound : int;
+  resend_every : int;
+}
+
+let default ~n ~schedule =
+  {
+    n;
+    seed = 0;
+    rounds = 2_500;
+    period = 16;
+    schedule;
+    cmds = 20;
+    cmd_every = 100;
+    check_every = 50;
+    watchdog = 800;
+    heal_bound = 1_200;
+    resend_every = 8;
+  }
+
+type heal = { heal_round : int; reconverged_in : int option }
+
+type report = {
+  rounds_run : int;
+  submitted : int;
+  applied : int array;
+  logs_identical : bool;
+  all_applied : bool;
+  heals : heal list;
+  failures : string list;
+  nemesis : Nemesis.stats;
+  rel_retransmits : int;
+}
+
+let ok r = r.failures = []
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>rounds      %d@,submitted   %d@,applied     %a@,"
+    r.rounds_run r.submitted
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       Format.pp_print_int)
+    (Array.to_list r.applied);
+  Format.fprintf ppf "logs        %s@,completion  %s@,"
+    (if r.logs_identical then "identical" else "DIVERGED")
+    (if r.all_applied then "all applied" else "MISSING COMMANDS");
+  List.iter
+    (fun h ->
+      match h.reconverged_in with
+      | Some d ->
+        Format.fprintf ppf "heal @@%d    leader re-agreed in %d rounds@,"
+          h.heal_round d
+      | None ->
+        Format.fprintf ppf "heal @@%d    leader NOT re-agreed in bound@,"
+          h.heal_round)
+    r.heals;
+  let s = r.nemesis in
+  Format.fprintf ppf
+    "nemesis     dropped %d, duplicated %d, reordered %d, delayed %d@,"
+    s.Nemesis.n_dropped s.n_duplicated s.n_reordered s.n_delayed;
+  Format.fprintf ppf "rel         %d retransmits@," r.rel_retransmits;
+  (match r.failures with
+  | [] -> Format.fprintf ppf "invariants  all held@,"
+  | fs ->
+    List.iter (fun f -> Format.fprintf ppf "FAILED      %s@," f) fs);
+  Format.fprintf ppf "@]"
+
+(* is [shorter] a prefix of [longer]?  Logs are (slot, cmd) in slot order. *)
+let rec is_prefix shorter longer =
+  match (shorter, longer) with
+  | [], _ -> true
+  | _, [] -> false
+  | a :: s, b :: l -> a = b && is_prefix s l
+
+let run ?collector cfg =
+  let sink = Option.map (fun (c : Obs.Collector.t) -> c.sink) collector in
+  let metrics =
+    Option.map (fun (c : Obs.Collector.t) -> c.metrics) collector
+  in
+  let ctrl =
+    Nemesis.create ?sink ?metrics ~seed:cfg.seed ~n:cfg.n cfg.schedule
+  in
+  let rels = Array.make cfg.n None in
+  let wrap p raw =
+    let r = Rel.wrap ~resend_every:cfg.resend_every ?metrics (Nemesis.wrap ctrl raw) in
+    rels.(p) <- Some r;
+    Rel.transport r
+  in
+  let cluster =
+    Local.create ~period:cfg.period ~sink:(fun _ -> sink) ~wrap ~n:cfg.n ()
+  in
+  let hub = Local.hub cluster in
+  let alive p = not (Loopback.crashed hub p) in
+  let live () = List.filter alive (Sim.Pid.all cfg.n) in
+  let applied_at p = List.length (Local.applied_log cluster p) in
+  let leader_of p =
+    (Fd.Emulated.Omega_heartbeat.detector ~period:cfg.period)
+      .Sim.Layered.current
+      (Smr_node.omega_state (Local.state cluster p))
+  in
+  let quorum_of p =
+    let si = Smr_node.sigma_state (Local.state cluster p) in
+    if Fd.Emulated.Sigma_majority.rounds si > 0 then
+      Some (Fd.Emulated.Sigma_majority.detector.Sim.Layered.current si)
+    else None
+  in
+  let omega_agreed () =
+    match live () with
+    | [] -> true
+    | p :: rest ->
+      let l = leader_of p in
+      alive l && List.for_all (fun q -> leader_of q = l) rest
+  in
+  let failures = ref [] in
+  let fail fmt = Format.kasprintf (fun s -> failures := s :: !failures) fmt in
+  (* submitted commands, newest first: payload and origin replica *)
+  let submitted = ref [] in
+  let n_submitted = ref 0 in
+  let heals = ref [] in (* completed, newest first *)
+  let pending_heals = ref [] in
+  let last_progress = ref 0 in
+  let last_total = ref 0 in
+  let rounds_run = ref 0 in
+  let check_online r =
+    let ps = live () in
+    List.iteri
+      (fun i p ->
+        List.iteri
+          (fun j q ->
+            if j > i then begin
+              let lp = Local.applied_log cluster p
+              and lq = Local.applied_log cluster q in
+              if
+                not
+                  (if List.length lp <= List.length lq then is_prefix lp lq
+                   else is_prefix lq lp)
+              then
+                fail "round %d: logs of %d and %d not prefix-consistent" r p
+                  q;
+              match (quorum_of p, quorum_of q) with
+              | Some a, Some b when not (Sim.Pidset.intersects a b) ->
+                fail "round %d: disjoint quorums at %d and %d" r p q
+              | _ -> ()
+            end)
+          ps)
+      ps
+  in
+  for r = 1 to cfg.rounds do
+    rounds_run := r;
+    Nemesis.tick ctrl;
+    (* crash-stop faults: silence the hub and stop stepping *)
+    List.iter
+      (fun p -> if Nemesis.killed ctrl p && alive p then Local.crash cluster p)
+      (Sim.Pid.all cfg.n);
+    (* a Heal scheduled at this tick starts the reconvergence clock *)
+    List.iter
+      (fun (t, c) ->
+        if t = r && c = Nemesis.Heal then
+          pending_heals := { heal_round = r; reconverged_in = None } :: !pending_heals)
+      cfg.schedule;
+    (* one round: every live node steps, skewed ones only every k-th *)
+    List.iter
+      (fun p -> if r mod Nemesis.skew_of ctrl p = 0 then Local.step_one cluster p)
+      (live ());
+    (* workload: submit at the lowest live replica *)
+    if r mod cfg.cmd_every = 0 && !n_submitted < cfg.cmds then begin
+      match live () with
+      | [] -> ()
+      | p :: _ ->
+        let payload = Printf.sprintf "cmd-%d" !n_submitted in
+        Local.submit cluster p payload;
+        submitted := (p, payload) :: !submitted;
+        incr n_submitted
+    end;
+    (* Ω reconvergence after heal *)
+    if !pending_heals <> [] && omega_agreed () then begin
+      List.iter
+        (fun h ->
+          let d = r - h.heal_round in
+          (match metrics with
+          | Some m -> Obs.Metrics.observe m "net.partition_heal_ms" d
+          | None -> ());
+          heals := { h with reconverged_in = Some d } :: !heals)
+        !pending_heals;
+      pending_heals := []
+    end
+    else
+      pending_heals :=
+        List.filter
+          (fun h ->
+            if r - h.heal_round > cfg.heal_bound then begin
+              fail "heal at round %d: no single live leader within %d rounds"
+                h.heal_round cfg.heal_bound;
+              heals := h :: !heals;
+              false
+            end
+            else true)
+          !pending_heals;
+    (* progress watchdog: while the network delivers and work is
+       outstanding, the applied total must grow *)
+    let total = List.fold_left (fun a p -> a + applied_at p) 0 (live ()) in
+    if total > !last_total then begin
+      last_total := total;
+      last_progress := r
+    end;
+    if not (Nemesis.healthy ctrl) then last_progress := r
+    else begin
+      let expected =
+        List.length (List.filter (fun (o, _) -> alive o) !submitted)
+      in
+      let outstanding =
+        List.exists (fun p -> applied_at p < expected) (live ())
+      in
+      if outstanding && r - !last_progress > cfg.watchdog then begin
+        fail "round %d: no progress for %d rounds on a healthy network" r
+          cfg.watchdog;
+        last_progress := r
+      end
+    end;
+    if r mod cfg.check_every = 0 then check_online r
+  done;
+  check_online cfg.rounds;
+  List.iter
+    (fun h ->
+      fail "heal at round %d: run ended before reconvergence" h.heal_round;
+      heals := h :: !heals)
+    !pending_heals;
+  let survivors = live () in
+  let logs_identical =
+    match survivors with
+    | [] -> true
+    | p :: rest ->
+      let lp = Local.applied_log cluster p in
+      List.for_all (fun q -> Local.applied_log cluster q = lp) rest
+  in
+  if not logs_identical then fail "end of run: survivor logs differ";
+  let majority_alive = 2 * List.length survivors > cfg.n in
+  let all_applied =
+    (not majority_alive)
+    || List.for_all
+         (fun (o, payload) ->
+           (not (alive o))
+           || List.for_all
+                (fun p ->
+                  List.exists
+                    (fun (_, (c : _ Cons.Smr.cmd)) -> c.payload = payload)
+                    (Local.applied_log cluster p))
+                survivors)
+         !submitted
+  in
+  if not all_applied then fail "end of run: submitted commands missing";
+  {
+    rounds_run = !rounds_run;
+    submitted = !n_submitted;
+    applied = Array.init cfg.n applied_at;
+    logs_identical;
+    all_applied;
+    heals = List.rev !heals;
+    failures = List.rev !failures;
+    nemesis = Nemesis.stats ctrl;
+    rel_retransmits =
+      Array.fold_left
+        (fun a ro ->
+          match ro with None -> a | Some rl -> a + (Rel.stats rl).retransmits)
+        0 rels;
+  }

@@ -1,0 +1,73 @@
+(** The chaos harness: run the SMR cluster under a {!Nemesis} schedule and
+    check the paper's guarantees online (docs/FAULTS.md).
+
+    One {!run} drives an in-process {!Local} cluster, each node's transport
+    stacked as [node → Rel → Nemesis → Loopback], through [rounds]
+    round-robin rounds.  The nemesis clock ticks once per round, so with a
+    fixed [(seed, schedule, workload)] the whole run — survivor logs and
+    emitted event trace alike — is a deterministic function of the config;
+    [bin/cluster.exe chaos] exploits this for bit-for-bit replay.
+
+    Invariants checked while the run progresses:
+    - {b agreement}: live replicas' applied logs stay pairwise
+      prefix-consistent, and survivors end byte-identical (SMR safety,
+      Theorem-level agreement of the consensus core);
+    - {b Σ intersection}: no two live replicas ever hold disjoint quorums
+      (the defining property of Σ, paper Section 2);
+    - {b Ω reconvergence}: after every [Heal] the live replicas re-agree
+      on a single live leader within [heal_bound] rounds (eventual leader
+      election under partial synchrony), the measured latency recorded in
+      the [net.partition_heal_ms] histogram;
+    - {b progress}: while the network is {!Nemesis.healthy} and commands
+      are outstanding, the total applied count must grow within
+      [watchdog] rounds (no deadlock);
+    - {b completion}: every command submitted at a replica alive at the
+      end of the run is applied by every survivor — provided survivors
+      form a majority, otherwise liveness is forfeit by the model. *)
+
+type config = {
+  n : int;  (** cluster size *)
+  seed : int;  (** nemesis RNG seed *)
+  rounds : int;  (** round-robin rounds to drive *)
+  period : int;  (** Ω heartbeat period, in node steps *)
+  schedule : Nemesis.schedule;
+  cmds : int;  (** client commands submitted over the run *)
+  cmd_every : int;  (** rounds between command submissions *)
+  check_every : int;  (** rounds between online invariant checks *)
+  watchdog : int;  (** progress deadline in rounds, while healthy *)
+  heal_bound : int;  (** Ω must re-agree within this many rounds of heal *)
+  resend_every : int;  (** {!Rel} retransmission period, in polls *)
+}
+
+(** Defaults sized for the demo: 2500 rounds, period 16, 20 commands
+    every 100 rounds, checks every 50, watchdog 800, heal bound 1200,
+    resend every 8 polls. *)
+val default : n:int -> schedule:Nemesis.schedule -> config
+
+type heal = {
+  heal_round : int;  (** round at which the [Heal] fired *)
+  reconverged_in : int option;
+      (** rounds until one live leader again; [None] = not within bound *)
+}
+
+type report = {
+  rounds_run : int;
+  submitted : int;
+  applied : int array;  (** applied-log length per replica at the end *)
+  logs_identical : bool;  (** survivors' full logs byte-identical *)
+  all_applied : bool;  (** completion invariant (see above) *)
+  heals : heal list;  (** in schedule order *)
+  failures : string list;  (** empty = every invariant held *)
+  nemesis : Nemesis.stats;
+  rel_retransmits : int;  (** summed over replicas *)
+}
+
+(** [ok r] — no invariant failed. *)
+val ok : report -> bool
+
+val pp_report : Format.formatter -> report -> unit
+
+(** Run the cluster under the schedule.  [collector]'s sink receives every
+    node's events plus the nemesis command events as one stream (shared
+    metrics table), ready for {!Obs.Jsonl.write_run}. *)
+val run : ?collector:Obs.Collector.t -> config -> report

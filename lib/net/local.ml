@@ -4,30 +4,32 @@ type 'c t = {
   logs : (int * 'c Cons.Smr.cmd) list ref array;  (* newest first *)
 }
 
-let create ?(period = 16) ?(sink = fun _ -> None) ~n () =
+let create ?(period = 16) ?(sink = fun _ -> None) ?(wrap = fun _ t -> t) ~n ()
+    =
   let hub = Loopback.create ~n in
   let proto = Smr_node.protocol ~period in
   {
     hub;
     nodes =
       Array.init n (fun p ->
-          Node.create ?sink:(sink p) ~transport:(Loopback.endpoint hub p)
+          Node.create ?sink:(sink p)
+            ~transport:(wrap p (Loopback.endpoint hub p))
             proto);
     logs = Array.init n (fun _ -> ref []);
   }
 
 let hub t = t.hub
 
-let step t =
-  Array.iteri
-    (fun p node ->
-      if not (Loopback.crashed t.hub p) then begin
-        ignore (Node.step node);
-        match Node.drain_outputs node with
-        | [] -> ()
-        | outs -> t.logs.(p) := List.rev_append outs !(t.logs.(p))
-      end)
-    t.nodes
+let step_one t p =
+  if not (Loopback.crashed t.hub p) then begin
+    let node = t.nodes.(p) in
+    ignore (Node.step node);
+    match Node.drain_outputs node with
+    | [] -> ()
+    | outs -> t.logs.(p) := List.rev_append outs !(t.logs.(p))
+  end
+
+let step t = Array.iteri (fun p _ -> step_one t p) t.nodes
 
 let run t ~rounds =
   for _ = 1 to rounds do

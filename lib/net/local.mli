@@ -11,15 +11,25 @@ type 'c t
 
 (** [create ~n ()] builds [n] replicas of {!Smr_node.protocol}.
     [period] is Ω's heartbeat period in steps (default 16).
-    [sink p] optionally installs a tracing sink per node. *)
+    [sink p] optionally installs a tracing sink per node.
+    [wrap p t] interposes on each node's transport before the node is
+    built — this is how {!Chaos} stacks [Rel.wrap] and {!Nemesis.wrap}
+    between the protocol and the hub. *)
 val create :
-  ?period:int -> ?sink:(Sim.Pid.t -> Sim.Event.sink option) -> n:int ->
+  ?period:int ->
+  ?sink:(Sim.Pid.t -> Sim.Event.sink option) ->
+  ?wrap:(Sim.Pid.t -> Transport.t -> Transport.t) ->
+  n:int ->
   unit -> 'c t
 
 val hub : 'c t -> Loopback.hub
 
 (** One round: every live node takes one step (pid order). *)
 val step : 'c t -> unit
+
+(** One step of a single node, if live ({!Chaos} uses this to slow a
+    skewed node's clock by stepping it only every k-th round). *)
+val step_one : 'c t -> Sim.Pid.t -> unit
 
 val run : 'c t -> rounds:int -> unit
 

@@ -45,9 +45,11 @@ val step : ?timeout_ms:int -> ('st, 'msg, 'inp, 'out) t -> bool
 (** Outputs produced since the last call, oldest first. *)
 val drain_outputs : ('st, 'msg, 'inp, 'out) t -> 'out list
 
+(** Current protocol state (a view, not a copy — do not mutate). *)
 val state : ('st, 'msg, 'inp, 'out) t -> 'st
 
 (** Local step counter = the [ctx.now] of the next step. *)
 val now : ('st, 'msg, 'inp, 'out) t -> int
 
+(** The transport the node was created over (for stats and close). *)
 val transport : ('st, 'msg, 'inp, 'out) t -> Transport.t

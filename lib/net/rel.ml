@@ -1,0 +1,206 @@
+(* Header: 1 tag byte ('D' data / 'A' ack) + 8-byte big-endian sequence
+   number.  Data seqs are per directed pair, from 0; an ack carries the
+   receiver's cumulative delivery cursor (highest seq delivered in order). *)
+
+let header_len = 9
+
+let frame_of tag seq payload =
+  let b = Bytes.create (header_len + Bytes.length payload) in
+  Bytes.set b 0 tag;
+  Bytes.set_int64_be b 1 (Int64.of_int seq);
+  Bytes.blit payload 0 b header_len (Bytes.length payload);
+  b
+
+let data_frame seq payload = frame_of 'D' seq payload
+let ack_frame seq = frame_of 'A' seq Bytes.empty
+
+type send_state = {
+  mutable next_seq : int;
+  unacked : (int * bytes) Queue.t;  (* seq, full frame; ascending *)
+}
+
+module Int_map = Map.Make (Int)
+
+type recv_state = {
+  mutable next_expect : int;  (* lowest seq not yet delivered *)
+  mutable ooo : bytes Int_map.t;  (* buffered out-of-order payloads *)
+}
+
+type t = {
+  inner : Transport.t;
+  resend_every : int;
+  metrics : Obs.Metrics.t option;
+  out : send_state array;
+  inbox : recv_state array;
+  ready : (Sim.Pid.t * bytes) Queue.t;
+  mutable polls : int;
+  mutable retransmits : int;
+  mutable dup_filtered : int;
+  mutable resequenced : int;
+}
+
+type stats = {
+  retransmits : int;
+  dup_filtered : int;
+  resequenced : int;
+  unacked : int;
+}
+
+let stats (t : t) : stats =
+  {
+    retransmits = t.retransmits;
+    dup_filtered = t.dup_filtered;
+    resequenced = t.resequenced;
+    unacked =
+      Array.fold_left
+        (fun acc (s : send_state) -> acc + Queue.length s.unacked)
+        0 t.out;
+  }
+
+let bump ?(by = 1) t name =
+  match t.metrics with None -> () | Some m -> Obs.Metrics.incr ~by m name
+
+(* Resend the oldest unacknowledged frames of every peer.  The per-peer
+   burst is capped: in-order delivery means the front of the queue is what
+   unblocks the receiver. *)
+let resend_cap = 64
+
+let resend_scan t =
+  Array.iteri
+    (fun dst (s : send_state) ->
+      if dst <> t.inner.Transport.self then begin
+        let k = ref 0 in
+        Queue.iter
+          (fun (_, frame) ->
+            if !k < resend_cap then begin
+              incr k;
+              t.inner.Transport.send dst frame
+            end)
+          s.unacked;
+        if !k > 0 then begin
+          t.retransmits <- t.retransmits + !k;
+          bump ~by:!k t "net.retransmits"
+        end
+      end)
+    t.out
+
+let handle_ack t src seq =
+  let s = t.out.(src) in
+  let rec drop () =
+    match Queue.peek_opt s.unacked with
+    | Some (sq, _) when sq <= seq ->
+      ignore (Queue.pop s.unacked);
+      drop ()
+    | _ -> ()
+  in
+  drop ()
+
+let send_ack t dst =
+  t.inner.Transport.send dst (ack_frame (t.inbox.(dst).next_expect - 1))
+
+let handle_data t src seq payload =
+  let r = t.inbox.(src) in
+  if seq < r.next_expect then begin
+    (* duplicate (retransmission of something delivered): re-ack so the
+       sender stops resending even if our previous ack was lost *)
+    t.dup_filtered <- t.dup_filtered + 1;
+    bump t "net.dup_filtered";
+    send_ack t src
+  end
+  else if seq = r.next_expect then begin
+    Queue.push (src, payload) t.ready;
+    r.next_expect <- r.next_expect + 1;
+    let rec drain () =
+      match Int_map.find_opt r.next_expect r.ooo with
+      | Some p ->
+        r.ooo <- Int_map.remove r.next_expect r.ooo;
+        Queue.push (src, p) t.ready;
+        r.next_expect <- r.next_expect + 1;
+        drain ()
+      | None -> ()
+    in
+    drain ();
+    send_ack t src
+  end
+  else begin
+    if not (Int_map.mem seq r.ooo) then begin
+      r.ooo <- Int_map.add seq payload r.ooo;
+      t.resequenced <- t.resequenced + 1;
+      bump t "net.resequenced"
+    end;
+    send_ack t src
+  end
+
+let process t src frame =
+  if Bytes.length frame < header_len then ()
+  else
+    let seq = Int64.to_int (Bytes.get_int64_be frame 1) in
+    let payload () =
+      Bytes.sub frame header_len (Bytes.length frame - header_len)
+    in
+    match Bytes.get frame 0 with
+    | 'A' -> handle_ack t src seq
+    | 'D' -> handle_data t src seq (payload ())
+    | _ -> ()
+
+let wrap ?(resend_every = 64) ?metrics (inner : Transport.t) =
+  {
+    inner;
+    resend_every = max 1 resend_every;
+    metrics;
+    out =
+      Array.init inner.Transport.n (fun _ ->
+          { next_seq = 0; unacked = Queue.create () });
+    inbox =
+      Array.init inner.Transport.n (fun _ ->
+          { next_expect = 0; ooo = Int_map.empty });
+    ready = Queue.create ();
+    polls = 0;
+    retransmits = 0;
+    dup_filtered = 0;
+    resequenced = 0;
+  }
+
+let transport t =
+  let inner = t.inner in
+  let n = inner.Transport.n in
+  let self = inner.Transport.self in
+  let send dst payload =
+    if dst = self then inner.Transport.send dst payload
+    else if Sim.Pid.valid ~n dst then begin
+      let s = t.out.(dst) in
+      let seq = s.next_seq in
+      s.next_seq <- seq + 1;
+      let frame = data_frame seq payload in
+      Queue.push (seq, frame) s.unacked;
+      inner.Transport.send dst frame
+    end
+  in
+  let poll ~timeout_ms =
+    t.polls <- t.polls + 1;
+    if t.polls mod t.resend_every = 0 then resend_scan t;
+    match Queue.take_opt t.ready with
+    | Some r -> Some r
+    | None ->
+      let rec go timeout =
+        match inner.Transport.poll ~timeout_ms:timeout with
+        | None -> None
+        | Some (src, frame) ->
+          if src = self then Some (src, frame)
+          else begin
+            process t src frame;
+            match Queue.take_opt t.ready with
+            | Some r -> Some r
+            | None -> go 0 (* consumed an ack / dup / gap: retry, no wait *)
+          end
+      in
+      go timeout_ms
+  in
+  {
+    Transport.self;
+    n;
+    send;
+    poll;
+    stats = inner.Transport.stats;
+    close = inner.Transport.close;
+  }

@@ -17,6 +17,8 @@ type peer = {
   mutable backoff : float;  (* delay before the next connect attempt *)
   mutable ever_up : bool;  (* distinguishes reconnects from first connects *)
   mutable failed : bool;  (* a connect/write has failed since last Up *)
+  mutable acked : bool;  (* the peer's hello-ack arrived on this conn *)
+  mutable dec : Wire.Decoder.t;  (* read side of the outbound conn *)
   (* Frames before [outq]: the hello of a fresh connection.  A frame is
      removed only once fully written, so [head_off] bytes of the head have
      reached the kernel. *)
@@ -56,6 +58,8 @@ let new_peer () =
     backoff = backoff_min;
     ever_up = false;
     failed = false;
+    acked = false;
+    dec = Wire.Decoder.create ();
     front = [];
     outq = Queue.create ();
     out_bytes = 0;
@@ -72,20 +76,32 @@ let mark_down t q =
   | Connecting fd | Up fd -> close_quiet fd
   | Down _ -> ());
   p.failed <- true;
+  p.acked <- false;
   p.head_off <- 0;
   p.front <- [];
   p.conn <- Down { next_try = now () +. p.backoff };
   p.backoff <- Float.min backoff_max (p.backoff *. 2.)
 
+(* Connect succeeded: start writing, but the handshake is not complete
+   until the acceptor's hello-ack arrives ([mark_acked]).  In particular
+   the backoff does NOT reset here — a listener that accepts connections
+   and then rejects the hello must keep meeting exponential delays, not a
+   tight reconnect loop. *)
 let mark_up t q fd =
+  let p = t.peers.(q) in
+  p.acked <- false;
+  p.dec <- Wire.Decoder.create ();
+  p.conn <- Up fd;
+  p.front <- [ Wire.frame (Wire.hello ~self:t.self) ];
+  p.head_off <- 0
+
+let mark_acked t q =
   let p = t.peers.(q) in
   if p.ever_up then t.reconnects <- t.reconnects + 1;
   p.ever_up <- true;
   p.failed <- false;
-  p.backoff <- backoff_min;
-  p.conn <- Up fd;
-  p.front <- [ Wire.frame (Wire.hello ~self:t.self) ];
-  p.head_off <- 0
+  p.acked <- true;
+  p.backoff <- backoff_min
 
 (* Start a non-blocking connect if the backoff window has passed. *)
 let try_connect t q =
@@ -172,7 +188,15 @@ let handle_readable t ic =
           | Some src -> Queue.push (src, frame) t.ready
           | None -> (
             match Wire.parse_hello frame with
-            | Ok src when Sim.Pid.valid ~n:t.n src -> ic.peer <- Some src
+            | Ok src when Sim.Pid.valid ~n:t.n src -> (
+              ic.peer <- Some src;
+              (* complete the handshake; the ack is tiny, so a fresh
+                 connection's socket buffer takes it whole — if not, drop
+                 the connection and let the dialer back off and retry *)
+              try Wire.write_frame ic.fd (Wire.hello_ack ~self:t.self)
+              with Unix.Unix_error _ ->
+                ok := false;
+                continue := false)
             | Ok _ | Error _ ->
               ok := false;
               continue := false))
@@ -230,13 +254,27 @@ let step t ~timeout =
         | Up fd when List.memq fd ws -> flush_peer t q
         | _ -> ());
         (match p.conn with
-        | Up fd when List.memq fd rs ->
-          (* any traffic (or EOF) on an outbound conn means it died: the
-             peer never writes on connections it accepted *)
-          let buf = Bytes.create 1 in
-          (match Unix.read fd buf 0 1 with
+        | Up fd when List.memq fd rs -> (
+          (* the only legitimate traffic on an outbound conn is the
+             acceptor's single hello-ack; anything else (or EOF) means the
+             connection died *)
+          match Unix.read fd t.rbuf 0 (Bytes.length t.rbuf) with
           | 0 -> mark_down t q
-          | _ -> mark_down t q
+          | nread -> (
+            try
+              Wire.Decoder.feed p.dec t.rbuf nread;
+              let continue = ref true in
+              while !continue do
+                match Wire.Decoder.next p.dec with
+                | None -> continue := false
+                | Some frame -> (
+                  match Wire.parse_hello_ack frame with
+                  | Ok peer when peer = q && not p.acked -> mark_acked t q
+                  | Ok _ | Error _ ->
+                    mark_down t q;
+                    continue := false)
+              done
+            with Failure _ -> mark_down t q)
           | exception
               Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
             ()

@@ -6,7 +6,11 @@
     connection to each peer, so each ordered pair of nodes has a dedicated
     unidirectional byte stream (no duplex identification problems; a
     connection's direction is its meaning).  An outbound connection opens
-    with a {!Wire.hello} frame naming the sender.
+    with a {!Wire.hello} frame naming the sender; the acceptor answers
+    with a single {!Wire.hello_ack} — the only bytes ever written on an
+    accepted connection — and only that completed exchange counts as
+    established: it resets the reconnect backoff and clears the peer from
+    [stats.down].
 
     Outbound frames sit in a bounded per-peer queue; a frame is dequeued
     only once fully written to the kernel, so a connection lost mid-frame

@@ -29,6 +29,7 @@ type t = {
   poll : timeout_ms:int -> (Sim.Pid.t * bytes) option;
       (** next inbound frame, waiting at most [timeout_ms] (0 = don't
           wait).  Progresses connection management as a side effect. *)
-  stats : unit -> stats;
+  stats : unit -> stats;  (** current accounting snapshot *)
   close : unit -> unit;
+      (** release sockets / queues; the transport is unusable afterwards *)
 }

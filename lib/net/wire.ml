@@ -102,3 +102,12 @@ let parse_hello b =
   | m, pid when m = magic -> Ok pid
   | m, _ -> Error (Printf.sprintf "net: bad hello magic %S" m)
   | exception _ -> Error "net: undecodable hello frame"
+
+let ack_magic = "weakest-fd-net-ack/1"
+let hello_ack ~self = encode (ack_magic, (self : int))
+
+let parse_hello_ack b =
+  match (decode b : string * int) with
+  | m, pid when m = ack_magic -> Ok pid
+  | m, _ -> Error (Printf.sprintf "net: bad hello-ack magic %S" m)
+  | exception _ -> Error "net: undecodable hello-ack frame"

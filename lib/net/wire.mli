@@ -48,7 +48,13 @@ end
 
 (** {2 Codec} *)
 
+(** [Marshal.to_bytes] — see the module comment for why Marshal is an
+    acceptable codec here (one binary per cluster). *)
 val encode : 'a -> bytes
+
+(** Inverse of {!encode}.  Unsafe by construction ([Marshal.from_bytes]
+    is untyped): only call on frames produced by the same binary, and
+    annotate the expected type at the call site. *)
 val decode : bytes -> 'a
 
 (** {2 Peer envelopes} *)
@@ -74,3 +80,13 @@ val decode_envelope : bytes -> 'msg envelope
 val hello : self:Sim.Pid.t -> bytes
 
 val parse_hello : bytes -> (Sim.Pid.t, string) result
+
+(** [hello_ack ~self] is the acceptor's reply to a valid hello — the only
+    frame ever written on an accepted connection.  Until the dialer reads
+    it, the connection does not count as established: {!Tcp} resets its
+    reconnect backoff only on a completed hello/hello-ack handshake, so a
+    listener that accepts but rejects the handshake cannot reset the
+    dialer's backoff and turn reconnection into a tight loop. *)
+val hello_ack : self:Sim.Pid.t -> bytes
+
+val parse_hello_ack : bytes -> (Sim.Pid.t, string) result

@@ -9,7 +9,11 @@
 (** JSON string escaping (quotes, backslash, control characters). *)
 val escape : string -> string
 
+(** One record rendered as one JSON line, no trailing newline — the
+    building blocks of {!output_collector}, exposed so tests and tools
+    can render (and diff) records individually. *)
 val event_line : Sim.Event.t -> string
+
 val meta_line : (string * string) list -> string
 val metrics_line : (string * int) list -> string
 val profile_line : (string * Profile.row) list -> string

@@ -26,11 +26,14 @@ val counter : t -> string -> int
 (** [observe t name v] records [v] into histogram [name]. *)
 val observe : t -> string -> int -> unit
 
+(** Histogram by name; [None] if nothing was ever observed into it. *)
 val histogram : t -> string -> histogram option
 
 (** All counters plus histogram summaries ([name.count], [name.sum],
     [name.min], [name.max]) as one name-sorted row list. *)
 val snapshot : t -> (string * int) list
 
+(** Forget every counter and histogram. *)
 val clear : t -> unit
+
 val pp : Format.formatter -> t -> unit

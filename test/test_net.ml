@@ -289,10 +289,60 @@ let test_tcp_reconnect () =
   done;
   Alcotest.(check (option (pair int string)))
     "frame queued while down arrives after connect" (Some (0, "early")) !got;
+  (* [down] clears only once the hello-ack completes the handshake, which
+     may trail the first frame delivery by a pump or two *)
+  let deadline = Unix.gettimeofday () +. 5. in
+  while
+    Sim.Pidset.mem 1 (t0.Net.Transport.stats ()).Net.Transport.down
+    && Unix.gettimeofday () < deadline
+  do
+    pump t0 10;
+    pump t1 10
+  done;
   Alcotest.(check bool) "peer 1 no longer down" true
     (not (Sim.Pidset.mem 1 (t0.Net.Transport.stats ()).Net.Transport.down));
   t0.Net.Transport.close ();
   t1.Net.Transport.close ()
+
+let test_tcp_backoff_needs_handshake () =
+  (* Regression: reconnect backoff used to reset on any successful
+     [connect], even if the hello handshake then failed — an accepting
+     listener that drops connections turned the dialer into a tight
+     reconnect loop.  Backoff now resets only on a completed hello/
+     hello-ack exchange, so against an accept-and-close listener the
+     attempt count over a fixed window stays logarithmic (the buggy
+     dialer retried every [backoff_min] = 50ms, ~20+ attempts in 1.2s;
+     the fixed one doubles 0.05 → 0.1 → 0.2 → ..., ~5). *)
+  let addrs = [| tmp_addr (); tmp_addr () |] in
+  let lfd = Unix.socket (Unix.domain_of_sockaddr addrs.(1)) Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+  Unix.set_nonblock lfd;
+  Unix.bind lfd addrs.(1);
+  Unix.listen lfd 16;
+  let t0 = Net.Tcp.create ~self:0 ~addrs () in
+  t0.Net.Transport.send 1 (Bytes.of_string "probe");
+  let attempts = ref 0 in
+  let deadline = Unix.gettimeofday () +. 1.2 in
+  while Unix.gettimeofday () < deadline do
+    ignore (t0.Net.Transport.poll ~timeout_ms:5);
+    let continue = ref true in
+    while !continue do
+      match Unix.accept lfd with
+      | fd, _ ->
+        incr attempts;
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+        continue := false
+      | exception Unix.Unix_error (EINTR, _, _) -> ()
+    done
+  done;
+  (try Unix.close lfd with Unix.Unix_error _ -> ());
+  t0.Net.Transport.close ();
+  Alcotest.(check bool)
+    (Printf.sprintf "backoff grows without a handshake (%d attempts)"
+       !attempts)
+    true
+    (!attempts >= 2 && !attempts <= 8)
 
 let () =
   Alcotest.run "net"
@@ -331,5 +381,7 @@ let () =
           Alcotest.test_case "self send" `Quick test_tcp_self_send;
           Alcotest.test_case "queue while down, flush on connect" `Quick
             test_tcp_reconnect;
+          Alcotest.test_case "backoff resets only on completed handshake"
+            `Quick test_tcp_backoff_needs_handshake;
         ] );
     ]
