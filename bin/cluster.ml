@@ -268,6 +268,277 @@ let run_chaos n seed rounds period cmds cmd_every schedule_file trace_path =
     Printf.printf "trace: %s\n%!" path);
   if not (Net.Chaos.ok report) then Stdlib.exit 1
 
+(* --------------------------------------------------------------- shard *)
+
+(* The sharded service (docs/SHARDING.md): S independent replica groups
+   behind a ring router, epoch-based membership change through each
+   shard's own log.
+
+   [--transport loopback] (default) drives Shard.Chaos: every shard gets
+   its own nemesis controller under the node → Rel → Nemesis → hub
+   stack, a seeded Zipfian workload routes writes through the ring, and
+   [--reconfig-at R] rotates every shard's membership mid-run.
+   Deterministic; exits 0 iff every invariant held.
+
+   [--transport tcp] forks shards × (replicas + spares) OS processes
+   (Shard.Server over Unix-domain sockets, per-shard socket namespace),
+   runs a Zipfian closed-loop client through the ring, optionally
+   submits the membership rotation mid-run, then checks quorum reads
+   and per-shard log agreement over the final configuration. *)
+
+let run_shard_loopback shards replicas spares seed rounds period cmds cmd_every
+    reconfig_at schedule_file trace_path =
+  let universe = replicas + spares in
+  let text =
+    match schedule_file with
+    | None -> default_schedule universe
+    | Some f -> (
+      match open_in_bin f with
+      | exception Sys_error e ->
+        Printf.eprintf "shard: %s\n%!" e;
+        Stdlib.exit 2
+      | ic ->
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        s)
+  in
+  let schedule =
+    match Net.Nemesis.parse_schedule text with
+    | Ok s -> s
+    | Error e ->
+      Printf.eprintf "shard: bad schedule: %s\n%!" e;
+      Stdlib.exit 2
+  in
+  let cfg =
+    {
+      (Shard.Chaos.default ~shards ~replicas ~schedule) with
+      Shard.Chaos.spares;
+      seed;
+      rounds;
+      period;
+      cmds;
+      cmd_every;
+      reconfig_at;
+    }
+  in
+  let collector = Obs.Collector.create () in
+  let report = Shard.Chaos.run ~collector cfg in
+  Format.printf "%a@?" Shard.Chaos.pp_report report;
+  (match trace_path with
+  | None -> ()
+  | Some path ->
+    Obs.Jsonl.write_run ~path
+      ~meta:
+        [
+          ("tool", "shard-chaos");
+          ("shards", string_of_int shards);
+          ("replicas", string_of_int replicas);
+          ("seed", string_of_int seed);
+          ("rounds", string_of_int rounds);
+        ]
+      collector;
+    Printf.printf "trace: %s\n%!" path);
+  if not (Shard.Chaos.ok report) then Stdlib.exit 1
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let shard_node_addr dir s i =
+  Unix.ADDR_UNIX (Filename.concat dir (Printf.sprintf "node-%d-%d.sock" s i))
+
+let shard_client_addr dir s i =
+  Unix.ADDR_UNIX (Filename.concat dir (Printf.sprintf "client-%d-%d.sock" s i))
+
+let shard_log_path dir s i =
+  Filename.concat dir (Printf.sprintf "log-%d-%d.txt" s i)
+
+let run_shard_tcp shards replicas spares count period tick_ms seed keys
+    reconfig_at dir_opt =
+  Random.self_init ();
+  if replicas < 3 then failwith "shard tcp needs replicas >= 3";
+  (match reconfig_at with
+  | Some _ when spares < 1 ->
+    failwith "shard tcp: --reconfig-at needs at least one spare"
+  | _ -> ());
+  let universe = replicas + spares in
+  let dir =
+    match dir_opt with
+    | Some d ->
+      (try Unix.mkdir d 0o700 with Unix.Unix_error (EEXIST, _, _) -> ());
+      d
+    | None -> mkdtemp ()
+  in
+  Printf.printf "shard: %d shards x %d nodes (tcp) count=%d dir=%s\n%!" shards
+    universe count dir;
+  let members0 = Sim.Pidset.of_list (List.init replicas Fun.id) in
+  let pids =
+    Array.init shards (fun s ->
+        Array.init universe (fun i ->
+            match Unix.fork () with
+            | 0 ->
+              (try
+                 Shard.Server.serve ~members:members0
+                   {
+                     (Net.Smr_node.default_config ~self:i
+                        ~addrs:(Array.init universe (shard_node_addr dir s))
+                        ~client_addr:(shard_client_addr dir s i))
+                     with
+                     Net.Smr_node.period;
+                     tick_s = float_of_int tick_ms /. 1000.;
+                     log_path = Some (shard_log_path dir s i);
+                   }
+               with e ->
+                 Printf.eprintf "shard %d node %d died: %s\n%!" s i
+                   (Printexc.to_string e));
+              Stdlib.exit 0
+            | pid -> pid))
+  in
+  let cleanup signal =
+    Array.iter
+      (Array.iter (fun pid ->
+           try Unix.kill pid signal with Unix.Unix_error _ -> ()))
+      pids
+  in
+  let fail msg =
+    Printf.eprintf "shard FAILED: %s\n%!" msg;
+    cleanup Sys.sigkill;
+    Stdlib.exit 1
+  in
+  let epoch = Array.make shards 0 in
+  let per_shard = Array.make shards 0 in
+  (* lowest member of the configuration in force — where writes go *)
+  let target = Array.make shards 0 in
+  let last : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  (try
+     let conns =
+       Array.init shards (fun s ->
+           Array.init universe (fun i ->
+               connect_retry (shard_client_addr dir s i) ~attempts:100
+                 ~delay_s:0.1))
+     in
+     let ring = Shard.Ring.create (List.init shards Fun.id) in
+     let z = Shard.Zipf.create ~seed ~keys () in
+     let roundtrip s i (req : Shard.Server.request) =
+       let fd = conns.(s).(i) in
+       Net.Wire.write_frame fd (Net.Wire.encode req);
+       read_frame_blocking fd
+     in
+     let submit s (req : Shard.Server.request) =
+       let _seq, _slot =
+         (Net.Wire.decode (roundtrip s target.(s) req) : int * int)
+       in
+       per_shard.(s) <- per_shard.(s) + 1
+     in
+     let reconfig_all () =
+       (* the canonical rotation: drop the lowest member, install the
+          lowest spare — submitted through the outgoing configuration's
+          own log, acknowledged when decided *)
+       let members = List.init replicas (fun j -> j + 1) in
+       for s = 0 to shards - 1 do
+         Printf.printf "reconfig shard %d: epoch 1 members [%s]\n%!" s
+           (String.concat " " (List.map string_of_int members));
+         submit s (Shard.Server.Reconfig { epoch = 1; members });
+         epoch.(s) <- 1;
+         target.(s) <- 1
+       done
+     in
+     let lats = ref [] in
+     for k = 0 to count - 1 do
+       (match reconfig_at with
+       | Some r when r = k -> reconfig_all ()
+       | _ -> ());
+       let key = Shard.Zipf.next_key z in
+       let s = Shard.Ring.shard_of ring key in
+       let value = Printf.sprintf "v-%06d" k in
+       let t0 = Unix.gettimeofday () in
+       submit s (Shard.Server.Write { key; value });
+       lats := (Unix.gettimeofday () -. t0) :: !lats;
+       Hashtbl.replace last key value
+     done;
+     print_latencies (List.rev !lats);
+     (* quorum reads over the final configuration: a member majority must
+        agree on the epoch and on the key's last write (the system is
+        quiescent, so retries only wait out apply lag) *)
+     let final_members s =
+       if epoch.(s) = 0 then List.init replicas Fun.id
+       else List.init replicas (fun j -> j + 1)
+     in
+     let read_quorum s key =
+       let majority = (replicas / 2) + 1 in
+       let deadline = Unix.gettimeofday () +. 20. in
+       let rec go () =
+         let views =
+           List.filter_map
+             (fun i ->
+               let (r : Shard.Server.read_reply) =
+                 Net.Wire.decode (roundtrip s i (Shard.Server.Read { key }))
+               in
+               if r.Shard.Server.rr_epoch = epoch.(s) then Some r else None)
+             (final_members s)
+         in
+         let agreed =
+           match views with
+           | v :: rest ->
+             List.length views >= majority
+             && List.for_all
+                  (fun r -> r.Shard.Server.rr_value = v.Shard.Server.rr_value)
+                  rest
+           | [] -> false
+         in
+         match views with
+         | v :: _ when agreed -> Option.map snd v.Shard.Server.rr_value
+         | _ ->
+           if Unix.gettimeofday () > deadline then
+             fail (Printf.sprintf "no epoch-%d read quorum on shard %d"
+                     epoch.(s) s)
+           else begin
+             Unix.sleepf 0.05;
+             go ()
+           end
+       in
+       go ()
+     in
+     let sampled = Hashtbl.fold (fun k v acc -> (k, v) :: acc) last [] in
+     let sampled = List.filteri (fun i _ -> i < 8) sampled in
+     List.iter
+       (fun (key, expect) ->
+         let s = Shard.Ring.shard_of ring key in
+         match read_quorum s key with
+         | Some got when got = expect -> ()
+         | got ->
+           fail
+             (Printf.sprintf "read %S on shard %d: got %s, wanted %S" key s
+                (match got with Some g -> Printf.sprintf "%S" g | None -> "nothing")
+                expect))
+       sampled;
+     Printf.printf "quorum reads: %d keys verified\n%!" (List.length sampled);
+     Array.iter (Array.iter close_quiet) conns
+   with
+  | Failure msg -> fail msg
+  | e -> fail (Printexc.to_string e));
+  (* clean shutdown, then per-shard log agreement over the final config *)
+  cleanup Sys.sigterm;
+  Array.iter
+    (Array.iter (fun pid ->
+         try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()))
+    pids;
+  for s = 0 to shards - 1 do
+    let members =
+      if epoch.(s) = 0 then List.init replicas Fun.id
+      else List.init replicas (fun j -> j + 1)
+    in
+    let logs = List.map (fun i -> read_log (shard_log_path dir s i)) members in
+    let l0 = List.hd logs in
+    if not (List.for_all (fun l -> l = l0) logs) then
+      fail (Printf.sprintf "shard %d: final logs differ" s);
+    if List.length l0 < per_shard.(s) then
+      fail
+        (Printf.sprintf "shard %d: %d entries logged, %d submitted" s
+           (List.length l0) per_shard.(s));
+    Printf.printf "shard %d: %d replicas agree on %d entries (epoch %d)\n%!" s
+      (List.length members) (List.length l0) epoch.(s)
+  done;
+  Printf.printf "shard demo OK\n%!"
+
 (* ----------------------------------------------------------- cmdliner *)
 
 let dir_arg =
@@ -394,10 +665,123 @@ let chaos_cmd =
       const run_chaos $ n_arg $ seed $ rounds $ period_arg $ cmds $ cmd_every
       $ schedule $ trace)
 
+let shard_cmd =
+  let transport =
+    Arg.(
+      value
+      & opt (enum [ ("loopback", `Loopback); ("tcp", `Tcp) ]) `Loopback
+      & info [ "transport" ] ~docv:"T"
+          ~doc:
+            "$(b,loopback): in-process deterministic run under the nemesis \
+             (the CI smoke). $(b,tcp): one OS process per replica per shard \
+             over Unix-domain sockets.")
+  in
+  let shards =
+    Arg.(
+      value & opt int 4
+      & info [ "shards" ] ~docv:"S" ~doc:"Number of replica groups.")
+  in
+  let replicas =
+    Arg.(
+      value & opt int 3
+      & info [ "replicas" ] ~docv:"N" ~doc:"Members per shard (initial epoch).")
+  in
+  let spares =
+    Arg.(
+      value & opt int 1
+      & info [ "spares" ] ~docv:"K"
+          ~doc:"Extra replicas per shard installable by reconfiguration.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Nemesis / Zipfian RNG seed.")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 2500
+      & info [ "rounds" ] ~docv:"R"
+          ~doc:"Loopback: round-robin rounds to drive.")
+  in
+  let cmds =
+    Arg.(
+      value & opt int 40
+      & info [ "cmds" ] ~docv:"K"
+          ~doc:"Writes submitted over the run (loopback and tcp).")
+  in
+  let cmd_every =
+    Arg.(
+      value & opt int 50
+      & info [ "cmd-every" ] ~docv:"R"
+          ~doc:"Loopback: rounds between write submissions.")
+  in
+  let reconfig_at =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "reconfig-at" ] ~docv:"R"
+          ~doc:
+            "Rotate every shard's membership (drop the lowest member, \
+             install a spare) at this round (loopback) or before this \
+             command index (tcp).")
+  in
+  let schedule =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "schedule" ] ~docv:"FILE"
+          ~doc:
+            "Loopback: per-shard fault schedule (docs/FAULTS.md grammar). \
+             Default: partition a majority at round 300, heal at 900.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"PATH"
+          ~doc:"Loopback: write the run's JSONL trace here.")
+  in
+  let keys =
+    Arg.(
+      value & opt int 64
+      & info [ "keys" ] ~docv:"K" ~doc:"Zipfian key-space size.")
+  in
+  let dir_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Tcp: working directory (default: fresh temp dir).")
+  in
+  let run transport shards replicas spares seed rounds period cmds cmd_every
+      reconfig_at schedule trace keys tick_ms dir_opt =
+    match transport with
+    | `Loopback ->
+      run_shard_loopback shards replicas spares seed rounds period cmds
+        cmd_every reconfig_at schedule trace
+    | `Tcp ->
+      run_shard_tcp shards replicas spares cmds period tick_ms seed keys
+        reconfig_at dir_opt
+  in
+  Cmd.v
+    (Cmd.info "shard"
+       ~doc:
+         "Run the sharded (Ω, Σ) service (docs/SHARDING.md): S replica \
+          groups behind a keyspace ring, Zipfian closed-loop writes, \
+          epoch-based membership rotation mid-run. Loopback mode replays \
+          deterministically under a nemesis schedule and exits 0 iff every \
+          invariant held; tcp mode deploys real processes and verifies \
+          quorum reads and per-shard log agreement.")
+    Term.(
+      const run $ transport $ shards $ replicas $ spares $ seed $ rounds
+      $ period_arg $ cmds $ cmd_every $ reconfig_at $ schedule $ trace $ keys
+      $ tick_arg $ dir_opt)
+
 let () =
   let info =
     Cmd.info "cluster"
       ~doc:"Real asynchronous message-passing runtime for the paper's protocols."
   in
   Stdlib.exit
-    (Cmd.eval (Cmd.group info [ node_cmd; client_cmd; demo_cmd; chaos_cmd ]))
+    (Cmd.eval
+       (Cmd.group info [ node_cmd; client_cmd; demo_cmd; chaos_cmd; shard_cmd ]))

@@ -20,6 +20,21 @@ let applied st = st.applied
 let backlog st = List.length st.pending
 let submitted st = st.next_seq
 
+let slot_of_msg = function Submit _ -> None | Inner (k, _) -> Some k
+
+(* The gapless decided prefix from [from] (exclusive of gaps): what a
+   snapshot reply carries.  Bounded by [limit] entries so one reply frame
+   stays small; the requester asks again from where it got to. *)
+let decided_from ?(limit = 512) st ~from =
+  let rec go k left acc =
+    if left = 0 then List.rev acc
+    else
+      match Int_map.find_opt k st.decided with
+      | Some c -> go (k + 1) (left - 1) ((k, c) :: acc)
+      | None -> List.rev acc
+  in
+  go (max 0 from) limit []
+
 let inner :
     ('c cmd Quorum_paxos.state, 'c cmd Quorum_paxos.msg,
      Sim.Pid.t * Sim.Pidset.t, 'c cmd, 'c cmd)
@@ -98,6 +113,32 @@ let run_instance ctx st k event =
     | Some _ | None -> (st, [])
   in
   (st, retag k acts @ outs)
+
+(* Install decided entries received in a snapshot.  Idempotent: slots
+   already decided are left untouched (consensus already fixed them — a
+   well-formed snapshot necessarily agrees), so replayed or overlapping
+   snapshots are harmless and a command can never be applied twice.
+   Returns the entries that became applicable, in slot order, for the
+   caller to emit as outputs. *)
+let install st entries =
+  let st =
+    List.fold_left
+      (fun st (k, c) ->
+        if k < 0 || Int_map.mem k st.decided then st
+        else
+          {
+            st with
+            decided = Int_map.add k c st.decided;
+            pending = List.filter (fun p -> not (cmd_eq p c)) st.pending;
+          })
+      st entries
+  in
+  let rec drain st acc =
+    match Int_map.find_opt st.applied st.decided with
+    | Some c -> drain { st with applied = st.applied + 1 } ((st.applied, c) :: acc)
+    | None -> (st, List.rev acc)
+  in
+  drain st []
 
 (* The next slot to fill: the first slot with no decision yet. *)
 let next_slot st =

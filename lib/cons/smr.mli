@@ -37,3 +37,29 @@ val backlog : 'c state -> int
     submission gets this as its [seq].  Client front-ends use it to pair a
     submission with its decided log entry. *)
 val submitted : 'c state -> int
+
+(** {2 Snapshot plumbing}
+
+    Log catch-up for processes that missed decisions (a partitioned
+    straggler, a member installed by a reconfiguration): any process can
+    serve its gapless decided prefix, and the receiver installs it without
+    re-running consensus — the decided slots are already fixed.
+    [Shard.Replica] builds its snapshot-request / snapshot-reply exchange
+    on these. *)
+
+(** [slot_of_msg m] is the consensus-instance slot an inner message
+    belongs to ([None] for command dissemination) — how a host protocol
+    notices it is lagging behind the slots its peers are working on. *)
+val slot_of_msg : 'c msg -> int option
+
+(** [decided_from st ~from] is the gapless run of decided entries starting
+    at slot [from], at most [limit] (default 512) entries — the payload of
+    one snapshot reply. *)
+val decided_from : ?limit:int -> 'c state -> from:int -> (int * 'c cmd) list
+
+(** [install st entries] records decided entries from a snapshot.
+    Idempotent — already-decided slots are untouched, so overlapping or
+    replayed snapshots can never apply a command twice.  Returns the
+    entries that became applicable (in slot order) for the host to emit
+    as outputs. *)
+val install : 'c state -> (int * 'c cmd) list -> 'c state * (int * 'c cmd) list

@@ -54,6 +54,108 @@ module Sigma_majority = struct
   let rounds st = st.rounds_completed
 end
 
+module Sigma_epoch = struct
+  type msg = Join of { epoch : int; round : int } | Ack of { epoch : int; round : int }
+
+  type state = {
+    self : Sim.Pid.t;
+    epoch : int;
+    members : Sim.Pidset.t;
+    round : int;
+    acks : Sim.Pidset.t;
+    quorum : Sim.Pidset.t;
+    quorum_epoch : int;  (* the epoch [quorum] was formed in *)
+    pending_join : bool;  (* a Join for [round] must still be broadcast *)
+    rounds_completed : int;
+  }
+
+  let majority m = (Sim.Pidset.cardinal m / 2) + 1
+
+  let init ~members self =
+    {
+      self;
+      epoch = 0;
+      members;
+      round = 1;
+      acks = Sim.Pidset.empty;
+      (* Before the first round completes, the full member set is the one
+         output guaranteed to intersect every majority of members. *)
+      quorum = members;
+      quorum_epoch = 0;
+      pending_join = true;
+      rounds_completed = 0;
+    }
+
+  (* A configuration handoff: this is the quorum-system transfer across
+     the epoch boundary.  The quorum formed under the old membership is
+     *discarded on the spot* — never output again — and the new member
+     set stands in (safe: it intersects every majority of itself) until a
+     join-quorum round completes under the new membership. *)
+  let set_config st ~epoch ~members =
+    {
+      st with
+      epoch;
+      members;
+      round = st.round + 1;
+      acks = Sim.Pidset.empty;
+      quorum = members;
+      quorum_epoch = epoch;
+      pending_join = true;
+    }
+
+  let on_step _ctx st recv =
+    let st, replies =
+      match recv with
+      | Some (q, Join { epoch; round }) ->
+        (* only members of the requester's (= our current) epoch may
+           vouch for a quorum of that epoch *)
+        if epoch = st.epoch && Sim.Pidset.mem st.self st.members then
+          (st, [ Sim.Protocol.Send (q, Ack { epoch; round }) ])
+        else (st, [])
+      | Some (q, Ack { epoch; round })
+        when epoch = st.epoch && round = st.round
+             && Sim.Pidset.mem q st.members ->
+        ({ st with acks = Sim.Pidset.add q st.acks }, [])
+      | Some (_, Ack _) | None -> (st, [])
+    in
+    if st.pending_join then
+      ( { st with pending_join = false },
+        replies
+        @ [ Sim.Protocol.Broadcast (Join { epoch = st.epoch; round = st.round }) ] )
+    else if Sim.Pidset.cardinal st.acks >= majority st.members then
+      let quorum = st.acks in
+      let round = st.round + 1 in
+      ( { st with quorum; quorum_epoch = st.epoch; round;
+          acks = Sim.Pidset.empty;
+          rounds_completed = st.rounds_completed + 1 },
+        replies
+        @ [ Sim.Protocol.Broadcast (Join { epoch = st.epoch; round }) ] )
+    else (st, replies)
+
+  (* The epoch guard: a quorum is output only in the epoch it was formed
+     in.  [set_config] maintains [quorum_epoch = epoch], so the fallback
+     arm is defensive — but it is the contract that matters: no quorum
+     from epoch [e] is ever honoured once [e+1] is active. *)
+  let current st =
+    if st.quorum_epoch = st.epoch then st.quorum else st.members
+
+  let detector ~members =
+    {
+      Sim.Layered.proto =
+        {
+          Sim.Protocol.init = (fun ~n:_ p -> init ~members p);
+          on_step;
+          on_input = Sim.Protocol.no_input;
+        };
+      current;
+    }
+
+  let rounds st = st.rounds_completed
+  let epoch st = st.epoch
+  let members st = st.members
+  let quorum_epoch st = st.quorum_epoch
+end
+
 module Omega_heartbeat = struct
   type msg = Alive
 

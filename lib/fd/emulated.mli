@@ -22,6 +22,60 @@ module Sigma_majority : sig
   val rounds : state -> int
 end
 
+(** Epoch-aware Σ for reconfigurable groups (docs/SHARDING.md).
+
+    Like {!Sigma_majority}, but quorums are majorities of an explicit
+    {e member set} that can change across numbered epochs, not of the
+    whole process universe.  Join requests and acks carry the epoch:
+    only current members ack, only same-epoch majorities form quorums,
+    and — the handoff contract — {!set_config} discards the old-epoch
+    quorum immediately, so {b no quorum from epoch [e] is honoured after
+    epoch [e+1] activates}.  Between activation and the first completed
+    join round of the new epoch the output is the full new member set,
+    which intersects every majority of itself.
+
+    The host is responsible for calling {!set_config} at a point all
+    correct processes agree on — [Shard.Replica] does it when the
+    [Reconfig] command is {e applied} from the shard's own decided log,
+    which every replica does at the same slot. *)
+module Sigma_epoch : sig
+  type state
+  type msg
+
+  (** [init ~members self] starts epoch 0 with the given member set. *)
+  val init : members:Sim.Pidset.t -> Sim.Pid.t -> state
+
+  (** Bare step function, for hosts that compose by hand (the detector
+      needs to be told about epoch changes, which {!Sim.Layered} has no
+      channel for). *)
+  val on_step :
+    unit Sim.Protocol.ctx ->
+    state ->
+    (Sim.Pid.t * msg) option ->
+    state * (msg, unit) Sim.Protocol.action list
+
+  (** Install configuration [epoch] (members [members]), discarding any
+      quorum formed under previous epochs. *)
+  val set_config : state -> epoch:int -> members:Sim.Pidset.t -> state
+
+  (** The current quorum — of the current epoch only. *)
+  val current : state -> Sim.Pidset.t
+
+  (** Standalone detector over a fixed initial membership, for tests and
+      sim runs. *)
+  val detector : members:Sim.Pidset.t -> (state, msg, Sim.Pidset.t) Sim.Layered.emulated
+
+  (** Completed join-quorum rounds (across all epochs). *)
+  val rounds : state -> int
+
+  val epoch : state -> int
+  val members : state -> Sim.Pidset.t
+
+  (** The epoch the currently held quorum was formed in — equal to
+      {!epoch} by construction; exposed so tests can assert the handoff. *)
+  val quorum_epoch : state -> int
+end
+
 (** Ω from heartbeats with adaptive timeouts.  Correct under the
     [Partial_synchrony] delivery policy: after GST heartbeats arrive within
     a bounded delay, timeouts stop growing, and every correct process

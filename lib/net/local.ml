@@ -1,13 +1,15 @@
-type 'c t = {
+(* Generic core: any protocol, one loopback hub, round-robin driving.
+   The SMR-specialised API below instantiates it with Smr_node.protocol;
+   Shard.Group instantiates it with the reconfigurable shard replica. *)
+
+type ('st, 'msg, 'inp, 'out) cluster = {
   hub : Loopback.hub;
-  nodes : ('c Smr_node.pstate, 'c Smr_node.pmsg, 'c, int * 'c Cons.Smr.cmd) Node.t array;
-  logs : (int * 'c Cons.Smr.cmd) list ref array;  (* newest first *)
+  nodes : ('st, 'msg, 'inp, 'out) Node.t array;
+  logs : 'out list ref array;  (* newest first *)
 }
 
-let create ?(period = 16) ?(sink = fun _ -> None) ?(wrap = fun _ t -> t) ~n ()
-    =
+let make ?(sink = fun _ -> None) ?(wrap = fun _ t -> t) ~n proto =
   let hub = Loopback.create ~n in
-  let proto = Smr_node.protocol ~period in
   {
     hub;
     nodes =
@@ -18,9 +20,9 @@ let create ?(period = 16) ?(sink = fun _ -> None) ?(wrap = fun _ t -> t) ~n ()
     logs = Array.init n (fun _ -> ref []);
   }
 
-let hub t = t.hub
+let cluster_hub t = t.hub
 
-let step_one t p =
+let cluster_step_one t p =
   if not (Loopback.crashed t.hub p) then begin
     let node = t.nodes.(p) in
     ignore (Node.step node);
@@ -29,15 +31,33 @@ let step_one t p =
     | outs -> t.logs.(p) := List.rev_append outs !(t.logs.(p))
   end
 
-let step t = Array.iteri (fun p _ -> step_one t p) t.nodes
+let cluster_step t = Array.iteri (fun p _ -> cluster_step_one t p) t.nodes
 
-let run t ~rounds =
+let cluster_run t ~rounds =
   for _ = 1 to rounds do
-    step t
+    cluster_step t
   done
 
-let submit t p c = Node.inject t.nodes.(p) c
-let crash t p = Loopback.crash t.hub p
-let applied_log t p = List.rev !(t.logs.(p))
-let state t p = Node.state t.nodes.(p)
-let now t p = Node.now t.nodes.(p)
+let cluster_submit t p c = Node.inject t.nodes.(p) c
+let cluster_crash t p = Loopback.crash t.hub p
+let cluster_outputs t p = List.rev !(t.logs.(p))
+let cluster_state t p = Node.state t.nodes.(p)
+let cluster_now t p = Node.now t.nodes.(p)
+
+(* ------------------------------------------------- the SMR instance *)
+
+type 'c t =
+  ('c Smr_node.pstate, 'c Smr_node.pmsg, 'c, int * 'c Cons.Smr.cmd) cluster
+
+let create ?(period = 16) ?sink ?wrap ~n () =
+  make ?sink ?wrap ~n (Smr_node.protocol ~period)
+
+let hub = cluster_hub
+let step_one = cluster_step_one
+let step = cluster_step
+let run = cluster_run
+let submit = cluster_submit
+let crash = cluster_crash
+let applied_log = cluster_outputs
+let state = cluster_state
+let now = cluster_now

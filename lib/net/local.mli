@@ -1,20 +1,61 @@
-(** A whole SMR cluster in one process over the {!Loopback} transport,
-    driven cooperatively (round-robin, one step per node per round).
+(** A whole cluster in one process over the {!Loopback} transport, driven
+    cooperatively (round-robin, one step per node per round).
 
     Deterministic — the loopback hub delivers in send order — so tests
     assert exact agreement and benchmarks measure protocol cost without
     socket noise.  {!crash} kills a node mid-run exactly like the demo's
     SIGKILL: its frames stop, its steps stop, and the survivors' detectors
-    notice by missing heartbeats. *)
+    notice by missing heartbeats.
 
-type 'c t
+    The {e generic core} ({!cluster}, {!make}, [cluster_*]) runs {e any}
+    [Sim.Protocol.t] — it is what lets [Shard.Group] host many independent
+    replica groups (one hub per shard) without duplicating the driver.
+    The ['c t] API below is the historical SMR instantiation used by the
+    demo, the chaos harness and the benches. *)
 
-(** [create ~n ()] builds [n] replicas of {!Smr_node.protocol}.
-    [period] is Ω's heartbeat period in steps (default 16).
+(** {2 Generic core} *)
+
+type ('st, 'msg, 'inp, 'out) cluster
+
+(** [make ~n proto] builds [n] replicas of [proto] over a fresh hub.
     [sink p] optionally installs a tracing sink per node.
     [wrap p t] interposes on each node's transport before the node is
-    built — this is how {!Chaos} stacks [Rel.wrap] and {!Nemesis.wrap}
-    between the protocol and the hub. *)
+    built — this is how {!Chaos} (and the shard chaos harness) stack
+    [Rel.wrap] and {!Nemesis.wrap} between the protocol and the hub. *)
+val make :
+  ?sink:(Sim.Pid.t -> Sim.Event.sink option) ->
+  ?wrap:(Sim.Pid.t -> Transport.t -> Transport.t) ->
+  n:int ->
+  ('st, 'msg, unit, 'inp, 'out) Sim.Protocol.t ->
+  ('st, 'msg, 'inp, 'out) cluster
+
+val cluster_hub : _ cluster -> Loopback.hub
+
+(** One step of a single node, if live. *)
+val cluster_step_one : _ cluster -> Sim.Pid.t -> unit
+
+(** One round: every live node takes one step (pid order). *)
+val cluster_step : _ cluster -> unit
+
+val cluster_run : _ cluster -> rounds:int -> unit
+val cluster_submit : (_, _, 'inp, _) cluster -> Sim.Pid.t -> 'inp -> unit
+val cluster_crash : _ cluster -> Sim.Pid.t -> unit
+
+(** Outputs emitted by [p] so far, oldest first. *)
+val cluster_outputs : (_, _, _, 'out) cluster -> Sim.Pid.t -> 'out list
+
+val cluster_state : ('st, _, _, _) cluster -> Sim.Pid.t -> 'st
+
+(** Local step counter of [p] (= rounds it has taken). *)
+val cluster_now : _ cluster -> Sim.Pid.t -> int
+
+(** {2 The SMR instantiation} *)
+
+type 'c t =
+  ('c Smr_node.pstate, 'c Smr_node.pmsg, 'c, int * 'c Cons.Smr.cmd) cluster
+
+(** [create ~n ()] builds [n] replicas of {!Smr_node.protocol}.
+    [period] is Ω's heartbeat period in steps (default 16). *)
 val create :
   ?period:int ->
   ?sink:(Sim.Pid.t -> Sim.Event.sink option) ->
@@ -23,8 +64,6 @@ val create :
   unit -> 'c t
 
 val hub : 'c t -> Loopback.hub
-
-(** One round: every live node takes one step (pid order). *)
 val step : 'c t -> unit
 
 (** One step of a single node, if live ({!Chaos} uses this to slow a

@@ -45,7 +45,35 @@ type client = {
 
 let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
-let serve cfg =
+(* What a node process needs to serve any SMR-shaped protocol (outputs =
+   decided (slot, cmd) entries): the automaton itself plus how to count
+   submissions/applications, render a log line, and turn a client frame
+   into a submission or an immediate reply.  The wire type is
+   existential — the event loop never looks inside frames. *)
+type ('st, 'c) impl =
+  | Impl : {
+      proto : ('st, 'msg, unit, 'c, int * 'c Cons.Smr.cmd) Sim.Protocol.t;
+      submitted : 'st -> int;
+      applied : 'st -> int;
+      log_line : int -> 'c Cons.Smr.cmd -> string;
+      on_request :
+        state:(unit -> 'st) ->
+        bytes ->
+        [ `Submit of 'c | `Reply of bytes ];
+    }
+      -> ('st, 'c) impl
+
+let write_frame fd payload =
+  let frame = Wire.frame payload in
+  try
+    let len = Bytes.length frame in
+    let rec go off =
+      if off < len then go (off + Unix.write fd frame off (len - off))
+    in
+    go 0
+  with Unix.Unix_error _ -> ()
+
+let serve_with (type st c) (Impl impl : (st, c) impl) cfg =
   let stop = ref false in
   Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true));
   Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true));
@@ -59,8 +87,7 @@ let serve cfg =
   let node =
     Node.create ?sink ~track_vc:(sink <> None)
       ~render_out:(fun (slot, _) -> Printf.sprintf "slot=%d" slot)
-      ~transport
-      (protocol ~period:cfg.period)
+      ~transport impl.proto
   in
   (* client listener *)
   (match cfg.client_addr with
@@ -75,7 +102,7 @@ let serve cfg =
   Unix.listen listen_fd 64;
   let clients = ref [] in
   let pending : (int, Unix.file_descr) Hashtbl.t = Hashtbl.create 64 in
-  let next_seq = ref (Cons.Smr.submitted (smr_state (Node.state node))) in
+  let next_seq = ref (impl.submitted (Node.state node)) in
   let log_oc = Option.map open_out cfg.log_path in
   let rbuf = Bytes.create 65536 in
   let accept_clients () =
@@ -95,33 +122,35 @@ let serve cfg =
     (* true to keep the connection *)
     match Unix.read c.fd rbuf 0 (Bytes.length rbuf) with
     | 0 -> false
-    | nread ->
-      Wire.Decoder.feed c.dec rbuf nread;
-      let continue = ref true in
-      while !continue do
-        match Wire.Decoder.next c.dec with
-        | None -> continue := false
-        | Some frame ->
-          let payload : string = Wire.decode frame in
-          let seq = !next_seq in
-          incr next_seq;
-          Hashtbl.replace pending seq c.fd;
-          Node.inject node payload
-      done;
-      true
+    | nread -> (
+      (* an oversized frame from one client closes that client's
+         connection only (Wire.Frame_too_large is raised before any
+         frame-sized allocation) *)
+      try
+        Wire.Decoder.feed c.dec rbuf nread;
+        let continue = ref true in
+        while !continue do
+          match Wire.Decoder.next c.dec with
+          | None -> continue := false
+          | Some frame -> (
+            match
+              impl.on_request ~state:(fun () -> Node.state node) frame
+            with
+            | `Submit payload ->
+              let seq = !next_seq in
+              incr next_seq;
+              Hashtbl.replace pending seq c.fd;
+              Node.inject node payload
+            | `Reply bytes -> write_frame c.fd bytes)
+        done;
+        true
+      with Wire.Frame_too_large _ -> false)
     | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> true
     | exception Unix.Unix_error (_, _, _) -> false
     | exception _ -> false
   in
   let reply fd (seq : int) (slot : int) =
-    let frame = Wire.frame (Wire.encode (seq, slot)) in
-    try
-      let len = Bytes.length frame in
-      let rec go off =
-        if off < len then go (off + Unix.write fd frame off (len - off))
-      in
-      go 0
-    with Unix.Unix_error _ -> ()
+    write_frame fd (Wire.encode (seq, slot))
   in
   let handle_outputs () =
     List.iter
@@ -129,9 +158,8 @@ let serve cfg =
         (match log_oc with
         | None -> ()
         | Some oc ->
-          Printf.fprintf oc "%d\t%d\t%d\t%s\n" slot cmd.Cons.Smr.origin
-            cmd.Cons.Smr.seq
-            (String.escaped cmd.Cons.Smr.payload);
+          output_string oc (impl.log_line slot cmd);
+          output_char oc '\n';
           flush oc);
         if cmd.Cons.Smr.origin = cfg.self then
           match Hashtbl.find_opt pending cmd.Cons.Smr.seq with
@@ -179,7 +207,7 @@ let serve cfg =
     "node %d: steps=%d applied=%d sent=%d delivered=%d reconnects=%d \
      dropped=%d\n%!"
     cfg.self (Node.now node)
-    (Cons.Smr.applied (smr_state (Node.state node)))
+    (impl.applied (Node.state node))
     st.Transport.sent st.Transport.delivered st.Transport.reconnects
     st.Transport.dropped;
   Option.iter close_out log_oc;
@@ -189,3 +217,21 @@ let serve cfg =
   | Unix.ADDR_UNIX path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
   | _ -> ());
   transport.Transport.close ()
+
+(* The historical string-command node is the trivial instantiation:
+   every client frame is a submission, the log line is the raw payload. *)
+let string_impl ~period : (string pstate, string) impl =
+  Impl
+    {
+      proto = protocol ~period;
+      submitted = (fun st -> Cons.Smr.submitted (smr_state st));
+      applied = (fun st -> Cons.Smr.applied (smr_state st));
+      log_line =
+        (fun slot cmd ->
+          Printf.sprintf "%d\t%d\t%d\t%s" slot cmd.Cons.Smr.origin
+            cmd.Cons.Smr.seq
+            (String.escaped cmd.Cons.Smr.payload));
+      on_request = (fun ~state:_ frame -> `Submit (Wire.decode frame));
+    }
+
+let serve cfg = serve_with (string_impl ~period:cfg.period) cfg

@@ -44,6 +44,31 @@ type config = {
 val default_config : self:Sim.Pid.t -> addrs:Unix.sockaddr array ->
   client_addr:Unix.sockaddr -> config
 
-(** Run a replica with [string] commands until SIGTERM (clean shutdown:
+(** What {!serve_with} needs to host {e any} SMR-shaped protocol
+    (outputs = decided [(slot, cmd)] entries) behind the same event
+    loop: the automaton, submission/application counters, a log-line
+    renderer, and the client-frame handler — [`Submit c] enters the
+    replicated log (the client gets the [(seq, slot)] reply when its
+    entry is decided), [`Reply b] answers immediately without consensus
+    (how [Shard.Server] serves its quorum-read samples).  The wire type
+    is existential: the event loop never inspects frames. *)
+type ('st, 'c) impl =
+  | Impl : {
+      proto : ('st, 'msg, unit, 'c, int * 'c Cons.Smr.cmd) Sim.Protocol.t;
+      submitted : 'st -> int;
+      applied : 'st -> int;
+      log_line : int -> 'c Cons.Smr.cmd -> string;
+      on_request :
+        state:(unit -> 'st) ->
+        bytes ->
+        [ `Submit of 'c | `Reply of bytes ];
+    }
+      -> ('st, 'c) impl
+
+(** Run a node process hosting [impl] until SIGTERM (clean shutdown:
     close sockets, flush log, dump trace).  Never returns normally. *)
+val serve_with : ('st, 'c) impl -> config -> unit
+
+(** {!serve_with} on the [string]-command instantiation of {!protocol} —
+    the node body of [bin/cluster.ml]'s single-group subcommands. *)
 val serve : config -> unit

@@ -209,6 +209,9 @@ let handle_readable t ic =
     ->
     true
   | exception Unix.Unix_error (_, _, _) -> false
+  (* an oversized length prefix condemns this connection only: close it,
+     leave every other connection and the node itself untouched *)
+  | exception Wire.Frame_too_large _ -> false
 
 (* One pass of connection management + select.  Returns after at most
    [timeout] seconds. *)
@@ -274,7 +277,7 @@ let step t ~timeout =
                     mark_down t q;
                     continue := false)
               done
-            with Failure _ -> mark_down t q)
+            with Wire.Frame_too_large _ -> mark_down t q)
           | exception
               Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
             ()

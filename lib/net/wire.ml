@@ -1,5 +1,16 @@
 let max_frame = 16 * 1024 * 1024
 
+exception Frame_too_large of { size : int; limit : int }
+
+let () =
+  Printexc.register_printer (function
+    | Frame_too_large { size; limit } ->
+      Some (Printf.sprintf "net: oversized frame (%d bytes, limit %d)" size limit)
+    | _ -> None)
+
+let check_len ~limit len =
+  if len < 0 || len > limit then raise (Frame_too_large { size = len; limit })
+
 let frame payload =
   let len = Bytes.length payload in
   let b = Bytes.create (4 + len) in
@@ -33,19 +44,35 @@ let read_frame fd =
   if not (read_exact fd hdr 0 4) then None
   else begin
     let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
-    if len < 0 || len > max_frame then
-      failwith (Printf.sprintf "net: oversized frame (%d bytes)" len);
+    check_len ~limit:max_frame len;
     let payload = Bytes.create len in
     if read_exact fd payload 0 len then Some payload else None
   end
 
 module Decoder = struct
   (* Valid bytes live in [pos, limit) of [data]; feeding compacts or grows
-     as needed, popping a frame just advances [pos]. *)
-  type t = { mutable data : bytes; mutable pos : int; mutable limit : int }
+     as needed, popping a frame just advances [pos].  [limit_] caps the
+     announced frame size: the length prefix is validated as soon as the
+     4 header bytes are buffered — before any frame-sized allocation — so
+     a corrupt or adversarial prefix can never make the decoder (or its
+     caller) reserve more than [limit_] bytes. *)
+  type t = {
+    mutable data : bytes;
+    mutable pos : int;
+    mutable limit : int;
+    limit_ : int;
+  }
 
-  let create () = { data = Bytes.create 4096; pos = 0; limit = 0 }
+  let create ?(max_frame = max_frame) () =
+    { data = Bytes.create 4096; pos = 0; limit = 0; limit_ = max_frame }
+
   let buffered t = t.limit - t.pos
+
+  (* Raise on a bad prefix the moment the header is complete, even if the
+     caller never asks for the next frame. *)
+  let validate_head t =
+    if buffered t >= 4 then
+      check_len ~limit:t.limit_ (Int32.to_int (Bytes.get_int32_be t.data t.pos))
 
   let feed t b len =
     let used = buffered t in
@@ -59,14 +86,14 @@ module Decoder = struct
       t.limit <- used
     end;
     Bytes.blit b 0 t.data t.limit len;
-    t.limit <- t.limit + len
+    t.limit <- t.limit + len;
+    validate_head t
 
   let next t =
     if buffered t < 4 then None
     else begin
       let len = Int32.to_int (Bytes.get_int32_be t.data t.pos) in
-      if len < 0 || len > max_frame then
-        failwith (Printf.sprintf "net: oversized frame (%d bytes)" len);
+      check_len ~limit:t.limit_ len;
       if buffered t < 4 + len then None
       else begin
         let payload = Bytes.sub t.data (t.pos + 4) len in

@@ -12,9 +12,15 @@
     string and version so a mismatched peer fails loudly instead of
     corrupting state. *)
 
-(** Frame payloads are capped (16 MiB): a corrupt length prefix must not
-    make a node allocate gigabytes. *)
+(** Frame payloads are capped (16 MiB default): a corrupt length prefix
+    must not make a node allocate gigabytes. *)
 val max_frame : int
+
+(** Raised when a length prefix announces a frame larger than the cap in
+    force (or negative).  A clean, typed, per-connection condition: {!Tcp}
+    and the client listeners catch it and close the offending connection
+    without touching any other connection or the node itself. *)
+exception Frame_too_large of { size : int; limit : int }
 
 (** {2 Framing} *)
 
@@ -26,7 +32,7 @@ val frame : bytes -> bytes
 val write_frame : Unix.file_descr -> bytes -> unit
 
 (** [read_frame fd] blocks until one whole frame is read.  [None] on EOF.
-    @raise Failure on an oversized frame. *)
+    @raise Frame_too_large on an oversized frame. *)
 val read_frame : Unix.file_descr -> bytes option
 
 (** A streaming frame decoder for non-blocking reads: feed raw chunks in,
@@ -34,12 +40,19 @@ val read_frame : Unix.file_descr -> bytes option
 module Decoder : sig
   type t
 
-  val create : unit -> t
+  (** [create ?max_frame ()] — [max_frame] (default {!max_frame}) caps the
+      size any length prefix may announce.  The cap is enforced as soon as
+      the 4 header bytes are buffered, before any frame-sized allocation:
+      an adversarial prefix costs at most the bytes actually received. *)
+  val create : ?max_frame:int -> unit -> t
 
-  (** [feed t buf len] appends the first [len] bytes of [buf]. *)
+  (** [feed t buf len] appends the first [len] bytes of [buf].
+      @raise Frame_too_large if the buffered head announces an oversized
+      frame. *)
   val feed : t -> bytes -> int -> unit
 
-  (** Next complete frame, if any.  @raise Failure on an oversized frame. *)
+  (** Next complete frame, if any.
+      @raise Frame_too_large on an oversized frame. *)
   val next : t -> bytes option
 
   (** Bytes buffered but not yet consumed as frames. *)

@@ -11,22 +11,56 @@ type t = {
   histograms : (string, histogram) Hashtbl.t;
 }
 
+type labels = (string * string) list
+
+(* One flat namespace: a labeled series is stored under its rendered name
+   [name{k=v,...}] with the label keys sorted, so equal label sets always
+   collide onto the same series and [snapshot] needs no second table.  The
+   unlabeled API is the zero-label alias: [[]] renders as the bare name. *)
+let series name labels =
+  match labels with
+  | [] -> name
+  | _ ->
+    let labels =
+      List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+    in
+    let b = Buffer.create (String.length name + 16) in
+    Buffer.add_string b name;
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b k;
+        Buffer.add_char b '=';
+        Buffer.add_string b v)
+      labels;
+    Buffer.add_char b '}';
+    Buffer.contents b
+
 let create () = { counters = Hashtbl.create 16; histograms = Hashtbl.create 16 }
 
-let incr ?(by = 1) t name =
+let incr_l ?(by = 1) t name ~labels =
+  let name = series name labels in
   match Hashtbl.find_opt t.counters name with
   | Some r -> r := !r + by
   | None -> Hashtbl.add t.counters name (ref by)
 
-let counter t name =
-  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+let incr ?by t name = incr_l ?by t name ~labels:[]
+
+let counter_l t name ~labels =
+  match Hashtbl.find_opt t.counters (series name labels) with
+  | Some r -> !r
+  | None -> 0
+
+let counter t name = counter_l t name ~labels:[]
 
 let bucket_of v =
   (* 0 -> bucket 0; v >= 1 -> 1 + floor(log2 v), capped *)
   let rec log2 acc v = if v <= 1 then acc else log2 (acc + 1) (v lsr 1) in
   if v <= 0 then 0 else min 62 (1 + log2 0 v)
 
-let observe t name v =
+let observe_l t name ~labels v =
+  let name = series name labels in
   let h =
     match Hashtbl.find_opt t.histograms name with
     | Some h -> h
@@ -45,7 +79,10 @@ let observe t name v =
   let b = bucket_of v in
   h.buckets.(b) <- h.buckets.(b) + 1
 
-let histogram t name = Hashtbl.find_opt t.histograms name
+let observe t name v = observe_l t name ~labels:[] v
+
+let histogram_l t name ~labels = Hashtbl.find_opt t.histograms (series name labels)
+let histogram t name = histogram_l t name ~labels:[]
 
 (* Flatten counters and histogram summaries into one sorted row list, so a
    single [(string * int) list] can travel in [Runner.summary]. *)

@@ -1,0 +1,214 @@
+(* One shard replica: quorum-Paxos SMR under Ω and the epoch-aware Σ,
+   plus snapshot catch-up — composed by hand rather than through
+   Sim.Layered because the main layer must talk *back* to the detector
+   layer: applying a Reconfig entry from the decided log installs the
+   next configuration into Sigma_epoch (set_config), a channel Layered
+   does not have.
+
+   Why the epoch handoff is safe here: Cons.Smr proposes instance j only
+   once slots 0..j-1 are applied (next_slot = applied), so every process
+   proposing instance j has applied the same command prefix and hence
+   agrees on the configuration in force at slot j.  Two replicas in
+   different epochs necessarily differ in applied count and therefore
+   never participate in the same instance with different member sets. *)
+
+module Omega = Fd.Emulated.Omega_heartbeat
+module Sigma = Fd.Emulated.Sigma_epoch
+module Smap = Map.Make (String)
+
+type payload =
+  | App of { key : string; value : string }
+  | Reconfig of { epoch : int; members : Sim.Pid.t list }
+
+type cmd = payload Cons.Smr.cmd
+type entry = int * cmd
+
+type msg =
+  | Om of Omega.msg
+  | Si of Sigma.msg
+  | Smr of payload Cons.Smr.msg
+  | Snap_req of { since : int }
+  | Snap of entry list
+
+type state = {
+  om : Omega.state;
+  si : Sigma.state;
+  smr : payload Cons.Smr.state;
+  cfg : Epoch.config;
+  kv : (int * string) Smap.t;  (* key -> (slot of last write, value) *)
+  max_slot_seen : int;  (* highest consensus instance seen on the wire *)
+  snaps_served : int;
+  snaps_installed : int;  (* entries that became applicable via snapshots *)
+}
+
+let pp_payload ppf = function
+  | App { key; value } -> Format.fprintf ppf "app %s=%s" key value
+  | Reconfig { epoch; members } ->
+    Format.fprintf ppf "reconfig e%d [%s]" epoch
+      (String.concat "," (List.map string_of_int members))
+
+let payload_to_string p = Format.asprintf "%a" pp_payload p
+
+(* views *)
+let smr_state st = st.smr
+let omega_state st = st.om
+let sigma_state st = st.si
+let config st = st.cfg
+let epoch st = st.cfg.Epoch.epoch
+let applied st = Cons.Smr.applied st.smr
+let kv_find st key = Smap.find_opt key st.kv
+let kv_size st = Smap.cardinal st.kv
+let snaps_served st = st.snaps_served
+let snaps_installed st = st.snaps_installed
+
+(* Ω restricted to the current configuration: the leader is the lowest
+   unsuspected *member*.  Non-members keep heartbeating (they may be
+   installed later) but are never elected. *)
+let leader ~n st =
+  let sus = Omega.suspects st.om in
+  let live =
+    List.filter
+      (fun q -> Epoch.is_member st.cfg q && not (Sim.Pidset.mem q sus))
+      (Sim.Pid.all n)
+  in
+  match live with
+  | q :: _ -> q
+  | [] -> (
+    match Sim.Pidset.min_elt_opt st.cfg.Epoch.members with
+    | Some q -> q
+    | None -> 0)
+
+(* Retag a detector layer's actions (their outputs are unit — dropped). *)
+let retag tag acts =
+  List.filter_map
+    (function
+      | Sim.Protocol.Send (q, m) -> Some (Sim.Protocol.Send (q, tag m))
+      | Sim.Protocol.Broadcast m -> Some (Sim.Protocol.Broadcast (tag m))
+      | Sim.Protocol.Output () -> None)
+    acts
+
+(* Apply one decided entry to the derived state.  A Reconfig that is not
+   the immediate next epoch is a deterministic no-op: every replica
+   applies the same log prefix, so every replica rejects it identically
+   and the configurations never diverge. *)
+let apply ~n st ((slot, cmd) : entry) =
+  match cmd.Cons.Smr.payload with
+  | App { key; value } -> { st with kv = Smap.add key (slot, value) st.kv }
+  | Reconfig { epoch; members } ->
+    let members =
+      Sim.Pidset.of_list (List.filter (Sim.Pid.valid ~n) members)
+    in
+    if Epoch.valid_transition st.cfg ~epoch ~members then
+      {
+        st with
+        cfg = { Epoch.epoch; members };
+        si = Sigma.set_config st.si ~epoch ~members;
+      }
+    else st
+
+(* Retag the SMR layer's sends and apply its outputs as they are
+   emitted, keeping them as protocol outputs for the host. *)
+let absorb ~n st acts =
+  let st, rev =
+    List.fold_left
+      (fun (st, rev) a ->
+        match a with
+        | Sim.Protocol.Send (q, m) ->
+          (st, Sim.Protocol.Send (q, Smr m) :: rev)
+        | Sim.Protocol.Broadcast m ->
+          (st, Sim.Protocol.Broadcast (Smr m) :: rev)
+        | Sim.Protocol.Output e -> (apply ~n st e, Sim.Protocol.Output e :: rev))
+      (st, []) acts
+  in
+  (st, List.rev rev)
+
+let protocol ?(snap_every = 8) ?(lag_gap = 24) ~period ~members () =
+  let omega = Omega.detector ~period in
+  let init ~n self =
+    {
+      om = omega.Sim.Layered.proto.Sim.Protocol.init ~n self;
+      si = Sigma.init ~members self;
+      smr = Cons.Smr.protocol.Sim.Protocol.init ~n self;
+      cfg = Epoch.initial ~members;
+      kv = Smap.empty;
+      max_slot_seen = 0;
+      snaps_served = 0;
+      snaps_installed = 0;
+    }
+  in
+  let main_ctx (ctx : unit Sim.Protocol.ctx) st =
+    {
+      Sim.Protocol.self = ctx.self;
+      n = ctx.n;
+      now = ctx.now;
+      fd = (leader ~n:ctx.n st, Sigma.current st.si);
+    }
+  in
+  let on_step (ctx : unit Sim.Protocol.ctx) st recv =
+    let n = ctx.n in
+    let om_recv, si_recv, smr_recv, ctl =
+      match recv with
+      | None -> (None, None, None, None)
+      | Some (q, Om m) -> (Some (q, m), None, None, None)
+      | Some (q, Si m) -> (None, Some (q, m), None, None)
+      | Some (q, Smr m) -> (None, None, Some (q, m), None)
+      | Some (_, (Snap_req _ | Snap _)) -> (None, None, None, recv)
+    in
+    let om, om_acts =
+      omega.Sim.Layered.proto.Sim.Protocol.on_step ctx st.om om_recv
+    in
+    let si, si_acts = Sigma.on_step ctx st.si si_recv in
+    let st = { st with om; si } in
+    (* lag detection: peers are deciding slots we have not applied *)
+    let st =
+      match smr_recv with
+      | Some (_, m) -> (
+        match Cons.Smr.slot_of_msg m with
+        | Some k when k > st.max_slot_seen -> { st with max_slot_seen = k }
+        | _ -> st)
+      | None -> st
+    in
+    let smr, smr_acts =
+      Cons.Smr.protocol.Sim.Protocol.on_step (main_ctx ctx st) st.smr smr_recv
+    in
+    let st = { st with smr } in
+    let st, main_acts = absorb ~n st smr_acts in
+    let st, ctl_acts =
+      match ctl with
+      | Some (q, Snap_req { since }) -> (
+        match Cons.Smr.decided_from st.smr ~from:since with
+        | [] -> (st, [])
+        | entries ->
+          ( { st with snaps_served = st.snaps_served + 1 },
+            [ Sim.Protocol.Send (q, Snap entries) ] ))
+      | Some (_, Snap entries) ->
+        let smr, newly = Cons.Smr.install st.smr entries in
+        let st =
+          { st with smr; snaps_installed = st.snaps_installed + List.length newly }
+        in
+        let st = List.fold_left (fun st e -> apply ~n st e) st newly in
+        (st, List.map (fun e -> Sim.Protocol.Output e) newly)
+      | _ -> (st, [])
+    in
+    (* catch-up: well behind the slots peers work on -> ask for a snapshot
+       (throttled; anyone holding the prefix answers) *)
+    let snap_acts =
+      if
+        Cons.Smr.applied st.smr + lag_gap <= st.max_slot_seen
+        && ctx.now mod snap_every = 0
+      then
+        [ Sim.Protocol.Broadcast (Snap_req { since = Cons.Smr.applied st.smr }) ]
+      else []
+    in
+    ( st,
+      retag (fun m -> Om m) om_acts
+      @ retag (fun m -> Si m) si_acts
+      @ main_acts @ ctl_acts @ snap_acts )
+  in
+  let on_input (ctx : unit Sim.Protocol.ctx) st c =
+    let smr, acts =
+      Cons.Smr.protocol.Sim.Protocol.on_input (main_ctx ctx st) st.smr c
+    in
+    absorb ~n:ctx.n { st with smr } acts
+  in
+  { Sim.Protocol.init; on_step; on_input }

@@ -1,0 +1,76 @@
+(** The reconfigurable shard replica: SMR under (Ω, Σ) with epoch-based
+    membership change and snapshot catch-up — one ordinary
+    [Sim.Protocol.t], so it runs unchanged over {!Net.Local},
+    {!Net.Tcp} (via [Server]) or in the simulator.
+
+    Composition is by hand (not [Sim.Layered]) because applying a
+    {!payload.Reconfig} entry must call [Sigma_epoch.set_config] — the
+    main layer talking back to the detector layer, which [Layered] cannot
+    express.  Membership change therefore rides the shard's own decided
+    log: every replica applies the [Reconfig] at the same slot, installs
+    the same configuration, and hands its Σ quorum over at the same point
+    of the command sequence (docs/SHARDING.md spells out the safety
+    argument).
+
+    Catch-up: a replica that notices peers deciding slots far ahead of
+    its applied prefix ([lag_gap]) broadcasts [Snap_req]; any replica
+    holding the decided run answers with [Snap], installed idempotently
+    via [Cons.Smr.install].  This is how a freshly installed member joins
+    without re-running every consensus instance. *)
+
+type payload =
+  | App of { key : string; value : string }  (** a keyed write *)
+  | Reconfig of { epoch : int; members : Sim.Pid.t list }
+      (** install configuration [epoch] (must be current + 1; anything
+          else is a deterministic no-op on every replica) *)
+
+type cmd = payload Cons.Smr.cmd
+type entry = int * cmd
+
+type msg =
+  | Om of Fd.Emulated.Omega_heartbeat.msg
+  | Si of Fd.Emulated.Sigma_epoch.msg
+  | Smr of payload Cons.Smr.msg
+  | Snap_req of { since : int }  (** send me decided slots from [since] *)
+  | Snap of entry list  (** a gapless decided run *)
+
+type state
+
+(** Inputs are client payloads; outputs are decided [(slot, cmd)] entries
+    in slot order.  [period] is Ω's heartbeat period (local steps);
+    [members] the epoch-0 member set; [snap_every] throttles snapshot
+    requests; [lag_gap] is how far behind the wire's highest seen slot a
+    replica must be before asking (default 24). *)
+val protocol :
+  ?snap_every:int ->
+  ?lag_gap:int ->
+  period:int ->
+  members:Sim.Pidset.t ->
+  unit ->
+  (state, msg, unit, payload, entry) Sim.Protocol.t
+
+(** {2 Views} (tests, router sampling, status lines) *)
+
+val smr_state : state -> payload Cons.Smr.state
+val omega_state : state -> Fd.Emulated.Omega_heartbeat.state
+val sigma_state : state -> Fd.Emulated.Sigma_epoch.state
+val config : state -> Epoch.config
+val epoch : state -> int
+
+(** Applied log length — the per-key read path's write-back tag. *)
+val applied : state -> int
+
+(** [kv_find st key] is the last applied write to [key] as
+    [(slot, value)] — the ABD-style tagged read sample. *)
+val kv_find : state -> string -> (int * string) option
+
+val kv_size : state -> int
+val snaps_served : state -> int
+val snaps_installed : state -> int
+
+(** The Ω output restricted to current members: lowest unsuspected
+    member (falls back to the lowest member). *)
+val leader : n:int -> state -> Sim.Pid.t
+
+val pp_payload : Format.formatter -> payload -> unit
+val payload_to_string : payload -> string

@@ -1,0 +1,50 @@
+(* The TCP deployment of one shard replica: Replica.protocol hosted by
+   Net.Smr_node's generic event loop.  Writes and Reconfigs enter the
+   shard's log ((seq, slot) reply when decided); Reads are answered
+   immediately from local state with the ABD sample the router's quorum
+   read needs — no consensus on the read path. *)
+
+type request =
+  | Write of { key : string; value : string }
+  | Reconfig of { epoch : int; members : Sim.Pid.t list }
+  | Read of { key : string }
+
+type read_reply = {
+  rr_epoch : int;
+  rr_applied : int;
+  rr_value : (int * string) option;
+}
+
+let impl ?snap_every ?lag_gap ~period ~members () :
+    (Replica.state, Replica.payload) Net.Smr_node.impl =
+  Net.Smr_node.Impl
+    {
+      proto = Replica.protocol ?snap_every ?lag_gap ~period ~members ();
+      submitted = (fun st -> Cons.Smr.submitted (Replica.smr_state st));
+      applied = Replica.applied;
+      log_line =
+        (fun slot (cmd : Replica.cmd) ->
+          Printf.sprintf "%d\t%d\t%d\t%s" slot cmd.Cons.Smr.origin
+            cmd.Cons.Smr.seq
+            (String.escaped (Replica.payload_to_string cmd.Cons.Smr.payload)));
+      on_request =
+        (fun ~state frame ->
+          match (Net.Wire.decode frame : request) with
+          | Write { key; value } -> `Submit (Replica.App { key; value })
+          | Reconfig { epoch; members } ->
+            `Submit (Replica.Reconfig { epoch; members })
+          | Read { key } ->
+            let st = state () in
+            `Reply
+              (Net.Wire.encode
+                 {
+                   rr_epoch = Replica.epoch st;
+                   rr_applied = Replica.applied st;
+                   rr_value = Replica.kv_find st key;
+                 }));
+    }
+
+let serve ?snap_every ?lag_gap ~members cfg =
+  Net.Smr_node.serve_with
+    (impl ?snap_every ?lag_gap ~period:cfg.Net.Smr_node.period ~members ())
+    cfg

@@ -1,0 +1,41 @@
+(** TCP deployment of one shard replica: {!Replica.protocol} hosted by
+    [Net.Smr_node.serve_with]'s event loop, with the shard's framed
+    client protocol.
+
+    [Write]/[Reconfig] requests enter the shard's replicated log — the
+    client receives the standard [(seq, slot)] frame when its entry is
+    decided.  [Read] is answered immediately from local state with the
+    [(epoch, applied, last write)] sample, so a client-side router can
+    run the quorum-read (phase 1 sample + phase 2 write-back wait)
+    against a member majority — the same algorithm {!Router} runs
+    in-process.  [bin/cluster.exe shard --transport tcp] is the driver:
+    one OS process per replica per shard. *)
+
+type request =
+  | Write of { key : string; value : string }
+  | Reconfig of { epoch : int; members : Sim.Pid.t list }
+  | Read of { key : string }
+
+(** The sample behind {!Router.view}. *)
+type read_reply = {
+  rr_epoch : int;
+  rr_applied : int;
+  rr_value : (int * string) option;
+}
+
+(** The hosting contract for [Net.Smr_node.serve_with]. *)
+val impl :
+  ?snap_every:int ->
+  ?lag_gap:int ->
+  period:int ->
+  members:Sim.Pidset.t ->
+  unit ->
+  (Replica.state, Replica.payload) Net.Smr_node.impl
+
+(** Run one shard replica until SIGTERM ([cfg.period] paces Ω). *)
+val serve :
+  ?snap_every:int ->
+  ?lag_gap:int ->
+  members:Sim.Pidset.t ->
+  Net.Smr_node.config ->
+  unit

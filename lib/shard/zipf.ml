@@ -1,0 +1,34 @@
+(* Zipfian key sampler for the load generator: key rank i (0-based) is
+   drawn with probability proportional to 1/(i+1)^theta.  Inverse-CDF
+   over a precomputed cumulative table; seeded, so runs replay. *)
+
+type t = {
+  cum : float array;  (* cum.(i) = P(rank <= i), cum.(keys-1) = 1.0 *)
+  rng : Random.State.t;
+  prefix : string;
+}
+
+let create ?(theta = 0.99) ?(prefix = "k") ~seed ~keys () =
+  if keys <= 0 then invalid_arg "Zipf.create: keys must be positive";
+  let cum = Array.make keys 0.0 in
+  let total = ref 0.0 in
+  for i = 0 to keys - 1 do
+    total := !total +. (1.0 /. (float_of_int (i + 1) ** theta));
+    cum.(i) <- !total
+  done;
+  Array.iteri (fun i c -> cum.(i) <- c /. !total) cum;
+  { cum; rng = Random.State.make [| seed |]; prefix }
+
+let keys t = Array.length t.cum
+
+let next t =
+  let u = Random.State.float t.rng 1.0 in
+  let lo = ref 0 and hi = ref (Array.length t.cum - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cum.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let key t rank = Printf.sprintf "%s%06d" t.prefix rank
+let next_key t = key t (next t)

@@ -1,0 +1,19 @@
+(** Seeded Zipfian key sampler — the closed-loop load generator's
+    workload shape.  Rank [i] (0-based) is drawn with probability
+    proportional to [1/(i+1)^theta]; [theta] defaults to 0.99, the YCSB
+    convention.  Deterministic given [seed]. *)
+
+type t
+
+val create : ?theta:float -> ?prefix:string -> seed:int -> keys:int -> unit -> t
+
+val keys : t -> int
+
+(** Sample a key rank in [0 .. keys-1]. *)
+val next : t -> int
+
+(** Render rank [i] as its key string (["k000042"]-style, stable). *)
+val key : t -> int -> string
+
+(** [next_key t = key t (next t)]. *)
+val next_key : t -> string

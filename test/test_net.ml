@@ -73,6 +73,53 @@ let test_hello () =
   | Ok _ -> Alcotest.fail "garbage accepted as hello"
   | Error _ -> ()
 
+(* The max-frame guard: an adversarial length prefix must raise the
+   typed exception as soon as the 4 header bytes are buffered — before
+   any frame-sized allocation — while a frame exactly at the cap still
+   passes.  The per-connection handlers rely on this being [Frame_too_large]
+   (not Out_of_memory, not a silent giant allocation). *)
+let test_decoder_frame_cap () =
+  let limit = 1024 in
+  (* a 4-byte prefix announcing 2 GiB: refused at feed time *)
+  let evil = Bytes.create 4 in
+  Bytes.set_int32_be evil 0 0x7fffffffl;
+  let dec = Net.Wire.Decoder.create ~max_frame:limit () in
+  (match Net.Wire.Decoder.feed dec evil 4 with
+  | () -> Alcotest.fail "2 GiB prefix accepted"
+  | exception Net.Wire.Frame_too_large { size; limit = l } ->
+    Alcotest.(check int) "reported size" 0x7fffffff size;
+    Alcotest.(check int) "reported limit" limit l);
+  (* a negative prefix is refused the same way *)
+  let neg = Bytes.create 4 in
+  Bytes.set_int32_be neg 0 (-1l);
+  let dec = Net.Wire.Decoder.create ~max_frame:limit () in
+  (match Net.Wire.Decoder.feed dec neg 4 with
+  | () -> Alcotest.fail "negative prefix accepted"
+  | exception Net.Wire.Frame_too_large _ -> ());
+  (* exactly at the cap: fine *)
+  let ok = Net.Wire.frame (Bytes.make limit 'x') in
+  let dec = Net.Wire.Decoder.create ~max_frame:limit () in
+  Net.Wire.Decoder.feed dec ok (Bytes.length ok);
+  (match Net.Wire.Decoder.next dec with
+  | Some f -> Alcotest.(check int) "cap-sized frame passes" limit (Bytes.length f)
+  | None -> Alcotest.fail "cap-sized frame lost");
+  (* one byte over: refused, and the header alone is enough to know *)
+  let over = Net.Wire.frame (Bytes.make (limit + 1) 'x') in
+  let dec = Net.Wire.Decoder.create ~max_frame:limit () in
+  (match Net.Wire.Decoder.feed dec over 4 with
+  | () -> Alcotest.fail "oversized frame accepted"
+  | exception Net.Wire.Frame_too_large { size; limit = l } ->
+    Alcotest.(check int) "size is limit+1" (limit + 1) size;
+    Alcotest.(check int) "limit echoed" limit l);
+  (* default cap is the documented module constant *)
+  let dec = Net.Wire.Decoder.create () in
+  let big = Bytes.create 4 in
+  Bytes.set_int32_be big 0 (Int32.of_int (Net.Wire.max_frame + 1));
+  match Net.Wire.Decoder.feed dec big 4 with
+  | () -> Alcotest.fail "default cap not enforced"
+  | exception Net.Wire.Frame_too_large { limit = l; _ } ->
+    Alcotest.(check int) "default limit" Net.Wire.max_frame l
+
 (* ------------------------------------------------------------------ *)
 (* Loopback SMR cluster                                                *)
 
@@ -354,6 +401,8 @@ let () =
           Alcotest.test_case "envelope round-trip" `Quick
             test_envelope_roundtrip;
           Alcotest.test_case "hello" `Quick test_hello;
+          Alcotest.test_case "oversized frames refused at the header" `Quick
+            test_decoder_frame_cap;
           QCheck_alcotest.to_alcotest prop_decoder_roundtrip;
         ] );
       ( "loopback-smr",

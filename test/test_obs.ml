@@ -80,6 +80,63 @@ let test_metrics_snapshot () =
   Alcotest.(check (list (pair string int))) "cleared" []
     (Obs.Metrics.snapshot m)
 
+(* Labeled series: [("shard","3")] turns [smr.applied] into the
+   independent series [smr.applied{shard=3}].  The contracts under test:
+   labels are a real dimension (distinct label sets never collapse),
+   label order is irrelevant (keys are sorted), and the unlabeled API is
+   exactly the zero-label alias. *)
+let test_metrics_labels () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.incr m "smr.applied";
+  Obs.Metrics.incr_l m "smr.applied" ~labels:[ ("shard", "3") ] ~by:4;
+  Obs.Metrics.incr_l m "smr.applied" ~labels:[ ("shard", "5") ];
+  Alcotest.(check int) "bare series untouched by labeled bumps" 1
+    (Obs.Metrics.counter m "smr.applied");
+  Alcotest.(check int) "shard=3" 4
+    (Obs.Metrics.counter_l m "smr.applied" ~labels:[ ("shard", "3") ]);
+  Alcotest.(check int) "shard=5" 1
+    (Obs.Metrics.counter_l m "smr.applied" ~labels:[ ("shard", "5") ]);
+  (* order-independence: same bindings, any order, same series *)
+  Obs.Metrics.incr_l m "link.sent" ~labels:[ ("src", "0"); ("dst", "1") ];
+  Obs.Metrics.incr_l m "link.sent" ~labels:[ ("dst", "1"); ("src", "0") ];
+  Alcotest.(check int) "label order is irrelevant" 2
+    (Obs.Metrics.counter_l m "link.sent" ~labels:[ ("src", "0"); ("dst", "1") ]);
+  Alcotest.(check string) "rendered name sorts keys" "link.sent{dst=1,src=0}"
+    (Obs.Metrics.series "link.sent" [ ("src", "0"); ("dst", "1") ]);
+  Alcotest.(check string) "zero labels render as the bare name" "x"
+    (Obs.Metrics.series "x" []);
+  (* the unlabeled API is the zero-label alias, one shared series *)
+  Obs.Metrics.incr_l m "alias" ~labels:[];
+  Obs.Metrics.incr m "alias";
+  Alcotest.(check int) "incr and incr_l ~labels:[] share a series" 2
+    (Obs.Metrics.counter_l m "alias" ~labels:[]);
+  (* snapshot rows are keyed by the rendered series name *)
+  let rows = Obs.Metrics.snapshot m in
+  Alcotest.(check int) "snapshot row for smr.applied{shard=3}" 4
+    (List.assoc "smr.applied{shard=3}" rows);
+  Alcotest.(check int) "snapshot row for the bare series" 1
+    (List.assoc "smr.applied" rows)
+
+let test_metrics_labeled_histogram () =
+  let m = Obs.Metrics.create () in
+  List.iter (Obs.Metrics.observe m "lat") [ 1; 2 ];
+  List.iter (Obs.Metrics.observe_l m "lat" ~labels:[ ("shard", "0") ]) [ 7 ];
+  (match Obs.Metrics.histogram m "lat" with
+  | None -> Alcotest.fail "bare histogram missing"
+  | Some h ->
+    Alcotest.(check int) "bare count unaffected" 2 h.Obs.Metrics.h_count);
+  (match Obs.Metrics.histogram_l m "lat" ~labels:[ ("shard", "0") ] with
+  | None -> Alcotest.fail "labeled histogram missing"
+  | Some h ->
+    Alcotest.(check int) "labeled count" 1 h.Obs.Metrics.h_count;
+    Alcotest.(check int) "labeled sum" 7 h.Obs.Metrics.h_sum);
+  (match Obs.Metrics.histogram_l m "lat" ~labels:[ ("shard", "9") ] with
+  | None -> ()
+  | Some _ -> Alcotest.fail "unobserved labeled histogram exists");
+  let rows = Obs.Metrics.snapshot m in
+  Alcotest.(check int) "labeled summary row" 1
+    (List.assoc "lat{shard=0}.count" rows)
+
 (* --- profile (fake clock: each reading advances 5 ns) ------------------- *)
 
 let fake_clock () =
@@ -575,6 +632,9 @@ let () =
           Alcotest.test_case "counters" `Quick test_metrics_counters;
           Alcotest.test_case "histogram" `Quick test_metrics_histogram;
           Alcotest.test_case "snapshot" `Quick test_metrics_snapshot;
+          Alcotest.test_case "labeled series" `Quick test_metrics_labels;
+          Alcotest.test_case "labeled histogram" `Quick
+            test_metrics_labeled_histogram;
         ] );
       ( "profile",
         [
