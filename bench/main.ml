@@ -624,6 +624,104 @@ let net_throughput_json () =
       heartbeat_row ~n:3 ~rounds:5_000;
     ]
 
+(* E18 rows: the batched + pipelined hot path (ROADMAP item 1).  Same
+   loopback cluster as E15 — the hub carries real encoded frames, so the
+   binary codec tower is on the measured path — but driven with a
+   *windowed* closed loop: keep up to [outstanding] commands in flight
+   at replica 0 and let the proposer drain them into batches, [window]
+   instances pipelined.  The contract asserted in CI: the n=3 row beats
+   the one-at-a-time [net_smr_loopback_n3] row by >= 5x, and n=3 → n=7
+   degrades sub-linearly (quorum size grows, but batching amortises the
+   extra acceptors).  The n=3 row also carries the full power-of-two
+   latency histogram (microseconds, {!Obs.Metrics} buckets) so the tail
+   is visible, not just three percentiles. *)
+let batch_closed_loop ~n ~count ~window ~batch_max ~outstanding =
+  let t = Net.Local.create ~period:16 ~window ~batch_max ~n () in
+  Net.Local.run t ~rounds:200;
+  (* every command originates at replica 0 with consecutive seqs and is
+     applied in log order, so command i's apply time is the step at
+     which node 0's applied count first exceeds i *)
+  let submit_at = Array.make count 0.0 in
+  let lat = Array.make count 0.0 in
+  let submitted = ref 0 and applied = ref 0 in
+  let t_all0 = Unix.gettimeofday () in
+  while !applied < count do
+    while !submitted < count && !submitted - !applied < outstanding do
+      submit_at.(!submitted) <- Unix.gettimeofday ();
+      Net.Local.submit t 0 (Printf.sprintf "cmd-%d" !submitted);
+      incr submitted
+    done;
+    Net.Local.step t;
+    let a = min (smr_applied t 0) count in
+    let now = Unix.gettimeofday () in
+    while !applied < a do
+      lat.(!applied) <- (now -. submit_at.(!applied)) *. 1e3;
+      incr applied
+    done
+  done;
+  let elapsed = Unix.gettimeofday () -. t_all0 in
+  (elapsed, lat)
+
+let batch_throughput_json () =
+  let baseline_cps ~count =
+    let t = Net.Local.create ~period:16 ~n:3 () in
+    Net.Local.run t ~rounds:200;
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to count - 1 do
+      Net.Local.submit t 0 (Printf.sprintf "cmd-%d" i);
+      while smr_applied t 0 < i + 1 do
+        Net.Local.step t
+      done
+    done;
+    float_of_int count /. (Unix.gettimeofday () -. t0)
+  in
+  let base = baseline_cps ~count:200 in
+  let row ~n ~count ~hist =
+    let window = 16 and batch_max = 1024 and outstanding = 512 in
+    let elapsed, lat = batch_closed_loop ~n ~count ~window ~batch_max ~outstanding in
+    let cps = float_of_int count /. elapsed in
+    let hist_field =
+      if not hist then ""
+      else begin
+        (* power-of-two µs buckets — the same shape `cluster.exe bench
+           --json` emits, so tooling reads both *)
+        let m = Obs.Metrics.create () in
+        Array.iter
+          (fun l ->
+            Obs.Metrics.observe m "bench.latency_us"
+              (int_of_float (l *. 1e3)))
+          lat;
+        match Obs.Metrics.histogram m "bench.latency_us" with
+        | None -> ""
+        | Some h ->
+          let last = ref 0 in
+          Array.iteri
+            (fun i c -> if c > 0 then last := i)
+            h.Obs.Metrics.buckets;
+          let cells =
+            List.init (!last + 1) (fun i ->
+                string_of_int h.Obs.Metrics.buckets.(i))
+          in
+          Printf.sprintf
+            {|, "latency_us_hist": { "count": %d, "min": %d, "max": %d, "buckets_pow2": [%s] }|}
+            h.Obs.Metrics.h_count h.Obs.Metrics.h_min h.Obs.Metrics.h_max
+            (String.concat ", " cells)
+      end
+    in
+    Array.sort compare lat;
+    Printf.sprintf
+      {|    { "name": "net_smr_batch_n%d", "commands": %d, "window": %d, "batch_max": %d, "outstanding": %d, "commands_per_sec": %.0f, "baseline_net_smr_loopback_n3_per_sec": %.0f, "speedup_vs_unbatched": %.2f, "latency_ms": { "p50": %.3f, "p90": %.3f, "p99": %.3f }%s }|}
+      n count window batch_max outstanding cps base (cps /. base)
+      (percentile lat 0.50) (percentile lat 0.90) (percentile lat 0.99)
+      hist_field
+  in
+  String.concat ",\n"
+    [
+      row ~n:3 ~count:20_000 ~hist:true;
+      row ~n:5 ~count:20_000 ~hist:false;
+      row ~n:7 ~count:20_000 ~hist:false;
+    ]
+
 (* E16 rows: the closed loop of [net_throughput_json] with the nemesis
    dropping frames (Rel retransmitting around it), and one scripted
    partition+heal run reporting the measured Ω reconvergence latency. *)
@@ -817,9 +915,10 @@ let shard_throughput_json () =
 
 let bench_json () =
   Printf.sprintf
-    "{\n  \"suite\": \"weakest-fd-mc\",\n  \"workloads\": [\n%s,\n%s,\n%s,\n%s\n  ]\n}\n"
+    "{\n  \"suite\": \"weakest-fd-mc\",\n  \"workloads\": [\n%s,\n%s,\n%s,\n%s,\n%s\n  ]\n}\n"
     (mc_throughput_json ()) (net_throughput_json ())
-    (chaos_throughput_json ()) (shard_throughput_json ())
+    (batch_throughput_json ()) (chaos_throughput_json ())
+    (shard_throughput_json ())
 
 let benchmark () =
   let ols =
@@ -836,7 +935,20 @@ let benchmark () =
   in
   Analyze.merge ols instances results
 
+(* [--json-only] skips the Bechamel timing pass and just regenerates the
+   machine-readable rows — what CI's bench smoke and local BENCH refreshes
+   want (seconds instead of minutes). *)
+let json_only = Array.exists (fun a -> a = "--json-only") Sys.argv
+
 let () =
+  if json_only then begin
+    let json = bench_json () in
+    let oc = open_out bench_json_file in
+    output_string oc json;
+    close_out oc;
+    Format.printf "throughput rows written to %s@." bench_json_file;
+    exit 0
+  end;
   Format.printf
     "Benchmarks: one group per experiment (E1..E10); times are per full \
      scenario run.@.@.";

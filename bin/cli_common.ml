@@ -1,0 +1,244 @@
+(* Shared plumbing for bin/cluster.ml's subcommands: the per-cluster
+   socket/log namespace, client-side framing for the binary protocol,
+   latency accounting, schedule loading, and the cmdliner specs that
+   demo/node/client/chaos/shard/bench all re-use — one definition per
+   flag, so `--nodes 5` means the same thing everywhere. *)
+
+open Cmdliner
+
+(* ------------------------------------------- per-cluster namespace *)
+
+let node_addr dir i =
+  Unix.ADDR_UNIX (Filename.concat dir (Printf.sprintf "node-%d.sock" i))
+
+let client_addr dir i =
+  Unix.ADDR_UNIX (Filename.concat dir (Printf.sprintf "client-%d.sock" i))
+
+let log_path dir i = Filename.concat dir (Printf.sprintf "log-%d.txt" i)
+let trace_path dir i = Filename.concat dir (Printf.sprintf "trace-%d.jsonl" i)
+
+let node_config ~dir ~self ~n ~period ~window ~batch_max ~tick_ms ~trace =
+  {
+    (Net.Smr_node.default_config ~self
+       ~addrs:(Array.init n (node_addr dir))
+       ~client_addr:(client_addr dir self))
+    with
+    Net.Smr_node.period;
+    window;
+    batch_max;
+    tick_s = float_of_int tick_ms /. 1000.;
+    log_path = Some (log_path dir self);
+    trace_path = (if trace then Some (trace_path dir self) else None);
+  }
+
+(* ------------------------------------------------- client plumbing *)
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let connect_retry addr ~attempts ~delay_s =
+  let rec go k =
+    let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () -> fd
+    | exception Unix.Unix_error (e, _, _) ->
+      close_quiet fd;
+      if k <= 1 then failwith ("connect: " ^ Unix.error_message e)
+      else begin
+        Unix.sleepf delay_s;
+        go (k - 1)
+      end
+  in
+  go attempts
+
+let read_frame_blocking fd =
+  match Net.Wire.read_frame fd with
+  | Some b -> b
+  | None -> failwith "server closed the connection"
+
+(* One command through the binary client protocol: the request frame is
+   the raw payload, the decided reply is varint (seq, slot). *)
+let submit_blocking fd payload =
+  Net.Wire.write_frame fd (Bytes.of_string payload);
+  Net.Smr_node.decode_reply (read_frame_blocking fd)
+
+(* Closed loop: send one command, wait for its decided (seq, slot),
+   repeat.  Returns per-command latencies (seconds), in order. *)
+let closed_loop fd ~count ~prefix ~on_progress =
+  let lats = ref [] in
+  for k = 0 to count - 1 do
+    let t0 = Unix.gettimeofday () in
+    let _seq, _slot = submit_blocking fd (Printf.sprintf "%s-%d" prefix k) in
+    lats := (Unix.gettimeofday () -. t0) :: !lats;
+    on_progress k
+  done;
+  List.rev !lats
+
+(* -------------------------------------------- latency accounting *)
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+
+let print_latencies lats =
+  let a = Array.of_list lats in
+  Array.sort compare a;
+  let total = Array.fold_left ( +. ) 0. a in
+  Printf.printf
+    "commands=%d throughput=%.1f/s p50=%.1fms p90=%.1fms p99=%.1fms\n%!"
+    (Array.length a)
+    (float_of_int (Array.length a) /. total)
+    (1000. *. percentile a 0.50)
+    (1000. *. percentile a 0.90)
+    (1000. *. percentile a 0.99)
+
+(* ------------------------------------------------- file helpers *)
+
+let read_log path =
+  match open_in path with
+  | exception Sys_error _ -> []
+  | ic ->
+    let rec go acc =
+      match input_line ic with
+      | line -> go (line :: acc)
+      | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+    in
+    go []
+
+let rec mkdtemp () =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wfd-cluster-%d-%d" (Unix.getpid ())
+         (Random.int 100000))
+  in
+  match Unix.mkdir path 0o700 with
+  | () -> path
+  | exception Unix.Unix_error (EEXIST, _, _) -> mkdtemp ()
+
+let ensure_dir dir_opt =
+  match dir_opt with
+  | Some d ->
+    (try Unix.mkdir d 0o700 with Unix.Unix_error (EEXIST, _, _) -> ());
+    d
+  | None -> mkdtemp ()
+
+(* ------------------------------------------------- fault schedules *)
+
+let default_schedule n =
+  (* partition a majority {0..⌈n/2⌉-1} away from the rest, then heal *)
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf "at 300 partition";
+  for p = 0 to ((n + 1) / 2) - 1 do
+    Buffer.add_string buf (Printf.sprintf " %d" p)
+  done;
+  Buffer.add_string buf " |";
+  for p = (n + 1) / 2 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf " %d" p)
+  done;
+  Buffer.add_string buf "\nat 900 heal\n";
+  Buffer.contents buf
+
+(* Load + parse a schedule for an [n]-node universe; [what] prefixes
+   diagnostics.  Exits 2 on a missing file or a grammar error. *)
+let load_schedule ~what ~n file_opt =
+  let text =
+    match file_opt with
+    | None -> default_schedule n
+    | Some f -> (
+      match open_in_bin f with
+      | exception Sys_error e ->
+        Printf.eprintf "%s: %s\n%!" what e;
+        Stdlib.exit 2
+      | ic ->
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        s)
+  in
+  match Net.Nemesis.parse_schedule text with
+  | Ok s -> s
+  | Error e ->
+    Printf.eprintf "%s: bad schedule: %s\n%!" what e;
+    Stdlib.exit 2
+
+(* ---------------------------------------------------- arg specs *)
+
+let dir_required =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "dir" ] ~docv:"DIR" ~doc:"Directory for sockets and logs.")
+
+let dir_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dir" ] ~docv:"DIR"
+        ~doc:"Working directory (default: fresh temp dir).")
+
+let n_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of replicas.")
+
+let period_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "period" ] ~docv:"STEPS" ~doc:"Ω heartbeat period (local steps).")
+
+let window_arg ~default =
+  Arg.(
+    value & opt int default
+    & info [ "window" ] ~docv:"W"
+        ~doc:"Consensus instances pipelined in flight (Cons.Smr window).")
+
+let batch_max_arg =
+  Arg.(
+    value & opt int 1024
+    & info [ "batch-max" ] ~docv:"B"
+        ~doc:"Max commands batched into one consensus instance.")
+
+let tick_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "tick" ] ~docv:"MS" ~doc:"Wall-clock milliseconds per idle step.")
+
+let trace_flag =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:"Write per-node JSONL observability traces (on clean shutdown).")
+
+let trace_path_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"PATH" ~doc:"Write the run's JSONL trace here.")
+
+let count_arg =
+  Arg.(
+    value & opt int 40
+    & info [ "count" ] ~docv:"K" ~doc:"Number of commands to submit.")
+
+let seed_arg ~doc = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let rounds_arg =
+  Arg.(
+    value & opt int 2500
+    & info [ "rounds" ] ~docv:"R" ~doc:"Round-robin rounds to drive.")
+
+let cmds_arg ~default ~doc =
+  Arg.(value & opt int default & info [ "cmds" ] ~docv:"K" ~doc)
+
+let cmd_every_arg ~default ~doc =
+  Arg.(value & opt int default & info [ "cmd-every" ] ~docv:"R" ~doc)
+
+let schedule_arg ~doc =
+  Arg.(value & opt (some string) None & info [ "schedule" ] ~docv:"FILE" ~doc)
+
+let target_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "target" ] ~docv:"PID" ~doc:"Replica to submit to.")

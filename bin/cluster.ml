@@ -1,91 +1,32 @@
 (* A real SMR cluster on this machine: one OS process per replica,
-   Unix-domain stream sockets between them, quorum Paxos under an emulated
-   (Ω, Σ) running on heartbeats — no simulator anywhere.
+   Unix-domain stream sockets between them, batched + pipelined quorum
+   Paxos under an emulated (Ω, Σ) running on heartbeats — no simulator
+   anywhere.
 
      dune exec bin/cluster.exe -- demo -n 3 --count 40
      dune exec bin/cluster.exe -- node --self 0 -n 3 --dir /tmp/wfd
      dune exec bin/cluster.exe -- client --dir /tmp/wfd --target 0 --count 10
+     dune exec bin/cluster.exe -- bench -n 3 --clients 8 --duration 5
 
    [demo] spawns the cluster, runs a closed-loop client against node 0,
    SIGKILLs the highest-numbered replica halfway through, and exits 0 iff
    every surviving replica applied the identical command log — the paper's
-   agreement, observed over sockets with a real crash. *)
+   agreement, observed over sockets with a real crash.  [bench] is the
+   load harness (Bench_load): closed- or open-loop multi-client drive
+   with latency histograms.  Shared flags live in Cli_common. *)
 
 open Cmdliner
-
-let node_addr dir i = Unix.ADDR_UNIX (Filename.concat dir (Printf.sprintf "node-%d.sock" i))
-let client_addr dir i = Unix.ADDR_UNIX (Filename.concat dir (Printf.sprintf "client-%d.sock" i))
-let log_path dir i = Filename.concat dir (Printf.sprintf "log-%d.txt" i)
-let trace_path dir i = Filename.concat dir (Printf.sprintf "trace-%d.jsonl" i)
-
-let node_config ~dir ~self ~n ~period ~tick_ms ~trace =
-  {
-    (Net.Smr_node.default_config ~self
-       ~addrs:(Array.init n (node_addr dir))
-       ~client_addr:(client_addr dir self))
-    with
-    Net.Smr_node.period;
-    tick_s = float_of_int tick_ms /. 1000.;
-    log_path = Some (log_path dir self);
-    trace_path = (if trace then Some (trace_path dir self) else None);
-  }
+open Cli_common
 
 (* ---------------------------------------------------------------- node *)
 
-let run_node dir self n period tick_ms trace =
-  Net.Smr_node.serve (node_config ~dir ~self ~n ~period ~tick_ms ~trace)
+let run_node dir self n period window batch_max tick_ms trace =
+  let cfg =
+    node_config ~dir ~self ~n ~period ~window ~batch_max ~tick_ms ~trace
+  in
+  Net.Smr_node.serve (Net.Smr_node.string_impl cfg) cfg
 
 (* -------------------------------------------------------------- client *)
-
-let connect_retry addr ~attempts ~delay_s =
-  let rec go k =
-    let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
-    match Unix.connect fd addr with
-    | () -> fd
-    | exception Unix.Unix_error (e, _, _) ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      if k <= 1 then failwith ("connect: " ^ Unix.error_message e)
-      else begin
-        Unix.sleepf delay_s;
-        go (k - 1)
-      end
-  in
-  go attempts
-
-let read_frame_blocking fd =
-  match Net.Wire.read_frame fd with
-  | Some b -> b
-  | None -> failwith "server closed the connection"
-
-(* Closed loop: send one command, wait for its decided (seq, slot), repeat.
-   Returns per-command latencies (seconds), in order. *)
-let closed_loop fd ~count ~prefix ~on_progress =
-  let lats = ref [] in
-  for k = 0 to count - 1 do
-    let t0 = Unix.gettimeofday () in
-    Net.Wire.write_frame fd (Net.Wire.encode (Printf.sprintf "%s-%d" prefix k));
-    let _seq, _slot = (Net.Wire.decode (read_frame_blocking fd) : int * int) in
-    lats := (Unix.gettimeofday () -. t0) :: !lats;
-    on_progress k
-  done;
-  List.rev !lats
-
-let percentile sorted q =
-  let n = Array.length sorted in
-  if n = 0 then 0.
-  else sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
-
-let print_latencies lats =
-  let a = Array.of_list lats in
-  Array.sort compare a;
-  let total = Array.fold_left ( +. ) 0. a in
-  Printf.printf
-    "commands=%d throughput=%.1f/s p50=%.1fms p90=%.1fms p99=%.1fms\n%!"
-    (Array.length a)
-    (float_of_int (Array.length a) /. total)
-    (1000. *. percentile a 0.50)
-    (1000. *. percentile a 0.90)
-    (1000. *. percentile a 0.99)
 
 let run_client dir target count prefix =
   let fd = connect_retry (client_addr dir target) ~attempts:50 ~delay_s:0.1 in
@@ -95,40 +36,17 @@ let run_client dir target count prefix =
 
 (* ---------------------------------------------------------------- demo *)
 
-let read_log path =
-  match open_in path with
-  | exception Sys_error _ -> []
-  | ic ->
-    let rec go acc =
-      match input_line ic with
-      | line -> go (line :: acc)
-      | exception End_of_file ->
-        close_in ic;
-        List.rev acc
-    in
-    go []
-
-let rec mkdtemp () =
-  let path =
-    Filename.concat
-      (Filename.get_temp_dir_name ())
-      (Printf.sprintf "wfd-cluster-%d-%d" (Unix.getpid ()) (Random.int 100000))
-  in
-  match Unix.mkdir path 0o700 with
-  | () -> path
-  | exception Unix.Unix_error (EEXIST, _, _) -> mkdtemp ()
-
-let run_demo n count period tick_ms trace dir_opt =
+let run_demo n count period window batch_max tick_ms trace dir_opt =
   Random.self_init ();
   if n < 3 then failwith "demo needs n >= 3 (a majority must survive)";
-  let dir = match dir_opt with Some d -> (try Unix.mkdir d 0o700 with Unix.Unix_error (EEXIST,_,_) -> ()); d | None -> mkdtemp () in
-  Printf.printf "demo: n=%d count=%d dir=%s\n%!" n count dir;
+  let dir = ensure_dir dir_opt in
+  Printf.printf "demo: n=%d count=%d window=%d dir=%s\n%!" n count window dir;
   (* spawn replicas *)
   let pids =
     Array.init n (fun i ->
         match Unix.fork () with
         | 0 ->
-          (try run_node dir i n period tick_ms trace
+          (try run_node dir i n period window batch_max tick_ms trace
            with e ->
              Printf.eprintf "node %d died: %s\n%!" i (Printexc.to_string e));
           Stdlib.exit 0
@@ -190,13 +108,15 @@ let run_demo n count period tick_ms trace dir_opt =
   cleanup Sys.sigterm;
   Array.iteri
     (fun i pid ->
-      if i <> victim then try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+      if i <> victim then
+        try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
     pids;
   let final = List.map (fun i -> read_log (log_path dir i)) survivors in
   let identical = List.for_all (fun l -> l = List.hd final) final in
   if not identical then fail "final logs differ";
   let l0 = List.hd logs in
-  Printf.printf "agreement: %d surviving replicas, identical logs, %d entries\n%!"
+  Printf.printf
+    "agreement: %d surviving replicas, identical logs, %d entries\n%!"
     (List.length survivors) (List.length l0);
   if trace then
     List.iter
@@ -212,43 +132,19 @@ let run_demo n count period tick_ms trace dir_opt =
    identical JSONL trace (profile spans excluded) — the replayability the
    CI chaos smoke job diffs. *)
 
-let default_schedule n =
-  (* partition a majority {0..⌈n/2⌉-1} away from the rest, then heal *)
-  let buf = Buffer.create 64 in
-  Buffer.add_string buf "at 300 partition";
-  for p = 0 to ((n + 1) / 2) - 1 do
-    Buffer.add_string buf (Printf.sprintf " %d" p)
-  done;
-  Buffer.add_string buf " |";
-  for p = (n + 1) / 2 to n - 1 do
-    Buffer.add_string buf (Printf.sprintf " %d" p)
-  done;
-  Buffer.add_string buf "\nat 900 heal\n";
-  Buffer.contents buf
-
-let run_chaos n seed rounds period cmds cmd_every schedule_file trace_path =
-  let text =
-    match schedule_file with
-    | None -> default_schedule n
-    | Some f -> (
-      match open_in_bin f with
-      | exception Sys_error e ->
-        Printf.eprintf "chaos: %s\n%!" e;
-        Stdlib.exit 2
-      | ic ->
-        let s = really_input_string ic (in_channel_length ic) in
-        close_in ic;
-        s)
-  in
-  let schedule =
-    match Net.Nemesis.parse_schedule text with
-    | Ok s -> s
-    | Error e ->
-      Printf.eprintf "chaos: bad schedule: %s\n%!" e;
-      Stdlib.exit 2
-  in
+let run_chaos n seed rounds period window cmds cmd_every schedule_file
+    trace_path =
+  let schedule = load_schedule ~what:"chaos" ~n schedule_file in
   let cfg =
-    { (Net.Chaos.default ~n ~schedule) with seed; rounds; period; cmds; cmd_every }
+    {
+      (Net.Chaos.default ~n ~schedule) with
+      seed;
+      rounds;
+      period;
+      window;
+      cmds;
+      cmd_every;
+    }
   in
   let collector = Obs.Collector.create () in
   let report = Net.Chaos.run ~collector cfg in
@@ -263,6 +159,7 @@ let run_chaos n seed rounds period cmds cmd_every schedule_file trace_path =
           ("n", string_of_int n);
           ("seed", string_of_int seed);
           ("rounds", string_of_int rounds);
+          ("window", string_of_int window);
         ]
       collector;
     Printf.printf "trace: %s\n%!" path);
@@ -286,29 +183,10 @@ let run_chaos n seed rounds period cmds cmd_every schedule_file trace_path =
    submits the membership rotation mid-run, then checks quorum reads
    and per-shard log agreement over the final configuration. *)
 
-let run_shard_loopback shards replicas spares seed rounds period cmds cmd_every
-    reconfig_at schedule_file trace_path =
+let run_shard_loopback shards replicas spares seed rounds period cmds
+    cmd_every reconfig_at schedule_file trace_path =
   let universe = replicas + spares in
-  let text =
-    match schedule_file with
-    | None -> default_schedule universe
-    | Some f -> (
-      match open_in_bin f with
-      | exception Sys_error e ->
-        Printf.eprintf "shard: %s\n%!" e;
-        Stdlib.exit 2
-      | ic ->
-        let s = really_input_string ic (in_channel_length ic) in
-        close_in ic;
-        s)
-  in
-  let schedule =
-    match Net.Nemesis.parse_schedule text with
-    | Ok s -> s
-    | Error e ->
-      Printf.eprintf "shard: bad schedule: %s\n%!" e;
-      Stdlib.exit 2
-  in
+  let schedule = load_schedule ~what:"shard" ~n:universe schedule_file in
   let cfg =
     {
       (Shard.Chaos.default ~shards ~replicas ~schedule) with
@@ -340,8 +218,6 @@ let run_shard_loopback shards replicas spares seed rounds period cmds cmd_every
     Printf.printf "trace: %s\n%!" path);
   if not (Shard.Chaos.ok report) then Stdlib.exit 1
 
-let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
-
 let shard_node_addr dir s i =
   Unix.ADDR_UNIX (Filename.concat dir (Printf.sprintf "node-%d-%d.sock" s i))
 
@@ -360,13 +236,7 @@ let run_shard_tcp shards replicas spares count period tick_ms seed keys
     failwith "shard tcp: --reconfig-at needs at least one spare"
   | _ -> ());
   let universe = replicas + spares in
-  let dir =
-    match dir_opt with
-    | Some d ->
-      (try Unix.mkdir d 0o700 with Unix.Unix_error (EEXIST, _, _) -> ());
-      d
-    | None -> mkdtemp ()
-  in
+  let dir = ensure_dir dir_opt in
   Printf.printf "shard: %d shards x %d nodes (tcp) count=%d dir=%s\n%!" shards
     universe count dir;
   let members0 = Sim.Pidset.of_list (List.init replicas Fun.id) in
@@ -423,8 +293,9 @@ let run_shard_tcp shards replicas spares count period tick_ms seed keys
        read_frame_blocking fd
      in
      let submit s (req : Shard.Server.request) =
+       (* writes/reconfigs enter the log; decided replies are binary *)
        let _seq, _slot =
-         (Net.Wire.decode (roundtrip s target.(s) req) : int * int)
+         Net.Smr_node.decode_reply (roundtrip s target.(s) req)
        in
        per_shard.(s) <- per_shard.(s) + 1
      in
@@ -488,8 +359,9 @@ let run_shard_tcp shards replicas spares count period tick_ms seed keys
          | v :: _ when agreed -> Option.map snd v.Shard.Server.rr_value
          | _ ->
            if Unix.gettimeofday () > deadline then
-             fail (Printf.sprintf "no epoch-%d read quorum on shard %d"
-                     epoch.(s) s)
+             fail
+               (Printf.sprintf "no epoch-%d read quorum on shard %d" epoch.(s)
+                  s)
            else begin
              Unix.sleepf 0.05;
              go ()
@@ -507,7 +379,9 @@ let run_shard_tcp shards replicas spares count period tick_ms seed keys
          | got ->
            fail
              (Printf.sprintf "read %S on shard %d: got %s, wanted %S" key s
-                (match got with Some g -> Printf.sprintf "%S" g | None -> "nothing")
+                (match got with
+                | Some g -> Printf.sprintf "%S" g
+                | None -> "nothing")
                 expect))
        sampled;
      Printf.printf "quorum reads: %d keys verified\n%!" (List.length sampled);
@@ -541,36 +415,6 @@ let run_shard_tcp shards replicas spares count period tick_ms seed keys
 
 (* ----------------------------------------------------------- cmdliner *)
 
-let dir_arg =
-  Arg.(
-    required
-    & opt (some string) None
-    & info [ "dir" ] ~docv:"DIR" ~doc:"Directory for sockets and logs.")
-
-let n_arg =
-  Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Number of replicas.")
-
-let period_arg =
-  Arg.(
-    value & opt int 16
-    & info [ "period" ] ~docv:"STEPS" ~doc:"Ω heartbeat period (local steps).")
-
-let tick_arg =
-  Arg.(
-    value & opt int 1
-    & info [ "tick" ] ~docv:"MS" ~doc:"Wall-clock milliseconds per idle step.")
-
-let trace_arg =
-  Arg.(
-    value & flag
-    & info [ "trace" ]
-        ~doc:"Write per-node JSONL observability traces (on clean shutdown).")
-
-let count_arg =
-  Arg.(
-    value & opt int 40
-    & info [ "count" ] ~docv:"K" ~doc:"Number of commands to submit.")
-
 let node_cmd =
   let self =
     Arg.(
@@ -580,14 +424,11 @@ let node_cmd =
   in
   Cmd.v
     (Cmd.info "node" ~doc:"Run one SMR replica (until SIGTERM).")
-    Term.(const run_node $ dir_arg $ self $ n_arg $ period_arg $ tick_arg $ trace_arg)
+    Term.(
+      const run_node $ dir_required $ self $ n_arg $ period_arg
+      $ window_arg ~default:16 $ batch_max_arg $ tick_arg $ trace_flag)
 
 let client_cmd =
-  let target =
-    Arg.(
-      value & opt int 0
-      & info [ "target" ] ~docv:"PID" ~doc:"Replica to submit to.")
-  in
   let prefix =
     Arg.(
       value & opt string "cmd"
@@ -596,16 +437,9 @@ let client_cmd =
   Cmd.v
     (Cmd.info "client"
        ~doc:"Closed-loop client: submit K commands, wait for each decision.")
-    Term.(const run_client $ dir_arg $ target $ count_arg $ prefix)
+    Term.(const run_client $ dir_required $ target_arg $ count_arg $ prefix)
 
 let demo_cmd =
-  let dir_opt =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "dir" ] ~docv:"DIR"
-          ~doc:"Working directory (default: fresh temp dir).")
-  in
   Cmd.v
     (Cmd.info "demo"
        ~doc:
@@ -613,46 +447,66 @@ let demo_cmd =
           closed-loop client, SIGKILL one replica mid-run, verify the \
           survivors applied identical logs.")
     Term.(
-      const run_demo $ n_arg $ count_arg $ period_arg $ tick_arg $ trace_arg
+      const run_demo $ n_arg $ count_arg $ period_arg $ window_arg ~default:16
+      $ batch_max_arg $ tick_arg $ trace_flag $ dir_opt)
+
+let bench_cmd =
+  let clients =
+    Arg.(
+      value & opt int 8
+      & info [ "clients" ] ~docv:"C" ~doc:"Concurrent client connections.")
+  in
+  let outstanding =
+    Arg.(
+      value & opt int 64
+      & info [ "outstanding" ] ~docv:"K"
+          ~doc:"Closed loop: requests kept in flight per connection.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 0.
+      & info [ "rate" ] ~docv:"R"
+          ~doc:
+            "Open loop: issue R requests/s across all connections on a \
+             fixed schedule (0 = closed loop).")
+  in
+  let duration =
+    Arg.(
+      value & opt float 5.
+      & info [ "duration" ] ~docv:"S" ~doc:"Measurement window, seconds.")
+  in
+  let size =
+    Arg.(
+      value & opt int 32
+      & info [ "size" ] ~docv:"B" ~doc:"Command payload size, bytes (>= 8).")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:
+            "Write a JSONL report here: one meta record, one metrics \
+             record carrying the bench.latency_us histogram.")
+  in
+  let run n clients outstanding rate duration size period window batch_max
+      tick_ms json dir_opt =
+    Bench_load.run ~n ~clients ~outstanding ~rate ~duration ~size ~period
+      ~window ~batch_max ~tick_ms ~json ~dir_opt
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Load harness: spawn an n-replica cluster, drive node 0 with C \
+          multiplexed connections — closed loop (saturating, K in flight \
+          per connection) or open loop (--rate, coordinated-omission \
+          free) — and report throughput plus a latency histogram.")
+    Term.(
+      const run $ n_arg $ clients $ outstanding $ rate $ duration $ size
+      $ period_arg $ window_arg ~default:16 $ batch_max_arg $ tick_arg $ json
       $ dir_opt)
 
 let chaos_cmd =
-  let seed =
-    Arg.(
-      value & opt int 0
-      & info [ "seed" ] ~docv:"SEED" ~doc:"Nemesis RNG seed.")
-  in
-  let rounds =
-    Arg.(
-      value & opt int 2500
-      & info [ "rounds" ] ~docv:"R" ~doc:"Round-robin rounds to drive.")
-  in
-  let cmds =
-    Arg.(
-      value & opt int 20
-      & info [ "cmds" ] ~docv:"K" ~doc:"Client commands submitted over the run.")
-  in
-  let cmd_every =
-    Arg.(
-      value & opt int 100
-      & info [ "cmd-every" ] ~docv:"R"
-          ~doc:"Rounds between command submissions.")
-  in
-  let schedule =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "schedule" ] ~docv:"FILE"
-          ~doc:
-            "Fault schedule (docs/FAULTS.md grammar). Default: partition a \
-             majority at round 300, heal at 900.")
-  in
-  let trace =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "trace" ] ~docv:"PATH" ~doc:"Write the run's JSONL trace here.")
-  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
@@ -662,8 +516,16 @@ let chaos_cmd =
           iff every invariant held. Deterministic: same seed and schedule \
           replay bit-for-bit.")
     Term.(
-      const run_chaos $ n_arg $ seed $ rounds $ period_arg $ cmds $ cmd_every
-      $ schedule $ trace)
+      const run_chaos $ n_arg
+      $ seed_arg ~doc:"Nemesis RNG seed."
+      $ rounds_arg $ period_arg $ window_arg ~default:4
+      $ cmds_arg ~default:20 ~doc:"Client commands submitted over the run."
+      $ cmd_every_arg ~default:100 ~doc:"Rounds between command submissions."
+      $ schedule_arg
+          ~doc:
+            "Fault schedule (docs/FAULTS.md grammar). Default: partition a \
+             majority at round 300, heal at 900."
+      $ trace_path_arg)
 
 let shard_cmd =
   let transport =
@@ -692,29 +554,6 @@ let shard_cmd =
       & info [ "spares" ] ~docv:"K"
           ~doc:"Extra replicas per shard installable by reconfiguration.")
   in
-  let seed =
-    Arg.(
-      value & opt int 0
-      & info [ "seed" ] ~docv:"SEED" ~doc:"Nemesis / Zipfian RNG seed.")
-  in
-  let rounds =
-    Arg.(
-      value & opt int 2500
-      & info [ "rounds" ] ~docv:"R"
-          ~doc:"Loopback: round-robin rounds to drive.")
-  in
-  let cmds =
-    Arg.(
-      value & opt int 40
-      & info [ "cmds" ] ~docv:"K"
-          ~doc:"Writes submitted over the run (loopback and tcp).")
-  in
-  let cmd_every =
-    Arg.(
-      value & opt int 50
-      & info [ "cmd-every" ] ~docv:"R"
-          ~doc:"Loopback: rounds between write submissions.")
-  in
   let reconfig_at =
     Arg.(
       value
@@ -725,33 +564,10 @@ let shard_cmd =
              install a spare) at this round (loopback) or before this \
              command index (tcp).")
   in
-  let schedule =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "schedule" ] ~docv:"FILE"
-          ~doc:
-            "Loopback: per-shard fault schedule (docs/FAULTS.md grammar). \
-             Default: partition a majority at round 300, heal at 900.")
-  in
-  let trace =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "trace" ] ~docv:"PATH"
-          ~doc:"Loopback: write the run's JSONL trace here.")
-  in
   let keys =
     Arg.(
       value & opt int 64
       & info [ "keys" ] ~docv:"K" ~doc:"Zipfian key-space size.")
-  in
-  let dir_opt =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "dir" ] ~docv:"DIR"
-          ~doc:"Tcp: working directory (default: fresh temp dir).")
   in
   let run transport shards replicas spares seed rounds period cmds cmd_every
       reconfig_at schedule trace keys tick_ms dir_opt =
@@ -773,9 +589,19 @@ let shard_cmd =
           invariant held; tcp mode deploys real processes and verifies \
           quorum reads and per-shard log agreement.")
     Term.(
-      const run $ transport $ shards $ replicas $ spares $ seed $ rounds
-      $ period_arg $ cmds $ cmd_every $ reconfig_at $ schedule $ trace $ keys
-      $ tick_arg $ dir_opt)
+      const run $ transport $ shards $ replicas $ spares
+      $ seed_arg ~doc:"Nemesis / Zipfian RNG seed."
+      $ rounds_arg $ period_arg
+      $ cmds_arg ~default:40
+          ~doc:"Writes submitted over the run (loopback and tcp)."
+      $ cmd_every_arg ~default:50
+          ~doc:"Loopback: rounds between write submissions."
+      $ reconfig_at
+      $ schedule_arg
+          ~doc:
+            "Loopback: per-shard fault schedule (docs/FAULTS.md grammar). \
+             Default: partition a majority at round 300, heal at 900."
+      $ trace_path_arg $ keys $ tick_arg $ dir_opt)
 
 let () =
   let info =
@@ -784,4 +610,5 @@ let () =
   in
   Stdlib.exit
     (Cmd.eval
-       (Cmd.group info [ node_cmd; client_cmd; demo_cmd; chaos_cmd; shard_cmd ]))
+       (Cmd.group info
+          [ node_cmd; client_cmd; demo_cmd; bench_cmd; chaos_cmd; shard_cmd ]))

@@ -14,7 +14,17 @@
     operations (each itself two quorum round-trips). *)
 
 type 'v state
-type 'v msg
+
+(** The message vocabulary is public so hosts can give it a binary wire
+    representation (see [Net.Codecs]); treat it as read-only — construct
+    and interpret these only inside this module. *)
+type 'v msg =
+  | Prepare of int
+  | Promise of int * (int * 'v) option
+  | Propose of int * 'v
+  | Accept of int
+  | Nack of int
+  | Decide of 'v
 
 (** Failure detector input: (Ω leader, Σ quorum).  Inputs: proposals.
     Outputs: each process's decision, exactly once. *)

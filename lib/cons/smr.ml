@@ -1,62 +1,119 @@
 module Int_map = Map.Make (Int)
+module Int_set = Set.Make (Int)
+
+module Key = struct
+  type t = int * int (* origin, seq *)
+
+  let compare = compare
+end
+
+module Key_set = Set.Make (Key)
+
+(* The pending queue sees one push per submitted command and one pop per
+   batched command, at every replica — it must be O(1) amortised, not
+   [xs @ [x]].  Classic two-list functional queue; [push_front_list]
+   exists for re-queueing lost proposals ahead of newer commands. *)
+module Fq = struct
+  type 'a t = { front : 'a list; back : 'a list (* newest first *) }
+
+  let empty = { front = []; back = [] }
+  let is_empty q = q.front = [] && q.back = []
+  let length q = List.length q.front + List.length q.back
+  let push q x = { q with back = x :: q.back }
+  let push_front_list xs q = { q with front = xs @ q.front }
+
+  let pop q =
+    match q.front with
+    | x :: front -> Some (x, { q with front })
+    | [] -> (
+      match List.rev q.back with
+      | [] -> None
+      | x :: front -> Some (x, { front; back = [] }))
+
+  let filter f q = { front = List.filter f q.front; back = List.filter f q.back }
+end
 
 type 'c cmd = { origin : Sim.Pid.t; seq : int; payload : 'c }
 
+(* One consensus instance decides a *batch* of commands: the proposer
+   drains its whole pending queue (up to [batch_max]) into one instance,
+   so quorum round-trips are amortised over many commands.  [Submit] is
+   batched for the same reason: every command accepted between two steps
+   rides one announcement frame, not one frame each. *)
 type 'c msg =
-  | Submit of 'c cmd
-  | Inner of int * 'c cmd Quorum_paxos.msg
+  | Submit of 'c cmd list
+  | Inner of int * 'c cmd list Quorum_paxos.msg
 
 type 'c state = {
   self : Sim.Pid.t;
-  pending : 'c cmd list;  (* known, undecided; oldest first *)
-  decided : 'c cmd Int_map.t;  (* slot -> decided command *)
-  applied : int;  (* slots [0 .. applied-1] have been output *)
-  instances : 'c cmd Quorum_paxos.state Int_map.t;
-  proposed_to : int;  (* highest slot we fed a proposal; -1 if none *)
+  window : int;  (* max in-flight instances we propose to *)
+  batch_max : int;  (* max commands per proposed batch *)
+  pending : 'c cmd Fq.t;  (* known, not yet proposed by us; oldest first *)
+  announce : 'c cmd list;  (* accepted since our last step; newest first *)
+  known : Key_set.t;  (* every command ever seen (dup suppression) *)
+  inflight : 'c cmd list Int_map.t;  (* instance -> our undecided proposal *)
+  decided : 'c cmd list Int_map.t;  (* instance -> decided batch *)
+  active : Int_set.t;  (* undecided instances — the idle-step working set *)
+  applied_inst : int;  (* instances [0 .. applied_inst-1] applied *)
+  applied : int;  (* commands output so far = log length *)
+  applied_keys : Key_set.t;  (* exactly-once guard across instances *)
+  instances : 'c cmd list Quorum_paxos.state Int_map.t;
   next_seq : int;
+  tick : int;  (* idle steps taken — the ballot-retry backoff clock *)
 }
 
+let key c = (c.origin, c.seq)
+
 let applied st = st.applied
-let backlog st = List.length st.pending
+let applied_instances st = st.applied_inst
+
+let backlog st =
+  Fq.length st.pending
+  + Int_map.fold (fun _ b acc -> List.length b + acc) st.inflight 0
+
 let submitted st = st.next_seq
+let instances_touched st = Int_map.cardinal st.instances
 
 let slot_of_msg = function Submit _ -> None | Inner (k, _) -> Some k
 
-(* The gapless decided prefix from [from] (exclusive of gaps): what a
-   snapshot reply carries.  Bounded by [limit] entries so one reply frame
-   stays small; the requester asks again from where it got to. *)
+(* The gapless decided run of *instances* from [from]: what a snapshot
+   reply carries.  [limit] bounds the command count (not the instance
+   count) so one reply frame stays small; the requester asks again from
+   where it got to. *)
 let decided_from ?(limit = 512) st ~from =
   let rec go k left acc =
-    if left = 0 then List.rev acc
+    if left <= 0 then List.rev acc
     else
       match Int_map.find_opt k st.decided with
-      | Some c -> go (k + 1) (left - 1) ((k, c) :: acc)
+      | Some b -> go (k + 1) (left - max 1 (List.length b)) ((k, b) :: acc)
       | None -> List.rev acc
   in
   go (max 0 from) limit []
 
 let inner :
-    ('c cmd Quorum_paxos.state, 'c cmd Quorum_paxos.msg,
-     Sim.Pid.t * Sim.Pidset.t, 'c cmd, 'c cmd)
+    ('c cmd list Quorum_paxos.state, 'c cmd list Quorum_paxos.msg,
+     Sim.Pid.t * Sim.Pidset.t, 'c cmd list, 'c cmd list)
     Sim.Protocol.t =
   Quorum_paxos.protocol
 
-let init ~n:_ self =
+let init ~window ~batch_max ~n:_ self =
   {
     self;
-    pending = [];
+    window;
+    batch_max;
+    pending = Fq.empty;
+    announce = [];
+    known = Key_set.empty;
+    inflight = Int_map.empty;
     decided = Int_map.empty;
+    active = Int_set.empty;
+    applied_inst = 0;
     applied = 0;
+    applied_keys = Key_set.empty;
     instances = Int_map.empty;
-    proposed_to = -1;
     next_seq = 0;
+    tick = 0;
   }
-
-let cmd_eq a b = Sim.Pid.equal a.origin b.origin && a.seq = b.seq
-
-let know st c =
-  List.exists (cmd_eq c) st.pending
-  || Int_map.exists (fun _ d -> cmd_eq d c) st.decided
 
 let retag k acts =
   List.filter_map
@@ -68,112 +125,237 @@ let retag k acts =
       | Sim.Protocol.Output _ -> None)
     acts
 
-(* Emit decided entries in slot order as far as the log is gapless. *)
+(* Emit decided batches in instance order as far as the log is gapless,
+   numbering surviving commands with consecutive log indices.  A command
+   can be decided by two different instances when leadership changes
+   mid-batch (the Paxos value-inheritance rule can resurrect a batch its
+   proposer already re-proposed elsewhere), so each command applies
+   exactly once: the second decision is skipped here, by key. *)
 let apply_ready st =
   let rec loop st acc =
-    match Int_map.find_opt st.applied st.decided with
-    | Some c ->
-      loop { st with applied = st.applied + 1 } ((st.applied, c) :: acc)
+    match Int_map.find_opt st.applied_inst st.decided with
     | None -> (st, List.rev acc)
+    | Some batch ->
+      let st, acc =
+        List.fold_left
+          (fun (st, acc) c ->
+            if Key_set.mem (key c) st.applied_keys then (st, acc)
+            else
+              let idx = st.applied in
+              ( {
+                  st with
+                  applied = idx + 1;
+                  applied_keys = Key_set.add (key c) st.applied_keys;
+                },
+                (idx, c) :: acc ))
+          (st, acc) batch
+      in
+      loop { st with applied_inst = st.applied_inst + 1 } acc
   in
-  let st, entries = loop st [] in
-  (st, List.map (fun (k, c) -> Sim.Protocol.Output (k, c)) entries)
+  loop st []
+
+(* Record instance [k]'s decision.  Commands of ours that lost (we
+   proposed them at [k] but a competing leader's batch won) go back to
+   the *front* of pending — they are older than anything still queued. *)
+let record_decision st k batch =
+  if Int_map.mem k st.decided then st
+  else begin
+    let keys =
+      List.fold_left (fun s c -> Key_set.add (key c) s) Key_set.empty batch
+    in
+    let in_batch c = Key_set.mem (key c) keys in
+    let lost =
+      match Int_map.find_opt k st.inflight with
+      | None -> []
+      | Some mine -> List.filter (fun c -> not (in_batch c)) mine
+    in
+    {
+      st with
+      decided = Int_map.add k batch st.decided;
+      inflight = Int_map.remove k st.inflight;
+      active = Int_set.remove k st.active;
+      known = Key_set.union st.known keys;
+      pending =
+        Fq.push_front_list lost
+          (Fq.filter (fun c -> not (in_batch c)) st.pending);
+    }
+  end
 
 let run_instance ctx st k event =
-  let ist =
+  let ist, st =
     match Int_map.find_opt k st.instances with
-    | Some s -> s
-    | None -> inner.Sim.Protocol.init ~n:ctx.Sim.Protocol.n st.self
+    | Some s -> (s, st)
+    | None ->
+      let s = inner.Sim.Protocol.init ~n:ctx.Sim.Protocol.n st.self in
+      let st =
+        if Int_map.mem k st.decided then st
+        else { st with active = Int_set.add k st.active }
+      in
+      (s, st)
   in
   let ist, acts =
     match event with
     | `Step recv -> inner.Sim.Protocol.on_step ctx ist recv
-    | `Input c -> inner.Sim.Protocol.on_input ctx ist c
+    | `Input b -> inner.Sim.Protocol.on_input ctx ist b
   in
   let st = { st with instances = Int_map.add k ist st.instances } in
   let decision =
     List.find_map
       (fun a ->
         match a with
-        | Sim.Protocol.Output c -> Some c
+        | Sim.Protocol.Output b -> Some b
         | Sim.Protocol.Send _ | Sim.Protocol.Broadcast _ -> None)
       acts
   in
   let st, outs =
     match decision with
-    | Some c when not (Int_map.mem k st.decided) ->
-      let st =
-        {
-          st with
-          decided = Int_map.add k c st.decided;
-          pending = List.filter (fun p -> not (cmd_eq p c)) st.pending;
-        }
-      in
-      apply_ready st
+    | Some b when not (Int_map.mem k st.decided) ->
+      let st, entries = apply_ready (record_decision st k b) in
+      (st, List.map (fun (i, c) -> Sim.Protocol.Output (i, c)) entries)
     | Some _ | None -> (st, [])
   in
   (st, retag k acts @ outs)
 
-(* Install decided entries received in a snapshot.  Idempotent: slots
+(* Install decided batches received in a snapshot.  Idempotent: instances
    already decided are left untouched (consensus already fixed them — a
-   well-formed snapshot necessarily agrees), so replayed or overlapping
-   snapshots are harmless and a command can never be applied twice.
-   Returns the entries that became applicable, in slot order, for the
-   caller to emit as outputs. *)
+   well-formed snapshot necessarily agrees), and the apply-time key guard
+   means a command can never be applied twice even across overlapping
+   snapshots.  Returns the log entries that became applicable, in order. *)
 let install st entries =
   let st =
     List.fold_left
-      (fun st (k, c) ->
-        if k < 0 || Int_map.mem k st.decided then st
-        else
-          {
-            st with
-            decided = Int_map.add k c st.decided;
-            pending = List.filter (fun p -> not (cmd_eq p c)) st.pending;
-          })
+      (fun st (k, b) -> if k < 0 then st else record_decision st k b)
       st entries
   in
-  let rec drain st acc =
-    match Int_map.find_opt st.applied st.decided with
-    | Some c -> drain { st with applied = st.applied + 1 } ((st.applied, c) :: acc)
-    | None -> (st, List.rev acc)
+  apply_ready st
+
+(* The next instance to propose to: the smallest one with no decision and
+   no proposal of ours in flight.  Gaps first, so a stalled instance left
+   behind by a dead leader gets refilled before the log grows past it. *)
+let next_open st =
+  let rec loop k =
+    if Int_map.mem k st.decided || Int_map.mem k st.inflight then loop (k + 1)
+    else k
   in
-  drain st []
+  loop st.applied_inst
 
-(* The next slot to fill: the first slot with no decision yet. *)
-let next_slot st =
-  let rec loop k = if Int_map.mem k st.decided then loop (k + 1) else k in
-  loop st.applied
-
-let drive ctx st =
-  let k = next_slot st in
-  match st.pending with
-  | c :: _ when st.proposed_to < k ->
-    let st = { st with proposed_to = k } in
-    run_instance ctx st k (`Input c)
-  | _ :: _ | [] -> (st, [])
+(* Propose batches while commands are pending, Ω points at us, and the
+   pipeline window has room.  Non-leaders hold commands in pending — the
+   inner protocol would never start their ballots anyway, and parking a
+   batch in a losing inflight slot just to reclaim it on every decision
+   made the follower hot path O(backlog).  Commands already applied via
+   someone else's batch are pruned lazily, as they reach the queue's
+   head — never by filtering the whole queue. *)
+let rec drive ctx st =
+  let omega, _ = ctx.Sim.Protocol.fd in
+  if
+    (not (Sim.Pid.equal omega st.self))
+    || Fq.is_empty st.pending
+    || Int_map.cardinal st.inflight >= st.window
+  then (st, [])
+  else begin
+    let rec split i acc pending =
+      if i >= st.batch_max then (List.rev acc, pending)
+      else
+        match Fq.pop pending with
+        | None -> (List.rev acc, pending)
+        | Some (c, rest) ->
+          if Key_set.mem (key c) st.applied_keys then split i acc rest
+          else split (i + 1) (c :: acc) rest
+    in
+    let batch, rest = split 0 [] st.pending in
+    let st = { st with pending = rest } in
+    if batch = [] then drive ctx st
+    else begin
+      let k = next_open st in
+      let st = { st with inflight = Int_map.add k batch st.inflight } in
+      let st, acts = run_instance ctx st k (`Input batch) in
+      let st, more = drive ctx st in
+      (st, acts @ more)
+    end
+  end
 
 let on_step ctx st recv =
   let st, acts1 =
     match recv with
-    | Some (_, Submit c) ->
-      if know st c then (st, [])
-      else ({ st with pending = st.pending @ [ c ] }, [])
+    | Some (_, Submit cs) ->
+      ( List.fold_left
+          (fun st c ->
+            if Key_set.mem (key c) st.known then st
+            else
+              {
+                st with
+                pending = Fq.push st.pending c;
+                known = Key_set.add (key c) st.known;
+              })
+          st cs,
+        [] )
     | Some (from, Inner (k, m)) -> run_instance ctx st k (`Step (Some (from, m)))
     | None ->
-      (* Idle step for the slot being decided, so leaders make progress. *)
-      let k = next_slot st in
-      if Int_map.mem k st.instances then run_instance ctx st k (`Step None)
-      else (st, [])
+      (* Idle step for every undecided instance we know of (≤ window plus
+         stragglers — never the full instance history), so leaders make
+         progress on the whole pipeline window at once.
+
+         Ballot-retry backoff: an instance that already burned ballots is
+         only idle-stepped every few ticks, the interval growing with the
+         failure count and staggered by pid so two processes that both
+         briefly trust themselves stop trading Prepare/Nack storms at
+         full step rate.  Only *starting* a ballot rides the idle step;
+         quorum completion fires on message arrival and is never
+         delayed. *)
+      let tick = st.tick + 1 in
+      let st = { st with tick } in
+      Int_set.fold
+        (fun k (st, acc) ->
+          let interval =
+            match Int_map.find_opt k st.instances with
+            | None -> 1
+            | Some ist ->
+              1 + min 63 (Quorum_paxos.ballots_started ist * (st.self + 1))
+          in
+          if tick mod interval <> 0 then (st, acc)
+          else
+            let st, acts = run_instance ctx st k (`Step None) in
+            (st, acc @ acts))
+        st.active (st, [])
   in
   let st, acts2 = drive ctx st in
-  (st, acts1 @ acts2)
+  (* flush the submit announcements accumulated since the last step *)
+  let st, acts3 =
+    match st.announce with
+    | [] -> (st, [])
+    | cs ->
+      ( { st with announce = [] },
+        [ Sim.Protocol.Broadcast (Submit (List.rev cs)) ] )
+  in
+  (st, acts1 @ acts2 @ acts3)
 
 let on_input _ctx st payload =
   let c = { origin = st.self; seq = st.next_seq; payload } in
   let st =
-    { st with next_seq = st.next_seq + 1; pending = st.pending @ [ c ] }
+    {
+      st with
+      next_seq = st.next_seq + 1;
+      pending = Fq.push st.pending c;
+      announce = c :: st.announce;
+      known = Key_set.add (key c) st.known;
+    }
   in
-  (st, [ Sim.Protocol.Broadcast (Submit c) ])
+  (st, [])
 
-let protocol = { Sim.Protocol.init; on_step; on_input }
+let default_batch_max = 1024
+
+let make ?(window = 1) ?(batch_max = default_batch_max) () =
+  if window < 1 then invalid_arg "Cons.Smr.make: window must be >= 1";
+  if batch_max < 1 then invalid_arg "Cons.Smr.make: batch_max must be >= 1";
+  { Sim.Protocol.init = init ~window ~batch_max; on_step; on_input }
+
+(* Eta-expanded (not [make ()]) to stay polymorphic under the value
+   restriction. *)
+let protocol =
+  {
+    Sim.Protocol.init =
+      (fun ~n self -> init ~window:1 ~batch_max:default_batch_max ~n self);
+    on_step;
+    on_input;
+  }

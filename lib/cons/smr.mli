@@ -4,12 +4,24 @@
     registers".
 
     Clients submit commands; submissions are disseminated to every
-    process; one consensus instance per log slot decides the command
-    sequence; every process applies (outputs) decided entries in slot
-    order.  Two processes therefore apply identical command sequences —
-    which is exactly what makes any deterministic object, registers
-    included, implementable on top (see [Smr_register] in the tests and
-    the replicated-counter example).
+    process; consensus instances decide *batches* of commands (the
+    proposer drains its pending queue, up to [batch_max], into one
+    instance — quorum round-trips amortise over many commands); every
+    process applies decided batches in instance order and numbers the
+    surviving commands with consecutive log indices.  Two processes
+    therefore apply identical command sequences — which is exactly what
+    makes any deterministic object, registers included, implementable on
+    top (see [Smr_register] in the tests and the replicated-counter
+    example).
+
+    With [window] > 1 the proposer keeps up to [window] instances in
+    flight (pipelining): a slow quorum round-trip no longer serialises
+    throughput.  Decisions may then land out of order; application is
+    still strictly in instance order, and a command decided by two
+    different instances (possible under leadership churn, because Paxos
+    value inheritance can resurrect a batch its proposer already
+    re-proposed) is applied exactly once — an apply-time key guard skips
+    the second decision.
 
     The consensus box is the (Ω, Σ) quorum Paxos, so SMR runs in any
     environment. *)
@@ -19,18 +31,46 @@
 type 'c cmd = { origin : Sim.Pid.t; seq : int; payload : 'c }
 
 type 'c state
-type 'c msg
 
-(** Outputs: decided log entries, emitted by every process in slot order
-    (slot, command). *)
+(** Public so hosts can give the message tower a binary wire
+    representation (see [Net.Codecs]); treat it as read-only. *)
+type 'c msg =
+  | Submit of 'c cmd list
+      (** every command accepted between two steps, one frame *)
+  | Inner of int * 'c cmd list Quorum_paxos.msg
+
+(** Outputs: decided log entries, emitted by every process in log order
+    (log index, command) — indices are consecutive from 0 regardless of
+    batch boundaries. *)
 val protocol :
   ('c state, 'c msg, Sim.Pid.t * Sim.Pidset.t, 'c, int * 'c cmd)
   Sim.Protocol.t
 
-(** Number of log slots a process has applied — exposed for tests. *)
+(** [make ~window ~batch_max ()] — the configurable instantiation.
+    [window] (default 1) caps in-flight instances; [batch_max] (default
+    1024) caps commands per batch.  {!protocol} is [make ()].
+
+    Safety note for hosts that derive configuration from the log itself
+    ([Shard.Replica]): the epoch-handoff argument requires every proposer
+    of instance [j] to have applied the same prefix, which holds only at
+    [window = 1].  Static-membership hosts ([Net.Smr_node]) may pipeline
+    freely. *)
+val make :
+  ?window:int ->
+  ?batch_max:int ->
+  unit ->
+  ('c state, 'c msg, Sim.Pid.t * Sim.Pidset.t, 'c, int * 'c cmd)
+  Sim.Protocol.t
+
+(** Number of log entries (commands) a process has applied. *)
 val applied : 'c state -> int
 
-(** Commands known to a process but not yet decided. *)
+(** Number of consensus instances applied — the cursor snapshot exchange
+    runs on ({!decided_from} / {!install} are instance-granular). *)
+val applied_instances : 'c state -> int
+
+(** Commands known to a process but not yet decided (pending + in-flight
+    proposals). *)
 val backlog : 'c state -> int
 
 (** Number of commands this process has submitted via [on_input] — the next
@@ -38,28 +78,36 @@ val backlog : 'c state -> int
     submission with its decided log entry. *)
 val submitted : 'c state -> int
 
+(** Number of consensus instances this process has participated in (as
+    proposer or acceptor) — exposed so tests can assert that idle ticks
+    and empty queues burn no instances. *)
+val instances_touched : 'c state -> int
+
 (** {2 Snapshot plumbing}
 
     Log catch-up for processes that missed decisions (a partitioned
     straggler, a member installed by a reconfiguration): any process can
     serve its gapless decided prefix, and the receiver installs it without
-    re-running consensus — the decided slots are already fixed.
+    re-running consensus — the decided instances are already fixed.
     [Shard.Replica] builds its snapshot-request / snapshot-reply exchange
     on these. *)
 
-(** [slot_of_msg m] is the consensus-instance slot an inner message
-    belongs to ([None] for command dissemination) — how a host protocol
-    notices it is lagging behind the slots its peers are working on. *)
+(** [slot_of_msg m] is the consensus instance an inner message belongs to
+    ([None] for command dissemination) — how a host protocol notices it is
+    lagging behind the instances its peers are working on. *)
 val slot_of_msg : 'c msg -> int option
 
-(** [decided_from st ~from] is the gapless run of decided entries starting
-    at slot [from], at most [limit] (default 512) entries — the payload of
-    one snapshot reply. *)
-val decided_from : ?limit:int -> 'c state -> from:int -> (int * 'c cmd) list
+(** [decided_from st ~from] is the gapless run of decided batches starting
+    at instance [from]; [limit] (default 512) bounds the total *command*
+    count so one snapshot-reply frame stays small. *)
+val decided_from :
+  ?limit:int -> 'c state -> from:int -> (int * 'c cmd list) list
 
-(** [install st entries] records decided entries from a snapshot.
-    Idempotent — already-decided slots are untouched, so overlapping or
-    replayed snapshots can never apply a command twice.  Returns the
-    entries that became applicable (in slot order) for the host to emit
-    as outputs. *)
-val install : 'c state -> (int * 'c cmd) list -> 'c state * (int * 'c cmd) list
+(** [install st entries] records decided batches from a snapshot.
+    Idempotent — already-decided instances are untouched and the
+    apply-time key guard holds across overlapping or replayed snapshots,
+    so a command can never be applied twice.  Returns the log entries
+    that became applicable (in log order) for the host to emit as
+    outputs. *)
+val install :
+  'c state -> (int * 'c cmd list) list -> 'c state * (int * 'c cmd) list

@@ -14,7 +14,10 @@
     not implementable for free in such environments. *)
 module Sigma_majority : sig
   type state
-  type msg
+
+  (** Public so hosts can give it a binary wire representation
+      ([Net.Codecs]); treat it as read-only. *)
+  type msg = Join of int | Ack of int
 
   val detector : (state, msg, Sim.Pidset.t) Sim.Layered.emulated
 
@@ -82,7 +85,10 @@ end
     eventually trusts the same smallest correct process. *)
 module Omega_heartbeat : sig
   type state
-  type msg
+
+  (** Public so hosts can give it a binary wire representation
+      ([Net.Codecs]); treat it as read-only. *)
+  type msg = Alive
 
   (** [detector ~period] emits a heartbeat every [period] local steps.
       The initial timeout is [4 * period]; each false suspicion bumps the

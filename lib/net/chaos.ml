@@ -3,6 +3,7 @@ type config = {
   seed : int;
   rounds : int;
   period : int;
+  window : int;
   schedule : Nemesis.schedule;
   cmds : int;
   cmd_every : int;
@@ -18,6 +19,7 @@ let default ~n ~schedule =
     seed = 0;
     rounds = 2_500;
     period = 16;
+    window = 4;
     schedule;
     cmds = 20;
     cmd_every = 100;
@@ -96,7 +98,8 @@ let run ?collector cfg =
     Rel.transport r
   in
   let cluster =
-    Local.create ~period:cfg.period ~sink:(fun _ -> sink) ~wrap ~n:cfg.n ()
+    Local.create ~period:cfg.period ~window:cfg.window ~sink:(fun _ -> sink)
+      ~wrap ~n:cfg.n ()
   in
   let hub = Local.hub cluster in
   let alive p = not (Loopback.crashed hub p) in

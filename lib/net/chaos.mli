@@ -30,6 +30,7 @@ type config = {
   seed : int;  (** nemesis RNG seed *)
   rounds : int;  (** round-robin rounds to drive *)
   period : int;  (** Ω heartbeat period, in node steps *)
+  window : int;  (** {!Cons.Smr} pipelining window on every replica *)
   schedule : Nemesis.schedule;
   cmds : int;  (** client commands submitted over the run *)
   cmd_every : int;  (** rounds between command submissions *)
@@ -39,9 +40,10 @@ type config = {
   resend_every : int;  (** {!Rel} retransmission period, in polls *)
 }
 
-(** Defaults sized for the demo: 2500 rounds, period 16, 20 commands
-    every 100 rounds, checks every 50, watchdog 800, heal bound 1200,
-    resend every 8 polls. *)
+(** Defaults sized for the demo: 2500 rounds, period 16, window 4
+    (so the invariants are checked over the {e pipelined} replica),
+    20 commands every 100 rounds, checks every 50, watchdog 800,
+    heal bound 1200, resend every 8 polls. *)
 val default : n:int -> schedule:Nemesis.schedule -> config
 
 type heal = {

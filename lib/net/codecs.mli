@@ -1,0 +1,25 @@
+(** Binary wire codecs for the deployed SMR stack's message tower:
+    commands, command batches, quorum-Paxos messages, and the full
+    layered node message ((Ω, Σ) detector traffic + SMR traffic) — every
+    frame the string SMR cluster puts on the wire, without Marshal.
+
+    All builders are parametric in the command-payload codec; the payload
+    travels as a length-prefixed nested value, so any payload codec
+    composes (the string node uses {!Wire.string_c}).  Layout tables live
+    in docs/NET.md. *)
+
+(** [cmd pc] — one command: origin, seq, nested payload. *)
+val cmd : 'c Wire.codec -> 'c Cons.Smr.cmd Wire.codec
+
+(** [smr_msg pc] — SMR dissemination and consensus-instance traffic. *)
+val smr_msg : 'c Wire.codec -> 'c Cons.Smr.msg Wire.codec
+
+(** [pmsg pc] — the whole node message of {!Smr_node.protocol}: detector
+    heartbeats / join-quorum traffic and SMR traffic under one tag. *)
+val pmsg :
+  'c Wire.codec ->
+  ((Fd.Emulated.Omega_heartbeat.msg, Fd.Emulated.Sigma_majority.msg)
+     Sim.Layered.wire,
+   'c Cons.Smr.msg)
+  Sim.Layered.wire
+  Wire.codec

@@ -8,13 +8,13 @@ type ('st, 'msg, 'inp, 'out) cluster = {
   logs : 'out list ref array;  (* newest first *)
 }
 
-let make ?(sink = fun _ -> None) ?(wrap = fun _ t -> t) ~n proto =
+let make ?(sink = fun _ -> None) ?(wrap = fun _ t -> t) ?codec ~n proto =
   let hub = Loopback.create ~n in
   {
     hub;
     nodes =
       Array.init n (fun p ->
-          Node.create ?sink:(sink p)
+          Node.create ?sink:(sink p) ?codec
             ~transport:(wrap p (Loopback.endpoint hub p))
             proto);
     logs = Array.init n (fun _ -> ref []);
@@ -49,8 +49,14 @@ let cluster_now t p = Node.now t.nodes.(p)
 type 'c t =
   ('c Smr_node.pstate, 'c Smr_node.pmsg, 'c, int * 'c Cons.Smr.cmd) cluster
 
-let create ?(period = 16) ?sink ?wrap ~n () =
-  make ?sink ?wrap ~n (Smr_node.protocol ~period)
+(* The string SMR cluster runs the same binary codec tower as the
+   deployed node: the hub carries encoded frames, so loopback benches
+   measure the real encode/decode cost. *)
+let create ?(period = 16) ?window ?batch_max ?sink ?wrap ~n () =
+  make ?sink ?wrap
+    ~codec:(Codecs.pmsg Wire.string_c)
+    ~n
+    (Smr_node.protocol ?window ?batch_max ~period ())
 
 let hub = cluster_hub
 let step_one = cluster_step_one

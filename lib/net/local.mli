@@ -25,6 +25,7 @@ type ('st, 'msg, 'inp, 'out) cluster
 val make :
   ?sink:(Sim.Pid.t -> Sim.Event.sink option) ->
   ?wrap:(Sim.Pid.t -> Transport.t -> Transport.t) ->
+  ?codec:'msg Wire.codec ->
   n:int ->
   ('st, 'msg, unit, 'inp, 'out) Sim.Protocol.t ->
   ('st, 'msg, 'inp, 'out) cluster
@@ -54,14 +55,20 @@ val cluster_now : _ cluster -> Sim.Pid.t -> int
 type 'c t =
   ('c Smr_node.pstate, 'c Smr_node.pmsg, 'c, int * 'c Cons.Smr.cmd) cluster
 
-(** [create ~n ()] builds [n] replicas of {!Smr_node.protocol}.
-    [period] is Ω's heartbeat period in steps (default 16). *)
+(** [create ~n ()] builds [n] replicas of {!Smr_node.protocol} on the
+    binary codec tower (the hub carries encoded frames, so loopback
+    benches measure real encode/decode cost).  [period] is Ω's heartbeat
+    period in steps (default 16); [window] / [batch_max] are
+    {!Cons.Smr.make}'s pipelining and batching knobs (defaults 1 /
+    1024). *)
 val create :
   ?period:int ->
+  ?window:int ->
+  ?batch_max:int ->
   ?sink:(Sim.Pid.t -> Sim.Event.sink option) ->
   ?wrap:(Sim.Pid.t -> Transport.t -> Transport.t) ->
   n:int ->
-  unit -> 'c t
+  unit -> string t
 
 val hub : 'c t -> Loopback.hub
 val step : 'c t -> unit

@@ -1,6 +1,8 @@
 type ('st, 'msg, 'inp, 'out) t = {
   transport : Transport.t;
   proto : ('st, 'msg, unit, 'inp, 'out) Sim.Protocol.t;
+  codec : 'msg Wire.codec;
+  scratch : Buffer.t;  (* reused across sends: one encode, no Marshal *)
   sink : Sim.Event.sink option;
   track_vc : bool;
   render_out : 'out -> string;
@@ -11,12 +13,17 @@ type ('st, 'msg, 'inp, 'out) t = {
   outputs : 'out Queue.t;
 }
 
-let create ?sink ?(track_vc = false) ?(render_out = fun _ -> "") ~transport
-    proto =
+let create ?sink ?(track_vc = false) ?(render_out = fun _ -> "") ?codec
+    ~transport proto =
   let n = transport.Transport.n in
+  let codec =
+    match codec with Some c -> c | None -> Wire.marshal_codec ()
+  in
   {
     transport;
     proto;
+    codec;
+    scratch = Buffer.create 512;
     sink;
     track_vc;
     render_out;
@@ -54,7 +61,23 @@ let send_envelope t dst msg =
       env_vc = (if t.track_vc then Some (Sim.Vclock.to_list t.vc) else None);
       env_msg = msg }
   in
-  t.transport.Transport.send dst (Wire.encode_envelope env)
+  Buffer.clear t.scratch;
+  Wire.encode_envelope_into t.codec t.scratch env;
+  t.transport.Transport.send dst (Buffer.to_bytes t.scratch)
+
+(* Broadcast envelopes carry no destination: encode once, hand every peer
+   the same (never-mutated) bytes. *)
+let broadcast_envelope t msg =
+  let env =
+    { Wire.env_src = t.transport.Transport.self;
+      env_sent_at = t.now;
+      env_vc = (if t.track_vc then Some (Sim.Vclock.to_list t.vc) else None);
+      env_msg = msg }
+  in
+  Buffer.clear t.scratch;
+  Wire.encode_envelope_into t.codec t.scratch env;
+  let b = Buffer.to_bytes t.scratch in
+  fun dst -> t.transport.Transport.send dst b
 
 let apply_actions t acts =
   let self = t.transport.Transport.self in
@@ -68,9 +91,10 @@ let apply_actions t acts =
           emit t (Sim.Event.Send { src = self; dst })
         end
       | Sim.Protocol.Broadcast m ->
+        let send = broadcast_envelope t m in
         List.iter
           (fun dst ->
-            send_envelope t dst m;
+            send dst;
             emit t (Sim.Event.Send { src = self; dst }))
           (Sim.Pid.all n)
       | Sim.Protocol.Output v ->
@@ -98,7 +122,7 @@ let step ?(timeout_ms = 0) t =
     match t.transport.Transport.poll ~timeout_ms with
     | None -> None
     | Some (_, frame) -> (
-      match Wire.decode_envelope frame with
+      match Wire.decode_envelope_with t.codec frame with
       | exception _ -> None (* corrupt frame: drop, as the net would *)
       | env ->
         busy := true;

@@ -22,11 +22,16 @@ type ('st, 'msg, 'inp, 'out) t
 (** [create ~transport proto] initialises the protocol for
     [transport.self] of [transport.n] processes.  [sink] installs event
     tracing ([track_vc] additionally maintains and ships vector clocks —
-    envelope overhead, so off by default). *)
+    envelope overhead, so off by default).  [codec] fixes the wire
+    representation of ['msg] (default {!Wire.marshal_codec}); envelopes
+    are encoded into one reused scratch buffer, broadcasts encode once
+    per fan-out, and a frame the codec rejects is dropped like any
+    corrupt frame. *)
 val create :
   ?sink:Sim.Event.sink ->
   ?track_vc:bool ->
   ?render_out:('out -> string) ->
+  ?codec:'msg Wire.codec ->
   transport:Transport.t ->
   ('st, 'msg, unit, 'inp, 'out) Sim.Protocol.t ->
   ('st, 'msg, 'inp, 'out) t

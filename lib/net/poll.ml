@@ -1,0 +1,62 @@
+(* A registration set over poll(2) — see poll_stubs.c.  Rebuilt each
+   event-loop iteration (clear / add / wait / query), like the select
+   lists it replaces, but with no FD_SETSIZE ceiling and no O(set-size)
+   membership scans when harvesting results. *)
+
+external poll_stub :
+  Unix.file_descr array -> int array -> int array -> int -> int -> int
+  = "net_poll_stub"
+
+let read_bit = 1
+let write_bit = 2
+
+type t = {
+  mutable fds : Unix.file_descr array;
+  mutable events : int array;
+  mutable revents : int array;
+  mutable len : int;
+}
+
+(* Never reaches the stub: only the first [len] entries are polled. *)
+let dummy_fd : Unix.file_descr = Unix.stdin
+
+let create () =
+  {
+    fds = Array.make 16 dummy_fd;
+    events = Array.make 16 0;
+    revents = Array.make 16 0;
+    len = 0;
+  }
+
+let clear t = t.len <- 0
+
+let grow t =
+  let cap = 2 * Array.length t.fds in
+  let fds = Array.make cap dummy_fd in
+  let events = Array.make cap 0 in
+  let revents = Array.make cap 0 in
+  Array.blit t.fds 0 fds 0 t.len;
+  Array.blit t.events 0 events 0 t.len;
+  t.fds <- fds;
+  t.events <- events;
+  t.revents <- revents
+
+let add t fd ~read ~write =
+  if t.len = Array.length t.fds then grow t;
+  let i = t.len in
+  t.fds.(i) <- fd;
+  t.events.(i) <- (if read then read_bit else 0) lor (if write then write_bit else 0);
+  t.revents.(i) <- 0;
+  t.len <- i + 1;
+  i
+
+let wait t ~timeout_ms =
+  if t.len = 0 && timeout_ms > 0 then begin
+    (* poll(2) with no fds is a valid sleep, but avoid the stub call *)
+    Unix.sleepf (float_of_int timeout_ms /. 1000.);
+    0
+  end
+  else poll_stub t.fds t.events t.revents t.len timeout_ms
+
+let readable t i = t.revents.(i) land read_bit <> 0
+let writable t i = t.revents.(i) land write_bit <> 0

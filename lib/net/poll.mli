@@ -1,0 +1,30 @@
+(** A registration set over [poll(2)] — the event-notification core of
+    {!Tcp}'s loop, replacing [Unix.select].  No [FD_SETSIZE] ceiling
+    (n = 7+ nodes plus hundreds of bench clients exceed 1024 descriptors
+    comfortably), and harvesting results is an indexed lookup instead of
+    a [List.mem] scan per descriptor.
+
+    Usage per loop iteration: {!clear}, {!add} every descriptor of
+    interest (remembering the returned index), {!wait}, then query
+    {!readable} / {!writable} by index.  Error conditions
+    ([POLLERR]/[POLLHUP]/[POLLNVAL]) are folded into both bits, matching
+    the visibility [select] gave. *)
+
+type t
+
+val create : unit -> t
+
+(** Forget all registrations (O(1); capacity is kept). *)
+val clear : t -> unit
+
+(** [add t fd ~read ~write] registers interest and returns the index to
+    query after {!wait}. *)
+val add : t -> Unix.file_descr -> read:bool -> write:bool -> int
+
+(** [wait t ~timeout_ms] polls; returns the number of ready descriptors
+    (0 on timeout).  With no registrations it just sleeps the timeout.
+    @raise Unix.Unix_error [EINTR] like [select] (callers retry). *)
+val wait : t -> timeout_ms:int -> int
+
+val readable : t -> int -> bool
+val writable : t -> int -> bool

@@ -1,0 +1,75 @@
+/* poll(2) binding for Net.Poll: one call over parallel int arrays.
+ *
+ * The OCaml side keeps three same-length int arrays (fds, events,
+ * revents) and a live length; this stub copies the first `len` entries
+ * into a struct pollfd vector, polls with the runtime lock released,
+ * and writes revents back.  Unix.file_descr is an immediate int on
+ * Unix, so Long_val/Val_long is the whole conversion.
+ *
+ * Event bits (must match poll.ml): 1 = readable, 2 = writable.  On the
+ * way back, POLLERR/POLLHUP/POLLNVAL are folded into both bits so a
+ * dead descriptor wakes whichever interest registered it — the same
+ * visibility select() gave.
+ */
+
+#include <poll.h>
+#include <errno.h>
+#include <stdlib.h>
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/fail.h>
+#include <caml/threads.h>
+#include <caml/unixsupport.h>
+
+#define NET_POLL_STACK_MAX 64
+
+CAMLprim value net_poll_stub(value v_fds, value v_events, value v_revents,
+                             value v_len, value v_timeout_ms)
+{
+  CAMLparam5(v_fds, v_events, v_revents, v_len, v_timeout_ms);
+  long len = Long_val(v_len);
+  int timeout = Int_val(v_timeout_ms);
+  struct pollfd stack[NET_POLL_STACK_MAX];
+  struct pollfd *pfd = stack;
+  int ret;
+  long i;
+
+  if (len < 0 || len > Wosize_val(v_fds) || len > Wosize_val(v_events) ||
+      len > Wosize_val(v_revents))
+    caml_invalid_argument("net_poll_stub: bad length");
+
+  if (len > NET_POLL_STACK_MAX) {
+    pfd = malloc(sizeof(struct pollfd) * len);
+    if (pfd == NULL) caml_raise_out_of_memory();
+  }
+
+  for (i = 0; i < len; i++) {
+    int ev = Int_val(Field(v_events, i));
+    pfd[i].fd = Int_val(Field(v_fds, i));
+    pfd[i].events = ((ev & 1) ? POLLIN : 0) | ((ev & 2) ? POLLOUT : 0);
+    pfd[i].revents = 0;
+  }
+
+  caml_release_runtime_system();
+  ret = poll(pfd, (nfds_t)len, timeout);
+  caml_acquire_runtime_system();
+
+  if (ret < 0) {
+    int err = errno; /* free() may clobber errno */
+    if (pfd != stack) free(pfd);
+    caml_unix_error(err, "poll", Nothing);
+  }
+
+  for (i = 0; i < len; i++) {
+    int re = pfd[i].revents;
+    int bits = 0;
+    if (re & (POLLIN | POLLERR | POLLHUP | POLLNVAL)) bits |= 1;
+    if (re & (POLLOUT | POLLERR | POLLHUP | POLLNVAL)) bits |= 2;
+    Store_field(v_revents, i, Val_int(bits));
+  }
+
+  if (pfd != stack) free(pfd);
+  CAMLreturn(Val_int(ret));
+}

@@ -6,10 +6,10 @@ type 'c pstate = (Omega.state * Sigma.state) * 'c Cons.Smr.state
 type 'c pmsg =
   ((Omega.msg, Sigma.msg) Sim.Layered.wire, 'c Cons.Smr.msg) Sim.Layered.wire
 
-let protocol ~period =
+let protocol ?window ?batch_max ~period () =
   Sim.Layered.with_detector
     (Sim.Layered.pair (Omega.detector ~period) Sigma.detector)
-    Cons.Smr.protocol
+    (Cons.Smr.make ?window ?batch_max ())
 
 let smr_state ((_, smr) : 'c pstate) = smr
 let omega_state (((om, _), _) : 'c pstate) = om
@@ -20,6 +20,8 @@ type config = {
   addrs : Unix.sockaddr array;
   client_addr : Unix.sockaddr;
   period : int;
+  window : int;
+  batch_max : int;
   tick_s : float;
   max_burst : int;
   log_path : string option;
@@ -32,6 +34,8 @@ let default_config ~self ~addrs ~client_addr =
     addrs;
     client_addr;
     period = 16;
+    window = 16;
+    batch_max = 1024;
     tick_s = 1e-3;
     max_burst = 64;
     log_path = None;
@@ -46,13 +50,15 @@ type client = {
 let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
 (* What a node process needs to serve any SMR-shaped protocol (outputs =
-   decided (slot, cmd) entries): the automaton itself plus how to count
-   submissions/applications, render a log line, and turn a client frame
-   into a submission or an immediate reply.  The wire type is
-   existential — the event loop never looks inside frames. *)
+   decided (slot, cmd) entries): the automaton itself plus its wire
+   codec, how to count submissions/applications, render a log line, and
+   turn a client frame into a submission or an immediate reply.  The
+   wire type is existential — the event loop never looks inside frames;
+   the codec travels with the protocol it encodes. *)
 type ('st, 'c) impl =
   | Impl : {
       proto : ('st, 'msg, unit, 'c, int * 'c Cons.Smr.cmd) Sim.Protocol.t;
+      codec : 'msg Wire.codec;
       submitted : 'st -> int;
       applied : 'st -> int;
       log_line : int -> 'c Cons.Smr.cmd -> string;
@@ -73,7 +79,21 @@ let write_frame fd payload =
     go 0
   with Unix.Unix_error _ -> ()
 
-let serve_with (type st c) (Impl impl : (st, c) impl) cfg =
+(* Decided-submission replies are binary: varint seq, varint slot. *)
+let encode_reply buf ~seq ~slot =
+  Buffer.clear buf;
+  Wire.W.varint buf seq;
+  Wire.W.varint buf slot;
+  Buffer.to_bytes buf
+
+let decode_reply frame =
+  let r = Wire.R.make frame ~pos:0 ~len:(Bytes.length frame) in
+  let seq = Wire.R.varint r in
+  let slot = Wire.R.varint r in
+  Wire.R.expect_end r;
+  (seq, slot)
+
+let serve (type st c) (Impl impl : (st, c) impl) cfg =
   let stop = ref false in
   Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true));
   Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true));
@@ -87,7 +107,7 @@ let serve_with (type st c) (Impl impl : (st, c) impl) cfg =
   let node =
     Node.create ?sink ~track_vc:(sink <> None)
       ~render_out:(fun (slot, _) -> Printf.sprintf "slot=%d" slot)
-      ~transport impl.proto
+      ~codec:impl.codec ~transport impl.proto
   in
   (* client listener *)
   (match cfg.client_addr with
@@ -99,12 +119,13 @@ let serve_with (type st c) (Impl impl : (st, c) impl) cfg =
   Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
   Unix.set_nonblock listen_fd;
   Unix.bind listen_fd cfg.client_addr;
-  Unix.listen listen_fd 64;
+  Unix.listen listen_fd 256;
   let clients = ref [] in
   let pending : (int, Unix.file_descr) Hashtbl.t = Hashtbl.create 64 in
   let next_seq = ref (impl.submitted (Node.state node)) in
   let log_oc = Option.map open_out cfg.log_path in
   let rbuf = Bytes.create 65536 in
+  let rebuf = Buffer.create 32 in
   let accept_clients () =
     let continue = ref true in
     while !continue do
@@ -144,13 +165,10 @@ let serve_with (type st c) (Impl impl : (st, c) impl) cfg =
             | `Reply bytes -> write_frame c.fd bytes)
         done;
         true
-      with Wire.Frame_too_large _ -> false)
+      with Wire.Frame_too_large _ | Wire.Decode_error _ -> false)
     | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> true
     | exception Unix.Unix_error (_, _, _) -> false
     | exception _ -> false
-  in
-  let reply fd (seq : int) (slot : int) =
-    write_frame fd (Wire.encode (seq, slot))
   in
   let handle_outputs () =
     List.iter
@@ -166,7 +184,8 @@ let serve_with (type st c) (Impl impl : (st, c) impl) cfg =
           | None -> ()
           | Some fd ->
             Hashtbl.remove pending cmd.Cons.Smr.seq;
-            reply fd cmd.Cons.Smr.seq slot)
+            write_frame fd
+              (encode_reply rebuf ~seq:cmd.Cons.Smr.seq ~slot))
       (Node.drain_outputs node)
   in
   let tick_ms = int_of_float (Float.max 1. (cfg.tick_s *. 1000.)) in
@@ -198,6 +217,7 @@ let serve_with (type st c) (Impl impl : (st, c) impl) cfg =
           ("self", string_of_int cfg.self);
           ("n", string_of_int (Array.length cfg.addrs));
           ("period", string_of_int cfg.period);
+          ("window", string_of_int cfg.window);
           ("steps", string_of_int (Node.now node));
         ]
       c
@@ -218,12 +238,16 @@ let serve_with (type st c) (Impl impl : (st, c) impl) cfg =
   | _ -> ());
   transport.Transport.close ()
 
-(* The historical string-command node is the trivial instantiation:
-   every client frame is a submission, the log line is the raw payload. *)
-let string_impl ~period : (string pstate, string) impl =
+(* The string-command node is the trivial instantiation on the full
+   binary tower: every client frame is one raw command payload, the log
+   line is the escaped payload. *)
+let string_impl cfg : (string pstate, string) impl =
   Impl
     {
-      proto = protocol ~period;
+      proto =
+        protocol ~window:cfg.window ~batch_max:cfg.batch_max
+          ~period:cfg.period ();
+      codec = Codecs.pmsg Wire.string_c;
       submitted = (fun st -> Cons.Smr.submitted (smr_state st));
       applied = (fun st -> Cons.Smr.applied (smr_state st));
       log_line =
@@ -231,7 +255,5 @@ let string_impl ~period : (string pstate, string) impl =
           Printf.sprintf "%d\t%d\t%d\t%s" slot cmd.Cons.Smr.origin
             cmd.Cons.Smr.seq
             (String.escaped cmd.Cons.Smr.payload));
-      on_request = (fun ~state:_ frame -> `Submit (Wire.decode frame));
+      on_request = (fun ~state:_ frame -> `Submit (Bytes.to_string frame));
     }
-
-let serve cfg = serve_with (string_impl ~period:cfg.period) cfg

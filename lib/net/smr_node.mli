@@ -1,27 +1,42 @@
-(** The deployable SMR replica: quorum Paxos under an emulated (Ω, Σ)
-    pair, served over real sockets.
+(** The deployable SMR replica: batched, pipelined quorum Paxos under an
+    emulated (Ω, Σ) pair, served over real sockets.
 
     {!protocol} is the full stack as one ordinary [Sim.Protocol.t] —
-    [Layered.with_detector (Layered.pair Ω Σ) Smr.protocol] — so the
-    exact automaton a deployed node runs can also be dropped into the
-    simulator or the model checker.  Ω's heartbeat [period] is in local
-    steps; {!serve} paces steps at a fixed wall-clock tick, which is the
-    step-counter ↔ real-time mapping (docs/NET.md) that turns the
-    detectors' step timeouts into wall-clock timeouts.
+    [Layered.with_detector (Layered.pair Ω Σ) (Smr.make ~window
+    ~batch_max ())] — so the exact automaton a deployed node runs can
+    also be dropped into the simulator or the model checker.  Ω's
+    heartbeat [period] is in local steps; {!serve} paces steps at a fixed
+    wall-clock tick, which is the step-counter ↔ real-time mapping
+    (docs/NET.md) that turns the detectors' step timeouts into wall-clock
+    timeouts.
 
-    {!serve} is the node process body used by [bin/cluster.ml]: transport
-    event loop, client listener (framed {!Wire} requests), applied-log
-    file (one line per decided slot, flushed eagerly so an observer — or
-    the demo verifier — can diff logs of live nodes), optional JSONL trace
-    dumped on SIGTERM. *)
+    {!serve} is the single node-process entry point (the historical
+    [serve]/[serve_with] split is gone): it hosts any {!impl} — the
+    string node via {!string_impl}, the shard replica via
+    [Shard.Server] — behind one event loop: poll(2) transport, client
+    listener (framed {!Wire} requests), applied-log file (one line per
+    decided slot, flushed eagerly so an observer — or the demo verifier —
+    can diff logs of live nodes), optional JSONL trace dumped on SIGTERM. *)
 
 type 'c pstate
-type 'c pmsg
+
+(** The composed wire type is public so codecs for it can live outside
+    this module ({!Codecs.pmsg} builds the binary tower for it). *)
+type 'c pmsg =
+  ( (Fd.Emulated.Omega_heartbeat.msg, Fd.Emulated.Sigma_majority.msg)
+    Sim.Layered.wire,
+    'c Cons.Smr.msg )
+  Sim.Layered.wire
 
 (** The composed replica automaton.  Inputs are client commands; outputs
-    are decided [(slot, cmd)] entries in slot order. *)
+    are decided [(log index, cmd)] entries in log order.  [window]
+    (default 1) and [batch_max] (default 1024) are {!Cons.Smr.make}'s
+    pipelining and batching knobs. *)
 val protocol :
+  ?window:int ->
+  ?batch_max:int ->
   period:int ->
+  unit ->
   ('c pstate, 'c pmsg, unit, 'c, int * 'c Cons.Smr.cmd) Sim.Protocol.t
 
 (** Views into the layers, for tests and status lines. *)
@@ -35,6 +50,8 @@ type config = {
   addrs : Unix.sockaddr array;  (** transport address of every node *)
   client_addr : Unix.sockaddr;  (** this node's client-facing listener *)
   period : int;  (** Ω heartbeat period in local steps (default 16) *)
+  window : int;  (** in-flight consensus instances (default 16) *)
+  batch_max : int;  (** max commands per instance (default 1024) *)
   tick_s : float;  (** seconds per idle step (default 1e-3) *)
   max_burst : int;  (** steps taken back-to-back while busy (default 64) *)
   log_path : string option;  (** applied-log file *)
@@ -44,17 +61,20 @@ type config = {
 val default_config : self:Sim.Pid.t -> addrs:Unix.sockaddr array ->
   client_addr:Unix.sockaddr -> config
 
-(** What {!serve_with} needs to host {e any} SMR-shaped protocol
-    (outputs = decided [(slot, cmd)] entries) behind the same event
-    loop: the automaton, submission/application counters, a log-line
-    renderer, and the client-frame handler — [`Submit c] enters the
-    replicated log (the client gets the [(seq, slot)] reply when its
-    entry is decided), [`Reply b] answers immediately without consensus
-    (how [Shard.Server] serves its quorum-read samples).  The wire type
-    is existential: the event loop never inspects frames. *)
+(** What {!serve} needs to host {e any} SMR-shaped protocol (outputs =
+    decided [(slot, cmd)] entries) behind the same event loop: the
+    automaton and its wire {!Wire.codec}, submission/application
+    counters, a log-line renderer, and the client-frame handler —
+    [`Submit c] enters the replicated log (the client gets the binary
+    [(seq, slot)] reply of {!decode_reply} when its entry is decided),
+    [`Reply b] answers immediately without consensus (how [Shard.Server]
+    serves its quorum-read samples).  The wire type is existential: the
+    event loop never inspects frames; the codec travels with the
+    protocol it encodes. *)
 type ('st, 'c) impl =
   | Impl : {
       proto : ('st, 'msg, unit, 'c, int * 'c Cons.Smr.cmd) Sim.Protocol.t;
+      codec : 'msg Wire.codec;
       submitted : 'st -> int;
       applied : 'st -> int;
       log_line : int -> 'c Cons.Smr.cmd -> string;
@@ -67,8 +87,15 @@ type ('st, 'c) impl =
 
 (** Run a node process hosting [impl] until SIGTERM (clean shutdown:
     close sockets, flush log, dump trace).  Never returns normally. *)
-val serve_with : ('st, 'c) impl -> config -> unit
+val serve : ('st, 'c) impl -> config -> unit
 
-(** {!serve_with} on the [string]-command instantiation of {!protocol} —
-    the node body of [bin/cluster.ml]'s single-group subcommands. *)
-val serve : config -> unit
+(** The string-command instantiation of {!protocol} on the full binary
+    codec tower ({!Codecs.pmsg} over {!Wire.string_c}) — the node body of
+    [bin/cluster.ml]'s single-group subcommands.  Client protocol: each
+    request frame is one raw command payload; each decided submission is
+    answered with the binary [(seq, slot)] reply. *)
+val string_impl : config -> (string pstate, string) impl
+
+(** Parse a decided-submission reply frame: varint [seq], varint [slot].
+    @raise Wire.Decode_error on a malformed frame. *)
+val decode_reply : bytes -> int * int

@@ -1,8 +1,9 @@
 (* One listening socket; one outbound connection per peer, opened lazily
    and re-opened with exponential backoff; inbound connections identified
    by their hello frame.  Everything is non-blocking and single-threaded:
-   [poll] runs the select loop until a frame arrives or the timeout
-   elapses, and [send] only enqueues. *)
+   [poll] runs a poll(2) loop (Net.Poll — no FD_SETSIZE ceiling, indexed
+   result harvesting) until a frame arrives or the timeout elapses, and
+   [send] only enqueues. *)
 
 let backoff_min = 0.05
 let backoff_max = 2.0
@@ -40,6 +41,7 @@ type t = {
   addrs : Unix.sockaddr array;
   queue_cap : int;
   listen_fd : Unix.file_descr;
+  pl : Poll.t;
   peers : peer array;  (* index self unused *)
   mutable inbound : in_conn list;
   ready : (Sim.Pid.t * bytes) Queue.t;  (* decoded, undelivered frames *)
@@ -213,7 +215,7 @@ let handle_readable t ic =
      leave every other connection and the node itself untouched *)
   | exception Wire.Frame_too_large _ -> false
 
-(* One pass of connection management + select.  Returns after at most
+(* One pass of connection management + poll(2).  Returns after at most
    [timeout] seconds. *)
 let step t ~timeout =
   for q = 0 to t.n - 1 do
@@ -222,42 +224,50 @@ let step t ~timeout =
       flush_peer t q
     end
   done;
-  let reads = ref [ t.listen_fd ] in
-  let writes = ref [] in
+  Poll.clear t.pl;
+  let i_listen = Poll.add t.pl t.listen_fd ~read:true ~write:false in
+  let inbound_idx =
+    List.map (fun ic -> (Poll.add t.pl ic.fd ~read:true ~write:false, ic))
+      t.inbound
+  in
   let soonest = ref timeout in
-  List.iter (fun ic -> reads := ic.fd :: !reads) t.inbound;
+  let peer_idx = Array.make t.n (-1) in
   for q = 0 to t.n - 1 do
     if q <> t.self then begin
       let p = t.peers.(q) in
       match p.conn with
-      | Connecting fd -> writes := fd :: !writes
+      | Connecting fd ->
+        peer_idx.(q) <- Poll.add t.pl fd ~read:false ~write:true
       | Up fd ->
-        (* read side only to notice EOF / reset promptly *)
-        reads := fd :: !reads;
-        if p.front <> [] || not (Queue.is_empty p.outq) then
-          writes := fd :: !writes
+        (* read side to notice EOF / reset (and the hello-ack) promptly;
+           write side only while there is something queued *)
+        let want_write = p.front <> [] || not (Queue.is_empty p.outq) in
+        peer_idx.(q) <- Poll.add t.pl fd ~read:true ~write:want_write
       | Down d ->
         let dt = d.next_try -. now () in
         if dt > 0. && dt < !soonest then soonest := dt
     end
   done;
-  let timeout = Float.max 0. !soonest in
-  match Unix.select !reads !writes [] timeout with
+  let timeout_ms =
+    int_of_float (Float.ceil (Float.max 0. !soonest *. 1000.))
+  in
+  match Poll.wait t.pl ~timeout_ms with
   | exception Unix.Unix_error (EINTR, _, _) -> ()
-  | rs, ws, _ ->
+  | _nready ->
     (* finish / progress outbound connections *)
     for q = 0 to t.n - 1 do
-      if q <> t.self then begin
+      if q <> t.self && peer_idx.(q) >= 0 then begin
         let p = t.peers.(q) in
+        let i = peer_idx.(q) in
         (match p.conn with
-        | Connecting fd when List.memq fd ws -> (
+        | Connecting fd when Poll.writable t.pl i -> (
           match Unix.getsockopt_error fd with
           | None -> mark_up t q fd
           | Some _ -> mark_down t q)
-        | Up fd when List.memq fd ws -> flush_peer t q
+        | Up _ when Poll.writable t.pl i -> flush_peer t q
         | _ -> ());
         (match p.conn with
-        | Up fd when List.memq fd rs -> (
+        | Up fd when Poll.readable t.pl i -> (
           (* the only legitimate traffic on an outbound conn is the
              acceptor's single hello-ack; anything else (or EOF) means the
              connection died *)
@@ -286,7 +296,8 @@ let step t ~timeout =
       end
     done;
     (* accept new inbound connections *)
-    if List.memq t.listen_fd rs then begin
+    let fresh = ref [] in
+    if Poll.readable t.pl i_listen then begin
       let continue = ref true in
       while !continue do
         match Unix.accept t.listen_fd with
@@ -294,26 +305,27 @@ let step t ~timeout =
           Unix.set_nonblock fd;
           (try Unix.setsockopt fd Unix.TCP_NODELAY true
            with Unix.Unix_error _ -> ());
-          t.inbound <-
-            { fd; dec = Wire.Decoder.create (); peer = None } :: t.inbound
+          fresh := { fd; dec = Wire.Decoder.create (); peer = None } :: !fresh
         | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
           continue := false
         | exception Unix.Unix_error (EINTR, _, _) -> ()
         | exception Unix.Unix_error (_, _, _) -> continue := false
       done
     end;
-    (* read inbound connections *)
-    t.inbound <-
-      List.filter
-        (fun ic ->
-          if List.memq ic.fd rs then
-            if handle_readable t ic then true
+    (* read inbound connections that polled readable *)
+    let survivors =
+      List.filter_map
+        (fun (i, ic) ->
+          if Poll.readable t.pl i then
+            if handle_readable t ic then Some ic
             else begin
               close_quiet ic.fd;
-              false
+              None
             end
-          else true)
-        t.inbound
+          else Some ic)
+        inbound_idx
+    in
+    t.inbound <- !fresh @ survivors
 
 let create ?(queue_cap = 4 * 1024 * 1024) ~self ~addrs () =
   (* a write to a reset connection must surface as EPIPE, not kill us *)
@@ -337,6 +349,7 @@ let create ?(queue_cap = 4 * 1024 * 1024) ~self ~addrs () =
       addrs;
       queue_cap;
       listen_fd;
+      pl = Poll.create ();
       peers = Array.init n (fun _ -> new_peer ());
       inbound = [];
       ready = Queue.create ();

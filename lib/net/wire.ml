@@ -110,6 +110,170 @@ end
 let encode v = Marshal.to_bytes v []
 let decode b = Marshal.from_bytes b 0
 
+exception Decode_error of string
+
+let () =
+  Printexc.register_printer (function
+    | Decode_error m -> Some (Printf.sprintf "net: decode error: %s" m)
+    | _ -> None)
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Decode_error m)) fmt
+
+type 'a codec = {
+  enc : Buffer.t -> 'a -> unit;
+  dec : bytes -> pos:int -> len:int -> 'a;
+}
+
+module W = struct
+  let u8 buf n = Buffer.add_char buf (Char.unsafe_chr (n land 0xff))
+
+  (* LEB128 over the int's 63-bit pattern ([lsr] is unsigned): any OCaml
+     int round-trips, small non-negative ones in one byte, negative ones
+     in nine.  The protocol fields this format carries (pids, steps,
+     slots, ballots, sequence numbers) are all non-negative. *)
+  let varint buf n =
+    let n = ref n in
+    let continue = ref true in
+    while !continue do
+      let b = !n land 0x7f in
+      n := !n lsr 7;
+      if !n = 0 then begin
+        u8 buf b;
+        continue := false
+      end
+      else u8 buf (b lor 0x80)
+    done
+
+  let string buf s =
+    varint buf (String.length s);
+    Buffer.add_string buf s
+
+  let bytes buf b =
+    varint buf (Bytes.length b);
+    Buffer.add_bytes buf b
+
+  let list w buf l =
+    varint buf (List.length l);
+    List.iter (w buf) l
+
+  let option w buf = function
+    | None -> u8 buf 0
+    | Some v ->
+      u8 buf 1;
+      w buf v
+
+  let pair wa wb buf (a, b) =
+    wa buf a;
+    wb buf b
+end
+
+module R = struct
+  (* A read cursor over one frame: [pos, limit) of [buf] is unread. *)
+  type t = { buf : bytes; mutable pos : int; limit : int }
+
+  let make buf ~pos ~len =
+    if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+      fail "bad slice (pos %d len %d of %d)" pos len (Bytes.length buf);
+    { buf; pos; limit = pos + len }
+
+  let remaining r = r.limit - r.pos
+
+  let u8 r =
+    if r.pos >= r.limit then fail "truncated frame";
+    let c = Char.code (Bytes.unsafe_get r.buf r.pos) in
+    r.pos <- r.pos + 1;
+    c
+
+  let varint r =
+    let rec go shift acc =
+      if shift > 62 then fail "varint too long";
+      let b = u8 r in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+
+  let take r n =
+    if n < 0 || remaining r < n then fail "truncated frame (want %d bytes)" n;
+    let b = Bytes.sub r.buf r.pos n in
+    r.pos <- r.pos + n;
+    b
+
+  let string r = Bytes.unsafe_to_string (take r (varint r))
+  let bytes r = take r (varint r)
+  let tail r = take r (remaining r)
+
+  let list rd r =
+    let n = varint r in
+    if n > remaining r then fail "list length %d exceeds frame" n;
+    List.init n (fun _ -> rd r)
+
+  let option rd r =
+    match u8 r with
+    | 0 -> None
+    | 1 -> Some (rd r)
+    | t -> fail "bad option tag %d" t
+
+  let pair ra rb r =
+    let a = ra r in
+    let b = rb r in
+    (a, b)
+
+  let expect_end r =
+    if remaining r <> 0 then fail "%d trailing bytes" (remaining r)
+end
+
+let codec ~write ~read =
+  {
+    enc = write;
+    dec =
+      (fun b ~pos ~len ->
+        let r = R.make b ~pos ~len in
+        let v = read r in
+        R.expect_end r;
+        v);
+  }
+
+let varint_c = codec ~write:W.varint ~read:R.varint
+let string_c = codec ~write:W.string ~read:R.string
+let bytes_c = codec ~write:W.bytes ~read:R.bytes
+
+(* Marshal as a [codec]: the debug / compatibility instance.  Same-binary
+   deployments (the model of [bin/cluster.ml]) can carry any value with
+   it; the binary codecs above are for the hot path and for frames that
+   must stay decodable across builds. *)
+let marshal_codec () =
+  {
+    enc = (fun buf v -> Buffer.add_string buf (Marshal.to_string v []));
+    dec =
+      (fun b ~pos ~len:_ ->
+        try Marshal.from_bytes b pos
+        with Failure m -> fail "marshal: %s" m);
+  }
+
+let to_bytes c v =
+  let buf = Buffer.create 256 in
+  c.enc buf v;
+  Buffer.to_bytes buf
+
+let of_bytes c b = c.dec b ~pos:0 ~len:(Bytes.length b)
+
+(* A length-prefixed embedding of one codec inside another stream — how a
+   generic ['c] payload travels mid-frame (codecs are otherwise only
+   self-delimiting at the tail of a frame). *)
+let write_nested c buf v =
+  let tmp = Buffer.create 64 in
+  c.enc tmp v;
+  W.varint buf (Buffer.length tmp);
+  Buffer.add_buffer buf tmp
+
+let read_nested c (r : R.t) =
+  let n = R.varint r in
+  if n < 0 || R.remaining r < n then fail "truncated nested value";
+  let v = c.dec r.R.buf ~pos:r.R.pos ~len:n in
+  r.R.pos <- r.R.pos + n;
+  v
+
 type 'msg envelope = {
   env_src : Sim.Pid.t;
   env_sent_at : int;
@@ -117,8 +281,33 @@ type 'msg envelope = {
   env_msg : 'msg;
 }
 
-let encode_envelope e = encode e
-let decode_envelope b = (decode b : _ envelope)
+(* Envelope frame, version 1:
+     u8      version (= 1)
+     varint  src
+     varint  sent_at
+     u8      vc present (0 | 1); if 1: varint count, count * varint
+     payload (rest of the frame, via the message codec)
+   The version byte is first so a frame from a future layout fails loudly
+   here instead of being misread. *)
+let envelope_version = 1
+
+let encode_envelope_into c buf e =
+  W.u8 buf envelope_version;
+  W.varint buf e.env_src;
+  W.varint buf e.env_sent_at;
+  W.option (W.list W.varint) buf e.env_vc;
+  c.enc buf e.env_msg
+
+let decode_envelope_with c b =
+  let r = R.make b ~pos:0 ~len:(Bytes.length b) in
+  let v = R.u8 r in
+  if v <> envelope_version then
+    fail "envelope version %d (this build speaks %d)" v envelope_version;
+  let env_src = R.varint r in
+  let env_sent_at = R.varint r in
+  let env_vc = R.option (R.list R.varint) r in
+  let env_msg = c.dec r.R.buf ~pos:r.R.pos ~len:(R.remaining r) in
+  { env_src; env_sent_at; env_vc; env_msg }
 
 let magic = "weakest-fd-net/1"
 

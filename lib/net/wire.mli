@@ -2,15 +2,18 @@
 
     Every connection carries a stream of frames: a 4-byte big-endian payload
     length followed by the payload.  Peer connections open with a hello
-    frame identifying the sender; every subsequent frame is one marshalled
-    {!envelope}.  Client connections carry marshalled request / response
-    values directly.
+    frame identifying the sender; every subsequent frame is one versioned
+    binary {!envelope} whose message payload is encoded by the {!codec} in
+    force.  Client connections carry request / response frames whose layout
+    each server defines (binary for the string SMR node, Marshal for the
+    shard servers).
 
-    Marshal is the codec: every node of a cluster runs the same binary (the
-    deployment model of [bin/cluster.ml]), so representation compatibility
-    is the binary's own compatibility.  The hello frame carries a magic
-    string and version so a mismatched peer fails loudly instead of
-    corrupting state. *)
+    Marshal survives only as the debug / compatibility codec
+    ({!marshal_codec}): it requires every node of a cluster to run the same
+    binary (the deployment model of [bin/cluster.ml]).  The binary codecs
+    carry an explicit version byte in the envelope, and the hello frame
+    carries a magic string and version, so a mismatched peer fails loudly
+    instead of corrupting state. *)
 
 (** Frame payloads are capped (16 MiB default): a corrupt length prefix
     must not make a node allocate gigabytes. *)
@@ -59,10 +62,100 @@ module Decoder : sig
   val buffered : t -> int
 end
 
-(** {2 Codec} *)
+(** {2 Codecs}
 
-(** [Marshal.to_bytes] — see the module comment for why Marshal is an
-    acceptable codec here (one binary per cluster). *)
+    A [codec] is a first-class binary representation of one message type:
+    [enc] appends the wire form to a (preallocated, reused) [Buffer.t];
+    [dec] reads one value out of a [pos,len) slice of a received frame.
+    {!Node} is codec-parametric — it never Marshals; the codec in force
+    decides the representation — and {!Transport} stays byte-oriented, so
+    any codec runs over any transport.  {!marshal_codec} is the
+    debug / compatibility instance (one-binary clusters can carry any
+    value with it); the builders below make fast, version-checked binary
+    codecs for the hot path. *)
+
+(** Raised by binary decoders on a malformed frame: truncation, trailing
+    bytes, a bad tag, or a version mismatch.  Per-frame, not fatal —
+    {!Node} drops the frame, connection-level readers close the offending
+    connection. *)
+exception Decode_error of string
+
+type 'a codec = {
+  enc : Buffer.t -> 'a -> unit;
+  dec : bytes -> pos:int -> len:int -> 'a;
+}
+
+(** Primitive writers.  [varint] is LEB128 over the int's 63-bit pattern:
+    any int round-trips; small non-negative ints (the common case — pids,
+    slots, ballots, sequence numbers) cost one byte. *)
+module W : sig
+  val u8 : Buffer.t -> int -> unit
+  val varint : Buffer.t -> int -> unit
+  val string : Buffer.t -> string -> unit
+  val bytes : Buffer.t -> bytes -> unit
+  val list : (Buffer.t -> 'a -> unit) -> Buffer.t -> 'a list -> unit
+  val option : (Buffer.t -> 'a -> unit) -> Buffer.t -> 'a option -> unit
+
+  val pair :
+    (Buffer.t -> 'a -> unit) ->
+    (Buffer.t -> 'b -> unit) ->
+    Buffer.t ->
+    'a * 'b ->
+    unit
+end
+
+(** Primitive readers over a cursor into one frame.  All raise
+    {!Decode_error} on malformed input; none read past the slice given to
+    {!R.make}. *)
+module R : sig
+  type t
+
+  val make : bytes -> pos:int -> len:int -> t
+  val remaining : t -> int
+  val u8 : t -> int
+  val varint : t -> int
+  val string : t -> string
+  val bytes : t -> bytes
+
+  (** The rest of the slice, as fresh bytes. *)
+  val tail : t -> bytes
+
+  val list : (t -> 'a) -> t -> 'a list
+  val option : (t -> 'a) -> t -> 'a option
+  val pair : (t -> 'a) -> (t -> 'b) -> t -> 'a * 'b
+
+  (** @raise Decode_error if unread bytes remain. *)
+  val expect_end : t -> unit
+end
+
+(** [codec ~write ~read] packages a writer and a reader as a {!codec};
+    the built [dec] checks the whole slice is consumed. *)
+val codec : write:(Buffer.t -> 'a -> unit) -> read:(R.t -> 'a) -> 'a codec
+
+val varint_c : int codec
+val string_c : string codec
+val bytes_c : bytes codec
+
+(** The Marshal compatibility codec.  Untyped on decode (annotate call
+    sites) and same-binary only — keep it for debugging, handshakes and
+    cold paths; use binary codecs on hot paths. *)
+val marshal_codec : unit -> 'a codec
+
+(** One-shot conveniences (allocate a scratch buffer per call). *)
+val to_bytes : 'a codec -> 'a -> bytes
+
+val of_bytes : 'a codec -> bytes -> 'a
+
+(** Length-prefixed embedding of one codec's value inside another stream —
+    how a generic payload travels mid-frame (codecs are otherwise only
+    self-delimiting at the tail of a frame). *)
+val write_nested : 'a codec -> Buffer.t -> 'a -> unit
+
+val read_nested : 'a codec -> R.t -> 'a
+
+(** [Marshal.to_bytes] — the legacy whole-value helpers behind
+    {!marshal_codec}; still used for client/handshake frames on
+    compatibility paths. *)
 val encode : 'a -> bytes
 
 (** Inverse of {!encode}.  Unsafe by construction ([Marshal.from_bytes]
@@ -83,8 +176,22 @@ type 'msg envelope = {
   env_msg : 'msg;
 }
 
-val encode_envelope : 'msg envelope -> bytes
-val decode_envelope : bytes -> 'msg envelope
+(** Envelope frames are binary and versioned (layout in docs/NET.md):
+    version byte, then src / sent_at / optional vclock as varints, then
+    the message payload — encoded by the codec in force — as the tail of
+    the frame.  A frame whose version byte differs from
+    [envelope_version] raises {!Decode_error} before any field is
+    misread. *)
+val envelope_version : int
+
+(** [encode_envelope_into c buf e] appends the framed-ready envelope bytes
+    to [buf] (the caller frames them; {!Node} reuses one scratch buffer
+    across sends). *)
+val encode_envelope_into : 'msg codec -> Buffer.t -> 'msg envelope -> unit
+
+(** @raise Decode_error on truncation, version mismatch, or a payload the
+    codec rejects. *)
+val decode_envelope_with : 'msg codec -> bytes -> 'msg envelope
 
 (** {2 Hello} *)
 

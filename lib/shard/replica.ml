@@ -5,12 +5,17 @@
    next configuration into Sigma_epoch (set_config), a channel Layered
    does not have.
 
-   Why the epoch handoff is safe here: Cons.Smr proposes instance j only
-   once slots 0..j-1 are applied (next_slot = applied), so every process
+   Why the epoch handoff is safe here: the replica runs Cons.Smr at
+   window = 1 (the default protocol), under which a process proposes
+   instance j only once instances 0..j-1 are applied, so every process
    proposing instance j has applied the same command prefix and hence
-   agrees on the configuration in force at slot j.  Two replicas in
-   different epochs necessarily differ in applied count and therefore
-   never participate in the same instance with different member sets. *)
+   agrees on the configuration in force at instance j.  Two replicas in
+   different epochs necessarily differ in applied prefix and therefore
+   never participate in the same instance with different member sets.
+   (Batching within an instance is fine — a Reconfig decided mid-batch
+   still takes effect before any later instance is proposed — but
+   pipelining, window > 1, would break this argument: keep the replica
+   on the default protocol.) *)
 
 module Omega = Fd.Emulated.Omega_heartbeat
 module Sigma = Fd.Emulated.Sigma_epoch
@@ -27,8 +32,8 @@ type msg =
   | Om of Omega.msg
   | Si of Sigma.msg
   | Smr of payload Cons.Smr.msg
-  | Snap_req of { since : int }
-  | Snap of entry list
+  | Snap_req of { since : int }  (* since = applied *instance* count *)
+  | Snap of (int * cmd list) list  (* decided batches, instance-granular *)
 
 type state = {
   om : Omega.state;
@@ -190,14 +195,17 @@ let protocol ?(snap_every = 8) ?(lag_gap = 24) ~period ~members () =
         (st, List.map (fun e -> Sim.Protocol.Output e) newly)
       | _ -> (st, [])
     in
-    (* catch-up: well behind the slots peers work on -> ask for a snapshot
-       (throttled; anyone holding the prefix answers) *)
+    (* catch-up: well behind the instances peers work on -> ask for a
+       snapshot (throttled; anyone holding the prefix answers) *)
     let snap_acts =
       if
-        Cons.Smr.applied st.smr + lag_gap <= st.max_slot_seen
+        Cons.Smr.applied_instances st.smr + lag_gap <= st.max_slot_seen
         && ctx.now mod snap_every = 0
       then
-        [ Sim.Protocol.Broadcast (Snap_req { since = Cons.Smr.applied st.smr }) ]
+        [
+          Sim.Protocol.Broadcast
+            (Snap_req { since = Cons.Smr.applied_instances st.smr });
+        ]
       else []
     in
     ( st,

@@ -31,8 +31,10 @@ type msg =
   | Om of Fd.Emulated.Omega_heartbeat.msg
   | Si of Fd.Emulated.Sigma_epoch.msg
   | Smr of payload Cons.Smr.msg
-  | Snap_req of { since : int }  (** send me decided slots from [since] *)
-  | Snap of entry list  (** a gapless decided run *)
+  | Snap_req of { since : int }
+      (** send me decided batches from instance [since] *)
+  | Snap of (int * cmd list) list
+      (** a gapless decided run of instance batches *)
 
 type state
 

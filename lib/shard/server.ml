@@ -20,6 +20,10 @@ let impl ?snap_every ?lag_gap ~period ~members () :
   Net.Smr_node.Impl
     {
       proto = Replica.protocol ?snap_every ?lag_gap ~period ~members ();
+      (* Snapshots and reconfig votes carry closed variants with lists of
+         lists; the shard's control plane is not the hot path, so it rides
+         the Marshal compat codec rather than a hand-rolled binary one. *)
+      codec = Net.Wire.marshal_codec ();
       submitted = (fun st -> Cons.Smr.submitted (Replica.smr_state st));
       applied = Replica.applied;
       log_line =
@@ -45,6 +49,6 @@ let impl ?snap_every ?lag_gap ~period ~members () :
     }
 
 let serve ?snap_every ?lag_gap ~members cfg =
-  Net.Smr_node.serve_with
+  Net.Smr_node.serve
     (impl ?snap_every ?lag_gap ~period:cfg.Net.Smr_node.period ~members ())
     cfg

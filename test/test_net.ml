@@ -57,13 +57,128 @@ let prop_decoder_roundtrip =
       feed_chunked dec stream sizes;
       List.map Bytes.to_string (drain dec) = payloads)
 
+(* A little hand-rolled payload codec, as a host protocol would write
+   one: the envelope treats it as an opaque tail. *)
+let pair_codec =
+  Net.Wire.codec
+    ~write:(fun buf (s, i) ->
+      Net.Wire.W.string buf s;
+      Net.Wire.W.varint buf i)
+    ~read:(fun r ->
+      let s = Net.Wire.R.string r in
+      (s, Net.Wire.R.varint r))
+
+let encode_env c env =
+  let buf = Buffer.create 64 in
+  Net.Wire.encode_envelope_into c buf env;
+  Buffer.to_bytes buf
+
 let test_envelope_roundtrip () =
+  List.iter
+    (fun codec ->
+      let env =
+        { Net.Wire.env_src = 2; env_sent_at = 41; env_vc = Some [ 1; 0; 7 ];
+          env_msg = ("hello", 13) }
+      in
+      let env' = Net.Wire.decode_envelope_with codec (encode_env codec env) in
+      Alcotest.(check bool) "envelope round-trips" true (env = env');
+      let bare = { env with Net.Wire.env_vc = None } in
+      let bare' = Net.Wire.decode_envelope_with codec (encode_env codec bare) in
+      Alcotest.(check bool) "vc-less envelope round-trips" true (bare = bare'))
+    [ pair_codec; Net.Wire.marshal_codec () ]
+
+let test_envelope_version_rejected () =
+  (* a frame stamped with a future wire version must be refused before
+     any payload decoding — byte 0 is the version tag *)
   let env =
-    { Net.Wire.env_src = 2; env_sent_at = 41; env_vc = Some [ 1; 0; 7 ];
-      env_msg = ("hello", 13) }
+    { Net.Wire.env_src = 0; env_sent_at = 1; env_vc = None;
+      env_msg = ("x", 0) }
   in
-  let env' = Net.Wire.decode_envelope (Net.Wire.encode_envelope env) in
-  Alcotest.(check bool) "envelope round-trips" true (env = env')
+  let b = encode_env pair_codec env in
+  Alcotest.(check int)
+    "version byte leads the frame"
+    Net.Wire.envelope_version
+    (Char.code (Bytes.get b 0));
+  Bytes.set b 0 (Char.chr (Net.Wire.envelope_version + 1));
+  match Net.Wire.decode_envelope_with pair_codec b with
+  | _ -> Alcotest.fail "future version accepted"
+  | exception Net.Wire.Decode_error _ -> ()
+
+let test_envelope_truncation_rejected () =
+  let env =
+    { Net.Wire.env_src = 3; env_sent_at = 9; env_vc = Some [ 2; 2; 2 ];
+      env_msg = ("payload", 77) }
+  in
+  let b = encode_env pair_codec env in
+  for cut = 0 to Bytes.length b - 1 do
+    match Net.Wire.decode_envelope_with pair_codec (Bytes.sub b 0 cut) with
+    | _ -> Alcotest.fail (Printf.sprintf "truncation at %d accepted" cut)
+    | exception Net.Wire.Decode_error _ -> ()
+  done
+
+let prop_varint_roundtrip =
+  QCheck.Test.make ~name:"wire: varint round-trips any int" ~count:1000
+    QCheck.(
+      oneof
+        [ int; oneofl [ 0; 1; -1; max_int; min_int; 127; 128; 16384 ] ])
+    (fun i ->
+      let i' = Net.Wire.(of_bytes varint_c (to_bytes varint_c i)) in
+      i = i')
+
+let string_cmd : string -> int -> int -> string Cons.Smr.cmd =
+ fun payload origin seq -> { Cons.Smr.origin; seq; payload }
+
+let gen_cmd =
+  QCheck.map
+    (fun (payload, origin, seq) -> string_cmd payload origin seq)
+    QCheck.(triple (string_of_size QCheck.Gen.(0 -- 64)) (0 -- 15) small_nat)
+
+let gen_qp =
+  let open Cons.Quorum_paxos in
+  QCheck.(
+    map
+      (fun (tag, b, cmds, acc) ->
+        match tag mod 6 with
+        | 0 -> Prepare b
+        | 1 -> Promise (b, if acc then Some (b + 1, cmds) else None)
+        | 2 -> Propose (b, cmds)
+        | 3 -> Accept b
+        | 4 -> Nack b
+        | _ -> Decide cmds)
+      (quad small_nat small_nat (small_list gen_cmd) bool))
+
+let gen_smr =
+  QCheck.(
+    map
+      (fun (inner, k, cmds) ->
+        match inner with
+        | None -> Cons.Smr.Submit cmds
+        | Some qp -> Cons.Smr.Inner (k, qp))
+      (triple (option gen_qp) small_nat (small_list gen_cmd)))
+
+let prop_smr_codec_roundtrip =
+  let c = Net.Codecs.smr_msg Net.Wire.string_c in
+  QCheck.Test.make ~name:"codecs: smr message round-trips" ~count:500 gen_smr
+    (fun m -> Net.Wire.of_bytes c (Net.Wire.to_bytes c m) = m)
+
+let prop_pmsg_codec_roundtrip =
+  let codec = Net.Codecs.pmsg Net.Wire.string_c in
+  let gen =
+    QCheck.(
+      map
+        (fun (det, smr) ->
+          match det with
+          | None -> Sim.Layered.Main smr
+          | Some (true, k) ->
+            Sim.Layered.Detector
+              (Sim.Layered.Main (Fd.Emulated.Sigma_majority.Join k))
+          | Some (false, _) ->
+            Sim.Layered.Detector
+              (Sim.Layered.Detector Fd.Emulated.Omega_heartbeat.Alive))
+        (pair (option (pair bool small_nat)) gen_smr))
+  in
+  QCheck.Test.make ~name:"codecs: full node message round-trips" ~count:500
+    gen (fun m -> Net.Wire.of_bytes codec (Net.Wire.to_bytes codec m) = m)
 
 let test_hello () =
   (match Net.Wire.parse_hello (Net.Wire.hello ~self:3) with
@@ -190,6 +305,134 @@ let test_loopback_crash () =
   Alcotest.(check bool) "post-crash commands decided" true
     (List.exists (fun (_, _, _, p) -> p = "post0") l0
     && List.exists (fun (_, _, _, p) -> p = "post1") l0)
+
+(* Pipelined + batched configuration: many commands submitted at once
+   must come out as one gapless, duplicate-free log, identical
+   everywhere, regardless of how they were cut into instances. *)
+let test_loopback_pipelined_agreement () =
+  let n = 3 in
+  let k = 60 in
+  let cluster = Net.Local.create ~window:8 ~batch_max:4 ~n () in
+  for i = 0 to k - 1 do
+    Net.Local.submit cluster (i mod n) (Printf.sprintf "c%03d" i)
+  done;
+  ignore
+    (run_until cluster (fun () ->
+         List.for_all (fun p -> applied_at cluster p >= k) (Sim.Pid.all n)));
+  let logs =
+    List.map (fun p -> log_view (Net.Local.applied_log cluster p)) (Sim.Pid.all n)
+  in
+  let l0 = List.hd logs in
+  List.iter
+    (fun l -> Alcotest.(check bool) "pipelined logs identical" true (l = l0))
+    (List.tl logs);
+  (* indices consecutive from 0, every command exactly once *)
+  List.iteri
+    (fun i (slot, _, _, _) ->
+      Alcotest.(check int) "log indices consecutive" i slot)
+    l0;
+  let keys = List.map (fun (_, o, s, _) -> (o, s)) l0 in
+  Alcotest.(check int) "no duplicates" k
+    (List.length (List.sort_uniq compare keys));
+  Alcotest.(check int) "all commands applied" k (List.length l0);
+  (* batching really happened: fewer instances than commands *)
+  let touched =
+    Cons.Smr.instances_touched
+      (Net.Smr_node.smr_state (Net.Local.state cluster 0))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "batches amortise instances (%d for %d cmds)" touched k)
+    true
+    (touched < k)
+
+(* A batch in flight at the proposer's crash applies exactly once on the
+   survivors — or not at all — never twice, and never divergently. *)
+let test_loopback_batch_crash_boundary () =
+  let n = 3 in
+  let cluster = Net.Local.create ~window:4 ~batch_max:8 ~n () in
+  (* leader 0 gets a pile of commands and a short head start, so some
+     instances are mid-flight when it dies *)
+  for i = 0 to 19 do
+    Net.Local.submit cluster 0 (Printf.sprintf "pre%02d" i)
+  done;
+  for _ = 1 to 40 do
+    Net.Local.step cluster
+  done;
+  Net.Local.crash cluster 0;
+  for i = 0 to 9 do
+    Net.Local.submit cluster 1 (Printf.sprintf "post%02d" i)
+  done;
+  (* survivors must still decide everything submitted at node 1 *)
+  ignore
+    (run_until cluster (fun () ->
+         let applied p =
+           List.map
+             (fun (_, _, _, payload) -> payload)
+             (log_view (Net.Local.applied_log cluster p))
+         in
+         List.for_all
+           (fun i ->
+             List.mem (Printf.sprintf "post%02d" i) (applied 1)
+             && List.mem (Printf.sprintf "post%02d" i) (applied 2))
+           [ 0; 9 ]));
+  let l1 = log_view (Net.Local.applied_log cluster 1) in
+  let l2 = log_view (Net.Local.applied_log cluster 2) in
+  Alcotest.(check bool) "survivor logs identical" true (l1 = l2);
+  List.iteri
+    (fun i (slot, _, _, _) ->
+      Alcotest.(check int) "survivor log gapless" i slot)
+    l1;
+  (* exactly-once across the crash boundary: no (origin, seq) twice *)
+  let keys = List.map (fun (_, o, s, _) -> (o, s)) l1 in
+  Alcotest.(check int) "no command applied twice" (List.length keys)
+    (List.length (List.sort_uniq compare keys))
+
+(* An idle cluster must not burn consensus instances: no commands, no
+   ballots, no empty batches nailed into the log. *)
+let test_loopback_idle_burns_no_instances () =
+  let n = 3 in
+  let cluster = Net.Local.create ~window:8 ~n () in
+  Net.Local.run cluster ~rounds:600;
+  List.iter
+    (fun p ->
+      let smr = Net.Smr_node.smr_state (Net.Local.state cluster p) in
+      Alcotest.(check int)
+        (Printf.sprintf "node %d touched no instance" p)
+        0
+        (Cons.Smr.instances_touched smr);
+      Alcotest.(check int)
+        (Printf.sprintf "node %d applied nothing" p)
+        0
+        (Cons.Smr.applied smr))
+    (Sim.Pid.all n)
+
+(* Out-of-order snapshot install: a batch for instance 1 alone applies
+   nothing (the log would have a gap); once instance 0 arrives, both
+   emerge in slot order with consecutive indices. *)
+let test_install_out_of_order () =
+  let proto = Cons.Smr.make ~window:4 () in
+  let st = proto.Sim.Protocol.init ~n:3 2 in
+  let cmd origin seq payload = { Cons.Smr.origin; seq; payload } in
+  let b0 = [ cmd 0 0 "a"; cmd 0 1 "b" ] in
+  let b1 = [ cmd 1 0 "c" ] in
+  let st, out_of_order = Cons.Smr.install st [ (1, b1) ] in
+  Alcotest.(check int) "gapped install applies nothing" 0
+    (List.length out_of_order);
+  Alcotest.(check int) "nothing applied yet" 0 (Cons.Smr.applied st);
+  let st, entries = Cons.Smr.install st [ (0, b0) ] in
+  Alcotest.(check int) "both instances drain" 3 (List.length entries);
+  Alcotest.(check bool) "entries in slot order" true
+    (List.map
+       (fun (i, c) -> (i, c.Cons.Smr.origin, c.Cons.Smr.seq, c.Cons.Smr.payload))
+       entries
+    = [ (0, 0, 0, "a"); (1, 0, 1, "b"); (2, 1, 0, "c") ]);
+  Alcotest.(check int) "applied counter advanced" 3 (Cons.Smr.applied st);
+  Alcotest.(check int) "two instances applied" 2
+    (Cons.Smr.applied_instances st);
+  (* idempotent: re-installing either batch is a no-op *)
+  let st, dup = Cons.Smr.install st [ (0, b0); (1, b1) ] in
+  Alcotest.(check int) "re-install applies nothing" 0 (List.length dup);
+  Alcotest.(check int) "counter unchanged" 3 (Cons.Smr.applied st)
 
 (* ------------------------------------------------------------------ *)
 (* Detectors over the loopback transport (satellite: Fd.Emulated       *)
@@ -400,10 +643,17 @@ let () =
             test_decoder_reassembles;
           Alcotest.test_case "envelope round-trip" `Quick
             test_envelope_roundtrip;
+          Alcotest.test_case "envelope: future version refused" `Quick
+            test_envelope_version_rejected;
+          Alcotest.test_case "envelope: truncation refused" `Quick
+            test_envelope_truncation_rejected;
           Alcotest.test_case "hello" `Quick test_hello;
           Alcotest.test_case "oversized frames refused at the header" `Quick
             test_decoder_frame_cap;
           QCheck_alcotest.to_alcotest prop_decoder_roundtrip;
+          QCheck_alcotest.to_alcotest prop_varint_roundtrip;
+          QCheck_alcotest.to_alcotest prop_smr_codec_roundtrip;
+          QCheck_alcotest.to_alcotest prop_pmsg_codec_roundtrip;
         ] );
       ( "loopback-smr",
         [
@@ -411,6 +661,17 @@ let () =
             test_loopback_agreement;
           Alcotest.test_case "agreement survives a crash" `Quick
             test_loopback_crash;
+        ] );
+      ( "batching-pipelining",
+        [
+          Alcotest.test_case "pipelined window: gapless identical logs"
+            `Quick test_loopback_pipelined_agreement;
+          Alcotest.test_case "batch at crash boundary applies exactly once"
+            `Quick test_loopback_batch_crash_boundary;
+          Alcotest.test_case "idle ticks burn no instances" `Quick
+            test_loopback_idle_burns_no_instances;
+          Alcotest.test_case "out-of-order install applies in slot order"
+            `Quick test_install_out_of_order;
         ] );
       ( "detectors-on-loopback",
         [
