@@ -495,6 +495,7 @@ let percentile sorted q =
 let mc_throughput_workloads =
   [
     ( "mc_exhaustive_quorum_paxos_n2",
+      25,
       fun () ->
         let r =
           Mc.Exhaustive.search ~budget:50_000 (Mc.Targets.quorum_paxos ~n:2)
@@ -502,13 +503,37 @@ let mc_throughput_workloads =
         in
         (r.Mc.Exhaustive.schedules, r.Mc.Exhaustive.steps) );
     ( "mc_exhaustive_abd_n2",
+      25,
       fun () ->
         let r =
           Mc.Exhaustive.search ~budget:50_000 (Mc.Targets.abd ~n:2)
             ~fp:(Sim.Failure_pattern.failure_free 2)
         in
         (r.Mc.Exhaustive.schedules, r.Mc.Exhaustive.steps) );
+    (* the DPOR rows pair with mc_exhaustive_abd_n2: same target, same
+       verdict, schedules-per-run is the reduction (420 -> tens at n=2),
+       and n=3 — infeasible for the plain explorer — completes in one
+       run, which is the whole point (one repeat: the run is seconds to
+       minutes, not milliseconds) *)
+    ( "mc_dpor_abd_n2",
+      25,
+      fun () ->
+        let r =
+          Mc.Dpor.search ~budget:50_000 ~shrink:false (Mc.Targets.abd ~n:2)
+            ~fp:(Sim.Failure_pattern.failure_free 2)
+        in
+        (r.Mc.Exhaustive.schedules, r.Mc.Exhaustive.steps) );
+    ( "mc_dpor_abd_n3",
+      1,
+      fun () ->
+        let r =
+          Mc.Dpor.search ~budget:200_000 ~shrink:false (Mc.Targets.abd ~n:3)
+            ~fp:(Sim.Failure_pattern.failure_free 3)
+        in
+        assert r.Mc.Exhaustive.complete;
+        (r.Mc.Exhaustive.schedules, r.Mc.Exhaustive.steps) );
     ( "mc_pct_quorum_paxos_n3",
+      25,
       fun () ->
         let r =
           Mc.Pct.search ~budget:200 (Mc.Targets.quorum_paxos ~n:3)
@@ -516,6 +541,7 @@ let mc_throughput_workloads =
         in
         (r.Mc.Pct.schedules, r.Mc.Pct.steps) );
     ( "mc_crash_adversary_2pc_n3",
+      25,
       fun () ->
         let r =
           Mc.Crash_adversary.search ~max_crashes:1 ~horizon:4 ~stride:2
@@ -525,12 +551,16 @@ let mc_throughput_workloads =
         in
         (r.Mc.Crash_adversary.schedules, r.Mc.Crash_adversary.steps) );
   ]
-  (* the same exhaustive abd workload through the deterministic parallel
-     explorer, one row per domain count — the scaling contract is
-     domains4 >= 2x domains1 schedules/sec on a multicore machine *)
+  (* the full crash-adversary abd workload (15 failure patterns, ~6300
+     schedules) through the deterministic parallel explorer, one row per
+     domain count — enough work per run for the speculation/adjudication
+     split to amortize its queues.  The scaling contract is domains4 >=
+     2x domains1 schedules/sec on a multicore machine; the JSON carries
+     a "cores" field so a one-core reading (ratio ~1.0) is legible. *)
   @ List.map
       (fun domains ->
         ( Printf.sprintf "mc_exhaustive_abd_n2_domains%d" domains,
+          25,
           fun () ->
             let opts =
               {
@@ -538,22 +568,20 @@ let mc_throughput_workloads =
                 Mc.Harness.domains;
                 budget = 50_000;
                 inner_budget = 50_000;
+                max_crashes = 1;
+                horizon = 6;
+                stride = 1;
                 shrink = false;
               }
             in
-            let r =
-              Mc.Parallel.search ~opts
-                ~fps:[ Sim.Failure_pattern.failure_free 2 ]
-                (Mc.Targets.abd ~n:2) ~n:2
-            in
+            let r = Mc.Parallel.search ~opts (Mc.Targets.abd ~n:2) ~n:2 in
             (r.Mc.Crash_adversary.schedules, r.Mc.Crash_adversary.steps) ))
       [ 1; 2; 4 ]
 
 let bench_json_file = "BENCH_weakest_fd.json"
 
 let mc_throughput_json () =
-  let repeats = 25 in
-  let entry (name, work) =
+  let entry (name, repeats, work) =
     let latencies = Array.make repeats 0.0 in
     let schedules = ref 0 and steps = ref 0 in
     let t_all0 = Unix.gettimeofday () in
@@ -567,8 +595,9 @@ let mc_throughput_json () =
     let elapsed = Unix.gettimeofday () -. t_all0 in
     Array.sort compare latencies;
     Printf.sprintf
-      {|    { "name": %S, "runs": %d, "schedules_per_sec": %.0f, "steps_per_sec": %.0f, "latency_ms": { "p50": %.3f, "p90": %.3f, "p99": %.3f } }|}
+      {|    { "name": %S, "runs": %d, "schedules_per_run": %d, "schedules_per_sec": %.0f, "steps_per_sec": %.0f, "latency_ms": { "p50": %.3f, "p90": %.3f, "p99": %.3f } }|}
       name repeats
+      (!schedules / repeats)
       (float_of_int !schedules /. elapsed)
       (float_of_int !steps /. elapsed)
       (percentile latencies 0.50)
@@ -915,7 +944,9 @@ let shard_throughput_json () =
 
 let bench_json () =
   Printf.sprintf
-    "{\n  \"suite\": \"weakest-fd-mc\",\n  \"workloads\": [\n%s,\n%s,\n%s,\n%s,\n%s\n  ]\n}\n"
+    "{\n  \"suite\": \"weakest-fd-mc\",\n  \"cores\": %d,\n  \"workloads\": \
+     [\n%s,\n%s,\n%s,\n%s,\n%s\n  ]\n}\n"
+    (Domain.recommended_domain_count ())
     (mc_throughput_json ()) (net_throughput_json ())
     (batch_throughput_json ()) (chaos_throughput_json ())
     (shard_throughput_json ())

@@ -43,8 +43,8 @@ let explore ?trace name ~n ~(opts : Core.Runner.mc_opts) =
     Format.printf "%a@." Core.Runner.pp_mc_summary s;
     (match s.Core.Runner.counterexample with Some _ -> 1 | None -> 0)
 
-let run list protocol n explorer domains budget depth seed max_crashes horizon
-    stride no_shrink replay trace =
+let run list protocol n explorer domains budget inner_budget depth seed
+    max_crashes horizon stride no_shrink unordered replay trace =
   if list then list_targets ()
   else
     match protocol with
@@ -57,16 +57,17 @@ let run list protocol n explorer domains budget depth seed max_crashes horizon
       | None ->
         let opts =
           {
-            Core.Runner.mc_default_opts with
             Core.Runner.explorer;
             domains;
             budget;
+            inner_budget;
             d = depth;
             seed;
             max_crashes;
             horizon;
             stride;
             shrink = not no_shrink;
+            ordered = not unordered;
           }
         in
         explore ?trace name ~n ~opts)
@@ -89,12 +90,21 @@ let n_t =
 
 let explorer_t =
   let kind =
-    Arg.enum [ ("exhaustive", `Exhaustive); ("pct", `Pct); ("random", `Random) ]
+    Arg.enum
+      [
+        ("exhaustive", `Exhaustive);
+        ("dpor", `Dpor);
+        ("pct", `Pct);
+        ("random", `Random);
+      ]
   in
   Arg.(
     value & opt kind `Exhaustive
     & info [ "explorer"; "e" ] ~docv:"KIND"
-        ~doc:"Schedule explorer: $(b,exhaustive), $(b,pct) or $(b,random).")
+        ~doc:
+          "Schedule explorer: $(b,exhaustive), $(b,dpor) (exhaustive with \
+           dynamic partial-order reduction — identical verdicts, fewer \
+           schedules), $(b,pct) or $(b,random).")
 
 let domains_t =
   Arg.(
@@ -108,6 +118,12 @@ let budget_t =
   Arg.(
     value & opt int 100_000
     & info [ "budget" ] ~docv:"RUNS" ~doc:"Total schedule budget.")
+
+let inner_budget_t =
+  Arg.(
+    value & opt int 2_000
+    & info [ "inner-budget" ] ~docv:"RUNS"
+        ~doc:"Per-failure-pattern schedule cap.")
 
 let depth_t =
   Arg.(
@@ -142,6 +158,17 @@ let no_shrink_t =
     value & flag
     & info [ "no-shrink" ] ~doc:"Report the raw counterexample unshrunk.")
 
+let unordered_t =
+  Arg.(
+    value & flag
+    & info [ "unordered" ]
+        ~doc:
+          "Bug-hunting mode: workers race over a shared frontier instead of \
+           the deterministic speculation/adjudication split.  The verdict of \
+           a complete drain is still deterministic, but schedule/step totals \
+           and which counterexample is reported may vary with timing.  Not \
+           valid with $(b,--explorer dpor).")
+
 let replay_t =
   Arg.(
     value
@@ -169,7 +196,7 @@ let cmd =
     (Cmd.info "mc" ~doc)
     Term.(
       const run $ list_t $ protocol_t $ n_t $ explorer_t $ domains_t
-      $ budget_t $ depth_t $ seed_t $ max_crashes_t $ horizon_t $ stride_t
-      $ no_shrink_t $ replay_t $ trace_t)
+      $ budget_t $ inner_budget_t $ depth_t $ seed_t $ max_crashes_t
+      $ horizon_t $ stride_t $ no_shrink_t $ unordered_t $ replay_t $ trace_t)
 
 let () = exit (Cmd.eval' cmd)

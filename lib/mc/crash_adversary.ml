@@ -64,8 +64,11 @@ let search ?(max_crashes = 1) ?(horizon = 4) ?(stride = 2)
         incr patterns_tried;
         let b = min inner_budget (remaining ()) in
         match inner with
-        | `Exhaustive ->
-          let r = Exhaustive.search ~budget:b ~shrink ~seed target ~fp in
+        | `Exhaustive | `Dpor ->
+          let search =
+            if inner = `Dpor then Dpor.search else Exhaustive.search
+          in
+          let r = search ~budget:b ~shrink ~seed target ~fp in
           schedules := !schedules + r.Exhaustive.schedules;
           steps := !steps + r.Exhaustive.steps;
           if not r.Exhaustive.complete then complete := false;

@@ -22,12 +22,13 @@ type run_report = {
   outputs : string;
 }
 
-type explorer = [ `Exhaustive | `Pct | `Random ]
+type explorer = [ `Exhaustive | `Pct | `Random | `Dpor ]
 
 let explorer_name = function
   | `Exhaustive -> "exhaustive"
   | `Pct -> "pct"
   | `Random -> "random"
+  | `Dpor -> "dpor"
 
 type opts = {
   explorer : explorer;
@@ -40,6 +41,7 @@ type opts = {
   d : int option;
   shrink : bool;
   seed : int;
+  ordered : bool;
 }
 
 let default_opts =
@@ -54,14 +56,19 @@ let default_opts =
     d = None;
     shrink = true;
     seed = 1;
+    ordered = true;
   }
 
 let validate_opts o =
   if o.domains < 1 then
     Error (Printf.sprintf "domains must be >= 1 (got %d)" o.domains)
+  else if (not o.ordered) && o.explorer = `Dpor then
+    Error
+      "unordered mode does not apply to the dpor explorer (its backtrack \
+       sets are computed along one sequential exploration)"
   else
     match (o.d, o.explorer) with
-    | Some _, (`Exhaustive | `Random) ->
+    | Some _, (`Exhaustive | `Random | `Dpor) ->
       Error
         (Printf.sprintf
            "the PCT depth d is only meaningful for the pct explorer (got \

@@ -42,8 +42,10 @@ type run_report = {
 
 (** The inner schedule explorer every search front-end chooses between.
     Defined once here; {!Crash_adversary}, {!Parallel} and [Core.Runner]
-    all re-export this type rather than declaring their own copy. *)
-type explorer = [ `Exhaustive | `Pct | `Random ]
+    all re-export this type rather than declaring their own copy.
+    [`Dpor] is [`Exhaustive] with dynamic partial-order reduction
+    ({!Dpor}): identical verdicts, strictly fewer schedules. *)
+type explorer = [ `Exhaustive | `Pct | `Random | `Dpor ]
 
 val explorer_name : explorer -> string
 
@@ -69,10 +71,19 @@ type opts = {
           silently dropped. *)
   shrink : bool;
   seed : int;  (** root seed; all per-run RNG streams derive from it *)
+  ordered : bool;
+      (** [true] (default): the report is bit-identical at every domain
+          count — {!Parallel}'s speculation/adjudication split.  [false]:
+          pure bug-hunting; workers race over a shared frontier with a
+          racy visited filter, the verdict of a complete drain is still
+          deterministic but schedule/step totals and {e which}
+          counterexample is reported may vary with timing.  Rejected for
+          [`Dpor] by {!validate_opts}. *)
 }
 
 (** [`Exhaustive] explorer, 1 domain, budget 20_000, inner budget 2_000,
-    max_crashes 1, horizon 4, stride 2, no d, shrink on, seed 1. *)
+    max_crashes 1, horizon 4, stride 2, no d, shrink on, seed 1,
+    ordered. *)
 val default_opts : opts
 
 (** Reject inconsistent option combinations: [domains < 1], or a PCT depth

@@ -1,73 +1,71 @@
 (** Parallel schedule exploration on OCaml 5 domains.
 
     [search] shards the crash-pattern × schedule frontier of a
-    {!Crash_adversary}-style search across a pool of [Domain]s while
-    keeping the result — counterexample, pattern/schedule/step counts,
-    completeness — *bit-identical for every domain count*, including 1.
+    {!Crash_adversary}-style search across a pool of [Domain]s.  It has
+    two modes, selected by [opts.ordered]:
 
-    {2 How determinism survives parallelism}
+    {2 Ordered mode (default): bit-identical reports}
 
-    The explorer splits every run into two halves:
+    The report — counterexample, pattern/schedule/step counts,
+    completeness — is {e bit-identical for every domain count},
+    including 1.  The explorer splits every run into two halves:
 
-    - {b Speculation} (parallel, racy): a worker domain executes a run
-      to completion with pruning {e disabled}, recording its trajectory —
-      the choice indices taken, the arity of every choice point, and the
-      per-round [(digest, choices-consumed, steps)] triples the engine's
-      round hook exposes.  A run's trajectory is a pure function of
-      [(target, failure pattern, prefix, seed)], so it does not matter
-      when, where, or how often it is executed.
-    - {b Adjudication} (sequential, canonical): a single coordinator
-      consumes speculation results in a fixed order — failure patterns
-      fewest-crashes-first, and within a pattern the FIFO frontier order
-      of prefixes — and replays the pruning decisions against its private
-      exact seen-set.  Because a violation ends a run before any further
-      hook fires, a recorded trajectory with a violation has it at the
-      very end; the adjudicator reports it only if no earlier hook entry
-      is pruned.  Every counter the report carries (schedules, steps,
-      cut positions) is derived from adjudicated trajectories, never from
-      wall-clock racing.
+    - {b Speculation} (parallel, racy): workers claim {e subtree jobs} —
+      a frontier prefix plus a quota — and run a local depth-first
+      expansion of that subtree, streaming each run's trajectory (choice
+      indices, arities, per-round [(digest, consumed, steps)] hook
+      triples, the cut position justified by the worker's local seen-set
+      or the shared filter) back to the coordinator.  A trajectory is a
+      pure function of [(target, failure pattern, prefix, seed)], so it
+      does not matter when, where, or how often it is executed.  Coarse
+      subtree work units amortize queue traffic: the old one-job-per-
+      prefix design spent its speedup on lock round trips.
+    - {b Adjudication} (sequential, canonical): the coordinator consumes
+      trajectories in the fixed frontier order — failure patterns
+      fewest-crashes-first, FIFO prefix order within a pattern — and
+      replays every pruning decision against its private exact seen-set.
+      A speculative cut the exact set cannot justify (filter collision,
+      stale local view) triggers a deterministic filter-free
+      re-execution.  Every counter in the report derives from
+      adjudicated trajectories, never from wall-clock racing.
 
-    Workers consult a shared, atomic visited-digest filter so that a
-    speculative run can cut itself as soon as it reaches a state the
-    coordinator has already marked seen.  The filter only ever grows and
-    only the coordinator inserts, so a filter hit during speculation
-    implies the adjudicator would cut the run at or before the same
-    round — speculation can only do {e wasted} work, never change the
-    outcome.  (A rare salted-hash collision can make a speculative cut
-    unjustified; the adjudicator detects this and deterministically
-    re-executes the run with the filter disabled.)  The filter is sharded
-    into stripes so reader probe paths mostly avoid the cache lines the
-    coordinator is writing.
+    Workers consult a shared striped visited-digest filter (single
+    writer: the coordinator) so speculation cuts where the adjudicator
+    already pruned; a hit can only save work, never change the outcome.
+
+    Aborted speculative runs — cancelled mid-flight when a
+    counterexample lands, or cut by a racy filter hit that adjudication
+    later re-executes — are {e excluded} from the step totals: the
+    report counts the work of the canonical search, so [steps] is a
+    search metric, not a wall-clock artifact.
+
+    {2 Unordered mode ([ordered = false]): bug-hunting}
+
+    Workers race over one shared frontier with a racy multi-writer
+    filter ({!Filter.add_racy}-style plain stores: a lost insert only
+    means a state may be explored twice, a hit is always genuine).
+    There is no adjudication: the first violation found wins (a mutex
+    arbitrates), cancellation is immediate, and per-pattern budgets are
+    fixed by a deterministic static allocation so that a {e clean
+    complete drain} — no violation, budget not exhausted — still
+    reports deterministic schedule counts at any domain count.  Which
+    counterexample is reported, and the partial counters of an
+    interrupted search, may vary with timing.  Use it to find bugs
+    faster; use ordered mode to report them.  Rejected for [`Dpor]
+    (sleep-set state is inherently sequential) by
+    {!Harness.validate_opts}.
 
     {2 Scaling}
 
-    [opts.domains] is a cap, not a demand: the pool never spawns more
-    total domains than [Domain.recommended_domain_count ()].
-    Oversubscribing a small machine made the racy-speculation design
-    strictly slower than sequential search (every completion woke every
-    worker; speculative runs executed against ever-staler filters), so a
-    request for 4 domains on a 1-core machine now runs the sequential
-    path — and the report is bit-identical either way.  Workers claim
-    queued jobs in small batches (one lock round trip per batch) and
-    completions wake only the coordinator, on a dedicated condition
-    variable.
+    [opts.domains] is a cap, not a demand: the pool never exceeds
+    [Domain.recommended_domain_count ()], and 1 domain runs the
+    sequential inline path.  [`Dpor] adjudicates sequentially per
+    pattern (the reduction is a frontier-order-dependent algorithm);
+    [`Pct]/[`Random] parallelize by run index — run [i] of pattern [p]
+    draws its RNG stream from [(root seed, p, i)] regardless of which
+    domain executes it.
 
-    Cancellation: when the coordinator adjudicates the first
-    counterexample, it flags cancellation (prefix runs abort at their
-    next round hook, sampled runs finish their bounded run), junks all
-    pending work, and joins the pool — in-flight work is drained, never
-    abandoned.
-
-    PCT and random exploration parallelize by run index instead of by
-    prefix: run [i] of pattern [p] draws its scheduler from an RNG stream
-    derived from [(root seed, p, i)], so the stream does not depend on
-    which domain executes the run, and the reported counterexample is the
-    one with the smallest run index.  (Note this indexing differs from
-    the sequential {!Pct.search}, whose streams chain through one
-    advancing generator; the two explorers are each self-consistent, not
-    mutually identical.)
-
-    The report is {!Crash_adversary.report}: the two searches agree on
+    The report is {!Crash_adversary.report}: the searches agree on
     semantics, budget accounting ([budget] total across patterns,
     [inner_budget] per pattern, fewest-crashes-first) and reporting. *)
 

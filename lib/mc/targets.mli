@@ -67,6 +67,10 @@ val qc_psi :
 (** Existentially packed target, for name-indexed lookup from the CLI. *)
 type packed = Packed : ('st, 'msg, 'fd, 'inp, 'out) Harness.target -> packed
 
+(** Renderer for ABD outputs (shared with the net-stack targets of
+    {!Net_targets}). *)
+val pp_abd_out : Format.formatter -> int Regs.Abd.output -> unit
+
 val all : n:int -> (string * packed) list
 
 val find : string -> n:int -> packed option

@@ -1,0 +1,188 @@
+(* Deterministic scheduled transport: per-destination frame queues where
+   each poll's delivery is a Sim.Scheduler [Deliver_pick].  No mutex —
+   the hub is meant to be driven single-threaded, round-robin, by a
+   model-checking harness; determinism is the whole point. *)
+
+type hub = {
+  n : int;
+  sched : Sim.Scheduler.t;
+  reorder : bool;
+  queues : (Sim.Pid.t * bytes) list ref array;  (* per dst, send order *)
+  held : (Sim.Pid.t * bytes) list ref array;  (* per blocked src *)
+  blocked : bool array;
+  dead : bool array;
+  dup : bool array;  (* duplicate the src's next frame *)
+  drop : bool array;  (* drop the src's next frame *)
+  mutable sent : int;
+  mutable delivered_count : int;
+  mutable dropped : int;
+}
+
+let create ?(reorder = false) ~n ~sched () =
+  {
+    n;
+    sched;
+    reorder;
+    queues = Array.init n (fun _ -> ref []);
+    held = Array.init n (fun _ -> ref []);
+    blocked = Array.make n false;
+    dead = Array.make n false;
+    dup = Array.make n false;
+    drop = Array.make n false;
+    sent = 0;
+    delivered_count = 0;
+    dropped = 0;
+  }
+
+let append r x = r := !r @ [ x ]
+
+let enqueue hub ~src ~dst frame =
+  if hub.dead.(src) || hub.dead.(dst) then hub.dropped <- hub.dropped + 1
+  else if hub.blocked.(src) then append hub.held.(src) (dst, frame)
+  else append hub.queues.(dst) (src, Bytes.copy frame)
+
+(* Fault flags model the network between processes: a self-send never
+   crosses it (and the ARQ layer deliberately does not cover it), so
+   drop/dup only fire on frames to a different process. *)
+let send hub src dst frame =
+  hub.sent <- hub.sent + 1;
+  if Sim.Pid.equal src dst then enqueue hub ~src ~dst frame
+  else if hub.drop.(src) then begin
+    hub.drop.(src) <- false;
+    hub.dropped <- hub.dropped + 1
+  end
+  else begin
+    let copies = if hub.dup.(src) then 2 else 1 in
+    hub.dup.(src) <- false;
+    for _ = 1 to copies do
+      enqueue hub ~src ~dst frame
+    done
+  end
+
+(* Candidate list shown to the scheduler: distinct senders (oldest frame
+   each) by default, every pending frame's sender under [reorder]. *)
+let candidates hub dst =
+  let q = !(hub.queues.(dst)) in
+  if hub.reorder then List.map fst q
+  else
+    List.rev
+      (List.fold_left
+         (fun acc (src, _) ->
+           if List.exists (Sim.Pid.equal src) acc then acc else src :: acc)
+         [] q)
+
+(* Remove and return the [k]-th frame of [src] from dst's queue. *)
+let take hub dst ~src ~k =
+  let q = !(hub.queues.(dst)) in
+  let taken = ref None in
+  let count = ref 0 in
+  let rest =
+    List.filter
+      (fun (s, frame) ->
+        if !taken = None && Sim.Pid.equal s src then begin
+          if !count = k then begin
+            taken := Some frame;
+            false
+          end
+          else begin
+            incr count;
+            true
+          end
+        end
+        else true)
+      q
+  in
+  hub.queues.(dst) := rest;
+  !taken
+
+let poll hub dst ~timeout_ms:_ =
+  if hub.dead.(dst) then None
+  else
+    match candidates hub dst with
+    | [] -> None
+    | [ only ] ->
+      (* no real choice: keep schedules free of arity-1 picks *)
+      let frame = take hub dst ~src:only ~k:0 in
+      Option.map
+        (fun f ->
+          hub.delivered_count <- hub.delivered_count + 1;
+          (only, f))
+        frame
+    | cands ->
+      let i =
+        hub.sched.Sim.Scheduler.choose
+          (Sim.Scheduler.Deliver_pick { dst; candidates = cands })
+      in
+      let i = max 0 (min i (List.length cands - 1)) in
+      let src = List.nth cands i in
+      (* under [reorder] the i-th candidate is the i-th pending frame:
+         its rank among [src]'s frames is how many earlier candidates
+         share that sender *)
+      let k =
+        if not hub.reorder then 0
+        else
+          List.length
+            (List.filter (Sim.Pid.equal src) (List.filteri (fun j _ -> j < i) cands))
+      in
+      let frame = take hub dst ~src ~k in
+      Option.map
+        (fun f ->
+          hub.delivered_count <- hub.delivered_count + 1;
+          (src, f))
+        frame
+
+let endpoint hub self =
+  {
+    Transport.self;
+    n = hub.n;
+    send = (fun dst frame -> send hub self dst frame);
+    poll = (fun ~timeout_ms -> poll hub self ~timeout_ms);
+    stats =
+      (fun () ->
+        {
+          Transport.sent = hub.sent;
+          delivered = hub.delivered_count;
+          reconnects = 0;
+          dropped = hub.dropped;
+          down = Sim.Pidset.empty;
+        });
+    close = (fun () -> ());
+  }
+
+let block hub p = hub.blocked.(p) <- true
+
+let unblock hub p =
+  hub.blocked.(p) <- false;
+  let frames = !(hub.held.(p)) in
+  hub.held.(p) := [];
+  List.iter (fun (dst, frame) -> enqueue hub ~src:p ~dst frame) frames
+
+let dup_next hub p = hub.dup.(p) <- true
+let drop_next hub p = hub.drop.(p) <- true
+
+let kill hub p =
+  hub.dead.(p) <- true;
+  hub.held.(p) := [];
+  Array.iter
+    (fun q -> q := List.filter (fun (src, _) -> not (Sim.Pid.equal src p)) !q)
+    hub.queues;
+  hub.queues.(p) := []
+
+let killed hub p = hub.dead.(p)
+
+let in_flight hub =
+  Array.fold_left (fun acc q -> acc + List.length !q) 0 hub.queues
+  + Array.fold_left (fun acc h -> acc + List.length !h) 0 hub.held
+
+let delivered hub = hub.delivered_count
+
+let digest hub =
+  let project =
+    ( Array.map (fun q -> List.map (fun (s, f) -> (s, Bytes.to_string f)) !q) hub.queues,
+      Array.map (fun h -> List.map (fun (d, f) -> (d, Bytes.to_string f)) !h) hub.held,
+      hub.blocked,
+      hub.dead,
+      hub.dup,
+      hub.drop )
+  in
+  Hashtbl.hash (Digest.bytes (Marshal.to_bytes project []))

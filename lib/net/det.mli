@@ -1,0 +1,74 @@
+(** Deterministic, schedulable in-memory transport — the model checker's
+    window into the production stack.
+
+    Like {!Loopback}, a hub of in-process queues; unlike it, every
+    delivery decision is a {!Sim.Scheduler} choice point instead of a
+    fixed FIFO, so an explorer ([Mc.Net_harness]) can systematically
+    enumerate delivery interleavings of real {!Node}/{!Rel} code the
+    way it enumerates the sim engine's.  On each [poll] with pending
+    frames the hub asks the scheduler a
+    [Deliver_pick { dst; candidates }]:
+
+    - default ([reorder = false]): one candidate per sending peer, its
+      oldest undelivered frame — per-link FIFO order is preserved, the
+      only nondeterminism is cross-sender interleaving (the reliable
+      in-order links the paper assumes);
+    - [reorder = true]: one candidate per pending {e frame} (a sender
+      appears once per frame, queue order), so the scheduler can also
+      deliver a link's frames out of order or duplicate-deliver around
+      a retransmission — the lossy regime {!Rel} exists to repair.
+
+    Single-candidate polls consume no choice (schedules stay compact),
+    and the hub is single-threaded by design — drive the nodes
+    round-robin from one domain, as [Mc.Net_harness] does.
+
+    Faults are plain scriptable operations, applied between steps by
+    whatever harness drives the hub: {!block}/{!unblock} hold and then
+    release a node's outbound frames in order (a resend racing its late
+    original), {!dup_next} duplicates a node's next outbound frame (a
+    duplicate-ack flood), {!drop_next} loses a node's next outbound
+    frame (the lossy link ARQ must repair), {!kill} silences a node
+    permanently (a crash).  {!digest} folds every queue, held buffer and fault flag
+    into a state digest usable for visited-state pruning alongside the
+    nodes' own state. *)
+
+type hub
+
+(** [create ~n ~sched ()] builds the hub; [sched] resolves delivery
+    picks.  [reorder] defaults to [false]. *)
+val create : ?reorder:bool -> n:int -> sched:Sim.Scheduler.t -> unit -> hub
+
+(** [endpoint hub p] is [p]'s transport.  One per pid. *)
+val endpoint : hub -> Sim.Pid.t -> Transport.t
+
+(** Hold [p]'s outbound frames from now on. *)
+val block : hub -> Sim.Pid.t -> unit
+
+(** Release [p]'s held frames, in send order, and stop holding. *)
+val unblock : hub -> Sim.Pid.t -> unit
+
+(** Duplicate the next frame [p] sends to a peer (both copies
+    enqueue).  Self-sends never arm or consume the flag: faults model
+    the network, which a self-delivery does not cross. *)
+val dup_next : hub -> Sim.Pid.t -> unit
+
+(** Drop the next frame [p] sends to a peer — a one-shot lossy link,
+    the fault {!Rel}'s retransmission exists to repair.  Self-sends
+    are exempt, as for {!dup_next}. *)
+val drop_next : hub -> Sim.Pid.t -> unit
+
+(** Silence [p]: every frame from or to it, including held ones, is
+    dropped from now on. *)
+val kill : hub -> Sim.Pid.t -> unit
+
+val killed : hub -> Sim.Pid.t -> bool
+
+(** Frames currently queued or held anywhere in the hub. *)
+val in_flight : hub -> int
+
+(** Total frames ever delivered to a poll. *)
+val delivered : hub -> int
+
+(** Deep digest of the hub state: pending queues, held frames, fault
+    flags, in send order. *)
+val digest : hub -> int

@@ -204,3 +204,30 @@ let transport t =
     stats = inner.Transport.stats;
     close = inner.Transport.close;
   }
+
+(* Deep digest of the ARQ state machine, for model-checking visited-state
+   pruning: send cursors + unacked frames, delivery cursors + reorder
+   buffers, the ready queue, and the poll counter (it clocks the resend
+   scan, so it is behaviourally relevant state). *)
+let digest t =
+  let project =
+    ( Array.map
+        (fun (s : send_state) ->
+          ( s.next_seq,
+            List.map
+              (fun (sq, f) -> (sq, Bytes.to_string f))
+              (List.of_seq (Queue.to_seq s.unacked)) ))
+        t.out,
+      Array.map
+        (fun (r : recv_state) ->
+          ( r.next_expect,
+            List.map
+              (fun (sq, p) -> (sq, Bytes.to_string p))
+              (Int_map.bindings r.ooo) ))
+        t.inbox,
+      List.map
+        (fun (src, p) -> ((src : Sim.Pid.t), Bytes.to_string p))
+        (List.of_seq (Queue.to_seq t.ready)),
+      t.polls mod t.resend_every )
+  in
+  Hashtbl.hash (Digest.bytes (Marshal.to_bytes project []))

@@ -48,3 +48,7 @@ type stats = {
 }
 
 val stats : t -> stats
+
+(** Deep digest of the layer's state (cursors, unacked frames, reorder
+    buffers, resend clock), for model-checking visited-state pruning. *)
+val digest : t -> int

@@ -370,6 +370,256 @@ let test_opts_validation () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "domains=0 accepted"
 
+(* ---- dpor: partial-order reduction, identical verdicts -------------- *)
+
+let test_dpor_abd_reduction () =
+  let t = Mc.Targets.abd ~n:2 in
+  let ex = Mc.Exhaustive.search ~budget:50_000 t ~fp:(ff 2) in
+  let dp = Mc.Dpor.search ~budget:50_000 t ~fp:(ff 2) in
+  Alcotest.(check bool) "exhaustive complete" true ex.Mc.Exhaustive.complete;
+  Alcotest.(check bool) "dpor complete" true dp.Mc.Exhaustive.complete;
+  Alcotest.(check bool)
+    "both clean" true
+    (ex.Mc.Exhaustive.counterexample = None
+    && dp.Mc.Exhaustive.counterexample = None);
+  Alcotest.(check bool)
+    (Printf.sprintf "dpor explores >= 3x fewer schedules (%d vs %d)"
+       dp.Mc.Exhaustive.schedules ex.Mc.Exhaustive.schedules)
+    true
+    (dp.Mc.Exhaustive.schedules * 3 <= ex.Mc.Exhaustive.schedules)
+
+let test_dpor_paxos_parity () =
+  let t = Mc.Targets.quorum_paxos ~n:2 in
+  let ex = Mc.Exhaustive.search ~budget:50_000 t ~fp:(ff 2) in
+  let dp = Mc.Dpor.search ~budget:50_000 t ~fp:(ff 2) in
+  Alcotest.(check bool) "both complete" true
+    (ex.Mc.Exhaustive.complete && dp.Mc.Exhaustive.complete);
+  Alcotest.(check bool)
+    "both clean" true
+    (ex.Mc.Exhaustive.counterexample = None
+    && dp.Mc.Exhaustive.counterexample = None);
+  Alcotest.(check bool) "dpor explores a subset" true
+    (dp.Mc.Exhaustive.schedules <= ex.Mc.Exhaustive.schedules)
+
+let test_dpor_broken_validity_same_cex () =
+  let t = Mc.Targets.broken_validity ~n:2 in
+  let ex = Mc.Exhaustive.search ~budget:10_000 t ~fp:(ff 2) in
+  let dp = Mc.Dpor.search ~budget:10_000 t ~fp:(ff 2) in
+  match (ex.Mc.Exhaustive.counterexample, dp.Mc.Exhaustive.counterexample) with
+  | Some ec, Some dc ->
+    Alcotest.(check string)
+      "identical violation reason" ec.Mc.Harness.reason dc.Mc.Harness.reason;
+    Alcotest.(check bool) "dpor counterexample replays" true
+      (Mc.Harness.violates t ~n:2 dc.Mc.Harness.schedule)
+  | _ -> Alcotest.fail "planted bug missed by one of the explorers"
+
+let test_dpor_2pc_adversary_parity () =
+  let t = Mc.Targets.two_phase_commit ~n:2 in
+  let search inner =
+    Mc.Crash_adversary.search ~max_crashes:1 ~horizon:4 ~stride:2 ~inner
+      ~budget:50_000 t ~n:2
+  in
+  let ex = search `Exhaustive and dp = search `Dpor in
+  match
+    (ex.Mc.Crash_adversary.counterexample, dp.Mc.Crash_adversary.counterexample)
+  with
+  | Some ec, Some dc ->
+    Alcotest.(check string)
+      "identical blocking reason" ec.Mc.Harness.reason dc.Mc.Harness.reason;
+    Alcotest.(check bool) "dpor explores fewer-or-equal schedules" true
+      (dp.Mc.Crash_adversary.schedules <= ex.Mc.Crash_adversary.schedules);
+    Alcotest.(check bool)
+      "blocking needs a crash" true
+      (dc.Mc.Harness.schedule.Mc.Schedule.crashes <> [])
+  | _ -> Alcotest.fail "2PC blocking missed by one of the explorers"
+
+let test_dpor_time_varying_fd_degenerates () =
+  (* Psi's sampled history is time-varying ([time_invariant_fd = false]),
+     which disables the reduction's soundness precondition: DPOR must
+     degenerate to exactly the exhaustive search, same counts and all. *)
+  let t = Mc.Targets.qc_psi ~n:2 in
+  let ex = Mc.Exhaustive.search ~budget:100 t ~fp:(ff 2) in
+  let dp = Mc.Dpor.search ~budget:100 t ~fp:(ff 2) in
+  Alcotest.(check int)
+    "identical schedule count" ex.Mc.Exhaustive.schedules
+    dp.Mc.Exhaustive.schedules;
+  Alcotest.(check int)
+    "identical step count" ex.Mc.Exhaustive.steps dp.Mc.Exhaustive.steps;
+  Alcotest.(check bool)
+    "identical verdict" true
+    (ex.Mc.Exhaustive.counterexample = None
+    && dp.Mc.Exhaustive.counterexample = None)
+
+(* Soundness of the independence relation, property-style: for random
+   (target, failure pattern) configurations, DPOR and exhaustive search
+   must agree on completeness and verdict, and DPOR must never explore
+   more schedules.  A reduction that swapped two dependent steps would
+   show up here as a verdict mismatch. *)
+let prop_dpor_verdict_parity =
+  QCheck.Test.make ~name:"dpor: verdict parity on random crash patterns"
+    ~count:12
+    QCheck.(triple (0 -- 2) (0 -- 1) (0 -- 6))
+    (fun (ti, pid, time) ->
+      let name =
+        List.nth
+          [ "regs.abd"; "cons.quorum_paxos"; "qcnbac.two_phase_commit" ]
+          ti
+      in
+      let fp =
+        if time = 6 then ff 2 else Sim.Failure_pattern.make ~n:2 [ (pid, time) ]
+      in
+      match Mc.Targets.find name ~n:2 with
+      | None -> false
+      | Some (Mc.Targets.Packed t) ->
+        let ex = Mc.Exhaustive.search ~budget:2_000 ~shrink:false t ~fp in
+        let dp = Mc.Dpor.search ~budget:2_000 ~shrink:false t ~fp in
+        if ex.Mc.Exhaustive.complete then
+          dp.Mc.Exhaustive.complete
+          && (ex.Mc.Exhaustive.counterexample = None)
+             = (dp.Mc.Exhaustive.counterexample = None)
+          && dp.Mc.Exhaustive.schedules <= ex.Mc.Exhaustive.schedules
+        else true)
+
+(* ---- unordered (bug-hunting) mode ----------------------------------- *)
+
+let test_unordered_sampled_accounting () =
+  (* Step/schedule accounting must count the canonical search, not racing
+     artifacts: a clean sampled drain reports exactly its budget at every
+     domain count. *)
+  List.iter
+    (fun domains ->
+      match
+        Core.Runner.model_check
+          ~opts:
+            {
+              opts with
+              Core.Runner.explorer = `Random;
+              budget = 300;
+              ordered = false;
+              domains;
+            }
+          "cons.quorum_paxos" ~n:2
+      with
+      | Error e -> Alcotest.fail e
+      | Ok s ->
+        Alcotest.(check int)
+          (Printf.sprintf "domains=%d: schedules == budget" domains)
+          300 s.Core.Runner.schedules)
+    [ 1; 4 ]
+
+let test_unordered_exhaustive_verdicts () =
+  (* which counterexample unordered mode reports may vary with timing;
+     whether one exists, and whether a clean space drains, may not *)
+  (match
+     Core.Runner.model_check
+       ~opts:
+         {
+           opts with
+           Core.Runner.budget = 10_000;
+           ordered = false;
+           domains = 4;
+         }
+       "cons.broken_validity" ~n:2
+   with
+  | Error e -> Alcotest.fail e
+  | Ok s -> (
+    match s.Core.Runner.counterexample with
+    | None -> Alcotest.fail "unordered search missed the planted bug"
+    | Some c ->
+      Alcotest.(check bool) "unordered counterexample replays" true
+        (Mc.Harness.violates (Mc.Targets.broken_validity ~n:2) ~n:2
+           c.Mc.Harness.schedule)));
+  match
+    Core.Runner.model_check
+      ~opts:
+        {
+          opts with
+          Core.Runner.budget = 50_000;
+          ordered = false;
+          domains = 4;
+        }
+      "cons.quorum_paxos" ~n:2
+  with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+    Alcotest.(check bool) "clean space drains completely" true
+      s.Core.Runner.exhausted;
+    Alcotest.(check bool) "no violation" true
+      (s.Core.Runner.counterexample = None)
+
+let test_unordered_dpor_rejected () =
+  match
+    Core.Runner.model_check
+      ~opts:{ opts with Core.Runner.explorer = `Dpor; ordered = false }
+      "cons.quorum_paxos" ~n:2
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unordered dpor accepted"
+
+(* ---- the production net stack, model-checked ------------------------ *)
+
+let test_net_raw_reorder_caught_and_shrunk () =
+  (* positive control: without an ARQ the reordering hub violates the
+     link axiom, and the harness finds, shrinks and replays it *)
+  let t = Mc.Net_targets.seq_raw_reorder ~n:2 ~m:2 in
+  let r = Mc.Net_harness.search ~budget:2_000 t in
+  match r.Mc.Exhaustive.counterexample with
+  | None -> Alcotest.fail "raw reordering hub passed the link axiom"
+  | Some c ->
+    Alcotest.(check bool) "counterexample was shrunk" true c.Mc.Harness.shrunk;
+    Alcotest.(check bool)
+      "reason names the delivery order" true
+      (contains c.Mc.Harness.reason "delivered");
+    Alcotest.(check bool) "shrunk schedule still violates" true
+      (Mc.Net_harness.violates t c.Mc.Harness.schedule);
+    (* round-trip through the serialized form, then replay *)
+    let s =
+      Mc.Schedule.of_string (Mc.Schedule.to_string c.Mc.Harness.schedule)
+    in
+    let rep = Mc.Net_harness.replay t s in
+    Alcotest.(check bool) "replay reproduces the violation" true
+      (rep.Mc.Net_harness.violation <> None)
+
+let test_net_broken_arq_loses_message () =
+  (* the planted net-layer bug: acking the highest sequence seen instead
+     of cumulatively loses the dropped frame forever *)
+  let t = Mc.Net_targets.seq_broken_arq ~n:2 ~m:2 in
+  let r = Mc.Net_harness.search ~budget:2_000 t in
+  match r.Mc.Exhaustive.counterexample with
+  | None -> Alcotest.fail "broken ARQ passed the link axiom"
+  | Some c ->
+    Alcotest.(check bool)
+      "reason names the lost message" true
+      (contains c.Mc.Harness.reason "lost in the link layer");
+    Alcotest.(check bool) "counterexample was shrunk" true c.Mc.Harness.shrunk;
+    let rep = Mc.Net_harness.replay t c.Mc.Harness.schedule in
+    Alcotest.(check bool) "replay reproduces the loss" true
+      (rep.Mc.Net_harness.violation <> None)
+
+let test_net_rel_restores_link_axiom () =
+  (* the production ARQ under reordering, a dropped frame and a
+     duplicated frame: every schedule satisfies the link axiom *)
+  let t = Mc.Net_targets.seq_rel ~n:2 ~m:1 in
+  let r = Mc.Net_harness.search ~budget:5_000 t in
+  Alcotest.(check bool) "space exhausted" true r.Mc.Exhaustive.complete;
+  Alcotest.(check bool)
+    "no violation in any schedule" true
+    (r.Mc.Exhaustive.counterexample = None);
+  Alcotest.(check bool) "nontrivial exploration" true
+    (r.Mc.Exhaustive.schedules > 100)
+
+let test_net_abd_over_node_rel_linearizable () =
+  (* the paper's register algorithm through the real wire path: Node main
+     loop, marshal codec, Rel ARQ, a dropped frame forcing a resend *)
+  let t = Mc.Net_targets.abd_rel ~n:2 in
+  let r = Mc.Net_harness.search ~budget:20_000 t in
+  Alcotest.(check bool) "space exhausted" true r.Mc.Exhaustive.complete;
+  Alcotest.(check bool)
+    "linearizable in every schedule" true
+    (r.Mc.Exhaustive.counterexample = None);
+  Alcotest.(check bool) "nontrivial exploration" true
+    (r.Mc.Exhaustive.schedules > 1_000)
+
 let () =
   Alcotest.run "mc"
     [
@@ -421,5 +671,38 @@ let () =
           Alcotest.test_case "cancellation loses no violation" `Quick
             test_parallel_cancellation_stress;
           Alcotest.test_case "opts validation" `Quick test_opts_validation;
+        ] );
+      ( "dpor",
+        [
+          Alcotest.test_case "abd n=2: >=3x reduction, clean" `Quick
+            test_dpor_abd_reduction;
+          Alcotest.test_case "quorum-paxos n=2 parity" `Quick
+            test_dpor_paxos_parity;
+          Alcotest.test_case "broken validity: same counterexample" `Quick
+            test_dpor_broken_validity_same_cex;
+          Alcotest.test_case "2pc blocking via crash adversary" `Quick
+            test_dpor_2pc_adversary_parity;
+          Alcotest.test_case "time-varying fd degenerates to exhaustive"
+            `Quick test_dpor_time_varying_fd_degenerates;
+          QCheck_alcotest.to_alcotest prop_dpor_verdict_parity;
+        ] );
+      ( "unordered",
+        [
+          Alcotest.test_case "sampled accounting == budget" `Quick
+            test_unordered_sampled_accounting;
+          Alcotest.test_case "exhaustive verdict parity" `Quick
+            test_unordered_exhaustive_verdicts;
+          Alcotest.test_case "dpor rejected" `Quick test_unordered_dpor_rejected;
+        ] );
+      ( "net-harness",
+        [
+          Alcotest.test_case "raw reorder: caught + shrunk + replay" `Quick
+            test_net_raw_reorder_caught_and_shrunk;
+          Alcotest.test_case "broken arq: lost message caught" `Quick
+            test_net_broken_arq_loses_message;
+          Alcotest.test_case "rel restores the link axiom" `Quick
+            test_net_rel_restores_link_axiom;
+          Alcotest.test_case "abd over node+rel linearizable" `Quick
+            test_net_abd_over_node_rel_linearizable;
         ] );
     ]
