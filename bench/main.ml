@@ -942,14 +942,48 @@ let shard_throughput_json () =
       reconfig_row ();
     ]
 
+(* E20 rows: the mixed-consistency cluster under full isolation.  One
+   deterministic Ec.Chaos run yields both rows: the partition row reads
+   the EC write rate inside the cut window (with the SMR freeze as its
+   foil), the convergence row the measured heal bound. *)
+let ec_throughput_json () =
+  let n = 3 in
+  let cfg = Ec.Chaos.default ~n ~schedule:(Ec.Chaos.default_schedule n) in
+  let t0 = Unix.gettimeofday () in
+  let r = Ec.Chaos.run cfg in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let cut_rounds =
+    match Ec.Chaos.cut_window cfg.Ec.Chaos.schedule with
+    | Some (c, h) -> h - c
+    | None -> 0
+  in
+  let ec_total = Array.fold_left ( + ) 0 r.Ec.Chaos.ec_puts in
+  let converged = Option.value r.Ec.Chaos.converged_in ~default:(-1) in
+  String.concat ",\n"
+    [
+      Printf.sprintf
+        {|    { "name": "net_ec_partition_n%d", "rounds": %d, "rounds_per_sec": %.0f, "cut_rounds": %d, "ec_puts_in_partition": %d, "ec_puts_per_kround_in_partition": %.0f, "smr_frozen": %b, "invariants_ok": %b }|}
+        n r.Ec.Chaos.rounds_run
+        (float_of_int r.Ec.Chaos.rounds_run /. elapsed)
+        cut_rounds r.Ec.Chaos.ec_puts_in_partition
+        (1000.
+        *. float_of_int r.Ec.Chaos.ec_puts_in_partition
+        /. float_of_int (max 1 cut_rounds))
+        r.Ec.Chaos.smr_frozen_in_partition (Ec.Chaos.ok r);
+      Printf.sprintf
+        {|    { "name": "net_ec_converge_n%d", "ec_puts_total": %d, "converged_rounds_after_last_write": %d, "rel_retransmits": %d, "frames_dropped": %d, "invariants_ok": %b }|}
+        n ec_total converged r.Ec.Chaos.rel_retransmits
+        r.Ec.Chaos.nemesis.Net.Nemesis.n_dropped (Ec.Chaos.ok r);
+    ]
+
 let bench_json () =
   Printf.sprintf
     "{\n  \"suite\": \"weakest-fd-mc\",\n  \"cores\": %d,\n  \"workloads\": \
-     [\n%s,\n%s,\n%s,\n%s,\n%s\n  ]\n}\n"
+     [\n%s,\n%s,\n%s,\n%s,\n%s,\n%s\n  ]\n}\n"
     (Domain.recommended_domain_count ())
     (mc_throughput_json ()) (net_throughput_json ())
     (batch_throughput_json ()) (chaos_throughput_json ())
-    (shard_throughput_json ())
+    (shard_throughput_json ()) (ec_throughput_json ())
 
 let benchmark () =
   let ols =

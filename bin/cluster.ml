@@ -218,6 +218,173 @@ let run_shard_loopback shards replicas spares seed rounds period cmds
     Printf.printf "trace: %s\n%!" path);
   if not (Shard.Chaos.ok report) then Stdlib.exit 1
 
+(* ------------------------------------------------------------------ ec *)
+
+(* The mixed-consistency cluster (docs/EC.md): every node runs the SMR
+   stack and the EC store side by side; clients tag each request
+   linearizable or eventual.
+
+   [--transport loopback] (default) drives Ec.Chaos: the default schedule
+   isolates *every* node (no majority anywhere), asserts EC writes keep
+   flowing while SMR freezes, then heals and asserts store convergence,
+   read-your-writes and Ω-EC re-agreement.  Deterministic replay; exits 0
+   iff every invariant held.
+
+   [--transport tcp] forks n mixed nodes over Unix-domain sockets, runs
+   linearizable commands through node 0, an eventual put/get session
+   against every node (read-your-writes over real sockets), then waits
+   for anti-entropy to converge an eventually-written key everywhere. *)
+
+let run_ec_loopback n seed rounds period window sync_every puts_every cmds
+    cmd_every schedule_file trace_path =
+  let schedule =
+    match schedule_file with
+    | None -> Ec.Chaos.default_schedule n
+    | Some _ -> load_schedule ~what:"ec" ~n schedule_file
+  in
+  let base = Ec.Chaos.default ~n ~schedule in
+  let cfg =
+    {
+      base with
+      Ec.Chaos.seed;
+      rounds = Option.value rounds ~default:base.Ec.Chaos.rounds;
+      period;
+      window;
+      sync_every;
+      puts_every;
+      lin_cmds = cmds;
+      lin_every = cmd_every;
+    }
+  in
+  let collector = Obs.Collector.create () in
+  let report = Ec.Chaos.run ~collector cfg in
+  Format.printf "%a@?" Ec.Chaos.pp_report report;
+  (match trace_path with
+  | None -> ()
+  | Some path ->
+    Obs.Jsonl.write_run ~path
+      ~meta:
+        [
+          ("tool", "ec-chaos");
+          ("n", string_of_int n);
+          ("seed", string_of_int seed);
+          ("rounds", string_of_int cfg.Ec.Chaos.rounds);
+          ("sync_every", string_of_int sync_every);
+        ]
+      collector;
+    Printf.printf "trace: %s\n%!" path);
+  if not (Ec.Chaos.ok report) then Stdlib.exit 1
+
+let lin_blocking fd payload =
+  Net.Wire.write_frame fd (Ec.Mixed.encode_request (Ec.Mixed.Lin payload));
+  Net.Smr_node.decode_reply (read_frame_blocking fd)
+
+let eput_blocking fd ~key ~value =
+  Net.Wire.write_frame fd
+    (Ec.Mixed.encode_request (Ec.Mixed.Eput { key; value }));
+  match Ec.Mixed.decode_ereply (read_frame_blocking fd) with
+  | Ec.Mixed.Put_ack { lamport; origin } -> (lamport, origin)
+  | _ -> failwith "eput: unexpected reply"
+
+let eget_blocking fd ~key =
+  Net.Wire.write_frame fd (Ec.Mixed.encode_request (Ec.Mixed.Eget { key }));
+  match Ec.Mixed.decode_ereply (read_frame_blocking fd) with
+  | Ec.Mixed.Get_hit { value; _ } -> Some value
+  | Ec.Mixed.Get_miss -> None
+  | Ec.Mixed.Put_ack _ -> failwith "eget: unexpected reply"
+
+let run_ec_tcp n count period window tick_ms dir_opt =
+  if n < 3 then failwith "ec tcp needs n >= 3";
+  let dir = ensure_dir dir_opt in
+  Printf.printf "ec: n=%d count=%d dir=%s\n%!" n count dir;
+  let pids =
+    Array.init n (fun i ->
+        match Unix.fork () with
+        | 0 ->
+          (let cfg =
+             node_config ~dir ~self:i ~n ~period ~window ~batch_max:1024
+               ~tick_ms ~trace:false
+           in
+           try
+             Net.Smr_node.serve
+               (Ec.Mixed.impl ~window ~period ())
+               cfg
+           with e ->
+             Printf.eprintf "ec node %d died: %s\n%!" i (Printexc.to_string e));
+          Stdlib.exit 0
+        | pid -> pid)
+  in
+  let cleanup signal =
+    Array.iter
+      (fun pid -> try Unix.kill pid signal with Unix.Unix_error _ -> ())
+      pids
+  in
+  let fail msg =
+    Printf.eprintf "ec FAILED: %s\n%!" msg;
+    cleanup Sys.sigkill;
+    Stdlib.exit 1
+  in
+  (try
+     let fds =
+       Array.init n (fun i ->
+           connect_retry (client_addr dir i) ~attempts:100 ~delay_s:0.1)
+     in
+     (* linearizable path through node 0 *)
+     for k = 0 to count - 1 do
+       ignore (lin_blocking fds.(0) (Printf.sprintf "lin-%d" k))
+     done;
+     Printf.printf "lin: %d commands decided via node 0\n%!" count;
+     (* eventual path: a session per node, read-your-writes over sockets *)
+     Array.iteri
+       (fun p fd ->
+         for i = 0 to 4 do
+           let key = Printf.sprintf "s%d-k%d" p (i mod 2) in
+           let value = Printf.sprintf "v%d-%d" p i in
+           ignore (eput_blocking fd ~key ~value);
+           match eget_blocking fd ~key with
+           | Some v when v = value -> ()
+           | Some v ->
+             fail
+               (Printf.sprintf "RYW violated at node %d: wrote %s, read %s"
+                  p value v)
+           | None ->
+             fail (Printf.sprintf "RYW violated at node %d: key %s lost" p key)
+         done)
+       fds;
+     Printf.printf "ec: read-your-writes held at all %d nodes\n%!" n;
+     (* anti-entropy must converge every session's last write everywhere *)
+     let deadline = Unix.gettimeofday () +. 30. in
+     let expect p = (Printf.sprintf "s%d-k0" p, Printf.sprintf "v%d-4" p) in
+     let converged () =
+       List.for_all
+         (fun p ->
+           let key, value = expect p in
+           Array.for_all
+             (fun fd -> eget_blocking fd ~key = Some value)
+             fds)
+         (Sim.Pid.all n)
+     in
+     let t0 = Unix.gettimeofday () in
+     let rec settle () =
+       if converged () then
+         Printf.printf "ec: all replicas converged in %.0f ms\n%!"
+           ((Unix.gettimeofday () -. t0) *. 1000.)
+       else if Unix.gettimeofday () > deadline then
+         fail "replicas did not converge"
+       else begin
+         Unix.sleepf 0.05;
+         settle ()
+       end
+     in
+     settle ();
+     Array.iter close_quiet fds
+   with e -> fail (Printexc.to_string e));
+  cleanup Sys.sigterm;
+  Array.iter
+    (fun pid -> try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+    pids;
+  Printf.printf "ec OK\n%!"
+
 let shard_node_addr dir s i =
   Unix.ADDR_UNIX (Filename.concat dir (Printf.sprintf "node-%d-%d.sock" s i))
 
@@ -603,6 +770,78 @@ let shard_cmd =
              Default: partition a majority at round 300, heal at 900."
       $ trace_path_arg $ keys $ tick_arg $ dir_opt)
 
+let ec_cmd =
+  let transport =
+    Arg.(
+      value
+      & opt (enum [ ("loopback", `Loopback); ("tcp", `Tcp) ]) `Loopback
+      & info [ "transport" ] ~docv:"T"
+          ~doc:
+            "$(b,loopback): deterministic in-process chaos run under a \
+             nemesis schedule (the CI smoke). $(b,tcp): one OS process per \
+             mixed node over Unix-domain sockets, driven by a real \
+             mixed-consistency client.")
+  in
+  let sync_every =
+    Arg.(
+      value & opt int 8
+      & info [ "sync-every" ] ~docv:"R"
+          ~doc:"Anti-entropy cadence: digest a peer every R rounds.")
+  in
+  let puts_every =
+    Arg.(
+      value & opt int 10
+      & info [ "puts-every" ] ~docv:"R"
+          ~doc:"Loopback: every live node issues an eventual put every R \
+                rounds.")
+  in
+  let ec_rounds =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "rounds" ] ~docv:"R"
+          ~doc:
+            "Round-robin rounds to drive. Default scales with n: after \
+             the full-isolation heal, the ARQ layer redelivers the whole \
+             cut-era backlog at the model's one-receive-per-round rate, \
+             so the post-heal tail grows with n-1.")
+  in
+  let run transport n seed rounds period window sync_every puts_every cmds
+      cmd_every schedule trace tick_ms dir_opt =
+    match transport with
+    | `Loopback ->
+      run_ec_loopback n seed rounds period window sync_every puts_every cmds
+        cmd_every schedule trace
+    | `Tcp -> run_ec_tcp n cmds period window tick_ms dir_opt
+  in
+  Cmd.v
+    (Cmd.info "ec"
+       ~doc:
+         "Run the mixed-consistency cluster (docs/EC.md): every node serves \
+          both the linearizable SMR path and the eventually-consistent \
+          store with the Ω-EC detector and anti-entropy. Loopback mode \
+          isolates every node (no majority anywhere), asserts EC writes \
+          keep flowing while SMR freezes, then heals and asserts \
+          convergence, read-your-writes and leader re-agreement; exits 0 \
+          iff every invariant held. Deterministic: same seed and schedule \
+          replay bit-for-bit.")
+    Term.(
+      const run $ transport $ n_arg
+      $ seed_arg ~doc:"Nemesis RNG seed."
+      $ ec_rounds $ period_arg $ window_arg ~default:4 $ sync_every
+      $ puts_every
+      $ cmds_arg ~default:12
+          ~doc:
+            "Loopback: linearizable commands submitted over the run. Tcp: \
+             linearizable commands driven through node 0."
+      $ cmd_every_arg ~default:100
+          ~doc:"Loopback: rounds between linearizable submissions."
+      $ schedule_arg
+          ~doc:
+            "Fault schedule (docs/FAULTS.md grammar). Default: isolate \
+             every node at round 400, heal at 1600."
+      $ trace_path_arg $ tick_arg $ dir_opt)
+
 let () =
   let info =
     Cmd.info "cluster"
@@ -611,4 +850,12 @@ let () =
   Stdlib.exit
     (Cmd.eval
        (Cmd.group info
-          [ node_cmd; client_cmd; demo_cmd; bench_cmd; chaos_cmd; shard_cmd ]))
+          [
+            node_cmd;
+            client_cmd;
+            demo_cmd;
+            bench_cmd;
+            chaos_cmd;
+            shard_cmd;
+            ec_cmd;
+          ]))

@@ -1,0 +1,53 @@
+type t = {
+  value : string;
+  lamport : int;
+  origin : Sim.Pid.t;
+  vc : Sim.Vclock.t;
+}
+
+let make ~value ~lamport ~origin ~vc = { value; lamport; origin; vc }
+
+let stamp e = (e.lamport, e.origin)
+
+(* Total order on (lamport, origin, value).  The value component only
+   matters for entries forged with equal stamps (never produced by a
+   well-formed store, where [origin]'s lamports strictly increase) — it
+   keeps [join] a true semilattice on the whole carrier set, which is
+   what the QCheck law suite exercises. *)
+let cmp_win a b =
+  match compare a.lamport b.lamport with
+  | 0 -> (
+    match Sim.Pid.compare a.origin b.origin with
+    | 0 -> compare a.value b.value
+    | c -> c)
+  | c -> c
+
+(* LWW winner + unconditional causal merge.  The winner pick MUST be a
+   total order on entries alone (not a causal preference): picking "the
+   causally dominating value when comparable, else LWW" is non-associative
+   — three entries where a dominates b, b's stamp beats c's, and c's stamp
+   beats a's join to different values depending on bracketing.  Pure LWW
+   on the (lamport, origin, value) key is associative by construction;
+   causality survives in the merged vector clock. *)
+let join a b =
+  let w = if cmp_win a b >= 0 then a else b in
+  { w with vc = Sim.Vclock.merge a.vc b.vc }
+
+(* Abstract-state equality: everything except the vector clock.  Two
+   replicas that converged on the same write can still hold different vcs
+   for it (one of them may have merged a causally dominated entry along
+   the way, folding extra components in), so the vc is causal metadata,
+   not part of the converged value. *)
+let equal a b =
+  a.lamport = b.lamport
+  && Sim.Pid.equal a.origin b.origin
+  && String.equal a.value b.value
+
+let newer_than e ~stamp:(l, o) =
+  match compare e.lamport l with
+  | 0 -> Sim.Pid.compare e.origin o > 0
+  | c -> c > 0
+
+let pp ppf e =
+  Format.fprintf ppf "%S@%d.%d %a" e.value e.lamport e.origin Sim.Vclock.pp
+    e.vc

@@ -1,0 +1,42 @@
+(** A versioned value: one element of the per-key join-semilattice.
+
+    The carrier is [(value, lamport, origin, vc)]; {!join} picks the
+    last-writer-wins winner by the total order on [(lamport, origin,
+    value)] and merges the vector clocks unconditionally.  LWW on a total
+    key — rather than "prefer the causally dominating value" — is what
+    makes the join associative (causal preference is not: it has 3-entry
+    counterexamples), so replicas converge under {e any} delivery order.
+    Causality is not lost: it lives in the merged clock, and well-formed
+    stores additionally maintain that strict vc dominance implies a
+    strictly higher stamp, so the LWW winner of comparable entries is
+    always the causally newer one. *)
+
+type t = {
+  value : string;
+  lamport : int;
+  origin : Sim.Pid.t;
+  vc : Sim.Vclock.t;
+}
+
+val make :
+  value:string -> lamport:int -> origin:Sim.Pid.t -> vc:Sim.Vclock.t -> t
+
+(** [(lamport, origin)] — uniquely identifies a write in a well-formed
+    store (each origin's lamports strictly increase), and is the unit of
+    anti-entropy comparison. *)
+val stamp : t -> int * Sim.Pid.t
+
+(** Least upper bound: idempotent, commutative, associative (QCheck-checked
+    in [test_ec]). *)
+val join : t -> t -> t
+
+(** Abstract-state equality: value and stamp, {e excluding} the vector
+    clock.  Converged replicas can hold different vcs for the same write
+    (one may have folded a dominated entry's components in), so the vc is
+    causal metadata, not part of the converged state. *)
+val equal : t -> t -> bool
+
+(** [newer_than e ~stamp] — is [e]'s stamp strictly greater? *)
+val newer_than : t -> stamp:int * Sim.Pid.t -> bool
+
+val pp : Format.formatter -> t -> unit

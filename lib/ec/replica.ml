@@ -1,0 +1,150 @@
+type msg =
+  | Digest of { rev : int; summary : (string * (int * Sim.Pid.t)) list }
+  | Delta of {
+      entries : (string * Entry.t) list;
+      pull : string list;
+      rev_echo : int;
+    }
+  | Push of { entries : (string * Entry.t) list }
+
+type input = Put of { key : string; value : string }
+type output = Fp of string
+
+type state = {
+  store : Store.t;
+  synced : int array;  (* per-peer: highest own rev confirmed in sync *)
+  tick : int;  (* cycles 0 .. sync_every-1; fires a digest round at 0 *)
+  rot : int;  (* cycles over the n-1 peers *)
+  backoff : (int * int) array;
+      (* per-peer (level, cool): after digesting a silent peer, wait
+         [2^level] digest rounds (level capped) before digesting it
+         again; any message from the peer resets its backoff.  Keeps a
+         partitioned replica from pumping digests into a link the ARQ
+         layer must then redeliver wholesale after heal. *)
+}
+
+(* All counters are bounded ([tick], [rot], capped backoff) and [synced]
+   is bounded by [rev], so a converged, input-free replica revisits a
+   finite state set — that is what lets both the sim engine's quiescence
+   detection and the mc harness's digest pruning terminate anti-entropy
+   exploration. *)
+
+let max_backoff_level = 4
+
+let init ~n self =
+  {
+    store = Store.create ~n self;
+    synced = Array.make n 0;
+    tick = 0;
+    rot = 0;
+    backoff = Array.make n (0, 0);
+  }
+
+let store st = st.store
+
+let peer_of ~self r = if r >= self then r + 1 else r
+
+let set_synced st q v =
+  if st.synced.(q) >= v then st
+  else begin
+    let synced = Array.copy st.synced in
+    synced.(q) <- v;
+    { st with synced }
+  end
+
+let set_backoff st q v =
+  if st.backoff.(q) = v then st
+  else begin
+    let backoff = Array.copy st.backoff in
+    backoff.(q) <- v;
+    { st with backoff }
+  end
+
+let reset_backoff st q = set_backoff st q (0, 0)
+
+let fp_out ~emit_fp st = if emit_fp then [ Sim.Protocol.Output (Fp (Store.fingerprint st.store)) ] else []
+
+let make ?(sync_every = 4) ?(emit_fp = false) () =
+  let on_step (ctx : (Sim.Pid.t * int) Sim.Protocol.ctx) st recv =
+    let n = ctx.Sim.Protocol.n in
+    let self = ctx.Sim.Protocol.self in
+    (* 1. Serve the received anti-entropy message. *)
+    (* Any message from a peer proves the link is back: forget its
+       backoff so the next digest round reaches it promptly. *)
+    let st =
+      match recv with None -> st | Some (p, _) -> reset_backoff st p
+    in
+    let st, acts =
+      match recv with
+      | None -> (st, [])
+      | Some (p, Digest { rev; summary }) ->
+        (* Reply even when we have nothing: the empty Delta is what lets
+           the initiator mark us synced and go quiet. *)
+        let entries = Store.newer_than st.store summary in
+        let pull = Store.missing_from st.store summary in
+        (st, [ Sim.Protocol.Send (p, Delta { entries; pull; rev_echo = rev }) ])
+      | Some (p, Delta { entries; pull; rev_echo }) ->
+        let changed, store = Store.merge_entries st.store entries in
+        let st = { st with store } in
+        let push_acts =
+          if pull = [] then []
+          else [ Sim.Protocol.Send (p, Push { entries = Store.entries_for st.store pull }) ]
+        in
+        (* Only a fully empty Delta confirms sync, and only up to the rev
+           the digest carried — writes since then re-arm the next round.
+           A non-empty exchange instead gets one more confirming digest
+           round trip, which is how dropped Deltas/Pushes are masked. *)
+        let st =
+          if entries = [] && pull = [] then set_synced st p rev_echo else st
+        in
+        (st, push_acts @ if changed then fp_out ~emit_fp st else [])
+      | Some (_, Push { entries }) ->
+        let changed, store = Store.merge_entries st.store entries in
+        let st = { st with store } in
+        (st, if changed then fp_out ~emit_fp st else [])
+    in
+    (* 2. Periodically start digest rounds: one rotation peer (coverage)
+       plus the detector's current leader (a rendezvous point every
+       replica syncs with, cutting the expected convergence time from
+       O(n) rotation laps to one leader round trip after heal). *)
+    if n = 1 then (st, acts)
+    else
+      let tick = (st.tick + 1) mod sync_every in
+      let st = { st with tick } in
+      if tick <> 0 then (st, acts)
+      else begin
+        let rot_peer = peer_of ~self st.rot in
+        let leader, _epoch = ctx.Sim.Protocol.fd in
+        let targets =
+          if Sim.Pid.equal leader self || Sim.Pid.equal leader rot_peer then
+            [ rot_peer ]
+          else [ rot_peer; leader ]
+        in
+        let rev = Store.rev st.store in
+        let st, digests =
+          List.fold_left
+            (fun (st, acc) q ->
+              if rev <= st.synced.(q) then (st, acc)
+              else
+                let level, cool = st.backoff.(q) in
+                if cool > 0 then (set_backoff st q (level, cool - 1), acc)
+                else
+                  let st =
+                    set_backoff st q
+                      (min (level + 1) max_backoff_level, 1 lsl level)
+                  in
+                  ( st,
+                    Sim.Protocol.Send
+                      (q, Digest { rev; summary = Store.summary st.store })
+                    :: acc ))
+            (st, []) targets
+        in
+        ({ st with rot = (st.rot + 1) mod (n - 1) }, acts @ List.rev digests)
+      end
+  in
+  let on_input _ctx st (Put { key; value }) =
+    let _e, store = Store.put st.store ~key ~value in
+    let st = { st with store } in
+    (st, fp_out ~emit_fp st)
+  in
+  { Sim.Protocol.init; on_step; on_input }

@@ -1,0 +1,53 @@
+(** The eventually-consistent replica: an unchanged-over-the-wire
+    {!Sim.Protocol.t} wrapping a {!Store.t} with a quiescent anti-entropy
+    loop.
+
+    {b Writes and reads are local} — [Put] always succeeds and reads come
+    straight off the store, no quorum, which is why this protocol keeps
+    serving in a minority partition where the Σ-based SMR path stalls.
+
+    {b Anti-entropy} runs a digest/delta/push exchange every [sync_every]
+    steps against a rotating peer plus the failure detector's current
+    leader ({!Fd.Emulated.Omega_ec} — the weakest detector for EC):
+
+    - [Digest {rev; summary}] carries the initiator's revision and per-key
+      stamps; sent to peer [q] only while [rev > synced.(q)].
+    - The responder answers [Delta {entries; pull; rev_echo}]: its strictly
+      newer entries, the keys it wants, and the echoed revision.
+    - The initiator merges, answers any [pull] with a [Push], and marks
+      [synced.(q) <- rev_echo] {e only} on a fully empty Delta — a
+      non-empty exchange earns one more confirming round trip.
+
+    The [synced] discipline makes the loop both {b loss-masking} (any
+    dropped frame just leaves [synced] stale, so the digest fires again —
+    the EC analogue of what [Net.Rel] does for SMR) and {b quiescent}
+    (once converged, one empty exchange per peer silences it), so the mc
+    harness can detect convergence-at-quiescence. *)
+
+type msg =
+  | Digest of { rev : int; summary : (string * (int * Sim.Pid.t)) list }
+  | Delta of {
+      entries : (string * Entry.t) list;
+      pull : string list;
+      rev_echo : int;
+    }
+  | Push of { entries : (string * Entry.t) list }
+
+type input = Put of { key : string; value : string }
+
+(** Emitted (when [emit_fp]) after every abstract-state change: the
+    store's {!Store.fingerprint}.  Model-checking invariants read these to
+    assert convergence without reaching into typed state. *)
+type output = Fp of string
+
+type state
+
+val store : state -> Store.t
+
+(** The failure detector input is {!Fd.Emulated.Omega_ec}'s
+    [(leader, epoch)] pair. *)
+val make :
+  ?sync_every:int ->
+  ?emit_fp:bool ->
+  unit ->
+  (state, msg, Sim.Pid.t * int, input, output) Sim.Protocol.t

@@ -222,3 +222,82 @@ module Omega_heartbeat = struct
       current = leader;
     }
 end
+
+module Omega_ec = struct
+  type msg = Alive
+
+  type state = {
+    self : Sim.Pid.t;
+    n : int;
+    period : int;
+    clock : int;
+    last_heard : int array;
+    timeout : int array;
+    leader : Sim.Pid.t;  (* last output leader *)
+    epoch : int;  (* bumped on every local leader change *)
+  }
+
+  let init ~period ~n self =
+    {
+      self;
+      n;
+      period;
+      clock = 0;
+      last_heard = Array.make n 0;
+      timeout = Array.make n (4 * period);
+      leader = 0;
+      epoch = 0;
+    }
+
+  let suspects st =
+    Sim.Pid.all st.n
+    |> List.filter (fun q ->
+           (not (Sim.Pid.equal q st.self))
+           && st.clock - st.last_heard.(q) > st.timeout.(q))
+    |> Sim.Pidset.of_list
+
+  let trusted_leader st =
+    let sus = suspects st in
+    let trusted =
+      List.filter (fun q -> not (Sim.Pidset.mem q sus)) (Sim.Pid.all st.n)
+    in
+    match trusted with q :: _ -> q | [] -> st.self
+
+  let on_step _ctx st recv =
+    let st = { st with clock = st.clock + 1 } in
+    (match recv with
+    | Some (q, Alive) ->
+      if st.clock - st.last_heard.(q) > st.timeout.(q) then
+        st.timeout.(q) <- st.timeout.(q) + st.period;
+      st.last_heard.(q) <- st.clock
+    | None -> ());
+    (* Track the leader and stamp each change with a fresh epoch: the pair
+       (leader, epoch) is exactly the ◇-constant output the EC paper's
+       detector needs — it eventually stops changing at every correct
+       process, and any two changes are ordered by the epoch. *)
+    let ldr = trusted_leader st in
+    let st =
+      if Sim.Pid.equal ldr st.leader then st
+      else { st with leader = ldr; epoch = st.epoch + 1 }
+    in
+    let acts =
+      if st.clock mod st.period = 0 then [ Sim.Protocol.Broadcast Alive ]
+      else []
+    in
+    (st, acts)
+
+  let current st = (st.leader, st.epoch)
+  let epoch st = st.epoch
+  let timeout st q = st.timeout.(q)
+
+  let detector ~period =
+    {
+      Sim.Layered.proto =
+        {
+          Sim.Protocol.init = (fun ~n p -> init ~period ~n p);
+          on_step;
+          on_input = Sim.Protocol.no_input;
+        };
+      current;
+    }
+end

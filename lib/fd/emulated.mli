@@ -103,3 +103,35 @@ module Omega_heartbeat : sig
       it never shrinks). *)
   val timeout : state -> Sim.Pid.t -> int
 end
+
+(** The weakest failure detector for eventual consistency
+    (Dubois–Guerraoui–Kuznetsov–Petit–Sens, PAPERS.md): an
+    eventually-stable leader with an epoch counter, implementable in
+    {e any} environment with eventually timely links — no majority
+    needed, which is precisely why EC survives minority partitions
+    where Σ-based registers stall.
+
+    Mechanically this is {!Omega_heartbeat} with leader-change tracking:
+    the output [(leader, epoch)] bumps [epoch] on every local leader
+    change, so hosts can (a) order conflicting leadership claims and
+    (b) detect instability.  After GST the output stops changing at
+    every correct process and agrees on the smallest correct process. *)
+module Omega_ec : sig
+  type state
+
+  (** Public so hosts can give it a binary wire representation
+      ([Ec.Codecs]); treat it as read-only. *)
+  type msg = Alive
+
+  (** [detector ~period] emits a heartbeat every [period] local steps,
+      with the same adaptive-timeout discipline as {!Omega_heartbeat}. *)
+  val detector : period:int -> (state, msg, Sim.Pid.t * int) Sim.Layered.emulated
+
+  val suspects : state -> Sim.Pidset.t
+
+  (** Number of local leader changes so far — exposed for tests and the
+      chaos harness's post-heal stability check. *)
+  val epoch : state -> int
+
+  val timeout : state -> Sim.Pid.t -> int
+end

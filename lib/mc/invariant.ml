@@ -227,3 +227,53 @@ let linearizable () =
         in
         if must_terminate then ops_complete fp events else Ok ());
   }
+
+let ec_convergence () =
+  {
+    name = "ec_convergence";
+    (* Divergence between replicas mid-run is not a fault — eventual
+       consistency promises nothing before quiescence — so there is no
+       online safety clause.  The whole spec is the termination clause:
+       once the run has drained, every correct replica's last emitted
+       store fingerprint must agree. *)
+    on_output = (fun _ _ -> Ok ());
+    final =
+      (fun fp ~must_terminate events ->
+        if not must_terminate then Ok ()
+        else
+          let last = Hashtbl.create 8 in
+          List.iter
+            (fun (e : _ Sim.Trace.event) ->
+              let (Ec.Replica.Fp fp) = e.value in
+              Hashtbl.replace last e.pid fp)
+            events;
+          let correct =
+            Sim.Pidset.elements (Sim.Failure_pattern.correct fp)
+          in
+          match
+            List.find_opt (fun p -> not (Hashtbl.mem last p)) correct
+          with
+          | Some p ->
+            Error
+              (Format.asprintf
+                 "convergence violated: correct %a never reported a \
+                  fingerprint"
+                 Sim.Pid.pp p)
+          | None -> (
+            match correct with
+            | [] -> Ok ()
+            | p0 :: rest -> (
+              let ref_fp = Hashtbl.find last p0 in
+              match
+                List.find_opt
+                  (fun p -> Hashtbl.find last p <> ref_fp)
+                  rest
+              with
+              | None -> Ok ()
+              | Some p ->
+                Error
+                  (Format.asprintf
+                     "convergence violated: %a settled on %s, %a on %s"
+                     Sim.Pid.pp p0 ref_fp Sim.Pid.pp p
+                     (Hashtbl.find last p)))));
+  }

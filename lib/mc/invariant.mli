@@ -50,3 +50,9 @@ val nbac :
     (reusing {!Regs.Linearizability}), plus completion of every operation
     invoked by a correct process. *)
 val linearizable : unit -> 'v Regs.Abd.output t
+
+(** Eventual consistency, the convergence clause only: once the run has
+    drained ([must_terminate]), the last {!Ec.Replica.Fp} fingerprint of
+    every correct replica must agree.  Divergence before quiescence is
+    legal, so there is no online clause. *)
+val ec_convergence : unit -> Ec.Replica.output t

@@ -297,3 +297,45 @@ let abd_rel ~n =
     max_rounds = 40;
     pp_out = Targets.pp_abd_out;
   }
+
+(* The EC replica over the raw hub with reordering, a dropped and a
+   duplicated frame: no ARQ underneath — anti-entropy must mask the loss
+   itself (an unanswered digest leaves [synced] behind, so the next
+   round re-digests).  Ω-EC is closed to a constant leader as for ABD's
+   Σ: in a kill-free run any fixed correct leader is a legitimate
+   sample, and here it only steers digest fan-out. *)
+let ec_converge ~n =
+  {
+    Net_harness.name = "net_ec_converge";
+    n;
+    protocol =
+      with_const_fd
+        (fun _ -> (0, 0))
+        (Ec.Replica.make ~sync_every:2 ~emit_fp:true ());
+    link = Net_harness.raw_link;
+    reorder = true;
+    inputs =
+      List.map
+        (fun p ->
+          (0, p, Ec.Replica.Put { key = "x"; value = "v" ^ string_of_int p }))
+        (Sim.Pid.all n);
+    faults = [ (1, Net_harness.Drop_next 0); (2, Net_harness.Dup_next 1) ];
+    invariant = Invariant.ec_convergence ();
+    max_rounds = 60;
+    pp_out = Targets.pp_fp_out;
+  }
+
+(* Positive control: anti-entropy disabled (cadence beyond the round
+   bound), so the concurrent writes never propagate and the run drains
+   with divergent stores — every schedule violates convergence. *)
+let ec_no_sync ~n =
+  let t = ec_converge ~n in
+  {
+    t with
+    Net_harness.name = "net_ec_no_sync";
+    protocol =
+      with_const_fd
+        (fun _ -> (0, 0))
+        (Ec.Replica.make ~sync_every:1_000 ~emit_fp:true ());
+    faults = [];
+  }

@@ -65,3 +65,28 @@ val abd_rel :
     int Regs.Abd.input,
     int Regs.Abd.output )
   Net_harness.target
+
+(** The EC replica ({!Ec.Replica}) over the {e raw} hub with frame
+    reordering, a dropped and a duplicated frame: n concurrent writes to
+    one key, drained to quiescence, checked with
+    {!Invariant.ec_convergence}.  No ARQ underneath — this verifies that
+    anti-entropy masks frame loss by itself (a digest round that gets no
+    reply leaves [synced] behind and re-fires). *)
+val ec_converge :
+  n:int ->
+  ( Ec.Replica.state,
+    Ec.Replica.msg,
+    Ec.Replica.input,
+    Ec.Replica.output )
+  Net_harness.target
+
+(** Positive control: [ec_converge] with anti-entropy disabled (cadence
+    beyond the round bound) — the writes never propagate and every
+    schedule ends with divergent stores. *)
+val ec_no_sync :
+  n:int ->
+  ( Ec.Replica.state,
+    Ec.Replica.msg,
+    Ec.Replica.input,
+    Ec.Replica.output )
+  Net_harness.target

@@ -155,6 +155,45 @@ let qc_psi ~n =
     pp_out = Qcnbac.Types.pp_qc_decision Format.pp_print_int;
   }
 
+(* ---- eventually-consistent store ---------------------------------- *)
+
+let pp_fp_out fmt (Ec.Replica.Fp fp) =
+  Format.fprintf fmt "fp %s" (String.sub fp 0 (min 8 (String.length fp)))
+
+let ec_store ~n =
+  (* every process writes the same key concurrently: convergence forces
+     the LWW total order to win identically everywhere, whatever the
+     delivery schedule and whoever crashes *)
+  let inputs =
+    List.map
+      (fun p -> (0, p, Ec.Replica.Put { key = "x"; value = "v" ^ string_of_int p }))
+      (Sim.Pid.all n)
+  in
+  {
+    Harness.name = "ec.store";
+    protocol = Ec.Replica.make ~sync_every:2 ~emit_fp:true ();
+    make_fd =
+      (* Ω-EC sampled as the instant-Ω oracle with a constant epoch: the
+         detector only steers which peer is digested first, so the exact
+         epoch dynamics are irrelevant to the explored state space. *)
+      (fun fp ~seed ->
+        let h = Fd.Oracle.history Fd.Omega.oracle_instant fp ~seed in
+        fun p t -> (h p t, 0));
+    make_inputs = (fun _ -> inputs);
+    invariant = Invariant.ec_convergence ();
+    (* run to quiescence: anti-entropy must go quiet on its own.  With a
+       crashed peer the survivors keep (backed-off) digesting it forever,
+       so those runs end at the step bound instead — [must_terminate]
+       still arms there, and the correct replicas must have converged. *)
+    stop = (fun _ _ -> false);
+    policy = Sim.Network.Fifo;
+    max_steps = 600;
+    detect_quiescence = true;
+    require_termination = true;
+    time_invariant_fd = true;
+    pp_out = pp_fp_out;
+  }
+
 (* ---- registry ----------------------------------------------------- *)
 
 type packed = Packed : ('st, 'msg, 'fd, 'inp, 'out) Harness.target -> packed
@@ -166,6 +205,7 @@ let all ~n =
     ("regs.abd", Packed (abd ~n));
     ("qcnbac.two_phase_commit", Packed (two_phase_commit ~n));
     ("qcnbac.qc_psi", Packed (qc_psi ~n));
+    ("ec.store", Packed (ec_store ~n));
   ]
 
 let find name ~n = List.assoc_opt name (all ~n)

@@ -64,12 +64,32 @@ val qc_psi :
     int Qcnbac.Types.qc_decision )
   Harness.target
 
+(** The eventually-consistent store replica ({!Ec.Replica}): every process
+    writes the same key concurrently, the run drains to anti-entropy
+    quiescence, and every correct replica's final store fingerprint must
+    agree ({!Invariant.ec_convergence}) — LWW conflict resolution must pick
+    the same winner on every delivery schedule and failure pattern.  The
+    detector is the instant-Ω oracle with a constant epoch (the Ω-EC
+    emulation's dynamics are exercised in [test/test_fd.ml] and the chaos
+    harness; here the leader only steers digest fan-out). *)
+val ec_store :
+  n:int ->
+  ( Ec.Replica.state,
+    Ec.Replica.msg,
+    Sim.Pid.t * int,
+    Ec.Replica.input,
+    Ec.Replica.output )
+  Harness.target
+
 (** Existentially packed target, for name-indexed lookup from the CLI. *)
 type packed = Packed : ('st, 'msg, 'fd, 'inp, 'out) Harness.target -> packed
 
 (** Renderer for ABD outputs (shared with the net-stack targets of
     {!Net_targets}). *)
 val pp_abd_out : Format.formatter -> int Regs.Abd.output -> unit
+
+(** Renderer for EC fingerprint outputs (shared with {!Net_targets}). *)
+val pp_fp_out : Format.formatter -> Ec.Replica.output -> unit
 
 val all : n:int -> (string * packed) list
 

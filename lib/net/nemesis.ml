@@ -3,6 +3,7 @@ type link = { src : Sim.Pid.t option; dst : Sim.Pid.t option }
 type cmd =
   | Partition of Sim.Pidset.t list
   | Isolate of Sim.Pid.t
+  | Deisolate of Sim.Pid.t
   | Cut of link
   | Heal
   | Drop of link * float
@@ -32,6 +33,7 @@ let pp_cmd ppf = function
          Sim.Pidset.pp)
       groups
   | Isolate p -> Format.fprintf ppf "isolate %d" p
+  | Deisolate p -> Format.fprintf ppf "deisolate %d" p
   | Cut l -> Format.fprintf ppf "cut %a" pp_link l
   | Heal -> Format.pp_print_string ppf "heal"
   | Drop (l, p) -> Format.fprintf ppf "drop %a %g" pp_link l p
@@ -46,6 +48,7 @@ let pp_cmd ppf = function
 let cmd_tag = function
   | Partition _ -> "partition"
   | Isolate _ -> "isolate"
+  | Deisolate _ -> "deisolate"
   | Cut _ -> "cut"
   | Heal -> "heal"
   | Drop _ -> "drop"
@@ -126,6 +129,9 @@ let parse_cmd toks =
   | [ "isolate"; p ] ->
     let* p = parse_pid p in
     Ok [ Isolate p ]
+  | [ "deisolate"; p ] ->
+    let* p = parse_pid p in
+    Ok [ Deisolate p ]
   | [ "cut"; l ] ->
     let* ls = parse_link l in
     Ok (List.map (fun l -> Cut l) ls)
@@ -314,6 +320,15 @@ let apply c cmd =
   | Isolate p ->
     each_pair c { src = Some p; dst = None } (fun s d -> c.cut.(s).(d) <- true);
     each_pair c { src = None; dst = Some p } (fun s d -> c.cut.(s).(d) <- true)
+  | Deisolate p ->
+    (* the inverse of Isolate: reopen every link touching p, including
+       flaps, without disturbing cuts between other processes *)
+    let reopen s d =
+      c.cut.(s).(d) <- false;
+      c.flap.(s).(d) <- None
+    in
+    each_pair c { src = Some p; dst = None } reopen;
+    each_pair c { src = None; dst = Some p } reopen
   | Cut l -> each_pair c l (fun s d -> c.cut.(s).(d) <- true)
   | Drop (l, p) -> each_pair c l (fun s d -> c.drop_p.(s).(d) <- p)
   | Duplicate (l, p) -> each_pair c l (fun s d -> c.dup_p.(s).(d) <- p)

@@ -44,6 +44,11 @@ type link = { src : Sim.Pid.t option; dst : Sim.Pid.t option }
 type cmd =
   | Partition of Sim.Pidset.t list
   | Isolate of Sim.Pid.t  (** cut all links to and from one process *)
+  | Deisolate of Sim.Pid.t
+      (** reopen all links (cuts and flaps) to and from one process,
+          leaving faults between other processes in force — the selective
+          inverse of [Isolate], for schedules that heal nodes one at a
+          time *)
   | Cut of link
   | Heal
   | Drop of link * float  (** drop probability in [0,1] *)

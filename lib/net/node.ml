@@ -103,6 +103,18 @@ let apply_actions t acts =
         emit t (Sim.Event.Output { pid = self; info }))
     acts
 
+(* Synchronous variant of input delivery: runs [on_input] now, against the
+   current state, instead of queueing for the next step.  This is what
+   gives the mixed-consistency front-end read-your-writes: an eventual put
+   is applied before the reply (or a pipelined get on the same connection)
+   is computed. *)
+let apply_input t inp =
+  emit t (Sim.Event.Input t.transport.Transport.self);
+  emit t (Sim.Event.Fd_query t.transport.Transport.self);
+  let st, acts = t.proto.Sim.Protocol.on_input (ctx t) t.st inp in
+  t.st <- st;
+  apply_actions t acts
+
 let step ?(timeout_ms = 0) t =
   let self = t.transport.Transport.self in
   if t.track_vc then t.vc <- Sim.Vclock.tick t.vc self;

@@ -40,6 +40,13 @@ val create :
     start of the next {!step}. *)
 val inject : ('st, 'msg, 'inp, 'out) t -> 'inp -> unit
 
+(** Deliver an input {e synchronously}: run [on_input] against the current
+    state and apply its actions now, without waiting for the next {!step}.
+    Used by the mixed-consistency front-end so an eventual-path write is
+    visible to the reply (read-your-writes) and to any pipelined read on
+    the same connection. *)
+val apply_input : ('st, 'msg, 'inp, 'out) t -> 'inp -> unit
+
 (** One atomic step: inputs, then at most one receive (waiting at most
     [timeout_ms] for the transport, default 0), then [on_step].  Returns
     [true] iff the step did something beyond the empty receive — delivered

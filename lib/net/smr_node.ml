@@ -49,21 +49,27 @@ type client = {
 
 let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
-(* What a node process needs to serve any SMR-shaped protocol (outputs =
-   decided (slot, cmd) entries): the automaton itself plus its wire
-   codec, how to count submissions/applications, render a log line, and
-   turn a client frame into a submission or an immediate reply.  The
-   wire type is existential — the event loop never looks inside frames;
-   the codec travels with the protocol it encodes. *)
+(* What a node process needs to serve any protocol with an SMR-shaped
+   component: the automaton itself plus its wire codec, how to count
+   submissions/applications, a projection from outputs to decided
+   (slot, cmd) entries (for protocols — like the mixed-consistency node —
+   whose output type carries more than decisions), how to render a log
+   line, and how to turn a client frame into an SMR submission, a
+   synchronous local input (the eventual path), or an immediate reply.
+   The wire/input/output types are existential — the event loop never
+   looks inside; the codec travels with the protocol it encodes. *)
 type ('st, 'c) impl =
   | Impl : {
-      proto : ('st, 'msg, unit, 'c, int * 'c Cons.Smr.cmd) Sim.Protocol.t;
+      proto : ('st, 'msg, unit, 'inp, 'out) Sim.Protocol.t;
       codec : 'msg Wire.codec;
       submitted : 'st -> int;
       applied : 'st -> int;
+      decided : 'out -> (int * 'c Cons.Smr.cmd) option;
+      submit : 'c -> 'inp;
       log_line : int -> 'c Cons.Smr.cmd -> string;
       on_request :
         state:(unit -> 'st) ->
+        inject:('inp -> unit) ->
         bytes ->
         [ `Submit of 'c | `Reply of bytes ];
     }
@@ -106,7 +112,10 @@ let serve (type st c) (Impl impl : (st, c) impl) cfg =
   let transport = Tcp.create ~self:cfg.self ~addrs:cfg.addrs () in
   let node =
     Node.create ?sink ~track_vc:(sink <> None)
-      ~render_out:(fun (slot, _) -> Printf.sprintf "slot=%d" slot)
+      ~render_out:(fun o ->
+        match impl.decided o with
+        | Some (slot, _) -> Printf.sprintf "slot=%d" slot
+        | None -> "ec")
       ~codec:impl.codec ~transport impl.proto
   in
   (* client listener *)
@@ -155,13 +164,15 @@ let serve (type st c) (Impl impl : (st, c) impl) cfg =
           | None -> continue := false
           | Some frame -> (
             match
-              impl.on_request ~state:(fun () -> Node.state node) frame
+              impl.on_request
+                ~state:(fun () -> Node.state node)
+                ~inject:(Node.apply_input node) frame
             with
             | `Submit payload ->
               let seq = !next_seq in
               incr next_seq;
               Hashtbl.replace pending seq c.fd;
-              Node.inject node payload
+              Node.inject node (impl.submit payload)
             | `Reply bytes -> write_frame c.fd bytes)
         done;
         true
@@ -172,20 +183,22 @@ let serve (type st c) (Impl impl : (st, c) impl) cfg =
   in
   let handle_outputs () =
     List.iter
-      (fun (slot, cmd) ->
-        (match log_oc with
+      (fun out ->
+        match impl.decided out with
         | None -> ()
-        | Some oc ->
-          output_string oc (impl.log_line slot cmd);
-          output_char oc '\n';
-          flush oc);
-        if cmd.Cons.Smr.origin = cfg.self then
-          match Hashtbl.find_opt pending cmd.Cons.Smr.seq with
+        | Some (slot, cmd) -> (
+          (match log_oc with
           | None -> ()
-          | Some fd ->
-            Hashtbl.remove pending cmd.Cons.Smr.seq;
-            write_frame fd
-              (encode_reply rebuf ~seq:cmd.Cons.Smr.seq ~slot))
+          | Some oc ->
+            output_string oc (impl.log_line slot cmd);
+            output_char oc '\n';
+            flush oc);
+          if cmd.Cons.Smr.origin = cfg.self then
+            match Hashtbl.find_opt pending cmd.Cons.Smr.seq with
+            | None -> ()
+            | Some fd ->
+              Hashtbl.remove pending cmd.Cons.Smr.seq;
+              write_frame fd (encode_reply rebuf ~seq:cmd.Cons.Smr.seq ~slot)))
       (Node.drain_outputs node)
   in
   let tick_ms = int_of_float (Float.max 1. (cfg.tick_s *. 1000.)) in
@@ -250,10 +263,13 @@ let string_impl cfg : (string pstate, string) impl =
       codec = Codecs.pmsg Wire.string_c;
       submitted = (fun st -> Cons.Smr.submitted (smr_state st));
       applied = (fun st -> Cons.Smr.applied (smr_state st));
+      decided = (fun out -> Some out);
+      submit = (fun c -> c);
       log_line =
         (fun slot cmd ->
           Printf.sprintf "%d\t%d\t%d\t%s" slot cmd.Cons.Smr.origin
             cmd.Cons.Smr.seq
             (String.escaped cmd.Cons.Smr.payload));
-      on_request = (fun ~state:_ frame -> `Submit (Bytes.to_string frame));
+      on_request =
+        (fun ~state:_ ~inject:_ frame -> `Submit (Bytes.to_string frame));
     }

@@ -61,25 +61,35 @@ type config = {
 val default_config : self:Sim.Pid.t -> addrs:Unix.sockaddr array ->
   client_addr:Unix.sockaddr -> config
 
-(** What {!serve} needs to host {e any} SMR-shaped protocol (outputs =
-    decided [(slot, cmd)] entries) behind the same event loop: the
-    automaton and its wire {!Wire.codec}, submission/application
-    counters, a log-line renderer, and the client-frame handler —
-    [`Submit c] enters the replicated log (the client gets the binary
-    [(seq, slot)] reply of {!decode_reply} when its entry is decided),
-    [`Reply b] answers immediately without consensus (how [Shard.Server]
-    serves its quorum-read samples).  The wire type is existential: the
-    event loop never inspects frames; the codec travels with the
-    protocol it encodes. *)
+(** What {!serve} needs to host {e any} protocol with an SMR-shaped
+    component behind the same event loop: the automaton and its wire
+    {!Wire.codec}, submission/application counters, the [decided]
+    projection from protocol outputs to decided [(slot, cmd)] entries
+    (identity-shaped for pure SMR; [Ec.Mixed] outputs also carry
+    eventual-path fingerprints, which project to [None]), [submit] to
+    embed a client command into the protocol's input type, a log-line
+    renderer, and the client-frame handler — [`Submit c] enters the
+    replicated log (the client gets the binary [(seq, slot)] reply of
+    {!decode_reply} when its entry is decided), [`Reply b] answers
+    immediately without consensus (how [Shard.Server] serves its
+    quorum-read samples, and how the eventual path of [Ec.Mixed] serves
+    local reads/writes — its handler first applies the write through
+    [inject], which delivers the input {e synchronously} via
+    {!Node.apply_input}, so the reply sees it: read-your-writes).  The
+    wire/input/output types are existential: the event loop never
+    inspects them; the codec travels with the protocol it encodes. *)
 type ('st, 'c) impl =
   | Impl : {
-      proto : ('st, 'msg, unit, 'c, int * 'c Cons.Smr.cmd) Sim.Protocol.t;
+      proto : ('st, 'msg, unit, 'inp, 'out) Sim.Protocol.t;
       codec : 'msg Wire.codec;
       submitted : 'st -> int;
       applied : 'st -> int;
+      decided : 'out -> (int * 'c Cons.Smr.cmd) option;
+      submit : 'c -> 'inp;
       log_line : int -> 'c Cons.Smr.cmd -> string;
       on_request :
         state:(unit -> 'st) ->
+        inject:('inp -> unit) ->
         bytes ->
         [ `Submit of 'c | `Reply of bytes ];
     }

@@ -8,6 +8,7 @@ type histogram = {
 
 type t = {
   counters : (string, int ref) Hashtbl.t;
+  gauges : (string, int ref) Hashtbl.t;
   histograms : (string, histogram) Hashtbl.t;
 }
 
@@ -37,7 +38,12 @@ let series name labels =
     Buffer.add_char b '}';
     Buffer.contents b
 
-let create () = { counters = Hashtbl.create 16; histograms = Hashtbl.create 16 }
+let create () =
+  {
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+  }
 
 let incr_l ?(by = 1) t name ~labels =
   let name = series name labels in
@@ -53,6 +59,25 @@ let counter_l t name ~labels =
   | None -> 0
 
 let counter t name = counter_l t name ~labels:[]
+
+(* Gauges: last value wins.  Same flat namespace and snapshot rendering
+   as counters — a gauge row is indistinguishable from a counter row in
+   JSONL output, which is the point (replication lag and divergent-key
+   counts travel through the existing metrics pipeline unchanged). *)
+let set_l t name ~labels v =
+  let name = series name labels in
+  match Hashtbl.find_opt t.gauges name with
+  | Some r -> r := v
+  | None -> Hashtbl.add t.gauges name (ref v)
+
+let set t name v = set_l t name ~labels:[] v
+
+let gauge_l t name ~labels =
+  match Hashtbl.find_opt t.gauges (series name labels) with
+  | Some r -> !r
+  | None -> 0
+
+let gauge t name = gauge_l t name ~labels:[]
 
 let bucket_of v =
   (* 0 -> bucket 0; v >= 1 -> 1 + floor(log2 v), capped *)
@@ -88,6 +113,7 @@ let histogram t name = histogram_l t name ~labels:[]
    single [(string * int) list] can travel in [Runner.summary]. *)
 let snapshot t =
   let rows = Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters [] in
+  let rows = Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.gauges rows in
   let rows =
     Hashtbl.fold
       (fun k h acc ->
@@ -102,6 +128,7 @@ let snapshot t =
 
 let clear t =
   Hashtbl.reset t.counters;
+  Hashtbl.reset t.gauges;
   Hashtbl.reset t.histograms
 
 let pp ppf t =

@@ -41,6 +41,20 @@ val counter : t -> string -> int
 
 val counter_l : t -> string -> labels:labels -> int
 
+(** [set t name v] sets gauge [name] to [v] — last value wins, unlike a
+    counter's monotone [incr].  Gauges live in the same flat namespace
+    and render in {!snapshot} (hence JSONL metrics lines) exactly like
+    counters; use them for sampled levels such as replication lag or
+    divergent-key counts. *)
+val set : t -> string -> int -> unit
+
+val set_l : t -> string -> labels:labels -> int -> unit
+
+(** Current gauge value; 0 if never set. *)
+val gauge : t -> string -> int
+
+val gauge_l : t -> string -> labels:labels -> int
+
 (** [observe t name v] records [v] into histogram [name]. *)
 val observe : t -> string -> int -> unit
 

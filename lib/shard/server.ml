@@ -26,13 +26,15 @@ let impl ?snap_every ?lag_gap ~period ~members () :
       codec = Net.Wire.marshal_codec ();
       submitted = (fun st -> Cons.Smr.submitted (Replica.smr_state st));
       applied = Replica.applied;
+      decided = (fun out -> Some out);
+      submit = (fun c -> c);
       log_line =
         (fun slot (cmd : Replica.cmd) ->
           Printf.sprintf "%d\t%d\t%d\t%s" slot cmd.Cons.Smr.origin
             cmd.Cons.Smr.seq
             (String.escaped (Replica.payload_to_string cmd.Cons.Smr.payload)));
       on_request =
-        (fun ~state frame ->
+        (fun ~state ~inject:_ frame ->
           match (Net.Wire.decode frame : request) with
           | Write { key; value } -> `Submit (Replica.App { key; value })
           | Reconfig { epoch; members } ->

@@ -56,6 +56,58 @@ let pair a b =
     current = (fun (sa, sb) -> (a.current sa, b.current sb));
   }
 
+(* [product] composes two complete protocols (each with its own fd, input
+   and output types) into one: messages, inputs and outputs are tagged with
+   the side they belong to, and both sides step on every scheduled step.
+   Unlike [pair] (which composes detector layers), the components here are
+   full protocols — this is how [Ec.Mixed] runs the linearizable SMR path
+   and the eventually-consistent store side by side on one node. *)
+let retag_fst acts =
+  List.map
+    (fun act ->
+      match act with
+      | Protocol.Send (p, m) -> Protocol.Send (p, Detector m)
+      | Protocol.Broadcast m -> Protocol.Broadcast (Detector m)
+      | Protocol.Output o -> Protocol.Output (Detector o))
+    acts
+
+let retag_snd_full acts =
+  List.map
+    (fun act ->
+      match act with
+      | Protocol.Send (p, m) -> Protocol.Send (p, Main m)
+      | Protocol.Broadcast m -> Protocol.Broadcast (Main m)
+      | Protocol.Output o -> Protocol.Output (Main o))
+    acts
+
+let product a b =
+  let open Protocol in
+  let ctx_a (ctx : ('fa * 'fb) ctx) = { ctx with fd = fst ctx.fd } in
+  let ctx_b (ctx : ('fa * 'fb) ctx) = { ctx with fd = snd ctx.fd } in
+  {
+    init = (fun ~n p -> (a.init ~n p, b.init ~n p));
+    on_step =
+      (fun ctx (sa, sb) recv ->
+        let recv_a, recv_b =
+          match recv with
+          | None -> (None, None)
+          | Some (p, Detector m) -> (Some (p, m), None)
+          | Some (p, Main m) -> (None, Some (p, m))
+        in
+        let sa, acts_a = a.on_step (ctx_a ctx) sa recv_a in
+        let sb, acts_b = b.on_step (ctx_b ctx) sb recv_b in
+        ((sa, sb), retag_fst acts_a @ retag_snd_full acts_b));
+    on_input =
+      (fun ctx (sa, sb) inp ->
+        match inp with
+        | Detector i ->
+          let sa, acts = a.on_input (ctx_a ctx) sa i in
+          ((sa, sb), retag_fst acts)
+        | Main i ->
+          let sb, acts = b.on_input (ctx_b ctx) sb i in
+          ((sa, sb), retag_snd_full acts));
+  }
+
 let with_detector det main =
   let open Protocol in
   let det_ctx (ctx : unit ctx) = { ctx with fd = () } in

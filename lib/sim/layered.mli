@@ -36,3 +36,23 @@ val pair :
   ('s1, 'm1, 'f1) emulated ->
   ('s2, 'm2, 'f2) emulated ->
   ('s1 * 's2, ('m1, 'm2) wire, 'f1 * 'f2) emulated
+
+(** [product a b] composes two {e complete} protocols — each with its own
+    failure detector, input, and output types — into one protocol whose
+    messages, inputs, and outputs are tagged by side ([Detector] = [a],
+    [Main] = [b], reusing the {!wire} tags so codecs compose).  Both sides
+    step on every scheduled step; an input is routed to the side its tag
+    names.  The composed fd is the product of the component fds.
+
+    This is the mixed-consistency combinator: [Ec.Mixed] uses it to run
+    the (Ω, Σ) SMR path and the eventually-consistent store on the same
+    node, each consulting its own detector. *)
+val product :
+  ('s1, 'm1, 'f1, 'i1, 'o1) Protocol.t ->
+  ('s2, 'm2, 'f2, 'i2, 'o2) Protocol.t ->
+  ( 's1 * 's2,
+    ('m1, 'm2) wire,
+    'f1 * 'f2,
+    ('i1, 'i2) wire,
+    ('o1, 'o2) wire )
+  Protocol.t

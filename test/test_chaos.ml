@@ -48,6 +48,50 @@ let test_parse_errors () =
   expect_error "at 5 flap * period 4 down 9";  (* down > period *)
   expect_error "at 5 frobnicate *"
 
+let test_parse_deisolate () =
+  let s = ok_schedule "at 5 isolate 1\nat 9 deisolate 1\n" in
+  Alcotest.(check int) "commands" 2 (List.length s);
+  (match s with
+  | [ (5, Net.Nemesis.Isolate p); (9, Net.Nemesis.Deisolate q) ] ->
+    Alcotest.(check int) "isolated pid" 1 p;
+    Alcotest.(check int) "deisolated pid" 1 q
+  | _ -> Alcotest.fail "unexpected parse");
+  let expect_error text =
+    match Net.Nemesis.parse_schedule text with
+    | Ok _ -> Alcotest.failf "accepted bad schedule %S" text
+    | Error e ->
+      Alcotest.(check bool) "error names a line" true
+        (String.length e > 5 && String.sub e 0 5 = "line ")
+  in
+  expect_error "at 5 deisolate";  (* missing pid *)
+  expect_error "at 5 deisolate x";  (* not a pid *)
+  expect_error "at 5 deisolate 1 2"  (* trailing junk *)
+
+let test_deisolate_selective () =
+  (* isolate two nodes, reopen one: the other's cuts must stay in force;
+     reopening it too clears the last cut *)
+  let ctrl =
+    Net.Nemesis.create ~n:3
+      [
+        (1, Net.Nemesis.Isolate 0);
+        (1, Net.Nemesis.Isolate 1);
+        (2, Net.Nemesis.Deisolate 0);
+        (3, Net.Nemesis.Deisolate 1);
+      ]
+  in
+  Alcotest.(check bool) "no cut before the schedule fires" false
+    (Net.Nemesis.cut_active ctrl);
+  Net.Nemesis.tick ctrl;
+  Alcotest.(check bool) "both isolations in force" true
+    (Net.Nemesis.cut_active ctrl);
+  Net.Nemesis.tick ctrl;
+  Alcotest.(check bool) "node 1's isolation survives node 0's deisolate"
+    true
+    (Net.Nemesis.cut_active ctrl);
+  Net.Nemesis.tick ctrl;
+  Alcotest.(check bool) "deisolating the last cut node heals the net" false
+    (Net.Nemesis.cut_active ctrl)
+
 (* ------------------------------------------------------------------ *)
 (* Empty schedule ≡ bare transport                                     *)
 
@@ -238,6 +282,9 @@ let () =
         [
           Alcotest.test_case "grammar round-trip" `Quick test_parse_schedule;
           Alcotest.test_case "errors name the line" `Quick test_parse_errors;
+          Alcotest.test_case "deisolate grammar" `Quick test_parse_deisolate;
+          Alcotest.test_case "deisolate is selective" `Quick
+            test_deisolate_selective;
         ] );
       ( "transparency",
         [ QCheck_alcotest.to_alcotest prop_empty_schedule_transparent ] );

@@ -467,6 +467,71 @@ let test_omega_adaptation_and_post_gst_convergence () =
   Alcotest.(check bool)
     "at least one sweep run exercised timeout adaptation" true !adapted
 
+(* Ω-EC: the heartbeat Ω extended with an epoch that bumps exactly when
+   the local leader estimate changes.  Under partial synchrony it must
+   stabilize like Ω (single correct leader, epochs stop moving), and the
+   sampled (leader, epoch) stream must satisfy the epoch contract
+   step-by-step. *)
+let test_omega_ec_emulation () =
+  let fp = Sim.Failure_pattern.make ~n:4 [ (0, 100) ] in
+  let layered =
+    Sim.Layered.with_detector (Fd.Emulated.Omega_ec.detector ~period:4)
+      observer
+  in
+  let cfg =
+    Sim.Engine.config ~max_steps:12_000
+      ~policy:(Sim.Network.Partial_synchrony { gst = 200; delta = 2 })
+      ~fd:(fun _ _ -> ())
+      ~detect_quiescence:false fp
+  in
+  let trace = Sim.Engine.run cfg layered in
+  let correct = Sim.Pidset.elements (Sim.Failure_pattern.correct fp) in
+  List.iter
+    (fun p ->
+      let outs =
+        List.filter_map
+          (fun (e : _ Sim.Trace.event) ->
+            if Sim.Pid.equal e.pid p then Some e.value else None)
+          trace.Sim.Trace.outputs
+      in
+      (* Sampled at app steps, so a flap can hide between two samples; the
+         sampling-safe contract is: epochs never go back, and a visible
+         leader change is always accompanied by a strict epoch increase. *)
+      ignore
+        (List.fold_left
+           (fun prev (l, e) ->
+             (match prev with
+             | None -> ()
+             | Some (pl, pe) ->
+               Alcotest.(check bool)
+                 (Printf.sprintf "pid %d: epoch nondecreasing" p)
+                 true (e >= pe);
+               if not (Sim.Pid.equal l pl) then
+                 Alcotest.(check bool)
+                   (Printf.sprintf "pid %d: leader change bumps the epoch" p)
+                   true (e > pe));
+             Some (l, e))
+           None outs);
+      (* stabilization: constant correct leader over the second half *)
+      let half = trace.Sim.Trace.ticks / 2 in
+      let late =
+        List.filter_map
+          (fun (e : _ Sim.Trace.event) ->
+            if Sim.Pid.equal e.pid p && e.time >= half then Some e.value
+            else None)
+          trace.Sim.Trace.outputs
+      in
+      match List.sort_uniq compare late with
+      | [ (l, _) ] ->
+        Alcotest.(check bool)
+          (Printf.sprintf "pid %d: late leader is correct" p)
+          true
+          (List.exists (Sim.Pid.equal l) correct)
+      | ls ->
+        Alcotest.failf "pid %d: %d distinct late (leader, epoch) samples" p
+          (List.length ls))
+    correct
+
 let prop_psi_oracle_conforms =
   QCheck.Test.make ~name:"Psi histories conform to the Psi spec" ~count:80
     QCheck.(pair small_nat (int_bound 3))
@@ -563,6 +628,8 @@ let () =
             `Slow test_sigma_rounds_keep_completing_majority_correct;
           Alcotest.test_case "omega adaptation and post-GST convergence" `Slow
             test_omega_adaptation_and_post_gst_convergence;
+          Alcotest.test_case "omega-ec leader epochs" `Slow
+            test_omega_ec_emulation;
         ] );
       ( "properties",
         [

@@ -620,6 +620,62 @@ let test_net_abd_over_node_rel_linearizable () =
   Alcotest.(check bool) "nontrivial exploration" true
     (r.Mc.Exhaustive.schedules > 1_000)
 
+(* ---- the eventually-consistent store -------------------------------- *)
+
+let test_ec_store_exhausted () =
+  (* two replicas write the same key concurrently; every delivery
+     schedule must drain to equal fingerprints *)
+  let t = Mc.Targets.ec_store ~n:2 in
+  let r = Mc.Exhaustive.search ~budget:50_000 t ~fp:(ff 2) in
+  Alcotest.(check bool) "space exhausted" true r.Mc.Exhaustive.complete;
+  Alcotest.(check bool)
+    "every schedule converges" true
+    (r.Mc.Exhaustive.counterexample = None);
+  Alcotest.(check bool) "explored more than one schedule" true
+    (r.Mc.Exhaustive.schedules > 1)
+
+let test_ec_store_crash_adversary () =
+  (* a crashed replica's write may be lost, but the survivors must still
+     agree among themselves — crash runs never quiesce (the survivors
+     keep backed-off digesting the corpse), so this also exercises the
+     step-bound liveness deadline *)
+  let t = Mc.Targets.ec_store ~n:2 in
+  let r =
+    Mc.Crash_adversary.search ~max_crashes:1 ~horizon:4 ~stride:2
+      ~inner:`Exhaustive ~budget:20_000 t ~n:2
+  in
+  Alcotest.(check bool) "all patterns exhausted" true
+    r.Mc.Crash_adversary.complete;
+  Alcotest.(check bool)
+    "survivors converge under every crash" true
+    (r.Mc.Crash_adversary.counterexample = None)
+
+let test_net_ec_converge () =
+  (* three replicas over the raw reordering hub with a dropped and a
+     duplicated frame: no ARQ, anti-entropy masks the loss itself *)
+  let t = Mc.Net_targets.ec_converge ~n:3 in
+  let r = Mc.Net_harness.search ~budget:3_000 t in
+  Alcotest.(check bool)
+    "no divergence in any schedule" true
+    (r.Mc.Exhaustive.counterexample = None);
+  Alcotest.(check bool) "nontrivial exploration" true
+    (r.Mc.Exhaustive.schedules > 100)
+
+let test_net_ec_no_sync_caught () =
+  (* positive control: with anti-entropy off the writes never propagate
+     and the checker reports divergent stores on the first schedule *)
+  let t = Mc.Net_targets.ec_no_sync ~n:3 in
+  let r = Mc.Net_harness.search ~budget:1_000 t in
+  match r.Mc.Exhaustive.counterexample with
+  | None -> Alcotest.fail "divergent stores not caught"
+  | Some c ->
+    Alcotest.(check bool)
+      "reason names convergence" true
+      (contains c.Mc.Harness.reason "convergence violated");
+    let rep = Mc.Net_harness.replay t c.Mc.Harness.schedule in
+    Alcotest.(check bool) "replay reproduces the divergence" true
+      (rep.Mc.Net_harness.violation <> None)
+
 let () =
   Alcotest.run "mc"
     [
@@ -704,5 +760,16 @@ let () =
             test_net_rel_restores_link_axiom;
           Alcotest.test_case "abd over node+rel linearizable" `Quick
             test_net_abd_over_node_rel_linearizable;
+        ] );
+      ( "ec",
+        [
+          Alcotest.test_case "store n=2 exhausted, converges" `Quick
+            test_ec_store_exhausted;
+          Alcotest.test_case "store survives the crash adversary" `Quick
+            test_ec_store_crash_adversary;
+          Alcotest.test_case "converges over the raw reordering hub" `Quick
+            test_net_ec_converge;
+          Alcotest.test_case "no-sync divergence caught + replay" `Quick
+            test_net_ec_no_sync_caught;
         ] );
     ]

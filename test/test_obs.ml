@@ -117,6 +117,38 @@ let test_metrics_labels () =
   Alcotest.(check int) "snapshot row for the bare series" 1
     (List.assoc "smr.applied" rows)
 
+let test_metrics_gauges () =
+  let m = Obs.Metrics.create () in
+  Alcotest.(check int) "unknown gauge is 0" 0 (Obs.Metrics.gauge m "depth");
+  Obs.Metrics.set m "depth" 7;
+  Obs.Metrics.set m "depth" 3;
+  Alcotest.(check int) "last value wins" 3 (Obs.Metrics.gauge m "depth");
+  (* gauges and counters of the same name are distinct families *)
+  Obs.Metrics.incr m "depth" ~by:10;
+  Alcotest.(check int) "counter untouched by set" 10
+    (Obs.Metrics.counter m "depth");
+  Alcotest.(check int) "gauge untouched by incr" 3
+    (Obs.Metrics.gauge m "depth");
+  (* labeled series are independent, order-insensitive *)
+  Obs.Metrics.set_l m "lag" ~labels:[ ("node", "1") ] 42;
+  Obs.Metrics.set_l m "lag" ~labels:[ ("node", "2") ] 5;
+  Obs.Metrics.set_l m "lag" ~labels:[ ("node", "1") ] 6;
+  Alcotest.(check int) "node=1 last value" 6
+    (Obs.Metrics.gauge_l m "lag" ~labels:[ ("node", "1") ]);
+  Alcotest.(check int) "node=2 independent" 5
+    (Obs.Metrics.gauge_l m "lag" ~labels:[ ("node", "2") ]);
+  Alcotest.(check int) "bare series independent of labeled" 0
+    (Obs.Metrics.gauge m "lag");
+  (* snapshot renders gauges like counters, keyed by series name *)
+  Obs.Metrics.set m "watermark" 3;
+  let rows = Obs.Metrics.snapshot m in
+  Alcotest.(check int) "snapshot row for lag{node=1}" 6
+    (List.assoc "lag{node=1}" rows);
+  Alcotest.(check int) "snapshot row for the bare gauge" 3
+    (List.assoc "watermark" rows);
+  Obs.Metrics.clear m;
+  Alcotest.(check int) "clear resets gauges" 0 (Obs.Metrics.gauge m "depth")
+
 let test_metrics_labeled_histogram () =
   let m = Obs.Metrics.create () in
   List.iter (Obs.Metrics.observe m "lat") [ 1; 2 ];
@@ -633,6 +665,7 @@ let () =
           Alcotest.test_case "histogram" `Quick test_metrics_histogram;
           Alcotest.test_case "snapshot" `Quick test_metrics_snapshot;
           Alcotest.test_case "labeled series" `Quick test_metrics_labels;
+          Alcotest.test_case "gauges" `Quick test_metrics_gauges;
           Alcotest.test_case "labeled histogram" `Quick
             test_metrics_labeled_histogram;
         ] );
