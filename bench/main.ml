@@ -976,14 +976,232 @@ let ec_throughput_json () =
         r.Ec.Chaos.nemesis.Net.Nemesis.n_dropped (Ec.Chaos.ok r);
     ]
 
+(* E21 rows: detector cost at scale and crash-to-new-leader latency
+   (EXPERIMENTS.md E21, docs/DETECTORS.md).  The detector layer runs
+   *bare* — [(Omega.detector ~kind ~period).proto] over [Local.make]
+   with the binary codec, no SMR on top — so the frames counted are
+   detector frames and nothing else, and n = 1000 is feasible.
+
+   Frames are counted on the *send* side (the offered wire cost): a
+   node receives at most one frame per step, so an all-to-all sender
+   population at n > period outruns the receivers and a delivered-side
+   count would saturate at 1 frame/round/process, flattering the
+   heartbeat detector exactly where it is worst.  The ring rows —
+   always far below the receive budget — additionally report the
+   delivered-side [fd.frames{detector=ring}] series as a cross-check
+   meter.  The scaling contract asserted in CI: every
+   net_detector_ring_n* row stays ≤ 1.1 frames/round/process while the
+   all-to-all baseline in the same row grows as (n-1)/period.  At
+   n = 1000 the heartbeat baseline is reported analytically (62.4
+   frames/round/process): measuring it would queue millions of frames
+   the receivers can never drain.
+
+   The failover rows crash pid 0 after the leader settles and count
+   the rounds until every survivor's leader estimate reaches the new
+   lowest live id.  The heartbeat detector's period must stretch with
+   n (period ≥ 2(n-1) keeps the arrival rate under half the
+   one-receive-per-step budget) or its own congestion convicts live
+   peers — so its detection latency, ~4 periods, grows linearly with n
+   while the ring's stays constant.  That trade is the row's point.
+
+   The socket rows re-run the idle measurement over real Unix-domain
+   stream sockets ({!Net.Tcp}, one transport per node, single
+   process): same protocol value, real select loop, real framing.
+   Rounds are still local steps, so frames/round/process is comparable
+   with the sim rows. *)
+
+let detector_classify = function
+  | Fd.Emulated.Omega.H _ -> Some "heartbeat"
+  | Fd.Emulated.Omega.R _ -> Some "ring"
+
+let detector_kind_name = Fd.Emulated.Omega.kind_name
+
+(* warmed-up idle measurement on loopback: (sent frames/round/process,
+   sent frames, elapsed seconds, fd.frames{detector=kind} delivered
+   delta) *)
+let detector_idle ~kind ~n ~rounds =
+  let period = 16 in
+  let m = Obs.Metrics.create () in
+  let det = Fd.Emulated.Omega.detector ~kind ~period in
+  let c =
+    Net.Local.make ~codec:Net.Codecs.omega_msg ~metrics:m
+      ~classify:detector_classify ~n det.Sim.Layered.proto
+  in
+  Net.Local.cluster_run c ~rounds:(2 * period);
+  let labels = [ ("detector", detector_kind_name kind) ] in
+  let s0 = Net.Loopback.sent (Net.Local.cluster_hub c) in
+  let m0 = Obs.Metrics.counter_l m "fd.frames" ~labels in
+  let t0 = Unix.gettimeofday () in
+  Net.Local.cluster_run c ~rounds;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let frames = Net.Loopback.sent (Net.Local.cluster_hub c) - s0 in
+  let metered = Obs.Metrics.counter_l m "fd.frames" ~labels - m0 in
+  ( float_of_int frames /. float_of_int rounds /. float_of_int n,
+    frames,
+    elapsed,
+    metered )
+
+let detector_scaling_row ~n ~rounds ~hb =
+  let ring_fpp, frames, elapsed, metered =
+    detector_idle ~kind:Fd.Emulated.Omega.Ring ~n ~rounds
+  in
+  let hb_fpp, hb_how =
+    match hb with
+    | `Measured hb_rounds ->
+      let fpp, _, _, _ =
+        detector_idle ~kind:Fd.Emulated.Omega.Heartbeat ~n ~rounds:hb_rounds
+      in
+      (fpp, "measured")
+    | `Analytic -> (float_of_int (n - 1) /. 16., "analytic")
+  in
+  Printf.sprintf
+    {|    { "name": "net_detector_ring_n%d", "rounds": %d, "frames_sent": %d, "fd_frames_metric": %d, "frames_per_round_per_process": %.4f, "heartbeat_frames_per_round_per_process": %.4f, "heartbeat_baseline": %S, "ratio_vs_all_to_all": %.4f, "frames_per_sec": %.0f }|}
+    n rounds frames metered ring_fpp hb_fpp hb_how (ring_fpp /. hb_fpp)
+    (float_of_int frames /. elapsed)
+
+(* crash pid 0 once the leader has settled; count rounds until every
+   survivor's leader estimate is the new lowest live id *)
+let detector_failover_row ~kind ~n =
+  let period =
+    match kind with
+    | Fd.Emulated.Omega.Ring -> 8
+    | Fd.Emulated.Omega.Heartbeat -> max 8 (2 * (n - 1))
+  in
+  let tag = detector_kind_name kind in
+  let det = Fd.Emulated.Omega.detector ~kind ~period in
+  let c =
+    Net.Local.make ~codec:Net.Codecs.omega_msg ~n det.Sim.Layered.proto
+  in
+  Net.Local.cluster_run c ~rounds:(8 * period);
+  let live = List.tl (Sim.Pid.all n) in
+  let leader_everywhere l =
+    List.for_all
+      (fun p ->
+        Fd.Emulated.Omega.current (Net.Local.cluster_state c p) = l)
+      live
+  in
+  if not (leader_everywhere 0) then
+    failwith
+      (Printf.sprintf "detector failover bench (%s n=%d): leader 0 did not \
+                       settle" tag n);
+  Net.Local.cluster_crash c 0;
+  let t0 = Unix.gettimeofday () in
+  let rec go r =
+    if leader_everywhere 1 then r
+    else if r > 100_000 then
+      failwith
+        (Printf.sprintf "detector failover bench (%s n=%d): no re-agreement"
+           tag n)
+    else begin
+      Net.Local.cluster_step c;
+      go (r + 1)
+    end
+  in
+  let rounds = go 0 in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Printf.sprintf
+    {|    { "name": "detector_failover_%s_n%d", "period": %d, "crash_to_new_leader_rounds": %d, "crash_to_new_leader_periods": %.1f, "elapsed_ms": %.1f }|}
+    tag n period rounds
+    (float_of_int rounds /. float_of_int period)
+    (1000. *. elapsed)
+
+(* same idle measurement over real Unix-domain stream sockets: one
+   {!Net.Tcp} transport per node, all in this process, stepped
+   round-robin; send counts come from each transport's own stats *)
+let rec detector_mkdtemp k =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wfd-det-%d-%d" (Unix.getpid ()) k)
+  in
+  match Unix.mkdir path 0o700 with
+  | () -> path
+  | exception Unix.Unix_error (EEXIST, _, _) -> detector_mkdtemp (k + 1)
+
+let detector_socket_row ~n =
+  let period = 16 in
+  let dir = detector_mkdtemp 0 in
+  let measure kind ~rounds =
+    let tag = detector_kind_name kind in
+    let addrs =
+      Array.init n (fun i ->
+          Unix.ADDR_UNIX
+            (Filename.concat dir (Printf.sprintf "%s-%d.sock" tag i)))
+    in
+    let m = Obs.Metrics.create () in
+    let det = Fd.Emulated.Omega.detector ~kind ~period in
+    let nodes =
+      Array.init n (fun i ->
+          Net.Node.create ~codec:Net.Codecs.omega_msg ~metrics:m
+            ~classify:detector_classify
+            ~transport:(Net.Tcp.create ~self:i ~addrs ())
+            det.Sim.Layered.proto)
+    in
+    let step_all () =
+      Array.iter (fun nd -> ignore (Net.Node.step ~timeout_ms:0 nd)) nodes
+    in
+    let sent_total () =
+      Array.fold_left
+        (fun acc nd ->
+          acc + ((Net.Node.transport nd).Net.Transport.stats ()).Net.Transport.sent)
+        0 nodes
+    in
+    (* warm up until the mesh is connected and frames flow end to end *)
+    let labels = [ ("detector", tag) ] in
+    let deadline = Unix.gettimeofday () +. 10. in
+    while
+      Obs.Metrics.counter_l m "fd.frames" ~labels < n
+      && Unix.gettimeofday () < deadline
+    do
+      step_all ()
+    done;
+    for _ = 1 to 2 * period do
+      step_all ()
+    done;
+    let s0 = sent_total () in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to rounds do
+      step_all ()
+    done;
+    let frames = sent_total () - s0 in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    Array.iter
+      (fun nd -> (Net.Node.transport nd).Net.Transport.close ())
+      nodes;
+    (float_of_int frames /. float_of_int rounds /. float_of_int n, elapsed)
+  in
+  let rounds = 20 * period in
+  let ring_fpp, elapsed = measure Fd.Emulated.Omega.Ring ~rounds in
+  let hb_fpp, _ = measure Fd.Emulated.Omega.Heartbeat ~rounds in
+  Printf.sprintf
+    {|    { "name": "net_detector_ring_sockets_n%d", "transport": "unix-socket", "rounds": %d, "frames_per_round_per_process": %.4f, "heartbeat_frames_per_round_per_process": %.4f, "ratio_vs_all_to_all": %.4f, "elapsed_ms": %.1f }|}
+    n rounds ring_fpp hb_fpp (ring_fpp /. hb_fpp) (1000. *. elapsed)
+
+let detector_throughput_json () =
+  String.concat ",\n"
+    ([
+       detector_scaling_row ~n:3 ~rounds:4_800 ~hb:(`Measured 4_800);
+       detector_scaling_row ~n:10 ~rounds:1_600 ~hb:(`Measured 1_600);
+       detector_scaling_row ~n:100 ~rounds:800 ~hb:(`Measured 320);
+       detector_scaling_row ~n:1000 ~rounds:160 ~hb:`Analytic;
+     ]
+    @ List.map
+        (fun n -> detector_failover_row ~kind:Fd.Emulated.Omega.Ring ~n)
+        [ 3; 10; 100; 1000 ]
+    @ List.map
+        (fun n -> detector_failover_row ~kind:Fd.Emulated.Omega.Heartbeat ~n)
+        [ 3; 10; 100 ]
+    @ List.map (fun n -> detector_socket_row ~n) [ 3; 8; 14; 20 ])
+
 let bench_json () =
   Printf.sprintf
     "{\n  \"suite\": \"weakest-fd-mc\",\n  \"cores\": %d,\n  \"workloads\": \
-     [\n%s,\n%s,\n%s,\n%s,\n%s,\n%s\n  ]\n}\n"
+     [\n%s,\n%s,\n%s,\n%s,\n%s,\n%s,\n%s\n  ]\n}\n"
     (Domain.recommended_domain_count ())
     (mc_throughput_json ()) (net_throughput_json ())
     (batch_throughput_json ()) (chaos_throughput_json ())
     (shard_throughput_json ()) (ec_throughput_json ())
+    (detector_throughput_json ())
 
 let benchmark () =
   let ols =
@@ -1005,7 +1223,15 @@ let benchmark () =
    want (seconds instead of minutes). *)
 let json_only = Array.exists (fun a -> a = "--json-only") Sys.argv
 
+(* [--e21-only] prints just the detector rows to stdout — the fast
+   iteration loop for the detector-scaling work (seconds, no file). *)
+let e21_only = Array.exists (fun a -> a = "--e21-only") Sys.argv
+
 let () =
+  if e21_only then begin
+    Printf.printf "%s\n%!" (detector_throughput_json ());
+    exit 0
+  end;
   if json_only then begin
     let json = bench_json () in
     let oc = open_out bench_json_file in

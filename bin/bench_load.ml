@@ -37,8 +37,9 @@ let spawn_nodes ~dir ~n ~period ~window ~batch_max ~tick_ms =
       match Unix.fork () with
       | 0 ->
         let cfg =
-          Cli_common.node_config ~dir ~self:i ~n ~period ~window ~batch_max
-            ~tick_ms ~trace:false
+          Cli_common.node_config ~dir ~self:i ~n ~period
+            ~detector:Fd.Emulated.Omega.Heartbeat ~window ~batch_max ~tick_ms
+            ~trace:false
         in
         (try Net.Smr_node.serve (Net.Smr_node.string_impl cfg) cfg
          with e ->

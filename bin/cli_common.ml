@@ -17,13 +17,15 @@ let client_addr dir i =
 let log_path dir i = Filename.concat dir (Printf.sprintf "log-%d.txt" i)
 let trace_path dir i = Filename.concat dir (Printf.sprintf "trace-%d.jsonl" i)
 
-let node_config ~dir ~self ~n ~period ~window ~batch_max ~tick_ms ~trace =
+let node_config ~dir ~self ~n ~period ~detector ~window ~batch_max ~tick_ms
+    ~trace =
   {
     (Net.Smr_node.default_config ~self
        ~addrs:(Array.init n (node_addr dir))
        ~client_addr:(client_addr dir self))
     with
     Net.Smr_node.period;
+    detector;
     window;
     batch_max;
     tick_s = float_of_int tick_ms /. 1000.;
@@ -187,6 +189,22 @@ let period_arg =
   Arg.(
     value & opt int 16
     & info [ "period" ] ~docv:"STEPS" ~doc:"Ω heartbeat period (local steps).")
+
+let detector_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("heartbeat", Fd.Emulated.Omega.Heartbeat);
+             ("ring", Fd.Emulated.Omega.Ring);
+           ])
+        Fd.Emulated.Omega.Heartbeat
+    & info [ "detector" ] ~docv:"D"
+        ~doc:
+          "Ω backend: $(b,heartbeat) (all-to-all, O(n^2) frames per period) \
+           or $(b,ring) (chain-ordered suspicions, one successor heartbeat \
+           per period; docs/DETECTORS.md).")
 
 let window_arg ~default =
   Arg.(

@@ -20,9 +20,10 @@ open Cli_common
 
 (* ---------------------------------------------------------------- node *)
 
-let run_node dir self n period window batch_max tick_ms trace =
+let run_node dir self n period detector window batch_max tick_ms trace =
   let cfg =
-    node_config ~dir ~self ~n ~period ~window ~batch_max ~tick_ms ~trace
+    node_config ~dir ~self ~n ~period ~detector ~window ~batch_max ~tick_ms
+      ~trace
   in
   Net.Smr_node.serve (Net.Smr_node.string_impl cfg) cfg
 
@@ -36,7 +37,7 @@ let run_client dir target count prefix =
 
 (* ---------------------------------------------------------------- demo *)
 
-let run_demo n count period window batch_max tick_ms trace dir_opt =
+let run_demo n count period detector window batch_max tick_ms trace dir_opt =
   Random.self_init ();
   if n < 3 then failwith "demo needs n >= 3 (a majority must survive)";
   let dir = ensure_dir dir_opt in
@@ -46,7 +47,7 @@ let run_demo n count period window batch_max tick_ms trace dir_opt =
     Array.init n (fun i ->
         match Unix.fork () with
         | 0 ->
-          (try run_node dir i n period window batch_max tick_ms trace
+          (try run_node dir i n period detector window batch_max tick_ms trace
            with e ->
              Printf.eprintf "node %d died: %s\n%!" i (Printexc.to_string e));
           Stdlib.exit 0
@@ -132,7 +133,7 @@ let run_demo n count period window batch_max tick_ms trace dir_opt =
    identical JSONL trace (profile spans excluded) — the replayability the
    CI chaos smoke job diffs. *)
 
-let run_chaos n seed rounds period window cmds cmd_every schedule_file
+let run_chaos n seed rounds period detector window cmds cmd_every schedule_file
     trace_path =
   let schedule = load_schedule ~what:"chaos" ~n schedule_file in
   let cfg =
@@ -141,6 +142,7 @@ let run_chaos n seed rounds period window cmds cmd_every schedule_file
       seed;
       rounds;
       period;
+      detector;
       window;
       cmds;
       cmd_every;
@@ -160,6 +162,7 @@ let run_chaos n seed rounds period window cmds cmd_every schedule_file
           ("seed", string_of_int seed);
           ("rounds", string_of_int rounds);
           ("window", string_of_int window);
+          ("detector", Fd.Emulated.Omega.kind_name detector);
         ]
       collector;
     Printf.printf "trace: %s\n%!" path);
@@ -183,7 +186,7 @@ let run_chaos n seed rounds period window cmds cmd_every schedule_file
    submits the membership rotation mid-run, then checks quorum reads
    and per-shard log agreement over the final configuration. *)
 
-let run_shard_loopback shards replicas spares seed rounds period cmds
+let run_shard_loopback shards replicas spares seed rounds period detector cmds
     cmd_every reconfig_at schedule_file trace_path =
   let universe = replicas + spares in
   let schedule = load_schedule ~what:"shard" ~n:universe schedule_file in
@@ -194,6 +197,7 @@ let run_shard_loopback shards replicas spares seed rounds period cmds
       seed;
       rounds;
       period;
+      detector;
       cmds;
       cmd_every;
       reconfig_at;
@@ -302,7 +306,8 @@ let run_ec_tcp n count period window tick_ms dir_opt =
         match Unix.fork () with
         | 0 ->
           (let cfg =
-             node_config ~dir ~self:i ~n ~period ~window ~batch_max:1024
+             node_config ~dir ~self:i ~n ~period
+               ~detector:Fd.Emulated.Omega.Heartbeat ~window ~batch_max:1024
                ~tick_ms ~trace:false
            in
            try
@@ -394,8 +399,8 @@ let shard_client_addr dir s i =
 let shard_log_path dir s i =
   Filename.concat dir (Printf.sprintf "log-%d-%d.txt" s i)
 
-let run_shard_tcp shards replicas spares count period tick_ms seed keys
-    reconfig_at dir_opt =
+let run_shard_tcp shards replicas spares count period detector tick_ms seed
+    keys reconfig_at dir_opt =
   Random.self_init ();
   if replicas < 3 then failwith "shard tcp needs replicas >= 3";
   (match reconfig_at with
@@ -420,6 +425,7 @@ let run_shard_tcp shards replicas spares count period tick_ms seed keys
                         ~client_addr:(shard_client_addr dir s i))
                      with
                      Net.Smr_node.period;
+                     detector;
                      tick_s = float_of_int tick_ms /. 1000.;
                      log_path = Some (shard_log_path dir s i);
                    }
@@ -592,7 +598,7 @@ let node_cmd =
   Cmd.v
     (Cmd.info "node" ~doc:"Run one SMR replica (until SIGTERM).")
     Term.(
-      const run_node $ dir_required $ self $ n_arg $ period_arg
+      const run_node $ dir_required $ self $ n_arg $ period_arg $ detector_arg
       $ window_arg ~default:16 $ batch_max_arg $ tick_arg $ trace_flag)
 
 let client_cmd =
@@ -614,8 +620,9 @@ let demo_cmd =
           closed-loop client, SIGKILL one replica mid-run, verify the \
           survivors applied identical logs.")
     Term.(
-      const run_demo $ n_arg $ count_arg $ period_arg $ window_arg ~default:16
-      $ batch_max_arg $ tick_arg $ trace_flag $ dir_opt)
+      const run_demo $ n_arg $ count_arg $ period_arg $ detector_arg
+      $ window_arg ~default:16 $ batch_max_arg $ tick_arg $ trace_flag
+      $ dir_opt)
 
 let bench_cmd =
   let clients =
@@ -685,7 +692,7 @@ let chaos_cmd =
     Term.(
       const run_chaos $ n_arg
       $ seed_arg ~doc:"Nemesis RNG seed."
-      $ rounds_arg $ period_arg $ window_arg ~default:4
+      $ rounds_arg $ period_arg $ detector_arg $ window_arg ~default:4
       $ cmds_arg ~default:20 ~doc:"Client commands submitted over the run."
       $ cmd_every_arg ~default:100 ~doc:"Rounds between command submissions."
       $ schedule_arg
@@ -736,15 +743,15 @@ let shard_cmd =
       value & opt int 64
       & info [ "keys" ] ~docv:"K" ~doc:"Zipfian key-space size.")
   in
-  let run transport shards replicas spares seed rounds period cmds cmd_every
-      reconfig_at schedule trace keys tick_ms dir_opt =
+  let run transport shards replicas spares seed rounds period detector cmds
+      cmd_every reconfig_at schedule trace keys tick_ms dir_opt =
     match transport with
     | `Loopback ->
-      run_shard_loopback shards replicas spares seed rounds period cmds
-        cmd_every reconfig_at schedule trace
+      run_shard_loopback shards replicas spares seed rounds period detector
+        cmds cmd_every reconfig_at schedule trace
     | `Tcp ->
-      run_shard_tcp shards replicas spares cmds period tick_ms seed keys
-        reconfig_at dir_opt
+      run_shard_tcp shards replicas spares cmds period detector tick_ms seed
+        keys reconfig_at dir_opt
   in
   Cmd.v
     (Cmd.info "shard"
@@ -758,7 +765,7 @@ let shard_cmd =
     Term.(
       const run $ transport $ shards $ replicas $ spares
       $ seed_arg ~doc:"Nemesis / Zipfian RNG seed."
-      $ rounds_arg $ period_arg
+      $ rounds_arg $ period_arg $ detector_arg
       $ cmds_arg ~default:40
           ~doc:"Writes submitted over the run (loopback and tcp)."
       $ cmd_every_arg ~default:50

@@ -20,7 +20,7 @@ val ec_msg :
     the whole SMR tower and the whole EC tower under one tag. *)
 val mixed :
   'c Net.Wire.codec ->
-  ( ( (Fd.Emulated.Omega_heartbeat.msg, Fd.Emulated.Sigma_majority.msg)
+  ( ( (Fd.Emulated.Omega.msg, Fd.Emulated.Sigma_majority.msg)
       Sim.Layered.wire,
       'c Cons.Smr.msg )
     Sim.Layered.wire,

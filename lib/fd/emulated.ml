@@ -1,30 +1,70 @@
+(* The EPFailureDetector discipline, shared by every heartbeat-based
+   backend: one [last_heard]/[timeout] pair per peer, where each false
+   suspicion (a heartbeat arriving after the timeout already fired) grows
+   that peer's timeout by one period.  After GST delays are bounded, so
+   timeouts stop growing and suspicion becomes permanent-accurate.  The
+   arrays are mutated in place inside otherwise-immutable states — the
+   established idiom of this file. *)
+module Adaptive = struct
+  type t = {
+    period : int;
+    last_heard : int array;  (* local clock value of last heartbeat per pid *)
+    timeout : int array;  (* adaptive per-pid timeout *)
+  }
+
+  let create ~n ~period =
+    { period; last_heard = Array.make n 0; timeout = Array.make n (4 * period) }
+
+  let heard t ~clock q =
+    if clock - t.last_heard.(q) > t.timeout.(q) then
+      t.timeout.(q) <- t.timeout.(q) + t.period;
+    t.last_heard.(q) <- clock
+
+  let timed_out t ~clock q = clock - t.last_heard.(q) > t.timeout.(q)
+
+  (* Grace reset when (re)starting to monitor [q]: without it, stale
+     [last_heard] from before we were watching [q] would convict it
+     instantly. *)
+  let grant t ~clock q =
+    if clock > t.last_heard.(q) then t.last_heard.(q) <- clock
+
+  let timeout t q = t.timeout.(q)
+end
+
 module Sigma_majority = struct
   type msg = Join of int | Ack of int
 
   type state = {
     self : Sim.Pid.t;
     n : int;
+    period : int;  (* 0 = continuous: next Join leaves the moment a round completes *)
+    clock : int;
     round : int;
     acks : Sim.Pidset.t;
     quorum : Sim.Pidset.t;
+    pending_join : bool;  (* a Join for [round] must still be broadcast *)
     rounds_completed : int;
   }
 
   let majority n = (n / 2) + 1
 
-  let init ~n self =
+  let init ~period ~n self =
     {
       self;
       n;
-      round = 0;
+      period;
+      clock = 0;
+      round = 1;
       acks = Sim.Pidset.empty;
       (* Before the first round completes we must still output something
          that intersects every other output: the full process set does. *)
       quorum = Sim.Pidset.full n;
+      pending_join = true;
       rounds_completed = 0;
     }
 
   let on_step _ctx st recv =
+    let st = { st with clock = st.clock + 1 } in
     let st, replies =
       match recv with
       | Some (q, Join k) -> (st, [ Sim.Protocol.Send (q, Ack k) ])
@@ -32,25 +72,32 @@ module Sigma_majority = struct
         ({ st with acks = Sim.Pidset.add q st.acks }, [])
       | Some (_, Ack _) | None -> (st, [])
     in
-    if st.round = 0 then
-      (* Kick off the first round. *)
-      ({ st with round = 1; acks = Sim.Pidset.empty },
-       replies @ [ Sim.Protocol.Broadcast (Join 1) ])
-    else if Sim.Pidset.cardinal st.acks >= majority st.n then
-      let quorum = st.acks in
-      let round = st.round + 1 in
-      ( { st with quorum; round; acks = Sim.Pidset.empty;
-          rounds_completed = st.rounds_completed + 1 },
-        replies @ [ Sim.Protocol.Broadcast (Join round) ] )
+    let st =
+      if Sim.Pidset.cardinal st.acks >= majority st.n then
+        { st with quorum = st.acks; round = st.round + 1;
+          acks = Sim.Pidset.empty; pending_join = true;
+          rounds_completed = st.rounds_completed + 1 }
+      else st
+    in
+    if st.pending_join && (st.period <= 0 || st.clock mod st.period = 0) then
+      ( { st with pending_join = false },
+        replies @ [ Sim.Protocol.Broadcast (Join st.round) ] )
     else (st, replies)
 
-  let detector =
+  let current st = st.quorum
+
+  let detector_paced ~period =
     {
       Sim.Layered.proto =
-        { Sim.Protocol.init; on_step; on_input = Sim.Protocol.no_input };
-      current = (fun st -> st.quorum);
+        {
+          Sim.Protocol.init = (fun ~n p -> init ~period ~n p);
+          on_step;
+          on_input = Sim.Protocol.no_input;
+        };
+      current;
     }
 
+  let detector = detector_paced ~period:0
   let rounds st = st.rounds_completed
 end
 
@@ -164,25 +211,17 @@ module Omega_heartbeat = struct
     n : int;
     period : int;
     clock : int;  (* local step counter *)
-    last_heard : int array;  (* local clock value of last heartbeat per pid *)
-    timeout : int array;  (* adaptive per-pid timeout *)
+    ad : Adaptive.t;
   }
 
   let init ~period ~n self =
-    {
-      self;
-      n;
-      period;
-      clock = 0;
-      last_heard = Array.make n 0;
-      timeout = Array.make n (4 * period);
-    }
+    { self; n; period; clock = 0; ad = Adaptive.create ~n ~period }
 
   let suspects st =
     Sim.Pid.all st.n
     |> List.filter (fun q ->
            (not (Sim.Pid.equal q st.self))
-           && st.clock - st.last_heard.(q) > st.timeout.(q))
+           && Adaptive.timed_out st.ad ~clock:st.clock q)
     |> Sim.Pidset.of_list
 
   let leader st =
@@ -196,12 +235,7 @@ module Omega_heartbeat = struct
   let on_step _ctx st recv =
     let st = { st with clock = st.clock + 1 } in
     (match recv with
-    | Some (q, Alive) ->
-      (* If we had wrongly suspected q, grow its timeout: after GST the
-         timeout stops growing and suspicion becomes permanent-accurate. *)
-      if st.clock - st.last_heard.(q) > st.timeout.(q) then
-        st.timeout.(q) <- st.timeout.(q) + st.period;
-      st.last_heard.(q) <- st.clock
+    | Some (q, Alive) -> Adaptive.heard st.ad ~clock:st.clock q
     | None -> ());
     let acts =
       if st.clock mod st.period = 0 then [ Sim.Protocol.Broadcast Alive ]
@@ -209,7 +243,7 @@ module Omega_heartbeat = struct
     in
     (st, acts)
 
-  let timeout st q = st.timeout.(q)
+  let timeout st q = Adaptive.timeout st.ad q
 
   let detector ~period =
     {
@@ -231,8 +265,7 @@ module Omega_ec = struct
     n : int;
     period : int;
     clock : int;
-    last_heard : int array;
-    timeout : int array;
+    ad : Adaptive.t;
     leader : Sim.Pid.t;  (* last output leader *)
     epoch : int;  (* bumped on every local leader change *)
   }
@@ -243,8 +276,7 @@ module Omega_ec = struct
       n;
       period;
       clock = 0;
-      last_heard = Array.make n 0;
-      timeout = Array.make n (4 * period);
+      ad = Adaptive.create ~n ~period;
       leader = 0;
       epoch = 0;
     }
@@ -253,7 +285,7 @@ module Omega_ec = struct
     Sim.Pid.all st.n
     |> List.filter (fun q ->
            (not (Sim.Pid.equal q st.self))
-           && st.clock - st.last_heard.(q) > st.timeout.(q))
+           && Adaptive.timed_out st.ad ~clock:st.clock q)
     |> Sim.Pidset.of_list
 
   let trusted_leader st =
@@ -266,10 +298,7 @@ module Omega_ec = struct
   let on_step _ctx st recv =
     let st = { st with clock = st.clock + 1 } in
     (match recv with
-    | Some (q, Alive) ->
-      if st.clock - st.last_heard.(q) > st.timeout.(q) then
-        st.timeout.(q) <- st.timeout.(q) + st.period;
-      st.last_heard.(q) <- st.clock
+    | Some (q, Alive) -> Adaptive.heard st.ad ~clock:st.clock q
     | None -> ());
     (* Track the leader and stamp each change with a fresh epoch: the pair
        (leader, epoch) is exactly the ◇-constant output the EC paper's
@@ -288,13 +317,221 @@ module Omega_ec = struct
 
   let current st = (st.leader, st.epoch)
   let epoch st = st.epoch
-  let timeout st q = st.timeout.(q)
+  let timeout st q = Adaptive.timeout st.ad q
 
   let detector ~period =
     {
       Sim.Layered.proto =
         {
           Sim.Protocol.init = (fun ~n p -> init ~period ~n p);
+          on_step;
+          on_input = Sim.Protocol.no_input;
+        };
+      current;
+    }
+end
+
+module Omega_ring = struct
+  type msg = Hb | Suspect of Sim.Pid.t | Refute of Sim.Pid.t
+
+  type state = {
+    self : Sim.Pid.t;
+    n : int;
+    period : int;
+    clock : int;
+    suspected : Sim.Pidset.t;  (* never contains [self] *)
+    monitored : Sim.Pid.t;  (* current predecessor; [self] iff alone *)
+    ad : Adaptive.t;
+  }
+
+  (* Ring geometry over the *unsuspected* ids, self included.  With every
+     suspected node excised, the successor of a node just below a crashed
+     run of ids is the first live id above it: the chain re-closes by
+     construction. *)
+  let succ st =
+    let rec go k =
+      if k > st.n then st.self
+      else
+        let q = (st.self + k) mod st.n in
+        if Sim.Pid.equal q st.self then st.self
+        else if Sim.Pidset.mem q st.suspected then go (k + 1)
+        else q
+    in
+    go 1
+
+  let pred st =
+    let rec go k =
+      if k > st.n then st.self
+      else
+        let q = (st.self - k + (st.n * 2)) mod st.n in
+        if Sim.Pid.equal q st.self then st.self
+        else if Sim.Pidset.mem q st.suspected then go (k + 1)
+        else q
+    in
+    go 1
+
+  let leader st =
+    let rec go q =
+      if q >= st.n then st.self
+      else if Sim.Pid.equal q st.self || not (Sim.Pidset.mem q st.suspected)
+      then q
+      else go (q + 1)
+    in
+    go 0
+
+  let init ~period ~n self =
+    let st =
+      {
+        self;
+        n;
+        period;
+        clock = 0;
+        suspected = Sim.Pidset.empty;
+        monitored = self;
+        ad = Adaptive.create ~n ~period;
+      }
+    in
+    { st with monitored = pred st }
+
+  let suspects st = st.suspected
+  let timeout st q = Adaptive.timeout st.ad q
+
+  let on_step _ctx st recv =
+    let st = { st with clock = st.clock + 1 } in
+    let acts = ref [] in
+    let emit a = acts := a :: !acts in
+    let st =
+      match recv with
+      | None -> st
+      | Some (q, Hb) ->
+        Adaptive.heard st.ad ~clock:st.clock q;
+        if Sim.Pidset.mem q st.suspected then begin
+          (* q is alive after all: retract, and tell everyone so the chain
+             re-closes on the same membership everywhere.  [heard] above
+             already grew q's timeout — the false suspicion is also the
+             adaptation signal. *)
+          emit (Sim.Protocol.Broadcast (Refute q));
+          { st with suspected = Sim.Pidset.remove q st.suspected }
+        end
+        else st
+      | Some (_, Suspect p) ->
+        if Sim.Pid.equal p st.self then begin
+          (* someone convicted us while we are demonstrably stepping *)
+          emit (Sim.Protocol.Broadcast (Refute st.self));
+          st
+        end
+        else
+          (* no [grant] here: the monitor re-aim below grants grace to
+             whichever peer we start watching next, and leaving
+             [last_heard] untouched lets [heard] recognise the refuting
+             heartbeat as a false suspicion and grow the timeout *)
+          { st with suspected = Sim.Pidset.add p st.suspected }
+      | Some (_, Refute p) ->
+        Adaptive.heard st.ad ~clock:st.clock p;
+        { st with suspected = Sim.Pidset.remove p st.suspected }
+    in
+    (* Re-aim monitoring at the current predecessor.  On a target change
+       the new predecessor gets a grace reset, so it is never convicted on
+       information from before we were watching it. *)
+    let p = pred st in
+    let st =
+      if Sim.Pid.equal p st.monitored then st
+      else begin
+        Adaptive.grant st.ad ~clock:st.clock p;
+        { st with monitored = p }
+      end
+    in
+    (* The one monitoring obligation: our predecessor.  At most one new
+       suspicion per step; excising it moves [pred] one further back,
+       which the next step grants grace and starts watching. *)
+    let st =
+      if
+        (not (Sim.Pid.equal st.monitored st.self))
+        && Adaptive.timed_out st.ad ~clock:st.clock st.monitored
+      then begin
+        emit (Sim.Protocol.Broadcast (Suspect st.monitored));
+        { st with suspected = Sim.Pidset.add st.monitored st.suspected }
+      end
+      else st
+    in
+    (* The one heartbeat obligation: our successor. *)
+    if st.clock mod st.period = 0 then begin
+      let s = succ st in
+      if not (Sim.Pid.equal s st.self) then emit (Sim.Protocol.Send (s, Hb))
+    end;
+    (st, List.rev !acts)
+
+  let detector ~period =
+    {
+      Sim.Layered.proto =
+        {
+          Sim.Protocol.init = (fun ~n p -> init ~period ~n p);
+          on_step;
+          on_input = Sim.Protocol.no_input;
+        };
+      current = leader;
+    }
+end
+
+module Omega = struct
+  type kind = Heartbeat | Ring
+  type msg = H of Omega_heartbeat.msg | R of Omega_ring.msg
+  type state = HS of Omega_heartbeat.state | RS of Omega_ring.state
+
+  let kind_name = function Heartbeat -> "heartbeat" | Ring -> "ring"
+
+  let kind_of_string = function
+    | "heartbeat" -> Some Heartbeat
+    | "ring" -> Some Ring
+    | _ -> None
+
+  let kind = function HS _ -> Heartbeat | RS _ -> Ring
+
+  let current = function
+    | HS s -> Omega_heartbeat.leader s
+    | RS s -> Omega_ring.leader s
+
+  let suspects = function
+    | HS s -> Omega_heartbeat.suspects s
+    | RS s -> Omega_ring.suspects s
+
+  let timeout st q =
+    match st with
+    | HS s -> Omega_heartbeat.timeout s q
+    | RS s -> Omega_ring.timeout s q
+
+  let retag f acts =
+    List.map
+      (fun act ->
+        match act with
+        | Sim.Protocol.Send (d, m) -> Sim.Protocol.Send (d, f m)
+        | Sim.Protocol.Broadcast m -> Sim.Protocol.Broadcast (f m)
+        | Sim.Protocol.Output o -> Sim.Protocol.Output o)
+      acts
+
+  (* Dispatch on the state's own constructor; a frame of the other
+     backend's variant (possible only if a host mixes kinds across a
+     restart) is ignored, exactly as an unknown peer would be. *)
+  let on_step ctx st recv =
+    match st with
+    | HS s ->
+      let r = match recv with Some (q, H m) -> Some (q, m) | _ -> None in
+      let s, acts = Omega_heartbeat.on_step ctx s r in
+      (HS s, retag (fun m -> H m) acts)
+    | RS s ->
+      let r = match recv with Some (q, R m) -> Some (q, m) | _ -> None in
+      let s, acts = Omega_ring.on_step ctx s r in
+      (RS s, retag (fun m -> R m) acts)
+
+  let detector ~kind ~period =
+    {
+      Sim.Layered.proto =
+        {
+          Sim.Protocol.init =
+            (fun ~n p ->
+              match kind with
+              | Heartbeat -> HS (Omega_heartbeat.init ~period ~n p)
+              | Ring -> RS (Omega_ring.init ~period ~n p));
           on_step;
           on_input = Sim.Protocol.no_input;
         };

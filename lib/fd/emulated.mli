@@ -1,10 +1,43 @@
-(** Message-passing *implementations* of failure detectors.
+(** Message-passing {e implementations} of failure detectors.
 
     The paper notes (Section 1) that Σ can be implemented "ex nihilo" in
     environments with a majority of correct processes, and it is classical
-    [4] that Ω is implementable from heartbeats once the network is
-    eventually timely.  These implementations plug under any protocol via
-    {!Sim.Layered.with_detector}. *)
+    that Ω is implementable from heartbeats once the network is eventually
+    timely.  These implementations plug under any protocol via
+    {!Sim.Layered.with_detector}.  docs/DETECTORS.md is the catalogue: per
+    backend, its message complexity, liveness precondition and the paper
+    clause it realises. *)
+
+(** The adaptive per-peer timeout discipline shared by every
+    heartbeat-based backend ({!Omega_heartbeat}, {!Omega_ec},
+    {!Omega_ring}): a [last_heard] clock and a timeout per peer, where
+    {e every false suspicion grows the wrongly-suspected peer's timeout by
+    one period}.  Under partial synchrony the delays are eventually
+    bounded, so each timeout grows at most finitely often and false
+    suspicions vanish; timeouts never shrink, so a crashed peer stays
+    convicted.  Timeouts start at [4 * period]. *)
+module Adaptive : sig
+  type t
+
+  val create : n:int -> period:int -> t
+
+  (** [heard t ~clock q]: a heartbeat from [q] arrived at local time
+      [clock].  If [q] was timed out, the suspicion was false — its
+      timeout grows by one period.  [last_heard.(q)] becomes [clock]. *)
+  val heard : t -> clock:int -> Sim.Pid.t -> unit
+
+  (** Has [q]'s silence exceeded its timeout? *)
+  val timed_out : t -> clock:int -> Sim.Pid.t -> bool
+
+  (** [grant t ~clock q] resets [q]'s silence clock without the
+      false-suspicion growth — the grace given when a host {e starts}
+      monitoring [q] (the ring detector re-aiming at a new predecessor),
+      so stale pre-monitoring silence never convicts. *)
+  val grant : t -> clock:int -> Sim.Pid.t -> unit
+
+  (** Current timeout of [q], in local steps. *)
+  val timeout : t -> Sim.Pid.t -> int
+end
 
 (** Σ from a correct majority: each process repeatedly broadcasts a
     join-quorum request and adopts the first majority of responders as its
@@ -19,7 +52,19 @@ module Sigma_majority : sig
       ([Net.Codecs]); treat it as read-only. *)
   type msg = Join of int | Ack of int
 
+  (** Continuous refresh: the next join-quorum round starts the moment the
+      previous one completes.  Freshest quorums, and ~2n frames per round
+      trip — the dominant term of the all-to-all detector stack's wire
+      cost. *)
   val detector : (state, msg, Sim.Pidset.t) Sim.Layered.emulated
+
+  (** [detector_paced ~period] starts each new join round only on a
+      [period]-step boundary ([period <= 0] = continuous).  Same safety —
+      a held quorum is still a genuine majority snapshot, and any two
+      majorities intersect however stale — at [1/period] of the refresh
+      traffic; the quorum is just older, which Σ's spec permits.  The
+      ring detector configuration paces Σ this way (docs/DETECTORS.md). *)
+  val detector_paced : period:int -> (state, msg, Sim.Pidset.t) Sim.Layered.emulated
 
   (** Number of completed join-quorum rounds — exposed for tests. *)
   val rounds : state -> int
@@ -79,10 +124,12 @@ module Sigma_epoch : sig
   val quorum_epoch : state -> int
 end
 
-(** Ω from heartbeats with adaptive timeouts.  Correct under the
-    [Partial_synchrony] delivery policy: after GST heartbeats arrive within
-    a bounded delay, timeouts stop growing, and every correct process
-    eventually trusts the same smallest correct process. *)
+(** Ω from all-to-all heartbeats with {!Adaptive} timeouts.  Correct under
+    the [Partial_synchrony] delivery policy: after GST heartbeats arrive
+    within a bounded delay, timeouts stop growing, and every correct
+    process eventually trusts the same smallest correct process.  Costs
+    [n - 1] frames per process per period — the O(n²) wall that
+    {!Omega_ring} removes. *)
 module Omega_heartbeat : sig
   type state
 
@@ -133,5 +180,91 @@ module Omega_ec : sig
       chaos harness's post-heal stability check. *)
   val epoch : state -> int
 
+  val timeout : state -> Sim.Pid.t -> int
+end
+
+(** Chain-ordered ◇S (à la Cistern's "optimal ◇S", SNIPPETS.md), read as
+    Ω through the classical ◇S ≅ Ω equivalence: processes form a ring in
+    id order over the currently-unsuspected ids; each process {b
+    heartbeats only its successor and monitors only its predecessor}, so
+    steady-state detector traffic is one frame per process per period —
+    O(n) total against {!Omega_heartbeat}'s O(n²).
+
+    The leader is the smallest unsuspected id.  A predecessor whose
+    silence exceeds its {!Adaptive} timeout is convicted and the
+    conviction broadcast ([Suspect p]); every receiver excises [p] from
+    its ring, which re-closes the chain around the crash — the convicting
+    process starts monitoring the next id back (with a grace reset), and
+    whoever heartbeated [p] now heartbeats past it.  A cascade of crashes
+    repairs the same way, one excision at a time.
+
+    False convictions heal in two redundant ways: a suspected process
+    that receives its own conviction broadcasts [Refute self], and a
+    successor that receives a heartbeat from a suspected predecessor
+    broadcasts the retraction on its behalf.  Either way every receiver
+    reinstates the process {e and} grows its timeout (the false suspicion
+    is the adaptation signal), so post-GST convictions of live processes
+    stop altogether; conviction/retraction traffic is transient and
+    vanishes with them. *)
+module Omega_ring : sig
+  type state
+
+  (** Public so hosts can give it a binary wire representation
+      ([Net.Codecs]); treat it as read-only.  [Hb] flows point-to-point
+      along the ring; [Suspect]/[Refute] are broadcast repair traffic. *)
+  type msg = Hb | Suspect of Sim.Pid.t | Refute of Sim.Pid.t
+
+  (** [detector ~period] heartbeats the successor every [period] local
+      steps; timeouts follow the {!Adaptive} discipline. *)
+  val detector : period:int -> (state, msg, Sim.Pid.t) Sim.Layered.emulated
+
+  (** The smallest unsuspected id — what {!detector}'s [current]
+      outputs. *)
+  val leader : state -> Sim.Pid.t
+
+  (** Current suspect set — exposed for tests. *)
+  val suspects : state -> Sim.Pidset.t
+
+  (** Ring successor / predecessor in the current local view — exposed so
+      tests can assert the chain re-closes around an excised id. *)
+  val succ : state -> Sim.Pid.t
+
+  val pred : state -> Sim.Pid.t
+
+  (** Current timeout for [q], in local steps (see {!Adaptive}). *)
+  val timeout : state -> Sim.Pid.t -> int
+end
+
+(** The Ω backend selector: one state/message type over
+    {!Omega_heartbeat} and {!Omega_ring}, so hosts ([Net.Smr_node],
+    [Shard.Replica]) expose a [--detector {heartbeat,ring}] knob without
+    changing their own state or wire types.  Dispatch follows the state's
+    constructor; a frame of the other backend's variant is ignored. *)
+module Omega : sig
+  type kind = Heartbeat | Ring
+
+  (** Public so hosts can give it a binary wire representation
+      ([Net.Codecs]); treat it as read-only. *)
+  type msg = H of Omega_heartbeat.msg | R of Omega_ring.msg
+
+  type state = HS of Omega_heartbeat.state | RS of Omega_ring.state
+
+  (** ["heartbeat"] / ["ring"] — the CLI flag values and the
+      [fd.frames{detector=...}] metric labels. *)
+  val kind_name : kind -> string
+
+  val kind_of_string : string -> kind option
+
+  (** Which backend a running state is. *)
+  val kind : state -> kind
+
+  (** [detector ~kind ~period] — {!Omega_heartbeat.detector} or
+      {!Omega_ring.detector} behind the shared types. *)
+  val detector : kind:kind -> period:int -> (state, msg, Sim.Pid.t) Sim.Layered.emulated
+
+  (** The current leader estimate, whichever backend runs. *)
+  val current : state -> Sim.Pid.t
+
+  val suspects : state -> Sim.Pidset.t
   val timeout : state -> Sim.Pid.t -> int
 end

@@ -194,6 +194,95 @@ let ec_store ~n =
     pp_out = pp_fp_out;
   }
 
+(* ---- the ring detector itself ------------------------------------- *)
+
+(* Eventual leader agreement of Fd.Emulated.Omega_ring, checked on the
+   implementation itself rather than an oracle: every correct process's
+   last leader estimate must settle on the smallest correct id, whatever
+   the round interleaving and whoever crashes.  The protocol under test
+   is the detector's own emulated layer, wrapped to emit its leader
+   estimate as an output whenever the estimate changes.
+
+   Liveness is encoded through [stop]/[require_termination]: a run stops
+   (and is vacuously fine) the moment all correct processes agree on the
+   smallest *correct* id — pre-crash agreement on a process that is due
+   to crash does not stop the run — and a run that exhausts [max_steps]
+   without reaching that agreement arms [must_terminate], where [final]
+   reports it as a violation. *)
+let ring_agreed fp outs =
+  let correct = Sim.Failure_pattern.correct fp in
+  match Sim.Pidset.min_elt_opt correct with
+  | None -> true
+  | Some lmin ->
+    let last = Hashtbl.create 8 in
+    List.iter
+      (fun (e : _ Sim.Trace.event) ->
+        Hashtbl.replace last e.Sim.Trace.pid e.Sim.Trace.value)
+      outs;
+    Sim.Pidset.for_all
+      (fun p -> Hashtbl.find_opt last p = Some lmin)
+      correct
+
+let fd_ring ~n:_ =
+  let det = Fd.Emulated.Omega_ring.detector ~period:1 in
+  let proto = det.Sim.Layered.proto in
+  (* detector actions carry unit outputs (none are emitted); retag to the
+     wrapped protocol's leader-estimate output type *)
+  let retag acts =
+    List.filter_map
+      (function
+        | Sim.Protocol.Send (q, m) -> Some (Sim.Protocol.Send (q, m))
+        | Sim.Protocol.Broadcast m -> Some (Sim.Protocol.Broadcast m)
+        | Sim.Protocol.Output () -> None)
+      acts
+  in
+  let protocol =
+    {
+      Sim.Protocol.init =
+        (fun ~n self -> (proto.Sim.Protocol.init ~n self, None));
+      on_step =
+        (fun ctx (st, last) m ->
+          let st, acts = proto.Sim.Protocol.on_step ctx st m in
+          let l = Fd.Emulated.Omega_ring.leader st in
+          let acts = retag acts in
+          if last = Some l then ((st, last), acts)
+          else ((st, Some l), acts @ [ Sim.Protocol.Output l ]));
+      on_input = (fun _ st (_ : unit) -> (st, []));
+    }
+  in
+  {
+    Harness.name = "fd.ring";
+    protocol;
+    make_fd = (fun _ ~seed:_ _ _ -> ());
+    make_inputs = (fun _ -> []);
+    invariant =
+      {
+        Invariant.name = "ring_leader_agreement";
+        (* transient estimates are legal — there is no online clause *)
+        on_output = (fun _ _ -> Ok ());
+        final =
+          (fun fp ~must_terminate outs ->
+            if (not must_terminate) || ring_agreed fp outs then Ok ()
+            else
+              Error
+                (Format.asprintf
+                   "eventual leader agreement violated: correct processes \
+                    did not all settle on %a within the step budget"
+                   (Format.pp_print_option Sim.Pid.pp)
+                   (Sim.Pidset.min_elt_opt (Sim.Failure_pattern.correct fp))));
+      };
+    stop = ring_agreed;
+    policy = Sim.Network.Fifo;
+    (* with period 1 the initial Adaptive timeout is 4 steps: a crash at
+       the default horizon (4) is convicted by ~step 10 and the Suspect
+       broadcast settles everyone within a few more rounds *)
+    max_steps = 32;
+    detect_quiescence = false;
+    require_termination = true;
+    time_invariant_fd = true;
+    pp_out = Sim.Pid.pp;
+  }
+
 (* ---- registry ----------------------------------------------------- *)
 
 type packed = Packed : ('st, 'msg, 'fd, 'inp, 'out) Harness.target -> packed
@@ -206,6 +295,7 @@ let all ~n =
     ("qcnbac.two_phase_commit", Packed (two_phase_commit ~n));
     ("qcnbac.qc_psi", Packed (qc_psi ~n));
     ("ec.store", Packed (ec_store ~n));
+    ("fd.ring", Packed (fd_ring ~n));
   ]
 
 let find name ~n = List.assoc_opt name (all ~n)

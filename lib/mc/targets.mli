@@ -81,6 +81,26 @@ val ec_store :
     Ec.Replica.output )
   Harness.target
 
+(** The chain-ordered ◇S ring detector ({!Fd.Emulated.Omega_ring}) checked
+    as an implementation, not an oracle: the detector's own emulated layer
+    runs as the protocol under test (period 1, unit detector input), with
+    its leader estimate emitted as an output on every change.  Eventual
+    leader agreement is the invariant: a run stops — vacuously clean — the
+    moment every correct process's last estimate is the smallest {e
+    correct} id (so pre-crash agreement on a process that is due to crash
+    does not end the run), and a run that exhausts the step budget without
+    reaching that agreement is reported as a violation
+    ([require_termination]).  Exhausts clean at [n = 3] under the default
+    crash adversary (docs/DETECTORS.md). *)
+val fd_ring :
+  n:int ->
+  ( Fd.Emulated.Omega_ring.state * Sim.Pid.t option,
+    Fd.Emulated.Omega_ring.msg,
+    unit,
+    unit,
+    Sim.Pid.t )
+  Harness.target
+
 (** Existentially packed target, for name-indexed lookup from the CLI. *)
 type packed = Packed : ('st, 'msg, 'fd, 'inp, 'out) Harness.target -> packed
 

@@ -3,6 +3,7 @@ type config = {
   seed : int;
   rounds : int;
   period : int;
+  detector : Fd.Emulated.Omega.kind;
   window : int;
   schedule : Nemesis.schedule;
   cmds : int;
@@ -19,6 +20,7 @@ let default ~n ~schedule =
     seed = 0;
     rounds = 2_500;
     period = 16;
+    detector = Fd.Emulated.Omega.Heartbeat;
     window = 4;
     schedule;
     cmds = 20;
@@ -98,17 +100,15 @@ let run ?collector cfg =
     Rel.transport r
   in
   let cluster =
-    Local.create ~period:cfg.period ~window:cfg.window ~sink:(fun _ -> sink)
-      ~wrap ~n:cfg.n ()
+    Local.create ~period:cfg.period ~detector:cfg.detector ~window:cfg.window
+      ~sink:(fun _ -> sink) ~wrap ?metrics ~n:cfg.n ()
   in
   let hub = Local.hub cluster in
   let alive p = not (Loopback.crashed hub p) in
   let live () = List.filter alive (Sim.Pid.all cfg.n) in
   let applied_at p = List.length (Local.applied_log cluster p) in
   let leader_of p =
-    (Fd.Emulated.Omega_heartbeat.detector ~period:cfg.period)
-      .Sim.Layered.current
-      (Smr_node.omega_state (Local.state cluster p))
+    Fd.Emulated.Omega.current (Smr_node.omega_state (Local.state cluster p))
   in
   let quorum_of p =
     let si = Smr_node.sigma_state (Local.state cluster p) in

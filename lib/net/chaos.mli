@@ -30,6 +30,8 @@ type config = {
   seed : int;  (** nemesis RNG seed *)
   rounds : int;  (** round-robin rounds to drive *)
   period : int;  (** Ω heartbeat period, in node steps *)
+  detector : Fd.Emulated.Omega.kind;
+      (** Ω backend under test (default [Heartbeat]) *)
   window : int;  (** {!Cons.Smr} pipelining window on every replica *)
   schedule : Nemesis.schedule;
   cmds : int;  (** client commands submitted over the run *)

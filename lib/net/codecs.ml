@@ -4,7 +4,7 @@
    travels as a length-prefixed nested value, so any payload codec
    composes. *)
 
-module Omega = Fd.Emulated.Omega_heartbeat
+module Omega = Fd.Emulated.Omega
 module Sigma = Fd.Emulated.Sigma_majority
 module W = Wire.W
 module R = Wire.R
@@ -89,11 +89,38 @@ let read_smr pc r =
 
 let smr_msg pc = Wire.codec ~write:(write_smr pc) ~read:(read_smr pc)
 
-(* Detector pair (Ω heartbeat, Σ majority), flattened to one tag:
-   u8 — 0 Alive, 1 Join (varint round), 2 Ack (varint round) *)
+(* Ω selector message alone (detector-only clusters, benches):
+   u8 — 0 Alive, 3 ring Hb, 4 ring Suspect (varint pid), 5 ring Refute
+   (varint pid).  Tags 1/2 are reserved for Σ in the flattened detector
+   wire below; keeping one tag space for both keeps heartbeat-mode frames
+   byte-identical to the pre-ring format. *)
+let write_omega buf (m : Omega.msg) =
+  match m with
+  | Omega.H Fd.Emulated.Omega_heartbeat.Alive -> W.u8 buf 0
+  | Omega.R Fd.Emulated.Omega_ring.Hb -> W.u8 buf 3
+  | Omega.R (Fd.Emulated.Omega_ring.Suspect p) ->
+    W.u8 buf 4;
+    W.varint buf p
+  | Omega.R (Fd.Emulated.Omega_ring.Refute p) ->
+    W.u8 buf 5;
+    W.varint buf p
+
+let read_omega r =
+  match R.u8 r with
+  | 0 -> Omega.H Fd.Emulated.Omega_heartbeat.Alive
+  | 3 -> Omega.R Fd.Emulated.Omega_ring.Hb
+  | 4 -> Omega.R (Fd.Emulated.Omega_ring.Suspect (R.varint r))
+  | 5 -> Omega.R (Fd.Emulated.Omega_ring.Refute (R.varint r))
+  | t -> bad_tag "omega" t
+
+let omega_msg = Wire.codec ~write:write_omega ~read:read_omega
+
+(* Detector pair (Ω selector, Σ majority), flattened to one tag:
+   u8 — 0 Alive, 1 Join (varint round), 2 Ack (varint round),
+   3/4/5 the ring messages as above *)
 let write_det buf (m : (Omega.msg, Sigma.msg) Sim.Layered.wire) =
   match m with
-  | Sim.Layered.Detector Omega.Alive -> W.u8 buf 0
+  | Sim.Layered.Detector om -> write_omega buf om
   | Sim.Layered.Main (Sigma.Join k) ->
     W.u8 buf 1;
     W.varint buf k
@@ -103,9 +130,14 @@ let write_det buf (m : (Omega.msg, Sigma.msg) Sim.Layered.wire) =
 
 let read_det r =
   match R.u8 r with
-  | 0 -> Sim.Layered.Detector Omega.Alive
+  | 0 -> Sim.Layered.Detector (Omega.H Fd.Emulated.Omega_heartbeat.Alive)
   | 1 -> Sim.Layered.Main (Sigma.Join (R.varint r))
   | 2 -> Sim.Layered.Main (Sigma.Ack (R.varint r))
+  | 3 -> Sim.Layered.Detector (Omega.R Fd.Emulated.Omega_ring.Hb)
+  | 4 ->
+    Sim.Layered.Detector (Omega.R (Fd.Emulated.Omega_ring.Suspect (R.varint r)))
+  | 5 ->
+    Sim.Layered.Detector (Omega.R (Fd.Emulated.Omega_ring.Refute (R.varint r)))
   | t -> bad_tag "detector" t
 
 (* Full node message: u8 — 0 detector traffic, 1 main (SMR) traffic *)

@@ -14,11 +14,18 @@ val cmd : 'c Wire.codec -> 'c Cons.Smr.cmd Wire.codec
 (** [smr_msg pc] — SMR dissemination and consensus-instance traffic. *)
 val smr_msg : 'c Wire.codec -> 'c Cons.Smr.msg Wire.codec
 
+(** The Ω selector message alone — for detector-only clusters (the
+    frames/round benches run {!Fd.Emulated.Omega.detector}'s protocol
+    bare over this codec).  Shares the flattened detector tag space:
+    heartbeat-mode frames are byte-identical to the pre-ring format. *)
+val omega_msg : Fd.Emulated.Omega.msg Wire.codec
+
 (** [pmsg pc] — the whole node message of {!Smr_node.protocol}: detector
-    heartbeats / join-quorum traffic and SMR traffic under one tag. *)
+    heartbeats (either Ω backend) / join-quorum traffic and SMR traffic
+    under one tag. *)
 val pmsg :
   'c Wire.codec ->
-  ((Fd.Emulated.Omega_heartbeat.msg, Fd.Emulated.Sigma_majority.msg)
+  ((Fd.Emulated.Omega.msg, Fd.Emulated.Sigma_majority.msg)
      Sim.Layered.wire,
    'c Cons.Smr.msg)
   Sim.Layered.wire

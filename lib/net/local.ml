@@ -8,13 +8,14 @@ type ('st, 'msg, 'inp, 'out) cluster = {
   logs : 'out list ref array;  (* newest first *)
 }
 
-let make ?(sink = fun _ -> None) ?(wrap = fun _ t -> t) ?codec ~n proto =
+let make ?(sink = fun _ -> None) ?(wrap = fun _ t -> t) ?codec ?metrics
+    ?classify ~n proto =
   let hub = Loopback.create ~n in
   {
     hub;
     nodes =
       Array.init n (fun p ->
-          Node.create ?sink:(sink p) ?codec
+          Node.create ?sink:(sink p) ?codec ?metrics ?classify
             ~transport:(wrap p (Loopback.endpoint hub p))
             proto);
     logs = Array.init n (fun _ -> ref []);
@@ -52,11 +53,12 @@ type 'c t =
 (* The string SMR cluster runs the same binary codec tower as the
    deployed node: the hub carries encoded frames, so loopback benches
    measure the real encode/decode cost. *)
-let create ?(period = 16) ?window ?batch_max ?sink ?wrap ~n () =
+let create ?(period = 16) ?window ?batch_max ?detector ?sigma_period ?sink
+    ?wrap ?metrics ~n () =
   make ?sink ?wrap
     ~codec:(Codecs.pmsg Wire.string_c)
-    ~n
-    (Smr_node.protocol ?window ?batch_max ~period ())
+    ?metrics ~classify:Smr_node.classify ~n
+    (Smr_node.protocol ?window ?batch_max ?detector ?sigma_period ~period ())
 
 let hub = cluster_hub
 let step_one = cluster_step_one

@@ -21,11 +21,15 @@ type ('st, 'msg, 'inp, 'out) cluster
     [sink p] optionally installs a tracing sink per node.
     [wrap p t] interposes on each node's transport before the node is
     built — this is how {!Chaos} (and the shard chaos harness) stack
-    [Rel.wrap] and {!Nemesis.wrap} between the protocol and the hub. *)
+    [Rel.wrap] and {!Nemesis.wrap} between the protocol and the hub.
+    [metrics] with [classify] feeds every node's
+    [fd.frames{detector=...}] counters (see {!Node.create}). *)
 val make :
   ?sink:(Sim.Pid.t -> Sim.Event.sink option) ->
   ?wrap:(Sim.Pid.t -> Transport.t -> Transport.t) ->
   ?codec:'msg Wire.codec ->
+  ?metrics:Obs.Metrics.t ->
+  ?classify:('msg -> string option) ->
   n:int ->
   ('st, 'msg, unit, 'inp, 'out) Sim.Protocol.t ->
   ('st, 'msg, 'inp, 'out) cluster
@@ -60,13 +64,18 @@ type 'c t =
     benches measure real encode/decode cost).  [period] is Ω's heartbeat
     period in steps (default 16); [window] / [batch_max] are
     {!Cons.Smr.make}'s pipelining and batching knobs (defaults 1 /
-    1024). *)
+    1024); [detector] / [sigma_period] select the Ω backend and Σ pacing
+    (see {!Smr_node.protocol}); [metrics] enables the
+    [fd.frames{detector=...}] counters via {!Smr_node.classify}. *)
 val create :
   ?period:int ->
   ?window:int ->
   ?batch_max:int ->
+  ?detector:Fd.Emulated.Omega.kind ->
+  ?sigma_period:int ->
   ?sink:(Sim.Pid.t -> Sim.Event.sink option) ->
   ?wrap:(Sim.Pid.t -> Transport.t -> Transport.t) ->
+  ?metrics:Obs.Metrics.t ->
   n:int ->
   unit -> string t
 

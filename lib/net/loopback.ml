@@ -42,6 +42,7 @@ let unblock hub p =
       Queue.clear hub.held.(p))
 
 let delivered hub = locked hub (fun () -> hub.delivered)
+let sent hub = locked hub (fun () -> hub.sent)
 
 let endpoint hub self =
   let send dst frame =

@@ -34,3 +34,11 @@ val unblock : hub -> Sim.Pid.t -> unit
 
 (** Total frames ever delivered through the hub. *)
 val delivered : hub -> int
+
+(** Total frames ever handed to the hub by senders.  Exceeds
+    {!delivered} by the frames still queued (each node receives at most
+    one frame per step, so an all-to-all sender population can outrun
+    the receivers) plus the frames dropped at crashed endpoints —
+    benches that want the {e offered} wire cost rather than the drained
+    one read this side. *)
+val sent : hub -> int

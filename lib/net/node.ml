@@ -6,6 +6,8 @@ type ('st, 'msg, 'inp, 'out) t = {
   sink : Sim.Event.sink option;
   track_vc : bool;
   render_out : 'out -> string;
+  metrics : Obs.Metrics.t option;
+  classify : ('msg -> string option) option;
   mutable st : 'st;
   mutable vc : Sim.Vclock.t;
   mutable now : int;
@@ -14,7 +16,7 @@ type ('st, 'msg, 'inp, 'out) t = {
 }
 
 let create ?sink ?(track_vc = false) ?(render_out = fun _ -> "") ?codec
-    ~transport proto =
+    ?metrics ?classify ~transport proto =
   let n = transport.Transport.n in
   let codec =
     match codec with Some c -> c | None -> Wire.marshal_codec ()
@@ -27,6 +29,8 @@ let create ?sink ?(track_vc = false) ?(render_out = fun _ -> "") ?codec
     sink;
     track_vc;
     render_out;
+    metrics;
+    classify;
     st = proto.Sim.Protocol.init ~n transport.Transport.self;
     vc = Sim.Vclock.zero n;
     now = 0;
@@ -146,6 +150,13 @@ let step ?(timeout_ms = 0) t =
           (Sim.Event.Deliver
              { src = env.Wire.env_src; dst = self;
                sent_at = env.Wire.env_sent_at });
+        (match (t.metrics, t.classify) with
+        | Some m, Some classify -> (
+          match classify env.Wire.env_msg with
+          | Some detector ->
+            Obs.Metrics.incr_l m "fd.frames" ~labels:[ ("detector", detector) ]
+          | None -> ())
+        | _ -> ());
         Some (env.Wire.env_src, env.Wire.env_msg))
   in
   emit t (Sim.Event.Fd_query self);

@@ -26,12 +26,18 @@ type ('st, 'msg, 'inp, 'out) t
     representation of ['msg] (default {!Wire.marshal_codec}); envelopes
     are encoded into one reused scratch buffer, broadcasts encode once
     per fan-out, and a frame the codec rejects is dropped like any
-    corrupt frame. *)
+    corrupt frame.  [metrics] with [classify] counts delivered frames
+    into the [fd.frames{detector=...}] labeled counters: every delivered
+    message [classify] maps to [Some lbl] bumps the series for [lbl]
+    (hosts pass {!Smr_node.classify}), so harnesses read detector
+    traffic off {!Obs.Metrics} instead of parsing traces. *)
 val create :
   ?sink:Sim.Event.sink ->
   ?track_vc:bool ->
   ?render_out:('out -> string) ->
   ?codec:'msg Wire.codec ->
+  ?metrics:Obs.Metrics.t ->
+  ?classify:('msg -> string option) ->
   transport:Transport.t ->
   ('st, 'msg, unit, 'inp, 'out) Sim.Protocol.t ->
   ('st, 'msg, 'inp, 'out) t

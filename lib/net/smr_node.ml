@@ -1,4 +1,4 @@
-module Omega = Fd.Emulated.Omega_heartbeat
+module Omega = Fd.Emulated.Omega
 module Sigma = Fd.Emulated.Sigma_majority
 
 type 'c pstate = (Omega.state * Sigma.state) * 'c Cons.Smr.state
@@ -6,20 +6,45 @@ type 'c pstate = (Omega.state * Sigma.state) * 'c Cons.Smr.state
 type 'c pmsg =
   ((Omega.msg, Sigma.msg) Sim.Layered.wire, 'c Cons.Smr.msg) Sim.Layered.wire
 
-let protocol ?window ?batch_max ~period () =
+(* The ring detector pairs naturally with a paced Σ: with Ω down to one
+   frame per process per period, Σ's continuous join rounds would be the
+   only O(n²)-per-round traffic left.  Refreshing every 4 periods keeps
+   the whole detector stack ~O(n) per round; staler quorums are still
+   majorities, which is all Σ's spec asks. *)
+let default_sigma_period ~detector ~period =
+  match detector with Omega.Heartbeat -> 0 | Omega.Ring -> 4 * period
+
+let protocol ?window ?batch_max ?(detector = Omega.Heartbeat) ?sigma_period
+    ~period () =
+  let sigma_period =
+    match sigma_period with
+    | Some s -> s
+    | None -> default_sigma_period ~detector ~period
+  in
   Sim.Layered.with_detector
-    (Sim.Layered.pair (Omega.detector ~period) Sigma.detector)
+    (Sim.Layered.pair
+       (Omega.detector ~kind:detector ~period)
+       (Sigma.detector_paced ~period:sigma_period))
     (Cons.Smr.make ?window ?batch_max ())
 
 let smr_state ((_, smr) : 'c pstate) = smr
 let omega_state (((om, _), _) : 'c pstate) = om
 let sigma_state (((_, si), _) : 'c pstate) = si
 
+(* Which detector series a delivered frame belongs to, for the
+   [fd.frames{detector=...}] labeled counters (Node's [classify] hook). *)
+let classify = function
+  | Sim.Layered.Detector (Sim.Layered.Detector (Omega.H _)) -> Some "heartbeat"
+  | Sim.Layered.Detector (Sim.Layered.Detector (Omega.R _)) -> Some "ring"
+  | Sim.Layered.Detector (Sim.Layered.Main _) -> Some "sigma"
+  | Sim.Layered.Main _ -> None
+
 type config = {
   self : Sim.Pid.t;
   addrs : Unix.sockaddr array;
   client_addr : Unix.sockaddr;
   period : int;
+  detector : Omega.kind;
   window : int;
   batch_max : int;
   tick_s : float;
@@ -34,6 +59,7 @@ let default_config ~self ~addrs ~client_addr =
     addrs;
     client_addr;
     period = 16;
+    detector = Omega.Heartbeat;
     window = 16;
     batch_max = 1024;
     tick_s = 1e-3;
@@ -230,6 +256,7 @@ let serve (type st c) (Impl impl : (st, c) impl) cfg =
           ("self", string_of_int cfg.self);
           ("n", string_of_int (Array.length cfg.addrs));
           ("period", string_of_int cfg.period);
+          ("detector", Omega.kind_name cfg.detector);
           ("window", string_of_int cfg.window);
           ("steps", string_of_int (Node.now node));
         ]
@@ -259,7 +286,7 @@ let string_impl cfg : (string pstate, string) impl =
     {
       proto =
         protocol ~window:cfg.window ~batch_max:cfg.batch_max
-          ~period:cfg.period ();
+          ~detector:cfg.detector ~period:cfg.period ();
       codec = Codecs.pmsg Wire.string_c;
       submitted = (fun st -> Cons.Smr.submitted (smr_state st));
       applied = (fun st -> Cons.Smr.applied (smr_state st));

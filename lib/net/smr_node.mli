@@ -23,18 +23,30 @@ type 'c pstate
 (** The composed wire type is public so codecs for it can live outside
     this module ({!Codecs.pmsg} builds the binary tower for it). *)
 type 'c pmsg =
-  ( (Fd.Emulated.Omega_heartbeat.msg, Fd.Emulated.Sigma_majority.msg)
+  ( (Fd.Emulated.Omega.msg, Fd.Emulated.Sigma_majority.msg)
     Sim.Layered.wire,
     'c Cons.Smr.msg )
   Sim.Layered.wire
 
+(** Default Σ join-round pacing for a given Ω backend: continuous ([0])
+    under [Fd.Emulated.Omega.Heartbeat] (the historical behaviour), a
+    refresh every [4 * period] steps under [Ring] — with Ω down to one
+    frame per process per period, a continuously-refreshing Σ would be
+    the only O(n²)-per-round traffic left (docs/DETECTORS.md). *)
+val default_sigma_period :
+  detector:Fd.Emulated.Omega.kind -> period:int -> int
+
 (** The composed replica automaton.  Inputs are client commands; outputs
     are decided [(log index, cmd)] entries in log order.  [window]
     (default 1) and [batch_max] (default 1024) are {!Cons.Smr.make}'s
-    pipelining and batching knobs. *)
+    pipelining and batching knobs; [detector] picks the Ω backend
+    (default [Heartbeat]); [sigma_period] overrides
+    {!default_sigma_period}. *)
 val protocol :
   ?window:int ->
   ?batch_max:int ->
+  ?detector:Fd.Emulated.Omega.kind ->
+  ?sigma_period:int ->
   period:int ->
   unit ->
   ('c pstate, 'c pmsg, unit, 'c, int * 'c Cons.Smr.cmd) Sim.Protocol.t
@@ -42,14 +54,24 @@ val protocol :
 (** Views into the layers, for tests and status lines. *)
 val smr_state : 'c pstate -> 'c Cons.Smr.state
 
-val omega_state : 'c pstate -> Fd.Emulated.Omega_heartbeat.state
+val omega_state : 'c pstate -> Fd.Emulated.Omega.state
 val sigma_state : 'c pstate -> Fd.Emulated.Sigma_majority.state
+
+(** Which detector series a delivered frame belongs to —
+    ["heartbeat"] / ["ring"] for Ω traffic, ["sigma"] for join-quorum
+    traffic, [None] for main (SMR) traffic.  Hosts pass this as
+    [Node.create]'s [classify] hook to feed the
+    [fd.frames{detector=...}] labeled counters. *)
+val classify : 'c pmsg -> string option
 
 type config = {
   self : Sim.Pid.t;
   addrs : Unix.sockaddr array;  (** transport address of every node *)
   client_addr : Unix.sockaddr;  (** this node's client-facing listener *)
   period : int;  (** Ω heartbeat period in local steps (default 16) *)
+  detector : Fd.Emulated.Omega.kind;
+      (** Ω backend (default [Heartbeat]); Σ pacing follows
+          {!default_sigma_period} *)
   window : int;  (** in-flight consensus instances (default 16) *)
   batch_max : int;  (** max commands per instance (default 1024) *)
   tick_s : float;  (** seconds per idle step (default 1e-3) *)

@@ -27,6 +27,7 @@ type config = {
   seed : int;
   rounds : int;
   period : int;
+  detector : Fd.Emulated.Omega.kind;
   schedule : Net.Nemesis.schedule;  (* per shard; pids are group-local *)
   cmds : int;
   cmd_every : int;
@@ -48,6 +49,7 @@ let default ~shards ~replicas ~schedule =
     seed = 0;
     rounds = 3_000;
     period = 16;
+    detector = Fd.Emulated.Omega.Heartbeat;
     schedule;
     cmds = 40;
     cmd_every = 50;
@@ -139,7 +141,7 @@ let run ?collector cfg =
     Net.Rel.transport r
   in
   let cluster =
-    Cluster.create ~period:cfg.period
+    Cluster.create ~period:cfg.period ~detector:cfg.detector
       ?sink:(Option.map (fun s ~shard:_ _ -> Some s) sink)
       ~wrap ~shards:cfg.shards ~replicas:cfg.replicas ~spares:cfg.spares ()
   in

@@ -25,6 +25,8 @@ type config = {
   seed : int;
   rounds : int;
   period : int;
+  detector : Fd.Emulated.Omega.kind;
+      (** Ω backend on every replica (default [Heartbeat]) *)
   schedule : Net.Nemesis.schedule;  (** applied to every shard *)
   cmds : int;
   cmd_every : int;

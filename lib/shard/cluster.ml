@@ -12,15 +12,15 @@ type t = {
   spares : int;
 }
 
-let create ?(period = 16) ?snap_every ?lag_gap ?points ?sink ?wrap ~shards
-    ~replicas ?(spares = 1) () =
+let create ?(period = 16) ?detector ?snap_every ?lag_gap ?points ?sink ?wrap
+    ~shards ~replicas ?(spares = 1) () =
   if shards <= 0 then invalid_arg "Cluster.create: shards must be positive";
   if replicas <= 0 then invalid_arg "Cluster.create: replicas must be positive";
   let universe = replicas + spares in
   let members = Sim.Pidset.of_list (List.init replicas Fun.id) in
   let groups =
     Array.init shards (fun id ->
-        Group.create ~period ?snap_every ?lag_gap
+        Group.create ~period ?detector ?snap_every ?lag_gap
           ?sink:(Option.map (fun f -> f ~shard:id) sink)
           ?wrap:(Option.map (fun f -> f ~shard:id) wrap)
           ~id ~universe ~members ())

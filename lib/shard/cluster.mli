@@ -15,6 +15,7 @@ type t
     [Rel]/[Nemesis] per shard. *)
 val create :
   ?period:int ->
+  ?detector:Fd.Emulated.Omega.kind ->
   ?snap_every:int ->
   ?lag_gap:int ->
   ?points:int ->

@@ -13,11 +13,13 @@ type t = {
   mu : Mutex.t;
 }
 
-let create ?(period = 16) ?snap_every ?lag_gap ?sink ?wrap ~id ~universe
-    ~members () =
+let create ?(period = 16) ?detector ?snap_every ?lag_gap ?sink ?wrap ~id
+    ~universe ~members () =
   if universe < Sim.Pidset.cardinal members then
     invalid_arg "Group.create: members exceed universe";
-  let proto = Replica.protocol ?snap_every ?lag_gap ~period ~members () in
+  let proto =
+    Replica.protocol ?snap_every ?lag_gap ?detector ~period ~members ()
+  in
   {
     id;
     universe;

@@ -11,6 +11,7 @@ type t
 
 val create :
   ?period:int ->
+  ?detector:Fd.Emulated.Omega.kind ->
   ?snap_every:int ->
   ?lag_gap:int ->
   ?sink:(Sim.Pid.t -> Sim.Event.sink option) ->

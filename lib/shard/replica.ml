@@ -17,7 +17,7 @@
    pipelining, window > 1, would break this argument: keep the replica
    on the default protocol.) *)
 
-module Omega = Fd.Emulated.Omega_heartbeat
+module Omega = Fd.Emulated.Omega
 module Sigma = Fd.Emulated.Sigma_epoch
 module Smap = Map.Make (String)
 
@@ -127,8 +127,9 @@ let absorb ~n st acts =
   in
   (st, List.rev rev)
 
-let protocol ?(snap_every = 8) ?(lag_gap = 24) ~period ~members () =
-  let omega = Omega.detector ~period in
+let protocol ?(snap_every = 8) ?(lag_gap = 24) ?(detector = Omega.Heartbeat)
+    ~period ~members () =
+  let omega = Omega.detector ~kind:detector ~period in
   let init ~n self =
     {
       om = omega.Sim.Layered.proto.Sim.Protocol.init ~n self;

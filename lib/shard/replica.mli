@@ -28,7 +28,7 @@ type cmd = payload Cons.Smr.cmd
 type entry = int * cmd
 
 type msg =
-  | Om of Fd.Emulated.Omega_heartbeat.msg
+  | Om of Fd.Emulated.Omega.msg
   | Si of Fd.Emulated.Sigma_epoch.msg
   | Smr of payload Cons.Smr.msg
   | Snap_req of { since : int }
@@ -40,12 +40,16 @@ type state
 
 (** Inputs are client payloads; outputs are decided [(slot, cmd)] entries
     in slot order.  [period] is Ω's heartbeat period (local steps);
-    [members] the epoch-0 member set; [snap_every] throttles snapshot
-    requests; [lag_gap] is how far behind the wire's highest seen slot a
-    replica must be before asking (default 24). *)
+    [detector] picks the Ω backend (default [Heartbeat] — the ring
+    backend drops shard detector traffic to one frame per replica per
+    period, docs/DETECTORS.md); [members] the epoch-0 member set;
+    [snap_every] throttles snapshot requests; [lag_gap] is how far
+    behind the wire's highest seen slot a replica must be before asking
+    (default 24). *)
 val protocol :
   ?snap_every:int ->
   ?lag_gap:int ->
+  ?detector:Fd.Emulated.Omega.kind ->
   period:int ->
   members:Sim.Pidset.t ->
   unit ->
@@ -54,7 +58,7 @@ val protocol :
 (** {2 Views} (tests, router sampling, status lines) *)
 
 val smr_state : state -> payload Cons.Smr.state
-val omega_state : state -> Fd.Emulated.Omega_heartbeat.state
+val omega_state : state -> Fd.Emulated.Omega.state
 val sigma_state : state -> Fd.Emulated.Sigma_epoch.state
 val config : state -> Epoch.config
 val epoch : state -> int

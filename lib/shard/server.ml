@@ -15,11 +15,12 @@ type read_reply = {
   rr_value : (int * string) option;
 }
 
-let impl ?snap_every ?lag_gap ~period ~members () :
+let impl ?snap_every ?lag_gap ?detector ~period ~members () :
     (Replica.state, Replica.payload) Net.Smr_node.impl =
   Net.Smr_node.Impl
     {
-      proto = Replica.protocol ?snap_every ?lag_gap ~period ~members ();
+      proto =
+        Replica.protocol ?snap_every ?lag_gap ?detector ~period ~members ();
       (* Snapshots and reconfig votes carry closed variants with lists of
          lists; the shard's control plane is not the hot path, so it rides
          the Marshal compat codec rather than a hand-rolled binary one. *)
@@ -52,5 +53,6 @@ let impl ?snap_every ?lag_gap ~period ~members () :
 
 let serve ?snap_every ?lag_gap ~members cfg =
   Net.Smr_node.serve
-    (impl ?snap_every ?lag_gap ~period:cfg.Net.Smr_node.period ~members ())
+    (impl ?snap_every ?lag_gap ~detector:cfg.Net.Smr_node.detector
+       ~period:cfg.Net.Smr_node.period ~members ())
     cfg

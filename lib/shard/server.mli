@@ -27,12 +27,14 @@ type read_reply = {
 val impl :
   ?snap_every:int ->
   ?lag_gap:int ->
+  ?detector:Fd.Emulated.Omega.kind ->
   period:int ->
   members:Sim.Pidset.t ->
   unit ->
   (Replica.state, Replica.payload) Net.Smr_node.impl
 
-(** Run one shard replica until SIGTERM ([cfg.period] paces Ω). *)
+(** Run one shard replica until SIGTERM ([cfg.period] paces Ω;
+    [cfg.detector] picks the Ω backend). *)
 val serve :
   ?snap_every:int ->
   ?lag_gap:int ->

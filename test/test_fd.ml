@@ -532,6 +532,246 @@ let test_omega_ec_emulation () =
           (List.length ls))
     correct
 
+(* --- The ring detector ------------------------------------------------- *)
+
+(* The Adaptive timeout discipline in isolation: silence beyond the
+   timeout convicts; a heartbeat that arrives while convicted (a false
+   suspicion) grows the timeout by one period; timeouts never shrink, and
+   growth stops as soon as heartbeats keep arriving inside the window. *)
+let test_adaptive_monotone_growth_then_stabilize () =
+  let period = 4 in
+  let ad = Fd.Emulated.Adaptive.create ~n:2 ~period in
+  let t0 = Fd.Emulated.Adaptive.timeout ad 1 in
+  Alcotest.(check int) "initial timeout is 4 periods" (4 * period) t0;
+  Alcotest.(check bool) "silent within the window: trusted" false
+    (Fd.Emulated.Adaptive.timed_out ad ~clock:t0 1);
+  Alcotest.(check bool) "silent beyond the window: convicted" true
+    (Fd.Emulated.Adaptive.timed_out ad ~clock:(t0 + 1) 1);
+  (* the late heartbeat proves the suspicion false: timeout grows *)
+  Fd.Emulated.Adaptive.heard ad ~clock:(t0 + 1) 1;
+  Alcotest.(check int) "false suspicion grows the timeout by one period"
+    (t0 + period)
+    (Fd.Emulated.Adaptive.timeout ad 1);
+  (* timely heartbeats from now on: the timeout stabilizes *)
+  let clock = ref (t0 + 1) in
+  for _ = 1 to 50 do
+    clock := !clock + period;
+    Alcotest.(check bool) "timely: never convicted" false
+      (Fd.Emulated.Adaptive.timed_out ad ~clock:!clock 1);
+    Fd.Emulated.Adaptive.heard ad ~clock:!clock 1
+  done;
+  Alcotest.(check int) "timeout stable under timely heartbeats"
+    (t0 + period)
+    (Fd.Emulated.Adaptive.timeout ad 1);
+  (* grant resets the silence clock without growth *)
+  Fd.Emulated.Adaptive.grant ad ~clock:(!clock + 2 * period) 1;
+  Alcotest.(check int) "grant does not grow the timeout" (t0 + period)
+    (Fd.Emulated.Adaptive.timeout ad 1)
+
+(* Shared driver: run the ring detector under partial synchrony over a
+   failure pattern, return the trace (outputs are per-step leader
+   estimates; final states are the ring states). *)
+let run_ring ?(seed = 1) ?(n = 5) ?(period = 4) ?(max_steps = 12_000)
+    ?(gst = 200) ?(delta = 2) crashes =
+  let fp = Sim.Failure_pattern.make ~n crashes in
+  let layered =
+    Sim.Layered.with_detector
+      (Fd.Emulated.Omega_ring.detector ~period)
+      observer
+  in
+  let cfg =
+    Sim.Engine.config ~seed ~max_steps
+      ~policy:(Sim.Network.Partial_synchrony { gst; delta })
+      ~fd:(fun _ _ -> ())
+      ~detect_quiescence:false fp
+  in
+  (fp, Sim.Engine.run cfg layered)
+
+let late_leaders (trace : _ Sim.Trace.t) p =
+  let half = trace.Sim.Trace.ticks / 2 in
+  List.sort_uniq compare
+    (List.filter_map
+       (fun (e : _ Sim.Trace.event) ->
+         if Sim.Pid.equal e.pid p && e.time >= half then Some e.value
+         else None)
+       trace.Sim.Trace.outputs)
+
+(* Head crash: the ring must promote the next-lowest id everywhere. *)
+let test_ring_head_crash_promotes_next () =
+  let fp, trace = run_ring ~n:5 [ (0, 100) ] in
+  let correct = Sim.Pidset.elements (Sim.Failure_pattern.correct fp) in
+  List.iter
+    (fun p ->
+      (match late_leaders trace p with
+      | [ l ] ->
+        Alcotest.(check int)
+          (Printf.sprintf "pid %d settles on the next-lowest id" p)
+          1 l
+      | ls -> Alcotest.failf "pid %d saw %d late leaders" p (List.length ls));
+      let st = fst trace.Sim.Trace.final_states.(p) in
+      Alcotest.(check bool)
+        (Printf.sprintf "pid %d convicts the crashed head" p)
+        true
+        (Sim.Pidset.mem 0 (Fd.Emulated.Omega_ring.suspects st)))
+    correct
+
+(* Mid-chain crash: leadership is untouched, and every survivor's local
+   ring re-closes around the excised id — the convicting successor
+   monitors one further back, the predecessor heartbeats one further
+   forward. *)
+let test_ring_mid_chain_crash_repairs () =
+  let fp, trace = run_ring ~n:5 [ (2, 100) ] in
+  let correct = Sim.Pidset.elements (Sim.Failure_pattern.correct fp) in
+  List.iter
+    (fun p ->
+      (match late_leaders trace p with
+      | [ l ] ->
+        Alcotest.(check int)
+          (Printf.sprintf "pid %d keeps the head as leader" p)
+          0 l
+      | ls -> Alcotest.failf "pid %d saw %d late leaders" p (List.length ls));
+      let st = fst trace.Sim.Trace.final_states.(p) in
+      Alcotest.(check bool)
+        (Printf.sprintf "pid %d excised the crashed process" p)
+        true
+        (Sim.Pidset.mem 2 (Fd.Emulated.Omega_ring.suspects st));
+      Alcotest.(check bool)
+        (Printf.sprintf "pid %d suspects no survivor" p)
+        false
+        (List.exists
+           (fun q -> Sim.Pidset.mem q (Fd.Emulated.Omega_ring.suspects st))
+           correct))
+    correct;
+  (* the chain is re-closed around 2: succ 1 = 3 and pred 3 = 1 *)
+  let st1 = fst trace.Sim.Trace.final_states.(1) in
+  let st3 = fst trace.Sim.Trace.final_states.(3) in
+  Alcotest.(check int) "succ of 1 skips to 3" 3
+    (Fd.Emulated.Omega_ring.succ st1);
+  Alcotest.(check int) "pred of 3 skips to 1" 1
+    (Fd.Emulated.Omega_ring.pred st3)
+
+(* Pre-GST delays provoke false convictions; each one is refuted and
+   grows the wrongly-convicted peer's timeout, so after GST convictions
+   of live processes stop and everyone settles on the smallest correct
+   id.  Swept over seeds: every run must converge, and at least one run
+   must have actually exercised the adaptation. *)
+let test_ring_adaptation_and_post_gst_convergence () =
+  let period = 4 in
+  let adapted = ref false in
+  List.iter
+    (fun seed ->
+      let fp, trace =
+        run_ring ~seed ~n:4 ~period ~max_steps:16_000 ~gst:400 ~delta:16
+          [ (0, 150) ]
+      in
+      let correct = Sim.Pidset.elements (Sim.Failure_pattern.correct fp) in
+      let min_correct = List.fold_left min max_int correct in
+      List.iter
+        (fun p ->
+          (match late_leaders trace p with
+          | [ l ] ->
+            Alcotest.(check int)
+              (Printf.sprintf
+                 "seed %d: pid %d settles on the smallest correct id" seed p)
+              min_correct l
+          | ls ->
+            Alcotest.failf "seed %d: pid %d saw %d late leaders" seed p
+              (List.length ls));
+          let st = fst trace.Sim.Trace.final_states.(p) in
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d: pid %d suspects no correct process"
+               seed p)
+            false
+            (List.exists
+               (fun q ->
+                 (not (Sim.Pid.equal q p))
+                 && Sim.Pidset.mem q (Fd.Emulated.Omega_ring.suspects st))
+               correct);
+          if
+            List.exists
+              (fun q -> Fd.Emulated.Omega_ring.timeout st q > 4 * period)
+              correct
+          then adapted := true)
+        correct)
+    [ 1; 2; 3; 4; 5; 6 ];
+  Alcotest.(check bool)
+    "at least one sweep run exercised timeout adaptation" true !adapted
+
+(* --- Ring over the loopback transport (the real message path) --------- *)
+
+let ring_run_until cluster pred =
+  let r = ref 0 in
+  while not (pred ()) && !r < 20_000 do
+    incr r;
+    Net.Local.run cluster ~rounds:1
+  done;
+  if not (pred ()) then Alcotest.fail "condition not reached in 20k rounds";
+  !r
+
+let test_ring_crash_failover_on_loopback () =
+  let n = 5 in
+  let cluster = Net.Local.create ~detector:Fd.Emulated.Omega.Ring ~n () in
+  let leader_at p =
+    Fd.Emulated.Omega.current (Net.Smr_node.omega_state (Net.Local.state cluster p))
+  in
+  Net.Local.run cluster ~rounds:500;
+  List.iter
+    (fun p ->
+      Alcotest.(check int)
+        (Printf.sprintf "node %d trusts the head" p)
+        0 (leader_at p))
+    (Sim.Pid.all n);
+  Net.Local.crash cluster 0;
+  ignore
+    (ring_run_until cluster (fun () ->
+         List.for_all (fun p -> leader_at p = 1) [ 1; 2; 3; 4 ]));
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d convicts the crashed head" p)
+        true
+        (Sim.Pidset.mem 0
+           (Fd.Emulated.Omega.suspects
+              (Net.Smr_node.omega_state (Net.Local.state cluster p)))))
+    [ 1; 2; 3; 4 ]
+
+let test_ring_false_suspicion_heals_on_loopback () =
+  (* Block node 0's outbound frames: its ring successor convicts it and
+     broadcasts the conviction.  Unblock: the buffered heartbeats (and
+     0's own buffered Refute — it received its conviction) flush, every
+     node reinstates 0, and the false suspicion has grown 0's timeout at
+     the node that convicted it. *)
+  let n = 3 in
+  let cluster = Net.Local.create ~detector:Fd.Emulated.Omega.Ring ~n () in
+  let suspects_0 p =
+    Sim.Pidset.mem 0
+      (Fd.Emulated.Omega.suspects
+         (Net.Smr_node.omega_state (Net.Local.state cluster p)))
+  in
+  let timeout_for_0 p =
+    Fd.Emulated.Omega.timeout
+      (Net.Smr_node.omega_state (Net.Local.state cluster p))
+      0
+  in
+  Net.Local.run cluster ~rounds:500;
+  Alcotest.(check bool) "initially trusted" false (suspects_0 1);
+  let t_before = timeout_for_0 1 in
+  Net.Loopback.block (Net.Local.hub cluster) 0;
+  ignore (ring_run_until cluster (fun () -> suspects_0 1));
+  Net.Loopback.unblock (Net.Local.hub cluster) 0;
+  ignore (ring_run_until cluster (fun () -> not (suspects_0 1)));
+  Alcotest.(check bool) "false suspicion grew the timeout" true
+    (timeout_for_0 1 > t_before);
+  (* and leadership is back with the reinstated head *)
+  ignore
+    (ring_run_until cluster (fun () ->
+         List.for_all
+           (fun p ->
+             Fd.Emulated.Omega.current
+               (Net.Smr_node.omega_state (Net.Local.state cluster p))
+             = 0)
+           (Sim.Pid.all n)))
+
 let prop_psi_oracle_conforms =
   QCheck.Test.make ~name:"Psi histories conform to the Psi spec" ~count:80
     QCheck.(pair small_nat (int_bound 3))
@@ -630,6 +870,21 @@ let () =
             test_omega_adaptation_and_post_gst_convergence;
           Alcotest.test_case "omega-ec leader epochs" `Slow
             test_omega_ec_emulation;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "adaptive timeouts grow then stabilize" `Quick
+            test_adaptive_monotone_growth_then_stabilize;
+          Alcotest.test_case "head crash promotes next-lowest id" `Slow
+            test_ring_head_crash_promotes_next;
+          Alcotest.test_case "mid-chain crash re-closes the ring" `Slow
+            test_ring_mid_chain_crash_repairs;
+          Alcotest.test_case "adaptation and post-GST convergence" `Slow
+            test_ring_adaptation_and_post_gst_convergence;
+          Alcotest.test_case "crash failover on loopback" `Slow
+            test_ring_crash_failover_on_loopback;
+          Alcotest.test_case "false suspicion heals on loopback" `Slow
+            test_ring_false_suspicion_heals_on_loopback;
         ] );
       ( "properties",
         [

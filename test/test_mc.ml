@@ -650,6 +650,39 @@ let test_ec_store_crash_adversary () =
     "survivors converge under every crash" true
     (r.Mc.Crash_adversary.counterexample = None)
 
+(* ---- the ring detector ---------------------------------------------- *)
+
+let test_fd_ring_exhausted () =
+  (* eventual leader agreement of the chain-ordered ◇S implementation,
+     exhaustively at n=3 under the crash adversary: whatever the round
+     interleaving and whichever single process crashes (on the default
+     time grid), every correct process must settle on the smallest
+     correct id within the step budget *)
+  let t = Mc.Targets.fd_ring ~n:3 in
+  let r =
+    Mc.Crash_adversary.search ~max_crashes:1 ~horizon:4 ~stride:2
+      ~inner:`Exhaustive ~budget:200_000 ~inner_budget:100_000 t ~n:3
+  in
+  Alcotest.(check bool) "all patterns exhausted" true
+    r.Mc.Crash_adversary.complete;
+  Alcotest.(check bool)
+    "leader agreement under every crash" true
+    (r.Mc.Crash_adversary.counterexample = None);
+  Alcotest.(check bool) "nontrivial exploration" true
+    (r.Mc.Crash_adversary.schedules > 1_000)
+
+let test_fd_ring_dpor_parity () =
+  (* DPOR must reach the same (clean) verdict on a much smaller schedule
+     set — the ring's point-to-point heartbeats commute aggressively *)
+  let t = Mc.Targets.fd_ring ~n:3 in
+  let r =
+    Mc.Crash_adversary.search ~max_crashes:1 ~horizon:4 ~stride:2
+      ~inner:`Dpor ~budget:200_000 ~inner_budget:100_000 t ~n:3
+  in
+  Alcotest.(check bool) "exhausted" true r.Mc.Crash_adversary.complete;
+  Alcotest.(check bool) "clean" true
+    (r.Mc.Crash_adversary.counterexample = None)
+
 let test_net_ec_converge () =
   (* three replicas over the raw reordering hub with a dropped and a
      duplicated frame: no ARQ, anti-entropy masks the loss itself *)
@@ -771,5 +804,11 @@ let () =
             test_net_ec_converge;
           Alcotest.test_case "no-sync divergence caught + replay" `Quick
             test_net_ec_no_sync_caught;
+        ] );
+      ( "fd-ring",
+        [
+          Alcotest.test_case "n=3 crash adversary exhausted, agrees" `Quick
+            test_fd_ring_exhausted;
+          Alcotest.test_case "dpor parity" `Quick test_fd_ring_dpor_parity;
         ] );
     ]

@@ -169,13 +169,29 @@ let prop_pmsg_codec_roundtrip =
         (fun (det, smr) ->
           match det with
           | None -> Sim.Layered.Main smr
-          | Some (true, k) ->
+          | Some (0, k) ->
             Sim.Layered.Detector
               (Sim.Layered.Main (Fd.Emulated.Sigma_majority.Join k))
-          | Some (false, _) ->
+          | Some (1, k) ->
             Sim.Layered.Detector
-              (Sim.Layered.Detector Fd.Emulated.Omega_heartbeat.Alive))
-        (pair (option (pair bool small_nat)) gen_smr))
+              (Sim.Layered.Main (Fd.Emulated.Sigma_majority.Ack k))
+          | Some (2, _) ->
+            Sim.Layered.Detector
+              (Sim.Layered.Detector
+                 (Fd.Emulated.Omega.R Fd.Emulated.Omega_ring.Hb))
+          | Some (3, k) ->
+            Sim.Layered.Detector
+              (Sim.Layered.Detector
+                 (Fd.Emulated.Omega.R (Fd.Emulated.Omega_ring.Suspect k)))
+          | Some (4, k) ->
+            Sim.Layered.Detector
+              (Sim.Layered.Detector
+                 (Fd.Emulated.Omega.R (Fd.Emulated.Omega_ring.Refute k)))
+          | Some (_, _) ->
+            Sim.Layered.Detector
+              (Sim.Layered.Detector
+                 (Fd.Emulated.Omega.H Fd.Emulated.Omega_heartbeat.Alive)))
+        (pair (option (pair (int_bound 5) small_nat)) gen_smr))
   in
   QCheck.Test.make ~name:"codecs: full node message round-trips" ~count:500
     gen (fun m -> Net.Wire.of_bytes codec (Net.Wire.to_bytes codec m) = m)
@@ -448,7 +464,7 @@ let test_omega_converges_on_loopback () =
       Alcotest.(check bool)
         (Printf.sprintf "node %d trusts nobody falsely" p)
         true
-        (Sim.Pidset.is_empty (Fd.Emulated.Omega_heartbeat.suspects om)))
+        (Sim.Pidset.is_empty (Fd.Emulated.Omega.suspects om)))
     (Sim.Pid.all n)
 
 let test_omega_crash_detection_on_loopback () =
@@ -463,7 +479,7 @@ let test_omega_crash_detection_on_loopback () =
       Alcotest.(check bool)
         (Printf.sprintf "node %d suspects the crashed node" p)
         true
-        (Sim.Pidset.mem 0 (Fd.Emulated.Omega_heartbeat.suspects om)))
+        (Sim.Pidset.mem 0 (Fd.Emulated.Omega.suspects om)))
     [ 1; 2 ]
 
 let test_omega_timeout_adapts_on_loopback () =
@@ -476,7 +492,7 @@ let test_omega_timeout_adapts_on_loopback () =
   Net.Local.run cluster ~rounds:300;
   let suspects_0 p =
     Sim.Pidset.mem 0
-      (Fd.Emulated.Omega_heartbeat.suspects
+      (Fd.Emulated.Omega.suspects
          (Net.Smr_node.omega_state (Net.Local.state cluster p)))
   in
   Alcotest.(check bool) "initially trusted" false (suspects_0 1);
